@@ -1,0 +1,217 @@
+//! CSV import/export — the "plug-in replacement for spreadsheets".
+//!
+//! Two interchange shapes:
+//!
+//! * **spreadsheet** — first row is the column-key header, first field of
+//!   each row is the row key, empty cells are absent entries; the format
+//!   a spreadsheet user would recognize as *the same object*;
+//! * **triples** — `row,col,value` lines, the streaming/database shape.
+//!
+//! Round trips are exact for string-keyed `f64` arrays (values rendered
+//! via Rust's shortest-round-trip float formatting).
+
+use semiring::traits::Semiring;
+
+use crate::assoc::Assoc;
+
+/// Render as spreadsheet-shaped CSV (header + one line per row key).
+pub fn to_csv_spreadsheet(a: &Assoc<String, String, f64>) -> String {
+    let mut out = String::new();
+    out.push_str("");
+    for c in a.col_keys() {
+        out.push(',');
+        out.push_str(&escape(c));
+    }
+    out.push('\n');
+    for r in a.row_keys() {
+        out.push_str(&escape(r));
+        let row: std::collections::HashMap<String, f64> = a.row(r).into_iter().collect();
+        for c in a.col_keys() {
+            out.push(',');
+            if let Some(v) = row.get(c) {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse spreadsheet-shaped CSV.
+pub fn from_csv_spreadsheet<S: Semiring<Value = f64>>(
+    text: &str,
+    s: S,
+) -> Result<Assoc<String, String, f64>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty csv")?;
+    let cols: Vec<String> = split(header)?.into_iter().skip(1).collect();
+    let mut trips = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split(line)?;
+        let row = fields
+            .first()
+            .ok_or_else(|| format!("line {lineno}: no row key"))?;
+        if fields.len() > cols.len() + 1 {
+            return Err(format!("line {lineno}: more cells than header columns"));
+        }
+        for (c, cell) in cols.iter().zip(fields.iter().skip(1)) {
+            if cell.is_empty() {
+                continue;
+            }
+            let v: f64 = cell
+                .parse()
+                .map_err(|e| format!("line {lineno}, col {c}: {e}"))?;
+            trips.push((row.clone(), c.clone(), v));
+        }
+    }
+    Ok(Assoc::from_triplets(trips, s))
+}
+
+/// Render as triple-shaped CSV (`row,col,value` per entry).
+pub fn to_csv_triples(a: &Assoc<String, String, f64>) -> String {
+    let mut out = String::from("row,col,value\n");
+    for (r, c, v) in a.to_triplets() {
+        out.push_str(&format!("{},{},{v}\n", escape(&r), escape(&c)));
+    }
+    out
+}
+
+/// Parse triple-shaped CSV (with or without the canonical header).
+pub fn from_csv_triples<S: Semiring<Value = f64>>(
+    text: &str,
+    s: S,
+) -> Result<Assoc<String, String, f64>, String> {
+    let mut trips = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() || (lineno == 0 && line == "row,col,value") {
+            continue;
+        }
+        let fields = split(line)?;
+        if fields.len() != 3 {
+            return Err(format!("line {lineno}: expected 3 fields"));
+        }
+        let v: f64 = fields[2]
+            .parse()
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        trips.push((fields[0].clone(), fields[1].clone(), v));
+    }
+    Ok(Assoc::from_triplets(trips, s))
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn split(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(ch) = chars.next() {
+        if quoted {
+            match ch {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cur.push('"');
+                }
+                '"' => quoted = false,
+                c => cur.push(c),
+            }
+        } else {
+            match ch {
+                '"' if cur.is_empty() => quoted = true,
+                ',' => out.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+    }
+    if quoted {
+        return Err("unterminated quote".into());
+    }
+    out.push(cur);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::PlusTimes;
+
+    fn s() -> PlusTimes<f64> {
+        PlusTimes::new()
+    }
+
+    fn sample() -> Assoc<String, String, f64> {
+        Assoc::from_triplets(
+            vec![
+                ("alice".into(), "apples".into(), 2.5),
+                ("alice".into(), "pears".into(), 1.0),
+                ("bob".into(), "apples".into(), 5.0),
+            ],
+            s(),
+        )
+    }
+
+    #[test]
+    fn spreadsheet_round_trip() {
+        let a = sample();
+        let text = to_csv_spreadsheet(&a);
+        assert!(text.starts_with(",apples,pears\n"));
+        let b = from_csv_spreadsheet(&text, s()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn triples_round_trip() {
+        let a = sample();
+        let b = from_csv_triples(&to_csv_triples(&a), s()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_cells_are_absent_entries() {
+        let text = ",x,y\nr1,1.5,\nr2,,2.5\n";
+        let a = from_csv_spreadsheet(text, s()).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(&"r1".into(), &"x".into()), Some(1.5));
+        assert_eq!(a.get(&"r1".into(), &"y".into()), None);
+    }
+
+    #[test]
+    fn quoting_survives_round_trip() {
+        let a = Assoc::from_triplets(
+            vec![("has,comma".to_string(), "has\"quote".to_string(), 1.0)],
+            s(),
+        );
+        let b = from_csv_spreadsheet(&to_csv_spreadsheet(&a), s()).unwrap();
+        assert_eq!(a, b);
+        let c = from_csv_triples(&to_csv_triples(&a), s()).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_csv_spreadsheet("", s()).is_err());
+        assert!(from_csv_spreadsheet(",x\nr1,notanumber\n", s()).is_err());
+        assert!(from_csv_triples("a,b\n", s()).is_err());
+        assert!(from_csv_triples("a,b,1.0,extra\n", s()).is_err());
+        assert!(from_csv_spreadsheet(",x\n\"unterminated,1\n", s()).is_err());
+    }
+
+    #[test]
+    fn high_precision_values_round_trip() {
+        let a = Assoc::from_triplets(
+            vec![("r".to_string(), "c".to_string(), std::f64::consts::PI)],
+            s(),
+        );
+        let b = from_csv_triples(&to_csv_triples(&a), s()).unwrap();
+        assert_eq!(a, b); // shortest round-trip float formatting is exact
+    }
+}

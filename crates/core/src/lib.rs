@@ -1,0 +1,55 @@
+//! Associative array algebra — the paper's primary contribution.
+//!
+//! An associative array is a mapping `A : K₁ × K₂ → 𝕍` from *sortable key
+//! sets* (strings, integers, IP addresses, timestamps …) to a semiring of
+//! values (§III). This crate provides:
+//!
+//! * [`Assoc`] — the associative array type: two sorted key dictionaries
+//!   over a [`hypersparse::Matrix`], with every operation of **Table II**
+//!   (construction, extraction, permutation ℙ, identity 𝕀, transpose,
+//!   `row`/`col`, `nnz`, the zero-norm `| |₀`, element-wise ⊕ and ⊗, and
+//!   array multiplication ⊕.⊗ with automatic key-space alignment);
+//! * [`semilink`] — the seven §IV identities of the semilink
+//!   `(𝔸, ⊕, ⊗, ⊕.⊗, 0, 1, 𝕀)`, implemented as executable checks;
+//! * [`select`] — the §V.B relational `select`, both as the paper's
+//!   semilink formula over the `∪.∩` power-set semiring and as a direct
+//!   scan, cross-validated against each other;
+//! * [`range`] — D4M-style key-range and prefix subarray extraction;
+//! * [`csv`] — spreadsheet- and triple-shaped CSV interchange (the
+//!   conclusion's "plug-in replacement for spreadsheets").
+//!
+//! The "little regard for the true dimensions" property (§III) falls out
+//! of the representation: binary operations union-merge the operand key
+//! dictionaries and remap indices, so arrays over different (even
+//! astronomically large) key spaces compose freely; what matters is only
+//! the *overlap* of their keys.
+//!
+//! ```
+//! use hyperspace_core::Assoc;
+//! use semiring::PlusTimes;
+//!
+//! let s = PlusTimes::<f64>::new();
+//! let a = Assoc::from_triplets(
+//!     vec![("alice", "apples", 2.0), ("alice", "pears", 1.0), ("bob", "apples", 5.0)],
+//!     s,
+//! );
+//! let b = Assoc::from_triplets(vec![("bob", "apples", 1.0), ("carol", "figs", 3.0)], s);
+//!
+//! // Different key spaces add fine; overlapping cells combine with ⊕.
+//! let c = a.ewise_add(&b, s);
+//! assert_eq!(c.get(&"bob", &"apples"), Some(6.0));
+//! assert_eq!(c.get(&"carol", &"figs"), Some(3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assoc;
+pub mod csv;
+pub mod key;
+pub mod range;
+pub mod select;
+pub mod semilink;
+
+pub use assoc::Assoc;
+pub use key::Key;

@@ -1,0 +1,166 @@
+//! The §V.B relational `select` as semilink algebra.
+//!
+//! The paper writes the canonical SQL statement
+//!
+//! ```sql
+//! select k(1), …, k(n) from A where k(i) = v
+//! ```
+//!
+//! over the database semilink `(𝔸, ∪, ∩, ∪.∩, ∅, 1, 𝕀)` (power-set
+//! values, [`semiring::UnionIntersect`]) as
+//!
+//! ```text
+//! |((A ∪.∩ 𝕀(k(i))) ∩ v) ∪.∩ 𝟙|₀ ∩ A
+//! ```
+//!
+//! reading right to left through the pipeline:
+//!
+//! 1. `A ∪.∩ 𝕀(k(i))` — array-multiply by the single-key identity:
+//!    isolates column `k(i)`;
+//! 2. `∩ v` — element-wise intersect with the singleton `{v}`: keeps only
+//!    cells whose set contains `v`;
+//! 3. `∪.∩ 𝟙` — array-multiply by the all-ones array: broadcasts each
+//!    surviving row across every column (a row mask);
+//! 4. `| |₀` — zero-norm: normalizes mask values to the semiring `1`
+//!    (= the universe 𝒫(𝕍));
+//! 5. `∩ A` — element-wise intersect the mask with `A`: returns the
+//!    matching rows, all columns.
+//!
+//! [`select_semilink`] executes that formula literally;
+//! [`select_direct`] is the obvious row scan. They are proven equal by
+//! unit tests here and by the property suite.
+
+use semiring::{Atom, FnOp, PSet, UnionIntersect};
+
+use crate::assoc::Assoc;
+use crate::key::Key;
+
+/// A database-shaped associative array: string-ish row/column keys,
+/// power-set values (usually singletons of interned atoms).
+pub type SetArray<K1, K2> = Assoc<K1, K2, PSet>;
+
+/// Execute the paper's semilink select formula
+/// `|((A ∪.∩ 𝕀(k)) ∩ v) ∪.∩ 𝟙|₀ ∩ A`: rows of `A` whose `col` cell
+/// contains atom `v`, with all their columns.
+pub fn select_semilink<K1: Key, K2: Key>(
+    a: &SetArray<K1, K2>,
+    col: &K2,
+    v: Atom,
+) -> SetArray<K1, K2> {
+    let s = UnionIntersect;
+
+    // 1. 𝕀(k(i)): identity restricted to the one column key.
+    let id_k: Assoc<K2, K2, PSet> = Assoc::identity(vec![col.clone()], s);
+
+    // 2. A ∪.∩ 𝕀(k(i)) — selects column k(i).
+    let column = a.matmul(&id_k, s);
+
+    // 3. ∩ v — keep cells whose set contains v.
+    let matched = column.apply(FnOp(move |x: PSet| x.intersect(&PSet::singleton(v))), s);
+
+    // 4. ∪.∩ 𝟙 — broadcast matching rows across all of A's columns.
+    let ones: Assoc<K2, K2, PSet> = Assoc::ones(vec![col.clone()], a.col_keys().to_vec(), s);
+    let mask = matched.matmul(&ones, s);
+
+    // 5. | |₀ — normalize the mask to the ∪.∩ semiring's 1 (= 𝒫(𝕍)).
+    let mask = mask.zero_norm(s);
+
+    // 6. ∩ A — apply the mask.
+    mask.ewise_mul(a, s)
+}
+
+/// The same query as a direct scan: find rows whose `col` cell contains
+/// `v`, return those rows of `A` in full.
+pub fn select_direct<K1: Key, K2: Key>(
+    a: &SetArray<K1, K2>,
+    col: &K2,
+    v: Atom,
+) -> SetArray<K1, K2> {
+    let s = UnionIntersect;
+    let matching: Vec<K1> = a
+        .row_keys()
+        .iter()
+        .filter(|k1| a.get(k1, col).map(|set| set.contains(v)).unwrap_or(false))
+        .cloned()
+        .collect();
+    a.filter(|k1, _, _| matching.binary_search(k1).is_ok(), s)
+        .prune(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::AtomTable;
+
+    /// A tiny network-flow table: row = record id, column = field,
+    /// value = singleton set of the field's (interned) value.
+    fn flows() -> (SetArray<String, String>, AtomTable) {
+        let mut atoms = AtomTable::new();
+        let mut trips = Vec::new();
+        let rows = [
+            ("r1", "1.1.1.1", "2.2.2.2", "80"),
+            ("r2", "3.3.3.3", "1.1.1.1", "443"),
+            ("r3", "1.1.1.1", "4.4.4.4", "443"),
+            ("r4", "5.5.5.5", "6.6.6.6", "80"),
+        ];
+        for (rid, src, dst, port) in rows {
+            for (field, value) in [("src", src), ("dst", dst), ("port", port)] {
+                let atom = atoms.intern(value);
+                trips.push((rid.to_string(), field.to_string(), PSet::singleton(atom)));
+            }
+        }
+        (Assoc::from_triplets(trips, UnionIntersect), atoms)
+    }
+
+    #[test]
+    fn semilink_select_matches_direct_select() {
+        let (a, mut atoms) = flows();
+        let v = atoms.intern("1.1.1.1");
+        for col in ["src", "dst", "port"] {
+            let lhs = select_semilink(&a, &col.to_string(), v).prune(UnionIntersect);
+            let rhs = select_direct(&a, &col.to_string(), v);
+            assert_eq!(lhs, rhs, "column {col}");
+        }
+    }
+
+    #[test]
+    fn select_src_finds_expected_rows() {
+        let (a, mut atoms) = flows();
+        let v = atoms.intern("1.1.1.1");
+        let hit = select_semilink(&a, &"src".to_string(), v);
+        let rows: Vec<_> = crate::semilink::support_rows(&hit);
+        assert_eq!(rows, vec!["r1".to_string(), "r3".to_string()]);
+        // Full rows come back: r1 keeps its dst and port cells.
+        let dst = atoms.intern("2.2.2.2");
+        assert_eq!(
+            hit.get(&"r1".to_string(), &"dst".to_string()),
+            Some(PSet::singleton(dst))
+        );
+    }
+
+    #[test]
+    fn select_no_match_is_empty() {
+        let (a, mut atoms) = flows();
+        let v = atoms.intern("9.9.9.9");
+        assert!(select_semilink(&a, &"src".to_string(), v).is_empty());
+        assert!(select_direct(&a, &"src".to_string(), v).is_empty());
+    }
+
+    #[test]
+    fn select_on_port_column() {
+        let (a, mut atoms) = flows();
+        let v = atoms.intern("443");
+        let hit = select_direct(&a, &"port".to_string(), v);
+        assert_eq!(
+            crate::semilink::support_rows(&hit),
+            vec!["r2".to_string(), "r3".to_string()]
+        );
+    }
+
+    #[test]
+    fn select_on_absent_column_is_empty() {
+        let (a, mut atoms) = flows();
+        let v = atoms.intern("80");
+        assert!(select_semilink(&a, &"nosuch".to_string(), v).is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! The §IV semilink identities, executable.
+//!
+//! A semilink `(𝔸, ⊕, ⊗, ⊕.⊗, 0, 1, 𝕀)` couples the element-wise and
+//! array semirings over one value set. §IV derives seven identity
+//! families governing how ⊗ and ⊕.⊗ interact through the all-ones array
+//! `𝟙` and the identity array `𝕀`. Each is implemented here as a checker
+//! that *computes both sides* and compares — used by the property-based
+//! suite (`tests/semilink_props.rs`) and the `semilink_identities`
+//! example.
+//!
+//! The paper states these over square arrays in a common key space; the
+//! checkers take that key space explicitly.
+
+use hypersparse::Ix;
+use semiring::traits::{Semiring, Value};
+
+use crate::assoc::Assoc;
+use crate::key::Key;
+
+/// `𝟙`: the all-ones array over `keys × keys`.
+pub fn ones_array<K: Key, T: Value, S: Semiring<Value = T>>(keys: &[K], s: S) -> Assoc<K, K, T> {
+    Assoc::ones(keys.to_vec(), keys.to_vec(), s)
+}
+
+/// `𝕀`: the identity array over `keys`.
+pub fn identity_array<K: Key, T: Value, S: Semiring<Value = T>>(
+    keys: &[K],
+    s: S,
+) -> Assoc<K, K, T> {
+    Assoc::identity(keys.to_vec(), s)
+}
+
+/// §IV identity interplay:
+/// `𝟙 ⊗ 𝕀 = 𝕀 ⊗ 𝟙 = 𝕀` and `𝟙 ⊕.⊗ 𝕀 = 𝕀 ⊕.⊗ 𝟙 = 𝟙`.
+pub fn check_identity_interplay<K: Key, T: Value, S: Semiring<Value = T>>(
+    keys: &[K],
+    s: S,
+) -> bool {
+    let one = ones_array(keys, s);
+    let id = identity_array(keys, s);
+    one.ewise_mul(&id, s) == id
+        && id.ewise_mul(&one, s) == id
+        && one.matmul(&id, s) == one
+        && id.matmul(&one, s) == one
+}
+
+/// `true` if `|A|₀` is a (partial) permutation pattern: at most one entry
+/// per row and per column.
+pub fn is_permutation_pattern<K1: Key, K2: Key, T: Value>(a: &Assoc<K1, K2, T>) -> bool {
+    let d = a.matrix().as_dcsr();
+    let mut seen_cols = std::collections::HashSet::new();
+    for (_, cols, _) in d.iter_rows() {
+        if cols.len() != 1 {
+            return false;
+        }
+        if !seen_cols.insert(cols[0]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// §IV: if `|A|₀ = ℙ` then `A ⊗ ℙ = ℙ ⊗ A = A` (the pattern acts as an
+/// element-wise identity on arrays sharing it). With `ℙ = 𝕀` this is the
+/// `A ⊗ 𝕀 = 𝕀 ⊗ A = A` special case.
+pub fn check_pattern_is_ewise_identity<K1: Key, K2: Key, T: Value, S: Semiring<Value = T>>(
+    a: &Assoc<K1, K2, T>,
+    s: S,
+) -> bool {
+    let p = a.zero_norm(s);
+    a.ewise_mul(&p, s) == *a && p.ewise_mul(a, s) == *a
+}
+
+/// §IV projection: `C = A ⊕.⊗ 𝟙 ⟹ C(k₁, :) = ⊕_{k₂} A(k₁, k₂)` —
+/// every column of `C` equals the row reduction of `A`.
+pub fn check_projection_rows<K: Key, T: Value, S: Semiring<Value = T>>(
+    a: &Assoc<K, K, T>,
+    keys: &[K],
+    s: S,
+) -> bool {
+    let one = ones_array(keys, s);
+    let c = a.matmul(&one, s);
+    let sums = a.reduce_rows(semiring::traits::AddMonoidOf(s));
+    // Every (row, col) of C must equal the row's reduction.
+    for k1 in keys {
+        let want = sums.iter().find(|(k, _)| k == k1).map(|(_, v)| v.clone());
+        for k2 in keys {
+            let got = c.get(k1, k2);
+            if got != want {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// §IV projection, column form: `C = 𝟙 ⊕.⊗ A ⟹ C(:, k₂) = ⊕_{k₁} A(k₁, k₂)`.
+pub fn check_projection_cols<K: Key, T: Value, S: Semiring<Value = T>>(
+    a: &Assoc<K, K, T>,
+    keys: &[K],
+    s: S,
+) -> bool {
+    let one = ones_array(keys, s);
+    let c = one.matmul(a, s);
+    let sums = a.reduce_cols(semiring::traits::AddMonoidOf(s));
+    for k2 in keys {
+        let want = sums.iter().find(|(k, _)| k == k2).map(|(_, v)| v.clone());
+        for k1 in keys {
+            if c.get(k1, k2) != want {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// §IV conditional distributivity of ⊕.⊗ over ⊗: if
+/// `|A|₀ = |A₁|₀ = |A₂|₀ = ℙ` and `A = A₁ ⊗ A₂`, then
+/// `A ⊕.⊗ (B ⊗ C) = (A₁ ⊕.⊗ B) ⊗ (A₂ ⊕.⊗ C)`.
+///
+/// Returns `None` if the precondition fails (caller supplied non-matching
+/// or non-permutation patterns), `Some(verdict)` otherwise.
+pub fn check_conditional_distributivity<K: Key, T: Value, S: Semiring<Value = T>>(
+    a1: &Assoc<K, K, T>,
+    a2: &Assoc<K, K, T>,
+    b: &Assoc<K, K, T>,
+    c: &Assoc<K, K, T>,
+    s: S,
+) -> Option<bool> {
+    if !is_permutation_pattern(a1)
+        || !is_permutation_pattern(a2)
+        || a1.zero_norm(s) != a2.zero_norm(s)
+    {
+        return None;
+    }
+    let a = a1.ewise_mul(a2, s);
+    let lhs = a.matmul(&b.ewise_mul(c, s), s);
+    let rhs = a1.matmul(b, s).ewise_mul(&a2.matmul(c, s), s);
+    Some(lhs == rhs)
+}
+
+/// §IV trivial hybrid associativity, left form: with `A = 𝟙`,
+/// `A ⊗ (B ⊕.⊗ C) = (A ⊗ B) ⊕.⊗ C`.
+pub fn check_hybrid_assoc_ones<K: Key, T: Value, S: Semiring<Value = T>>(
+    b: &Assoc<K, K, T>,
+    c: &Assoc<K, K, T>,
+    keys: &[K],
+    s: S,
+) -> bool {
+    let a = ones_array(keys, s);
+    let lhs = a.ewise_mul(&b.matmul(c, s), s);
+    let rhs = a.ewise_mul(b, s).matmul(c, s);
+    lhs == rhs
+}
+
+/// §IV trivial hybrid associativity, right form: with `C = 𝕀`,
+/// `A ⊗ (B ⊕.⊗ C) = (A ⊗ B) ⊕.⊗ C`.
+pub fn check_hybrid_assoc_identity<K: Key, T: Value, S: Semiring<Value = T>>(
+    a: &Assoc<K, K, T>,
+    b: &Assoc<K, K, T>,
+    keys: &[K],
+    s: S,
+) -> bool {
+    let c = identity_array(keys, s);
+    let lhs = a.ewise_mul(&b.matmul(&c, s), s);
+    let rhs = a.ewise_mul(b, s).matmul(&c, s);
+    lhs == rhs
+}
+
+/// Row keys that actually carry entries (the paper's `row(A)`).
+pub fn support_rows<K1: Key, K2: Key, T: Value>(a: &Assoc<K1, K2, T>) -> Vec<K1> {
+    let d = a.matrix().as_dcsr();
+    d.row_ids()
+        .iter()
+        .map(|&r| a.row_keys()[r as usize].clone())
+        .collect()
+}
+
+/// Column keys that actually carry entries (the paper's `col(A)`).
+pub fn support_cols<K1: Key, K2: Key, T: Value>(a: &Assoc<K1, K2, T>) -> Vec<K2> {
+    let mut cols: Vec<Ix> = a.matrix().as_dcsr().iter().map(|(_, c, _)| c).collect();
+    cols.sort_unstable();
+    cols.dedup();
+    cols.into_iter()
+        .map(|c| a.col_keys()[c as usize].clone())
+        .collect()
+}
+
+fn disjoint<K: Key>(a: &[K], b: &[K]) -> bool {
+    crate::key::intersect_dicts(a, b).is_empty()
+}
+
+/// §IV disjoint-support annihilation for `A ⊗ (B ⊕.⊗ C)`: if
+/// `row(A) ∩ row(B) = ∅` or `col(A) ∩ col(C) = ∅` or
+/// `col(B) ∩ row(C) = ∅`, the result is `𝕆`. Returns `None` when no
+/// disjointness precondition holds (nothing to check).
+pub fn check_annihilation_ewise_first<K: Key, T: Value, S: Semiring<Value = T>>(
+    a: &Assoc<K, K, T>,
+    b: &Assoc<K, K, T>,
+    c: &Assoc<K, K, T>,
+    s: S,
+) -> Option<bool> {
+    let pre = disjoint(&support_rows(a), &support_rows(b))
+        || disjoint(&support_cols(a), &support_cols(c))
+        || disjoint(&support_cols(b), &support_rows(c));
+    if !pre {
+        return None;
+    }
+    Some(a.ewise_mul(&b.matmul(c, s), s).is_empty())
+}
+
+/// §IV disjoint-support annihilation for `(A ⊗ B) ⊕.⊗ C`: if
+/// `row(A) ∩ row(B) = ∅` or `col(A) ∩ col(B) = ∅` or
+/// `col(A) ∩ row(C) = ∅` or `col(B) ∩ row(C) = ∅`, the result is `𝕆`.
+pub fn check_annihilation_matmul_last<K: Key, T: Value, S: Semiring<Value = T>>(
+    a: &Assoc<K, K, T>,
+    b: &Assoc<K, K, T>,
+    c: &Assoc<K, K, T>,
+    s: S,
+) -> Option<bool> {
+    let pre = disjoint(&support_rows(a), &support_rows(b))
+        || disjoint(&support_cols(a), &support_cols(b))
+        || disjoint(&support_cols(a), &support_rows(c))
+        || disjoint(&support_cols(b), &support_rows(c));
+    if !pre {
+        return None;
+    }
+    Some(a.ewise_mul(b, s).matmul(c, s).is_empty())
+}
+
+/// §IV corollary: if `row(A) ∩ row(B) = ∅` or `col(B) ∩ row(C) = ∅`,
+/// both groupings vanish and hybrid associativity holds trivially at `𝕆`:
+/// `A ⊗ (B ⊕.⊗ C) = (A ⊗ B) ⊕.⊗ C = 𝕆`.
+pub fn check_annihilation_corollary<K: Key, T: Value, S: Semiring<Value = T>>(
+    a: &Assoc<K, K, T>,
+    b: &Assoc<K, K, T>,
+    c: &Assoc<K, K, T>,
+    s: S,
+) -> Option<bool> {
+    let pre = disjoint(&support_rows(a), &support_rows(b))
+        || disjoint(&support_cols(b), &support_rows(c));
+    if !pre {
+        return None;
+    }
+    let lhs = a.ewise_mul(&b.matmul(c, s), s);
+    let rhs = a.ewise_mul(b, s).matmul(c, s);
+    Some(lhs.is_empty() && rhs.is_empty() && lhs == rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::{MinPlus, PlusTimes};
+
+    fn s() -> PlusTimes<f64> {
+        PlusTimes::new()
+    }
+
+    fn keys() -> Vec<&'static str> {
+        vec!["a", "b", "c", "d"]
+    }
+
+    #[test]
+    fn identity_interplay_plus_times() {
+        assert!(check_identity_interplay(&keys(), s()));
+    }
+
+    #[test]
+    fn identity_interplay_tropical() {
+        assert!(check_identity_interplay(&keys(), MinPlus::<f64>::new()));
+    }
+
+    #[test]
+    fn permutation_pattern_detection() {
+        let p = Assoc::permutation(vec![("a", "c"), ("b", "a")], s());
+        assert!(is_permutation_pattern(&p));
+        let not_p = Assoc::from_triplets(vec![("a", "b", 1.0), ("a", "c", 1.0)], s());
+        assert!(!is_permutation_pattern(&not_p));
+        let dup_col = Assoc::from_triplets(vec![("a", "b", 1.0), ("c", "b", 1.0)], s());
+        assert!(!is_permutation_pattern(&dup_col));
+    }
+
+    #[test]
+    fn pattern_acts_as_ewise_identity() {
+        let a = Assoc::from_triplets(vec![("a", "c", 2.0), ("b", "a", 3.0)], s());
+        assert!(check_pattern_is_ewise_identity(&a, s()));
+        // Holds for any array against its own pattern, permutation or not.
+        let any = Assoc::from_triplets(vec![("a", "b", 2.0), ("a", "c", 5.0)], s());
+        assert!(check_pattern_is_ewise_identity(&any, s()));
+    }
+
+    #[test]
+    fn projections() {
+        let a = Assoc::from_triplets(vec![("a", "b", 2.0), ("a", "c", 3.0), ("d", "a", 4.0)], s());
+        assert!(check_projection_rows(&a, &keys(), s()));
+        assert!(check_projection_cols(&a, &keys(), s()));
+    }
+
+    #[test]
+    fn conditional_distributivity_holds_with_permutations() {
+        let a1 = Assoc::from_triplets(vec![("a", "b", 2.0), ("b", "c", 3.0)], s());
+        let a2 = Assoc::from_triplets(vec![("a", "b", 5.0), ("b", "c", 7.0)], s());
+        let b = Assoc::from_triplets(vec![("b", "a", 1.0), ("c", "d", 2.0), ("a", "a", 3.0)], s());
+        let c = Assoc::from_triplets(vec![("b", "a", 4.0), ("c", "d", 6.0), ("b", "d", 8.0)], s());
+        assert_eq!(
+            check_conditional_distributivity(&a1, &a2, &b, &c, s()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn conditional_distributivity_rejects_bad_precondition() {
+        let a1 = Assoc::from_triplets(vec![("a", "b", 2.0), ("a", "c", 3.0)], s()); // not a ℙ
+        let a2 = a1.clone();
+        let b = Assoc::from_triplets(vec![("b", "a", 1.0)], s());
+        assert_eq!(
+            check_conditional_distributivity(&a1, &a2, &b, &b, s()),
+            None
+        );
+    }
+
+    #[test]
+    fn hybrid_associativity_trivial_cases() {
+        let b = Assoc::from_triplets(vec![("a", "b", 2.0), ("c", "d", 3.0)], s());
+        let c = Assoc::from_triplets(vec![("b", "c", 4.0), ("d", "a", 5.0)], s());
+        assert!(check_hybrid_assoc_ones(&b, &c, &keys(), s()));
+        assert!(check_hybrid_assoc_identity(&b, &c, &keys(), s()));
+    }
+
+    #[test]
+    fn hybrid_associativity_fails_in_general() {
+        // Without A = 𝟙 or C = 𝕀 the identity genuinely fails — the
+        // semilink is *not* an associative composition.
+        // A's pattern matches the *product* B⊕.⊗C but not B itself, so
+        // masking before vs after the contraction gives different answers.
+        let a = Assoc::from_triplets(vec![("a", "c", 1.0)], s());
+        let b = Assoc::from_triplets(vec![("a", "b", 1.0)], s());
+        let c = Assoc::from_triplets(vec![("b", "c", 1.0)], s());
+        let lhs = a.ewise_mul(&b.matmul(&c, s()), s());
+        let rhs = a.ewise_mul(&b, s()).matmul(&c, s());
+        assert_eq!(lhs.nnz(), 1);
+        assert!(rhs.is_empty());
+        assert_ne!(lhs, rhs);
+    }
+
+    #[test]
+    fn annihilation_identities() {
+        // row(A) ∩ row(B) = ∅.
+        let a = Assoc::from_triplets(vec![("a", "b", 1.0)], s());
+        let b = Assoc::from_triplets(vec![("c", "d", 2.0)], s());
+        let c = Assoc::from_triplets(vec![("d", "a", 3.0)], s());
+        assert_eq!(check_annihilation_ewise_first(&a, &b, &c, s()), Some(true));
+        assert_eq!(check_annihilation_matmul_last(&a, &b, &c, s()), Some(true));
+        assert_eq!(check_annihilation_corollary(&a, &b, &c, s()), Some(true));
+    }
+
+    #[test]
+    fn annihilation_precondition_gate() {
+        // Fully overlapping supports: nothing to check.
+        let a = Assoc::from_triplets(vec![("a", "a", 1.0)], s());
+        assert_eq!(check_annihilation_ewise_first(&a, &a, &a, s()), None);
+    }
+
+    #[test]
+    fn supports() {
+        let a = Assoc::from_triplets(vec![("x", "p", 1.0), ("y", "q", 2.0)], s());
+        assert_eq!(support_rows(&a), vec!["x", "y"]);
+        assert_eq!(support_cols(&a), vec!["p", "q"]);
+    }
+}

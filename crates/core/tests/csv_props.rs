@@ -1,0 +1,56 @@
+//! Property-based CSV round trips, including hostile key content
+//! (commas, quotes, unicode) that exercises the quoting rules.
+
+use hyperspace_core::csv::{
+    from_csv_spreadsheet, from_csv_triples, to_csv_spreadsheet, to_csv_triples,
+};
+use hyperspace_core::Assoc;
+use proptest::prelude::*;
+use semiring::PlusTimes;
+
+fn s() -> PlusTimes<f64> {
+    PlusTimes::new()
+}
+
+/// Keys with characters that stress the CSV quoting path (no newlines —
+/// line-oriented CSV; no leading/trailing quotes ambiguity).
+fn key() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 ,\"|.:→-]{1,12}")
+        .expect("regex")
+        .prop_filter("nonempty after trim, no newline", |k| {
+            !k.trim().is_empty() && k.trim() == k
+        })
+}
+
+fn triplets() -> impl Strategy<Value = Vec<(String, String, f64)>> {
+    proptest::collection::vec(
+        (key(), key(), -1.0e6..1.0e6f64).prop_filter("nonzero", |(_, _, v)| *v != 0.0),
+        1..20,
+    )
+}
+
+proptest! {
+    #[test]
+    fn spreadsheet_round_trip(t in triplets()) {
+        let a = Assoc::from_triplets(t, s());
+        let text = to_csv_spreadsheet(&a);
+        let b = from_csv_spreadsheet(&text, s()).expect("parse back");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn triples_round_trip(t in triplets()) {
+        let a = Assoc::from_triplets(t, s());
+        let text = to_csv_triples(&a);
+        let b = from_csv_triples(&text, s()).expect("parse back");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn both_shapes_agree(t in triplets()) {
+        let a = Assoc::from_triplets(t, s());
+        let via_sheet = from_csv_spreadsheet(&to_csv_spreadsheet(&a), s()).unwrap();
+        let via_triples = from_csv_triples(&to_csv_triples(&a), s()).unwrap();
+        prop_assert_eq!(via_sheet, via_triples);
+    }
+}

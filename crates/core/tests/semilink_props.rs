@@ -1,0 +1,117 @@
+//! Property-based verification of every §IV semilink identity on
+//! randomized arrays, plus the §V.B select equivalence on randomized
+//! tables.
+
+use hyperspace_core::select::{select_direct, select_semilink};
+use hyperspace_core::semilink::*;
+use hyperspace_core::Assoc;
+use proptest::prelude::*;
+use semiring::{AtomTable, MinPlus, PSet, PlusTimes, UnionIntersect};
+
+const KEYS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+fn key() -> impl Strategy<Value = &'static str> {
+    (0usize..KEYS.len()).prop_map(|i| KEYS[i])
+}
+
+fn triplets() -> impl Strategy<Value = Vec<(&'static str, &'static str, i64)>> {
+    proptest::collection::vec((key(), key(), 1i64..20), 0..15)
+}
+
+/// A random (partial) permutation over the key universe: a shuffled
+/// pairing of distinct rows with distinct columns.
+fn permutation_pairs() -> impl Strategy<Value = Vec<(&'static str, &'static str)>> {
+    (
+        Just(KEYS.to_vec()).prop_shuffle(),
+        Just(KEYS.to_vec()).prop_shuffle(),
+    )
+        .prop_map(|(rows, cols)| rows.into_iter().zip(cols).take(4).collect())
+}
+
+fn arr(t: Vec<(&'static str, &'static str, i64)>) -> Assoc<&'static str, &'static str, i64> {
+    Assoc::from_triplets(t, PlusTimes::<i64>::new())
+}
+
+proptest! {
+    #[test]
+    fn identity_interplay_always_holds(_x in 0u8..3) {
+        prop_assert!(check_identity_interplay(KEYS.as_ref(), PlusTimes::<i64>::new()));
+        prop_assert!(check_identity_interplay(KEYS.as_ref(), MinPlus::<i64>::new()));
+    }
+
+    #[test]
+    fn own_pattern_is_ewise_identity(t in triplets()) {
+        prop_assert!(check_pattern_is_ewise_identity(&arr(t), PlusTimes::<i64>::new()));
+    }
+
+    #[test]
+    fn projection_identities(t in triplets()) {
+        let a = arr(t);
+        prop_assert!(check_projection_rows(&a, KEYS.as_ref(), PlusTimes::<i64>::new()));
+        prop_assert!(check_projection_cols(&a, KEYS.as_ref(), PlusTimes::<i64>::new()));
+    }
+
+    #[test]
+    fn conditional_distributivity(
+        pairs in permutation_pairs(),
+        v1 in proptest::collection::vec(1i64..10, 4),
+        v2 in proptest::collection::vec(1i64..10, 4),
+        tb in triplets(),
+        tc in triplets(),
+    ) {
+        let s = PlusTimes::<i64>::new();
+        let a1 = Assoc::from_triplets(
+            pairs.iter().zip(&v1).map(|(&(r, c), &v)| (r, c, v)).collect(), s);
+        let a2 = Assoc::from_triplets(
+            pairs.iter().zip(&v2).map(|(&(r, c), &v)| (r, c, v)).collect(), s);
+        let (b, c) = (arr(tb), arr(tc));
+        // Precondition holds by construction, so the verdict must be true.
+        prop_assert_eq!(check_conditional_distributivity(&a1, &a2, &b, &c, s), Some(true));
+    }
+
+    #[test]
+    fn hybrid_associativity_trivial_cases(tb in triplets(), tc in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (b, c) = (arr(tb), arr(tc));
+        prop_assert!(check_hybrid_assoc_ones(&b, &c, KEYS.as_ref(), s));
+        prop_assert!(check_hybrid_assoc_identity(&b, &c, KEYS.as_ref(), s));
+    }
+
+    #[test]
+    fn annihilation_when_supports_disjoint(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b, c) = (arr(ta), arr(tb), arr(tc));
+        // Whenever a precondition holds, the conclusion must.
+        if let Some(v) = check_annihilation_ewise_first(&a, &b, &c, s) {
+            prop_assert!(v);
+        }
+        if let Some(v) = check_annihilation_matmul_last(&a, &b, &c, s) {
+            prop_assert!(v);
+        }
+        if let Some(v) = check_annihilation_corollary(&a, &b, &c, s) {
+            prop_assert!(v);
+        }
+    }
+
+    // ---- §V.B: semilink select ≡ direct select on random tables ----
+    #[test]
+    fn select_formula_equals_direct_scan(
+        cells in proptest::collection::vec((0u8..20, 0u8..4, 0u8..6), 1..40),
+        probe_col in 0u8..4,
+        probe_val in 0u8..6,
+    ) {
+        let s = UnionIntersect;
+        let mut atoms = AtomTable::new();
+        let mut trips = Vec::new();
+        for (row, col, val) in cells {
+            let a = atoms.intern(&format!("v{val}"));
+            trips.push((format!("r{row:02}"), format!("c{col}"), PSet::singleton(a)));
+        }
+        let table = Assoc::from_triplets(trips, s);
+        let v = atoms.intern(&format!("v{probe_val}"));
+        let col = format!("c{probe_col}");
+        let lhs = select_semilink(&table, &col, v).prune(s);
+        let rhs = select_direct(&table, &col, v);
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based verification of the Table II associative-array laws
+//! on randomized string-keyed arrays with integer values (exact ⊕/⊗, so
+//! every law is checked with exact equality).
+
+use hyperspace_core::Assoc;
+use proptest::prelude::*;
+use semiring::{MinPlus, PlusTimes, Semiring};
+
+type A = Assoc<String, String, i64>;
+
+fn key() -> impl Strategy<Value = String> {
+    // A small key universe so that operands overlap often.
+    (0u8..12).prop_map(|i| format!("k{i}"))
+}
+
+fn triplets() -> impl Strategy<Value = Vec<(String, String, i64)>> {
+    proptest::collection::vec((key(), key(), -50i64..50), 0..25)
+}
+
+fn arr(t: Vec<(String, String, i64)>) -> A {
+    Assoc::from_triplets(t, PlusTimes::<i64>::new())
+}
+
+proptest! {
+    // ---- Commutativity ----
+    #[test]
+    fn ewise_add_commutes(ta in triplets(), tb in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b) = (arr(ta), arr(tb));
+        prop_assert_eq!(a.ewise_add(&b, s), b.ewise_add(&a, s));
+    }
+
+    #[test]
+    fn ewise_mul_commutes(ta in triplets(), tb in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b) = (arr(ta), arr(tb));
+        prop_assert_eq!(a.ewise_mul(&b, s), b.ewise_mul(&a, s));
+    }
+
+    // ---- Associativity ----
+    #[test]
+    fn ewise_add_associates(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b, c) = (arr(ta), arr(tb), arr(tc));
+        prop_assert_eq!(
+            a.ewise_add(&b, s).ewise_add(&c, s),
+            a.ewise_add(&b.ewise_add(&c, s), s)
+        );
+    }
+
+    #[test]
+    fn ewise_mul_associates(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b, c) = (arr(ta), arr(tb), arr(tc));
+        prop_assert_eq!(
+            a.ewise_mul(&b, s).ewise_mul(&c, s),
+            a.ewise_mul(&b.ewise_mul(&c, s), s)
+        );
+    }
+
+    #[test]
+    fn matmul_associates(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b, c) = (arr(ta), arr(tb), arr(tc));
+        prop_assert_eq!(
+            a.matmul(&b, s).matmul(&c, s),
+            a.matmul(&b.matmul(&c, s), s)
+        );
+    }
+
+    // ---- Distributivity ----
+    #[test]
+    fn ewise_mul_distributes_over_add(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b, c) = (arr(ta), arr(tb), arr(tc));
+        prop_assert_eq!(
+            a.ewise_mul(&b.ewise_add(&c, s), s),
+            a.ewise_mul(&b, s).ewise_add(&a.ewise_mul(&c, s), s)
+        );
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b, c) = (arr(ta), arr(tb), arr(tc));
+        prop_assert_eq!(
+            a.matmul(&b.ewise_add(&c, s), s),
+            a.matmul(&b, s).ewise_add(&a.matmul(&c, s), s)
+        );
+    }
+
+    // ---- Identities / annihilators ----
+    #[test]
+    fn add_with_empty_is_identity(ta in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = arr(ta);
+        let zero = A::new_empty();
+        prop_assert_eq!(a.ewise_add(&zero, s), a.clone());
+        prop_assert_eq!(zero.ewise_add(&a, s), a);
+    }
+
+    #[test]
+    fn matmul_with_empty_annihilates(ta in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = arr(ta);
+        let zero = A::new_empty();
+        prop_assert!(a.matmul(&zero, s).is_empty());
+        prop_assert!(zero.matmul(&a, s).is_empty());
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity(ta in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = arr(ta);
+        let id = Assoc::identity(a.col_keys().to_vec(), s);
+        prop_assert_eq!(a.matmul(&id, s), a.clone());
+        let idr = Assoc::identity(a.row_keys().to_vec(), s);
+        prop_assert_eq!(idr.matmul(&a, s), a);
+    }
+
+    // ---- Transpose laws ----
+    #[test]
+    fn transpose_involution(ta in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = arr(ta);
+        prop_assert_eq!(a.transpose(s).transpose(s), a);
+    }
+
+    #[test]
+    fn transpose_of_product(ta in triplets(), tb in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b) = (arr(ta), arr(tb));
+        prop_assert_eq!(
+            a.matmul(&b, s).transpose(s),
+            b.transpose(s).matmul(&a.transpose(s), s)
+        );
+    }
+
+    // ---- The same laws under a tropical semiring ----
+    #[test]
+    fn tropical_matmul_associates(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = MinPlus::<i64>::new();
+        let build = |t: Vec<(String, String, i64)>| Assoc::from_triplets(t, s);
+        let (a, b, c) = (build(ta), build(tb), build(tc));
+        prop_assert_eq!(
+            a.matmul(&b, s).matmul(&c, s),
+            a.matmul(&b.matmul(&c, s), s)
+        );
+    }
+
+    #[test]
+    fn tropical_distributivity(ta in triplets(), tb in triplets(), tc in triplets()) {
+        let s = MinPlus::<i64>::new();
+        let build = |t: Vec<(String, String, i64)>| Assoc::from_triplets(t, s);
+        let (a, b, c) = (build(ta), build(tb), build(tc));
+        prop_assert_eq!(
+            a.matmul(&b.ewise_add(&c, s), s),
+            a.matmul(&b, s).ewise_add(&a.matmul(&c, s), s)
+        );
+    }
+
+    // ---- Structural properties ----
+    #[test]
+    fn zero_norm_preserves_pattern(ta in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = arr(ta);
+        let p = a.zero_norm(s);
+        prop_assert_eq!(p.nnz(), a.nnz());
+        for (k1, k2, v) in p.to_triplets() {
+            prop_assert_eq!(v, s.one());
+            prop_assert!(a.get(&k1, &k2).is_some());
+        }
+    }
+
+    #[test]
+    fn extraction_construction_round_trip(ta in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = arr(ta);
+        prop_assert_eq!(Assoc::from_triplets(a.to_triplets(), s), a);
+    }
+}

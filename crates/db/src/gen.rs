@@ -1,0 +1,140 @@
+//! Synthetic network-flow records — the Fig. 6 dataset.
+//!
+//! Flows have a source IP, destination IP, destination port, and a byte
+//! count. IPs are drawn from a skewed (power-law-ish) pool so that hub
+//! hosts like `1.1.1.1` have many neighbors, as in real traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Record;
+
+/// Flow-generation parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct FlowParams {
+    /// Number of flow records.
+    pub n_records: usize,
+    /// Number of distinct hosts.
+    pub n_hosts: usize,
+    /// Skew exponent: host `i` is drawn with weight `(i+1)^-skew`.
+    pub skew: f64,
+}
+
+impl Default for FlowParams {
+    fn default() -> Self {
+        FlowParams {
+            n_records: 1000,
+            n_hosts: 100,
+            skew: 1.0,
+        }
+    }
+}
+
+/// Generate `params.n_records` flow records with fields
+/// `src`, `dst`, `port`, `bytes`. Record ids are `r000000`-style strings.
+pub fn flows(params: FlowParams, seed: u64) -> Vec<(String, Record)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute skewed host weights.
+    let weights: Vec<f64> = (0..params.n_hosts)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(params.skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let draw_host = move |rng: &mut StdRng| -> usize {
+        let mut x = rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        params.n_hosts - 1
+    };
+
+    let ports = ["22", "53", "80", "123", "443", "8080"];
+    (0..params.n_records)
+        .map(|r| {
+            let src = draw_host(&mut rng);
+            let mut dst = draw_host(&mut rng);
+            if dst == src {
+                dst = (dst + 1) % params.n_hosts;
+            }
+            let rec: Record = vec![
+                ("src".into(), ip_name(src)),
+                ("dst".into(), ip_name(dst)),
+                ("port".into(), ports[rng.gen_range(0..ports.len())].into()),
+                ("bytes".into(), format!("{}", rng.gen_range(40..1_500_000))),
+            ];
+            (format!("r{r:06}"), rec)
+        })
+        .collect()
+}
+
+/// Canonical host name: host 0 is `1.1.1.1`, host `i` is `10.0.x.y`.
+pub fn ip_name(i: usize) -> String {
+    if i == 0 {
+        "1.1.1.1".to_string()
+    } else {
+        format!("10.0.{}.{}", i / 256, i % 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = FlowParams::default();
+        assert_eq!(flows(p, 1), flows(p, 1));
+        assert_ne!(flows(p, 1), flows(p, 2));
+    }
+
+    #[test]
+    fn records_have_all_fields() {
+        let recs = flows(
+            FlowParams {
+                n_records: 50,
+                ..Default::default()
+            },
+            3,
+        );
+        assert_eq!(recs.len(), 50);
+        for (_, r) in &recs {
+            let fields: Vec<&str> = r.iter().map(|(f, _)| f.as_str()).collect();
+            assert_eq!(fields, ["src", "dst", "port", "bytes"]);
+        }
+    }
+
+    #[test]
+    fn hub_host_appears_often() {
+        let recs = flows(
+            FlowParams {
+                n_records: 2000,
+                n_hosts: 50,
+                skew: 1.2,
+            },
+            7,
+        );
+        let hub = recs
+            .iter()
+            .filter(|(_, r)| r.iter().any(|(_, v)| v == "1.1.1.1"))
+            .count();
+        assert!(hub > 100, "hub only in {hub} records");
+    }
+
+    #[test]
+    fn no_self_flows() {
+        let recs = flows(
+            FlowParams {
+                n_records: 500,
+                ..Default::default()
+            },
+            9,
+        );
+        for (_, r) in recs {
+            let src = &r[0].1;
+            let dst = &r[1].1;
+            assert_ne!(src, dst);
+        }
+    }
+}

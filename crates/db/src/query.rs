@@ -1,0 +1,213 @@
+//! Compound predicates as mask algebra.
+//!
+//! On the exploded schema, "`field = value`" is one column of the table —
+//! a 0/1 *row mask*. Conjunction of predicates is element-wise ⊗ of
+//! masks (pattern intersection), disjunction is ⊕ (pattern union),
+//! negation is complement against the record set: the same ⊕/⊗ semilink
+//! operations the paper builds everything else from, applied to query
+//! planning. The row-store baseline evaluates the same predicates by
+//! scanning.
+
+use hyperspace_core::semilink::support_rows;
+use hyperspace_core::Assoc;
+use semiring::PlusTimes;
+
+use crate::assoc_table::AssocTable;
+use crate::rowstore::RowTable;
+
+type Mask = Assoc<String, String, f64>;
+
+fn s() -> PlusTimes<f64> {
+    PlusTimes::new()
+}
+
+/// A predicate on one field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// `field = value`.
+    Eq(String, String),
+    /// `field ∈ {values…}` (an OR within one field).
+    In(String, Vec<String>),
+}
+
+impl Pred {
+    /// Convenience constructor for `field = value`.
+    pub fn eq(field: &str, value: &str) -> Self {
+        Pred::Eq(field.into(), value.into())
+    }
+}
+
+impl AssocTable {
+    /// The 0/1 row mask of one predicate: records satisfying it, as a
+    /// one-column associative array keyed by record id.
+    pub fn predicate_mask(&self, p: &Pred) -> Mask {
+        let trips = match p {
+            Pred::Eq(f, v) => self
+                .select_eq(f, v)
+                .into_iter()
+                .map(|id| (id, "hit".to_string(), 1.0))
+                .collect(),
+            Pred::In(f, vs) => vs
+                .iter()
+                .flat_map(|v| self.select_eq(f, v))
+                .map(|id| (id, "hit".to_string(), 1.0))
+                .collect(),
+        };
+        Assoc::from_triplets(trips, s())
+    }
+
+    /// Records satisfying **every** predicate: ⊗-intersection of masks.
+    pub fn select_and(&self, preds: &[Pred]) -> Vec<String> {
+        let Some(first) = preds.first() else {
+            return self.record_ids();
+        };
+        let mut mask = self.predicate_mask(first);
+        for p in &preds[1..] {
+            // zero-norm first so multiplied counts stay 0/1
+            mask = mask.ewise_mul(&self.predicate_mask(p), s()).zero_norm(s());
+        }
+        support_rows(&mask)
+    }
+
+    /// Records satisfying **any** predicate: ⊕-union of masks.
+    pub fn select_or(&self, preds: &[Pred]) -> Vec<String> {
+        let mut mask = Mask::new_empty();
+        for p in preds {
+            mask = mask.ewise_add(&self.predicate_mask(p), s());
+        }
+        support_rows(&mask)
+    }
+
+    /// Records satisfying the first predicate but **not** the second:
+    /// mask minus mask (complement within the record set).
+    pub fn select_and_not(&self, keep: &Pred, drop: &Pred) -> Vec<String> {
+        let pos = self.predicate_mask(keep);
+        let neg = self.predicate_mask(drop);
+        let neg_rows: std::collections::HashSet<String> = support_rows(&neg).into_iter().collect();
+        support_rows(&pos)
+            .into_iter()
+            .filter(|r| !neg_rows.contains(r))
+            .collect()
+    }
+}
+
+impl RowTable {
+    /// Scan baseline for [`AssocTable::select_and`].
+    pub fn select_and(&self, preds: &[Pred]) -> Vec<String> {
+        self.iter()
+            .filter(|(_, row)| preds.iter().all(|p| row_matches(row, p)))
+            .map(|(id, _)| id.to_string())
+            .collect()
+    }
+
+    /// Scan baseline for [`AssocTable::select_or`].
+    pub fn select_or(&self, preds: &[Pred]) -> Vec<String> {
+        self.iter()
+            .filter(|(_, row)| preds.iter().any(|p| row_matches(row, p)))
+            .map(|(id, _)| id.to_string())
+            .collect()
+    }
+}
+
+fn row_matches(row: &std::collections::HashMap<String, String>, p: &Pred) -> bool {
+    match p {
+        Pred::Eq(f, v) => row.get(f) == Some(v),
+        Pred::In(f, vs) => row.get(f).is_some_and(|x| vs.contains(x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{flows, FlowParams};
+
+    fn tables() -> (AssocTable, RowTable) {
+        let records = flows(
+            FlowParams {
+                n_records: 500,
+                n_hosts: 30,
+                skew: 1.0,
+            },
+            5,
+        );
+        (
+            AssocTable::from_records(records.clone()),
+            RowTable::from_records(records),
+        )
+    }
+
+    #[test]
+    fn and_mask_equals_scan() {
+        let (a, r) = tables();
+        let preds = vec![Pred::eq("src", "1.1.1.1"), Pred::eq("port", "443")];
+        assert_eq!(a.select_and(&preds), r.select_and(&preds));
+        // AND of a single predicate reduces to select_eq.
+        assert_eq!(
+            a.select_and(&[Pred::eq("port", "80")]),
+            a.select_eq("port", "80")
+        );
+    }
+
+    #[test]
+    fn or_mask_equals_scan() {
+        let (a, r) = tables();
+        let preds = vec![Pred::eq("port", "22"), Pred::eq("port", "53")];
+        assert_eq!(a.select_or(&preds), r.select_or(&preds));
+    }
+
+    #[test]
+    fn in_predicate_is_or_within_field() {
+        let (a, _) = tables();
+        let via_in = a.select_and(&[Pred::In("port".into(), vec!["22".into(), "53".into()])]);
+        let via_or = a.select_or(&[Pred::eq("port", "22"), Pred::eq("port", "53")]);
+        assert_eq!(via_in, via_or);
+    }
+
+    #[test]
+    fn and_not_excludes() {
+        let (a, r) = tables();
+        let got = a.select_and_not(&Pred::eq("src", "1.1.1.1"), &Pred::eq("port", "443"));
+        let want: Vec<String> = r
+            .select_and(&[Pred::eq("src", "1.1.1.1")])
+            .into_iter()
+            .filter(|id| !r.select_and(&[Pred::eq("port", "443")]).contains(id))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_returns_all_records() {
+        let (a, _) = tables();
+        assert_eq!(a.select_and(&[]).len(), 500);
+        assert!(a.select_or(&[]).is_empty());
+    }
+
+    #[test]
+    fn conjunction_is_commutative() {
+        let (a, _) = tables();
+        let p1 = Pred::eq("src", "1.1.1.1");
+        let p2 = Pred::eq("port", "80");
+        assert_eq!(
+            a.select_and(&[p1.clone(), p2.clone()]),
+            a.select_and(&[p2, p1])
+        );
+    }
+
+    #[test]
+    fn distributivity_of_and_over_or() {
+        // p ∧ (q ∨ r) = (p ∧ q) ∨ (p ∧ r) — §I's headline property, on queries.
+        let (a, _) = tables();
+        let p = Pred::eq("src", "1.1.1.1");
+        let q = Pred::eq("port", "80");
+        let r = Pred::eq("port", "443");
+        let lhs = a.select_and(&[
+            p.clone(),
+            Pred::In("port".into(), vec!["80".into(), "443".into()]),
+        ]);
+        let mut rhs = a.select_and(&[p.clone(), q]);
+        rhs.extend(a.select_and(&[p, r]));
+        rhs.sort();
+        rhs.dedup();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,166 @@
+//! The SQL-flavoured baseline: a row store queried by full scans.
+//!
+//! This is deliberately the *obvious* implementation — a `Vec` of
+//! field→value maps — so the Fig. 6 bench can compare the associative-
+//! array formulations against what a naive relational executor does.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::Record;
+
+/// A table of records keyed by record id.
+#[derive(Clone, Debug, Default)]
+pub struct RowTable {
+    ids: Vec<String>,
+    rows: Vec<HashMap<String, String>>,
+}
+
+impl RowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-load records.
+    pub fn from_records(records: Vec<(String, Record)>) -> Self {
+        let mut t = Self::new();
+        for (id, rec) in records {
+            t.insert(id, rec);
+        }
+        t
+    }
+
+    /// Append one record.
+    pub fn insert(&mut self, id: String, rec: Record) {
+        self.ids.push(id);
+        self.rows.push(rec.into_iter().collect());
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `SELECT * WHERE field = value` — full scan. Returns record ids.
+    pub fn select_eq(&self, field: &str, value: &str) -> Vec<&str> {
+        self.ids
+            .iter()
+            .zip(&self.rows)
+            .filter(|(_, r)| r.get(field).is_some_and(|v| v == value))
+            .map(|(id, _)| id.as_str())
+            .collect()
+    }
+
+    /// `SELECT out_field WHERE field = value` — project one column of the
+    /// matching rows (distinct, sorted).
+    pub fn select_project(&self, field: &str, value: &str, out_field: &str) -> BTreeSet<String> {
+        self.rows
+            .iter()
+            .filter(|r| r.get(field).is_some_and(|v| v == value))
+            .filter_map(|r| r.get(out_field).cloned())
+            .collect()
+    }
+
+    /// Fig. 6's query: the graph neighbors of `host` — destinations of
+    /// flows it sources plus sources of flows it receives.
+    pub fn neighbors(&self, host: &str) -> BTreeSet<String> {
+        let mut out = self.select_project("src", host, "dst");
+        out.extend(self.select_project("dst", host, "src"));
+        out
+    }
+
+    /// `GROUP BY field COUNT(*)` — full scan.
+    pub fn group_count(&self, field: &str) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for r in &self.rows {
+            if let Some(v) = r.get(field) {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Nested-loop equi-join with another table on `field` = `other_field`:
+    /// returns matching `(id_left, id_right)` pairs.
+    pub fn join_ids(
+        &self,
+        other: &RowTable,
+        field: &str,
+        other_field: &str,
+    ) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (lid, lrow) in self.ids.iter().zip(&self.rows) {
+            let Some(lv) = lrow.get(field) else { continue };
+            for (rid, rrow) in other.ids.iter().zip(&other.rows) {
+                if rrow.get(other_field) == Some(lv) {
+                    out.push((lid.clone(), rid.clone()));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Iterate `(id, row)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &HashMap<String, String>)> {
+        self.ids.iter().map(|s| s.as_str()).zip(self.rows.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RowTable {
+        RowTable::from_records(vec![
+            (
+                "r1".into(),
+                vec![("src".into(), "a".into()), ("dst".into(), "b".into())],
+            ),
+            (
+                "r2".into(),
+                vec![("src".into(), "b".into()), ("dst".into(), "a".into())],
+            ),
+            (
+                "r3".into(),
+                vec![("src".into(), "a".into()), ("dst".into(), "c".into())],
+            ),
+        ])
+    }
+
+    #[test]
+    fn select_scans() {
+        let t = table();
+        assert_eq!(t.select_eq("src", "a"), vec!["r1", "r3"]);
+        assert_eq!(t.select_eq("src", "z"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn neighbors_both_directions() {
+        let t = table();
+        let n = t.neighbors("a");
+        assert_eq!(n.into_iter().collect::<Vec<_>>(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn group_count() {
+        let t = table();
+        let g = t.group_count("src");
+        assert_eq!(g["a"], 2);
+        assert_eq!(g["b"], 1);
+    }
+
+    #[test]
+    fn join_on_field() {
+        let t = table();
+        // Self-join src = dst: flows whose source is another flow's dest.
+        let pairs = t.join_ids(&t, "src", "dst");
+        assert!(pairs.contains(&("r1".into(), "r2".into()))); // src a = dst a
+        assert!(pairs.contains(&("r2".into(), "r1".into()))); // src b = dst b
+    }
+}

@@ -1,0 +1,358 @@
+//! A miniature SQL front-end over the mask algebra.
+//!
+//! Supports the canonical statement shape of §V.B —
+//!
+//! ```sql
+//! SELECT col1, col2 FROM t WHERE f1 = 'v1' AND f2 IN ('a', 'b')
+//! ```
+//!
+//! — parsed into [`Pred`] lists and executed as ⊗/⊕ mask algebra on the
+//! exploded-schema [`AssocTable`] (and by scan on the [`RowTable`]
+//! baseline). One connective kind per `WHERE` clause (all `AND` or all
+//! `OR`), matching the paper's select discussion; compose queries for
+//! anything fancier.
+
+use std::collections::BTreeMap;
+
+use crate::query::Pred;
+use crate::{AssocTable, RowTable};
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// Projected fields; `None` means `*`.
+    pub projection: Option<Vec<String>>,
+    /// Table name (uninterpreted — execution receives the table).
+    pub table: String,
+    /// WHERE predicates (empty = no filter).
+    pub preds: Vec<Pred>,
+    /// `true` for AND-connected predicates, `false` for OR.
+    pub conjunctive: bool,
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Query, String> {
+    let toks = tokenize(sql)?;
+    let mut t = Tokens { toks, pos: 0 };
+
+    t.expect_kw("SELECT")?;
+    let projection = if t.peek_is("*") {
+        t.next_tok()?;
+        None
+    } else {
+        let mut cols = vec![t.ident()?];
+        while t.peek_is(",") {
+            t.next_tok()?;
+            cols.push(t.ident()?);
+        }
+        Some(cols)
+    };
+
+    t.expect_kw("FROM")?;
+    let table = t.ident()?;
+
+    let mut preds = Vec::new();
+    let mut conjunctive = true;
+    if t.peek_kw("WHERE") {
+        t.next_tok()?;
+        preds.push(parse_pred(&mut t)?);
+        let mut connective: Option<bool> = None;
+        loop {
+            if t.peek_kw("AND") || t.peek_kw("OR") {
+                let is_and = t.peek_kw("AND");
+                match connective {
+                    None => connective = Some(is_and),
+                    Some(c) if c != is_and => {
+                        return Err("mixed AND/OR not supported — compose queries".into())
+                    }
+                    _ => {}
+                }
+                t.next_tok()?;
+                preds.push(parse_pred(&mut t)?);
+            } else {
+                break;
+            }
+        }
+        conjunctive = connective.unwrap_or(true);
+    }
+    if t.pos != t.toks.len() {
+        return Err(format!(
+            "trailing tokens after statement: {:?}",
+            &t.toks[t.pos..]
+        ));
+    }
+    Ok(Query {
+        projection,
+        table,
+        preds,
+        conjunctive,
+    })
+}
+
+fn parse_pred(t: &mut Tokens) -> Result<Pred, String> {
+    let field = t.ident()?;
+    if t.peek_is("=") {
+        t.next_tok()?;
+        Ok(Pred::Eq(field, t.string()?))
+    } else if t.peek_kw("IN") {
+        t.next_tok()?;
+        t.expect_tok("(")?;
+        let mut vals = vec![t.string()?];
+        while t.peek_is(",") {
+            t.next_tok()?;
+            vals.push(t.string()?);
+        }
+        t.expect_tok(")")?;
+        Ok(Pred::In(field, vals))
+    } else {
+        Err(format!("expected '=' or IN after field {field}"))
+    }
+}
+
+/// Execute against the associative-array table: returns matching record
+/// ids and, per record, the projected `field → value` cells.
+pub fn execute(q: &Query, table: &AssocTable) -> Vec<(String, BTreeMap<String, String>)> {
+    let ids = if q.preds.is_empty() {
+        table.record_ids()
+    } else if q.conjunctive {
+        table.select_and(&q.preds)
+    } else {
+        table.select_or(&q.preds)
+    };
+    ids.into_iter()
+        .map(|id| {
+            let mut cells = BTreeMap::new();
+            for (col, _) in table.array().row(&id) {
+                let (field, value) = col.split_once('|').unwrap_or((col.as_str(), ""));
+                let wanted = match &q.projection {
+                    None => true,
+                    Some(p) => p.iter().any(|f| f == field),
+                };
+                if wanted {
+                    cells.insert(field.to_string(), value.to_string());
+                }
+            }
+            (id, cells)
+        })
+        .collect()
+}
+
+/// Execute by scan against the row-store baseline (same output shape).
+pub fn execute_baseline(q: &Query, table: &RowTable) -> Vec<(String, BTreeMap<String, String>)> {
+    let ids: Vec<String> = if q.preds.is_empty() {
+        table.iter().map(|(id, _)| id.to_string()).collect()
+    } else if q.conjunctive {
+        table.select_and(&q.preds)
+    } else {
+        table.select_or(&q.preds)
+    };
+    let by_id: std::collections::HashMap<&str, _> = table.iter().collect();
+    ids.into_iter()
+        .map(|id| {
+            let row = &by_id[id.as_str()];
+            let cells = row
+                .iter()
+                .filter(|(f, _)| match &q.projection {
+                    None => true,
+                    Some(p) => p.contains(f),
+                })
+                .map(|(f, v)| (f.clone(), v.clone()))
+                .collect();
+            (id, cells)
+        })
+        .collect()
+}
+
+// ---- lexer ----
+
+#[derive(Debug)]
+struct Tokens {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn next_tok(&mut self) -> Result<&str, String> {
+        let t = self.toks.get(self.pos).ok_or("unexpected end of query")?;
+        self.pos += 1;
+        Ok(t)
+    }
+    fn peek_is(&self, sym: &str) -> bool {
+        self.toks.get(self.pos).is_some_and(|t| t == sym)
+    }
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.toks
+            .get(self.pos)
+            .is_some_and(|t| t.eq_ignore_ascii_case(kw))
+    }
+    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+        let t = self.next_tok()?;
+        if t.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected {kw}, found {t}"))
+        }
+    }
+    fn expect_tok(&mut self, sym: &str) -> Result<(), String> {
+        let t = self.next_tok()?;
+        if t == sym {
+            Ok(())
+        } else {
+            Err(format!("expected {sym}, found {t}"))
+        }
+    }
+    fn ident(&mut self) -> Result<String, String> {
+        let t = self.next_tok()?;
+        if t.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            && !t.is_empty()
+        {
+            Ok(t.to_string())
+        } else {
+            Err(format!("expected identifier, found {t}"))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        let t = self.next_tok()?;
+        t.strip_prefix('\'')
+            .and_then(|x| x.strip_suffix('\''))
+            .map(String::from)
+            .ok_or_else(|| format!("expected 'string literal', found {t}"))
+    }
+}
+
+fn tokenize(sql: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' | '(' | ')' | '=' | '*' => {
+                out.push(ch.to_string());
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut lit = String::from("'");
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            lit.push('\'');
+                            break;
+                        }
+                        Some(c) => lit.push(c),
+                        None => return Err("unterminated string literal".into()),
+                    }
+                }
+                out.push(lit);
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(ident);
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{flows, FlowParams};
+
+    fn tables() -> (AssocTable, RowTable) {
+        let records = flows(
+            FlowParams {
+                n_records: 300,
+                n_hosts: 20,
+                skew: 1.0,
+            },
+            3,
+        );
+        (
+            AssocTable::from_records(records.clone()),
+            RowTable::from_records(records),
+        )
+    }
+
+    #[test]
+    fn parse_star_and_projection() {
+        let q = parse("SELECT * FROM flows").unwrap();
+        assert_eq!(q.projection, None);
+        assert!(q.preds.is_empty());
+        let q = parse("SELECT src, dst FROM flows").unwrap();
+        assert_eq!(q.projection, Some(vec!["src".into(), "dst".into()]));
+        assert_eq!(q.table, "flows");
+    }
+
+    #[test]
+    fn parse_where_clauses() {
+        let q = parse("SELECT * FROM t WHERE src = '1.1.1.1' AND port = '443'").unwrap();
+        assert!(q.conjunctive);
+        assert_eq!(q.preds.len(), 2);
+        let q = parse("SELECT * FROM t WHERE port = '80' OR port = '443'").unwrap();
+        assert!(!q.conjunctive);
+        let q = parse("SELECT * FROM t WHERE port IN ('22', '53')").unwrap();
+        assert_eq!(
+            q.preds[0],
+            Pred::In("port".into(), vec!["22".into(), "53".into()])
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = 'x' OR b = 'y' AND c = 'z'").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = unquoted").is_err());
+        assert!(parse("SELECT * FROM t extra").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn execution_matches_baseline() {
+        let (a, r) = tables();
+        for sql in [
+            "SELECT * FROM flows WHERE src = '1.1.1.1'",
+            "SELECT dst FROM flows WHERE src = '1.1.1.1' AND port = '443'",
+            "SELECT src, dst FROM flows WHERE port = '22' OR port = '53'",
+            "SELECT * FROM flows WHERE port IN ('80', '8080')",
+            "SELECT * FROM flows",
+        ] {
+            let q = parse(sql).unwrap();
+            let mut got = execute(&q, &a);
+            let mut want = execute_baseline(&q, &r);
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "{sql}");
+        }
+    }
+
+    #[test]
+    fn projection_limits_fields() {
+        let (a, _) = tables();
+        let q = parse("SELECT dst FROM flows WHERE src = '1.1.1.1'").unwrap();
+        let rows = execute(&q, &a);
+        assert!(!rows.is_empty());
+        for (_, cells) in rows {
+            assert!(cells.keys().all(|k| k == "dst"));
+            assert_eq!(cells.len(), 1);
+        }
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse("select * from flows where port = '80'").unwrap();
+        assert_eq!(q.preds.len(), 1);
+    }
+}

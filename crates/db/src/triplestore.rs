@@ -1,0 +1,175 @@
+//! The NoSQL view: a (subject, predicate, object) triple store.
+//!
+//! Every record field becomes a triple `(record_id, field, value)`,
+//! indexed in both directions — the Dynamo/Cassandra/HBase/Accumulo
+//! school of Fig. 6. Point lookups are O(1) hash probes; the comparison
+//! against full-scan [`crate::RowTable`] and array-algebraic
+//! [`crate::AssocTable`] is the Fig. 6 bench.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::Record;
+
+/// A doubly-indexed triple store.
+#[derive(Clone, Debug, Default)]
+pub struct TripleStore {
+    /// predicate → object → subjects (the "who has this value" index).
+    pov: HashMap<String, HashMap<String, BTreeSet<String>>>,
+    /// subject → predicate → objects (the "what does this record hold" index).
+    spo: HashMap<String, HashMap<String, BTreeSet<String>>>,
+    n_triples: usize,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-load records as triples.
+    pub fn from_records(records: Vec<(String, Record)>) -> Self {
+        let mut t = Self::new();
+        for (id, rec) in records {
+            for (field, value) in rec {
+                t.insert(id.clone(), field, value);
+            }
+        }
+        t
+    }
+
+    /// Insert one triple.
+    pub fn insert(&mut self, subject: String, predicate: String, object: String) {
+        self.pov
+            .entry(predicate.clone())
+            .or_default()
+            .entry(object.clone())
+            .or_default()
+            .insert(subject.clone());
+        self.spo
+            .entry(subject)
+            .or_default()
+            .entry(predicate)
+            .or_default()
+            .insert(object);
+        self.n_triples += 1;
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.n_triples
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_triples == 0
+    }
+
+    /// Subjects with `predicate = object` — one hash probe.
+    pub fn subjects(&self, predicate: &str, object: &str) -> BTreeSet<String> {
+        self.pov
+            .get(predicate)
+            .and_then(|m| m.get(object))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Objects of `subject.predicate` — one hash probe.
+    pub fn objects(&self, subject: &str, predicate: &str) -> BTreeSet<String> {
+        self.spo
+            .get(subject)
+            .and_then(|m| m.get(predicate))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Fig. 6's query via index hops: records where `src = host` yield
+    /// their `dst`, records where `dst = host` yield their `src`.
+    pub fn neighbors(&self, host: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for rec in self.subjects("src", host) {
+            out.extend(self.objects(&rec, "dst"));
+        }
+        for rec in self.subjects("dst", host) {
+            out.extend(self.objects(&rec, "src"));
+        }
+        out
+    }
+
+    /// `GROUP BY predicate` value counts (subjects per object).
+    pub fn group_count(&self, predicate: &str) -> HashMap<String, usize> {
+        self.pov
+            .get(predicate)
+            .map(|m| m.iter().map(|(o, s)| (o.clone(), s.len())).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        TripleStore::from_records(vec![
+            (
+                "r1".into(),
+                vec![("src".into(), "a".into()), ("dst".into(), "b".into())],
+            ),
+            (
+                "r2".into(),
+                vec![("src".into(), "b".into()), ("dst".into(), "a".into())],
+            ),
+            (
+                "r3".into(),
+                vec![("src".into(), "a".into()), ("dst".into(), "c".into())],
+            ),
+        ])
+    }
+
+    #[test]
+    fn indexes_answer_point_queries() {
+        let t = store();
+        assert_eq!(
+            t.subjects("src", "a").into_iter().collect::<Vec<_>>(),
+            vec!["r1", "r3"]
+        );
+        assert_eq!(
+            t.objects("r1", "dst").into_iter().collect::<Vec<_>>(),
+            vec!["b"]
+        );
+        assert!(t.subjects("src", "zzz").is_empty());
+    }
+
+    #[test]
+    fn neighbors_match_rowstore() {
+        let t = store();
+        let r = crate::RowTable::from_records(vec![
+            (
+                "r1".into(),
+                vec![("src".into(), "a".into()), ("dst".into(), "b".into())],
+            ),
+            (
+                "r2".into(),
+                vec![("src".into(), "b".into()), ("dst".into(), "a".into())],
+            ),
+            (
+                "r3".into(),
+                vec![("src".into(), "a".into()), ("dst".into(), "c".into())],
+            ),
+        ]);
+        assert_eq!(t.neighbors("a"), r.neighbors("a"));
+        assert_eq!(t.neighbors("b"), r.neighbors("b"));
+    }
+
+    #[test]
+    fn group_count_matches_manual() {
+        let t = store();
+        let g = t.group_count("src");
+        assert_eq!(g["a"], 2);
+        assert_eq!(g["b"], 1);
+    }
+
+    #[test]
+    fn triple_count() {
+        assert_eq!(store().len(), 6);
+    }
+}

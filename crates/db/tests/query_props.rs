@@ -1,0 +1,97 @@
+//! Property-based equivalence of mask-algebra queries and row-store
+//! scans over randomized tables, plus De Morgan-ish interactions of
+//! AND/OR/NOT on real data.
+
+use db::query::Pred;
+use db::{AssocTable, Record, RowTable};
+use proptest::prelude::*;
+
+fn record() -> impl Strategy<Value = Record> {
+    (0u8..6, 0u8..6, 0u8..4).prop_map(|(a, b, p)| {
+        vec![
+            ("src".to_string(), format!("h{a}")),
+            ("dst".to_string(), format!("h{b}")),
+            ("port".to_string(), format!("p{p}")),
+        ]
+    })
+}
+
+fn records() -> impl Strategy<Value = Vec<(String, Record)>> {
+    proptest::collection::vec(record(), 1..40).prop_map(|rs| {
+        rs.into_iter()
+            .enumerate()
+            .map(|(i, r)| (format!("r{i:03}"), r))
+            .collect()
+    })
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        (0u8..3, 0u8..6).prop_map(|(f, v)| {
+            let field = ["src", "dst", "port"][f as usize];
+            Pred::Eq(
+                field.into(),
+                format!("{}{}", if f == 2 { "p" } else { "h" }, v),
+            )
+        }),
+        (0u8..3, proptest::collection::vec(0u8..6, 1..3)).prop_map(|(f, vs)| {
+            let field = ["src", "dst", "port"][f as usize];
+            Pred::In(
+                field.into(),
+                vs.into_iter()
+                    .map(|v| format!("{}{}", if f == 2 { "p" } else { "h" }, v))
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn and_equals_scan(recs in records(), preds in proptest::collection::vec(pred(), 1..4)) {
+        let a = AssocTable::from_records(recs.clone());
+        let r = RowTable::from_records(recs);
+        prop_assert_eq!(a.select_and(&preds), r.select_and(&preds));
+    }
+
+    #[test]
+    fn or_equals_scan(recs in records(), preds in proptest::collection::vec(pred(), 1..4)) {
+        let a = AssocTable::from_records(recs.clone());
+        let r = RowTable::from_records(recs);
+        prop_assert_eq!(a.select_or(&preds), r.select_or(&preds));
+    }
+
+    #[test]
+    fn and_is_subset_of_or(recs in records(), p1 in pred(), p2 in pred()) {
+        let a = AssocTable::from_records(recs);
+        let and = a.select_and(&[p1.clone(), p2.clone()]);
+        let or = a.select_or(&[p1, p2]);
+        for id in &and {
+            prop_assert!(or.contains(id));
+        }
+    }
+
+    #[test]
+    fn and_not_partitions_the_and(recs in records(), p1 in pred(), p2 in pred()) {
+        let a = AssocTable::from_records(recs);
+        // select(p1) = select(p1 ∧ p2) ⊎ select(p1 ∧ ¬p2)
+        let base = a.select_and(std::slice::from_ref(&p1));
+        let with = a.select_and(&[p1.clone(), p2.clone()]);
+        let without = a.select_and_not(&p1, &p2);
+        let mut union: Vec<String> = with.iter().chain(&without).cloned().collect();
+        union.sort();
+        prop_assert_eq!(union, base);
+        // …and the two halves are disjoint.
+        for id in &with {
+            prop_assert!(!without.contains(id));
+        }
+    }
+
+    #[test]
+    fn group_counts_sum_to_record_count(recs in records()) {
+        let n = recs.len();
+        let a = AssocTable::from_records(recs);
+        let total: usize = a.group_count("port").into_iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, n);
+    }
+}

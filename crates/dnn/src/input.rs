@@ -1,0 +1,73 @@
+//! Synthetic input batches for inference benchmarks.
+
+use hypersparse::{Coo, Dcsr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semiring::PlusTimes;
+
+/// A sparse `batch × n` activation matrix with approximately
+/// `density · n` active features per sample, values in `(0, 1]`.
+pub fn sparse_batch(batch: u64, n: u64, density: f64, seed: u64) -> Dcsr<f64> {
+    assert!((0.0..=1.0).contains(&density), "density in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_row = ((n as f64 * density).ceil() as u64).clamp(1, n);
+    let mut c = Coo::new(batch, n);
+    for r in 0..batch {
+        let mut seen = std::collections::HashSet::new();
+        while (seen.len() as u64) < per_row {
+            let j = rng.gen_range(0..n);
+            if seen.insert(j) {
+                c.push(r, j, rng.gen::<f64>().max(f64::MIN_POSITIVE));
+            }
+        }
+    }
+    c.build_dcsr(PlusTimes::<f64>::new())
+}
+
+/// "Categorical" batch: each sample activates one contiguous block of
+/// features (a crude stand-in for MNIST-style structured inputs).
+pub fn block_batch(batch: u64, n: u64, block: u64, seed: u64) -> Dcsr<f64> {
+    assert!(block <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Coo::new(batch, n);
+    for r in 0..batch {
+        let start = rng.gen_range(0..n - block + 1);
+        for j in start..start + block {
+            c.push(r, j, 1.0);
+        }
+    }
+    c.build_dcsr(PlusTimes::<f64>::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_respected() {
+        let y = sparse_batch(10, 100, 0.1, 1);
+        assert_eq!(y.nnz(), 10 * 10);
+        assert_eq!(y.n_nonempty_rows(), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(sparse_batch(4, 32, 0.2, 9), sparse_batch(4, 32, 0.2, 9));
+        assert_ne!(sparse_batch(4, 32, 0.2, 9), sparse_batch(4, 32, 0.2, 10));
+    }
+
+    #[test]
+    fn blocks_are_contiguous() {
+        let y = block_batch(5, 64, 8, 2);
+        for (_, cols, _) in y.iter_rows() {
+            assert_eq!(cols.len(), 8);
+            assert_eq!(cols[7] - cols[0], 7);
+        }
+    }
+
+    #[test]
+    fn values_never_zero() {
+        let y = sparse_batch(20, 50, 0.3, 3);
+        assert!(y.iter().all(|(_, _, &v)| v > 0.0));
+    }
+}

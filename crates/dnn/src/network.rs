@@ -1,0 +1,105 @@
+//! Sparse DNN model: hypersparse weight layers + per-layer biases.
+
+use hypersparse::Dcsr;
+
+/// An `L`-layer sparse feed-forward network. Uses the graph convention
+/// of §V.C: `W(i, j) ≠ 0` connects neuron `i` to neuron `j`, activations
+/// are *row* vectors, and inference is left-multiplication `Y W`.
+#[derive(Clone, Debug)]
+pub struct SparseDnn {
+    /// Neurons per layer (all layers equal width, as in the Challenge).
+    pub n_neurons: u64,
+    /// Weight matrices, one per layer (`n_neurons × n_neurons`).
+    pub layers: Vec<Dcsr<f64>>,
+    /// Per-layer scalar bias, applied to every active neuron.
+    ///
+    /// Must be ≤ 0: a non-positive bias keeps the sparse formulation
+    /// exact, because an output with *no* incoming activation would get
+    /// `relu(0 + b) = 0` — exactly what "not stored" means. (The Sparse
+    /// DNN Challenge biases are negative for the same reason.)
+    pub biases: Vec<f64>,
+}
+
+impl SparseDnn {
+    /// Assemble a network, checking layer conformance and bias signs.
+    pub fn new(n_neurons: u64, layers: Vec<Dcsr<f64>>, biases: Vec<f64>) -> Self {
+        assert_eq!(layers.len(), biases.len(), "one bias per layer");
+        for (i, w) in layers.iter().enumerate() {
+            assert_eq!(
+                (w.nrows(), w.ncols()),
+                (n_neurons, n_neurons),
+                "layer {i} dimension mismatch"
+            );
+        }
+        for (i, b) in biases.iter().enumerate() {
+            assert!(
+                *b <= 0.0,
+                "layer {i} bias {b} > 0 breaks sparse/dense equivalence"
+            );
+        }
+        SparseDnn {
+            n_neurons,
+            layers,
+            biases,
+        }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total stored weights across layers.
+    pub fn n_weights(&self) -> usize {
+        self.layers.iter().map(|w| w.nnz()).sum()
+    }
+
+    /// Connection density: stored weights / (layers × N²).
+    pub fn density(&self) -> f64 {
+        let cells = self.depth() as f64 * (self.n_neurons as f64).powi(2);
+        self.n_weights() as f64 / cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersparse::Coo;
+    use semiring::PlusTimes;
+
+    fn w(n: u64, edges: &[(u64, u64, f64)]) -> Dcsr<f64> {
+        let mut c = Coo::new(n, n);
+        c.extend(edges.iter().copied());
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    #[test]
+    fn construction_and_stats() {
+        let net = SparseDnn::new(
+            4,
+            vec![w(4, &[(0, 1, 1.0), (1, 2, 1.0)]), w(4, &[(2, 3, 1.0)])],
+            vec![-0.5, 0.0],
+        );
+        assert_eq!(net.depth(), 2);
+        assert_eq!(net.n_weights(), 3);
+        assert!((net.density() - 3.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias")]
+    fn positive_bias_rejected() {
+        SparseDnn::new(4, vec![w(4, &[(0, 1, 1.0)])], vec![0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_layer_shape_rejected() {
+        SparseDnn::new(4, vec![w(4, &[(0, 1, 1.0)])], vec![0.0]);
+        let bad = {
+            let mut c = Coo::new(3, 3);
+            c.push(0, 1, 1.0);
+            c.build_dcsr(PlusTimes::<f64>::new())
+        };
+        SparseDnn::new(4, vec![bad], vec![0.0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! The 1955 network element of Fig. 7 (Clark & Farley).
+//!
+//! The paper reproduces the original weighted-sum neuron diagram: element
+//! `j` fires when the weighted sum of incoming activity crosses a
+//! threshold, and weights adapt toward co-active inputs. This module
+//! implements that unit literally — it is the ancestor of the §V.C ReLU
+//! layer, and its weighted sum is already the `S₁` half of the paper's
+//! semiring pair.
+
+/// A Clark–Farley network element: incoming weights and a firing
+/// threshold.
+#[derive(Clone, Debug)]
+pub struct Neuron {
+    /// Incoming connection weights `w_ij`.
+    pub weights: Vec<f64>,
+    /// Firing threshold `θ`.
+    pub threshold: f64,
+}
+
+impl Neuron {
+    /// A neuron with the given weights and threshold.
+    pub fn new(weights: Vec<f64>, threshold: f64) -> Self {
+        Neuron { weights, threshold }
+    }
+
+    /// The weighted input sum `Σ_i w_i x_i` — one `+.×` row product.
+    pub fn net_input(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len());
+        self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum()
+    }
+
+    /// `true` if the element fires on input `x`.
+    pub fn fires(&self, x: &[f64]) -> bool {
+        self.net_input(x) >= self.threshold
+    }
+
+    /// One step of the 1955 adaptation rule: weights of co-active inputs
+    /// grow by `rate` when the element fires (a Hebbian update).
+    pub fn adapt(&mut self, x: &[f64], rate: f64) {
+        if self.fires(x) {
+            for (w, xi) in self.weights.iter_mut().zip(x) {
+                *w += rate * xi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_sum_and_threshold() {
+        let n = Neuron::new(vec![0.5, -0.25, 1.0], 0.6);
+        assert!((n.net_input(&[1.0, 2.0, 0.5]) - 0.5).abs() < 1e-12);
+        assert!(!n.fires(&[1.0, 2.0, 0.5]));
+        assert!(n.fires(&[1.0, 0.0, 0.5]));
+    }
+
+    #[test]
+    fn hebbian_adaptation_strengthens_active_paths() {
+        let mut n = Neuron::new(vec![0.5, 0.5], 0.4);
+        let x = [1.0, 0.0];
+        let before = n.weights[0];
+        n.adapt(&x, 0.1);
+        assert!(n.weights[0] > before); // active input strengthened
+        assert_eq!(n.weights[1], 0.5); // inactive unchanged
+    }
+
+    #[test]
+    fn no_adaptation_below_threshold() {
+        let mut n = Neuron::new(vec![0.1], 1.0);
+        n.adapt(&[1.0], 0.1);
+        assert_eq!(n.weights[0], 0.1);
+    }
+}

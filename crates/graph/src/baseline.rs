@@ -1,0 +1,234 @@
+//! Pointer-chasing baselines — the *graph* side of Fig. 1's duality.
+//!
+//! Classical data-structure implementations of the same algorithms the
+//! semiring kernels compute: queue BFS, binary-heap Dijkstra, union-find
+//! components, wedge-check triangle counting. Used to (a) cross-validate
+//! every linear-algebraic result and (b) time the two sides of the
+//! duality against each other in the Fig. 1 bench. Vertex ids must be
+//! compact (adjacency lists materialize all `n` slots).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use hypersparse::{Dcsr, Ix};
+use semiring::traits::Value;
+
+/// Compact adjacency lists with optional weights.
+#[derive(Clone, Debug)]
+pub struct AdjList {
+    /// Vertex count.
+    pub n: usize,
+    /// `nbrs[v]` = sorted `(neighbor, weight)` pairs.
+    pub nbrs: Vec<Vec<(u32, f64)>>,
+}
+
+impl AdjList {
+    /// Materialize adjacency lists from a sparse matrix (any value type;
+    /// weights come from a second weighted view when needed).
+    pub fn from_pattern<T: Value>(m: &Dcsr<T>) -> Self {
+        Self::build(m, |_| 1.0)
+    }
+
+    /// Materialize with the matrix's `f64` values as weights.
+    pub fn from_weighted(m: &Dcsr<f64>) -> Self {
+        Self::build(m, |w| *w)
+    }
+
+    fn build<T: Value>(m: &Dcsr<T>, weight: impl Fn(&T) -> f64) -> Self {
+        let n = usize::try_from(m.nrows()).expect("baseline needs compact ids");
+        let mut nbrs = vec![Vec::new(); n];
+        for (r, c, v) in m.iter() {
+            nbrs[r as usize].push((c as u32, weight(v)));
+        }
+        AdjList { n, nbrs }
+    }
+}
+
+/// Queue-based BFS levels; `u32::MAX` marks unreachable vertices.
+pub fn bfs_queue(g: &AdjList, src: Ix) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.n];
+    level[src as usize] = 0;
+    let mut q = VecDeque::from([src as usize]);
+    while let Some(v) = q.pop_front() {
+        let next = level[v] + 1;
+        for &(w, _) in &g.nbrs[v] {
+            if level[w as usize] == u32::MAX {
+                level[w as usize] = next;
+                q.push_back(w as usize);
+            }
+        }
+    }
+    level
+}
+
+/// Binary-heap Dijkstra; `f64::INFINITY` marks unreachable vertices.
+/// Weights must be non-negative.
+pub fn dijkstra(g: &AdjList, src: Ix) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.n];
+    dist[src as usize] = 0.0;
+    // Reverse ordering on (bits of dist, vertex) = min-heap on distance.
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, src as usize)));
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        if d > dist[v] {
+            continue;
+        }
+        for &(w, wt) in &g.nbrs[v] {
+            let nd = d + wt;
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(Reverse((nd.to_bits(), w as usize)));
+            }
+        }
+    }
+    dist
+}
+
+/// Union-find connected components on an undirected edge list; returns
+/// each vertex's component representative (smallest id in component).
+pub fn cc_union_find(n: usize, edges: &[(Ix, Ix)]) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+        // Union by min id keeps representatives canonical.
+        if ra < rb {
+            parent[rb] = ra;
+        } else {
+            parent[ra] = rb;
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Wedge-check triangle counting: for each edge `(u, v)` with `u < v`,
+/// intersect sorted neighbor lists above `v`.
+pub fn triangles_wedge(g: &AdjList) -> u64 {
+    // Build sorted higher-neighbor lists.
+    let mut up: Vec<Vec<u32>> = vec![Vec::new(); g.n];
+    for (v, nbrs) in g.nbrs.iter().enumerate() {
+        for &(w, _) in nbrs {
+            if (w as usize) > v {
+                up[v].push(w);
+            }
+        }
+    }
+    for l in &mut up {
+        l.sort_unstable();
+        l.dedup();
+    }
+    let mut count = 0u64;
+    for v in 0..g.n {
+        for &w in &up[v] {
+            // |up(v) ∩ up(w)| — sorted merge.
+            let (a, b) = (&up[v], &up[w as usize]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_levels;
+    use crate::cc::connected_components;
+    use crate::pattern::{pattern_u64, pattern_u8, symmetrize};
+    use crate::sssp::sssp;
+    use crate::triangles::triangle_count;
+    use hypersparse::gen::{rmat_dcsr, RmatParams};
+    use semiring::PlusTimes;
+
+    fn rmat(scale: u32, seed: u64) -> Dcsr<f64> {
+        rmat_dcsr(
+            RmatParams {
+                scale,
+                edge_factor: 6,
+                ..Default::default()
+            },
+            seed,
+            PlusTimes::<f64>::new(),
+        )
+    }
+
+    #[test]
+    fn bfs_duality_semiring_equals_queue() {
+        let g = rmat(8, 11);
+        let adj = AdjList::from_pattern(&g);
+        let lv_queue = bfs_queue(&adj, 0);
+        let lv_semiring = bfs_levels(&pattern_u8(&g), 0);
+        // Same set of reached vertices with the same levels.
+        let mut from_queue: Vec<(Ix, u32)> = lv_queue
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l != u32::MAX)
+            .map(|(v, &l)| (v as Ix, l))
+            .collect();
+        from_queue.sort_by_key(|e| e.0);
+        assert_eq!(lv_semiring, from_queue);
+    }
+
+    #[test]
+    fn sssp_duality_bellman_ford_equals_dijkstra() {
+        let g = rmat(8, 12);
+        let adj = AdjList::from_weighted(&g);
+        let d_heap = dijkstra(&adj, 0);
+        let d_semiring = sssp(&g, 0);
+        for (v, d) in d_semiring {
+            assert!((d - d_heap[v as usize]).abs() < 1e-9, "vertex {v}");
+        }
+        // Unreached agree too.
+        let reached: std::collections::HashSet<Ix> =
+            sssp(&g, 0).into_iter().map(|(v, _)| v).collect();
+        for (v, &d) in d_heap.iter().enumerate() {
+            assert_eq!(d.is_finite(), reached.contains(&(v as Ix)), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn cc_duality_label_prop_equals_union_find() {
+        let g = symmetrize(&rmat(8, 13), PlusTimes::<f64>::new());
+        let labels = connected_components(&pattern_u64(&g));
+        let edges: Vec<(Ix, Ix)> = g.iter().map(|(r, c, _)| (r, c)).collect();
+        let uf = cc_union_find(g.nrows() as usize, &edges);
+        for (v, comp) in labels {
+            assert_eq!(comp as usize, uf[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn triangle_duality_spgemm_equals_wedge() {
+        let g = symmetrize(&rmat(7, 14), PlusTimes::<f64>::new());
+        let by_matrix = triangle_count(&g);
+        let by_wedge = triangles_wedge(&AdjList::from_pattern(&g));
+        assert_eq!(by_matrix, by_wedge);
+        assert!(by_matrix > 0, "rmat scale-7 should contain triangles");
+    }
+
+    #[test]
+    fn dijkstra_simple() {
+        let mut c = hypersparse::Coo::new(3, 3);
+        c.extend([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+        let g = c.build_dcsr(PlusTimes::<f64>::new());
+        let d = dijkstra(&AdjList::from_weighted(&g), 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0]);
+    }
+}

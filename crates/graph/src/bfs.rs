@@ -1,0 +1,139 @@
+//! Breadth-first search as array multiplication — Fig. 1's duality.
+//!
+//! One BFS sweep is one `vᵀA` over the cheapest possible semiring
+//! ([`semiring::AnyPair`]): the frontier vector is scattered along its
+//! rows, visited vertices are masked off, and the survivors are the next
+//! frontier. Parent tracking swaps in [`semiring::MinFirst`], whose ⊗
+//! carries the *source* vertex id through each edge and whose ⊕ picks
+//! the smallest — a deterministic BFS tree.
+
+use hypersparse::{Dcsr, Ix, SparseVec};
+use semiring::{AnyPair, MinFirst};
+
+/// BFS levels from `src` over a `u8` pattern (see
+/// [`crate::pattern::pattern_u8`]). Returns `(vertex, level)` pairs
+/// sorted by vertex, `src` at level 0; unreachable vertices are absent.
+pub fn bfs_levels(pat: &Dcsr<u8>, src: Ix) -> Vec<(Ix, u32)> {
+    let s = AnyPair;
+    let n = pat.nrows();
+    let mut out: Vec<(Ix, u32)> = vec![(src, 0)];
+    let mut visited = SparseVec::from_entries(n, vec![(src, 1u8)], s);
+    let mut frontier = visited.clone();
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        // q = (fᵀ A) masked by unvisited — the Fig. 1 array operation.
+        let next = frontier.vxm(pat, s).without(&visited);
+        for (v, _) in next.iter() {
+            out.push((v, level));
+        }
+        visited = visited.ewise_add(&next, s);
+        frontier = next;
+    }
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+/// BFS tree from `src` over a `u64` pattern (see
+/// [`crate::pattern::pattern_u64`]). Returns `(vertex, parent)` pairs
+/// sorted by vertex; `src` maps to itself. Deterministic: each vertex's
+/// parent is its smallest-id predecessor in the previous frontier.
+pub fn bfs_parents(pat: &Dcsr<u64>, src: Ix) -> Vec<(Ix, Ix)> {
+    let s = MinFirst;
+    let n = pat.nrows();
+    let mut out: Vec<(Ix, Ix)> = vec![(src, src)];
+    // Frontier values carry the (1-shifted) id of the frontier vertex
+    // itself, so MinFirst's ⊗ delivers it to each successor as a parent
+    // candidate; ⊕ = min picks the smallest-id parent.
+    let mut visited = SparseVec::from_entries(n, vec![(src, src + 1)], s);
+    let mut frontier = visited.clone();
+    while !frontier.is_empty() {
+        let next = frontier.vxm(pat, s).without(&visited);
+        for (v, &parent_shifted) in next.iter() {
+            out.push((v, parent_shifted - 1));
+        }
+        visited = visited.ewise_add(&next, s);
+        // Re-stamp the new frontier with its own ids for the next hop.
+        frontier = SparseVec::from_entries(n, next.iter().map(|(v, _)| (v, v + 1)).collect(), s);
+    }
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{pattern_u64, pattern_u8};
+    use hypersparse::Coo;
+    use semiring::PlusTimes;
+
+    /// 0→1→2→3, 0→2, plus an unreachable 5→6.
+    fn g() -> Dcsr<f64> {
+        let mut c = Coo::new(8, 8);
+        c.extend([
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (0, 2, 1.0),
+            (5, 6, 1.0),
+        ]);
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    #[test]
+    fn levels_match_hand_computation() {
+        let levels = bfs_levels(&pattern_u8(&g()), 0);
+        assert_eq!(levels, vec![(0, 0), (1, 1), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn unreachable_vertices_absent() {
+        let levels = bfs_levels(&pattern_u8(&g()), 0);
+        assert!(!levels.iter().any(|&(v, _)| v == 5 || v == 6));
+    }
+
+    #[test]
+    fn bfs_from_isolated_source() {
+        let levels = bfs_levels(&pattern_u8(&g()), 7);
+        assert_eq!(levels, vec![(7, 0)]);
+    }
+
+    #[test]
+    fn parents_form_a_valid_tree() {
+        let p = pattern_u64(&g());
+        let parents = bfs_parents(&p, 0);
+        let levels: std::collections::HashMap<Ix, u32> =
+            bfs_levels(&pattern_u8(&g()), 0).into_iter().collect();
+        for &(v, parent) in &parents {
+            if v == 0 {
+                assert_eq!(parent, 0);
+                continue;
+            }
+            // Parent is one level shallower and has an edge to v.
+            assert_eq!(levels[&parent] + 1, levels[&v]);
+            assert!(p.get(parent, v).is_some());
+        }
+        assert_eq!(parents.len(), levels.len());
+    }
+
+    #[test]
+    fn parent_choice_is_min_id() {
+        // Both 0 and 1 reach 2 at the same level from a 2-vertex frontier.
+        let mut c = Coo::new(4, 4);
+        c.extend([(3, 0, 1.0), (3, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let g = c.build_dcsr(PlusTimes::<f64>::new());
+        let parents = bfs_parents(&pattern_u64(&g), 3);
+        let parent_of_2 = parents.iter().find(|&&(v, _)| v == 2).unwrap().1;
+        assert_eq!(parent_of_2, 0); // min of {0, 1}
+    }
+
+    #[test]
+    fn bfs_works_in_huge_key_space() {
+        let n = 1u64 << 45;
+        let mut c = Coo::new(n, n);
+        c.extend([(7, 1 << 40, 1.0), (1 << 40, 3, 1.0)]);
+        let g = c.build_dcsr(PlusTimes::<f64>::new());
+        let levels = bfs_levels(&pattern_u8(&g), 7);
+        assert_eq!(levels, vec![(3, 2), (7, 0), (1 << 40, 1)]);
+    }
+}

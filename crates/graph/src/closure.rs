@@ -1,0 +1,166 @@
+//! Reachability: transitive closure over `∨.∧` and topological structure.
+//!
+//! The transitive closure is the boolean-semiring fixpoint
+//! `C = A ∨ A² ∨ A³ ∨ …`, computed by repeated squaring — `O(log D)`
+//! SpGEMMs for diameter `D`. Row `s` of the closure must equal BFS
+//! reachability from `s`, which the tests assert. Topological levels /
+//! cycle detection (Kahn) complete the DAG toolkit.
+
+use hypersparse::{Coo, Dcsr, Ix};
+use semiring::LorLand;
+
+/// Transitive closure (reachability in ≥ 1 step) of a boolean pattern by
+/// repeated squaring: `R ← R ∨ R·R` until fixpoint.
+pub fn transitive_closure(pat: &Dcsr<bool>) -> Dcsr<bool> {
+    let s = LorLand;
+    let mut r = pat.clone();
+    loop {
+        let r2 = hypersparse::ops::mxm(&r, &r, s);
+        let next = hypersparse::ops::ewise_add(&r, &r2, s);
+        if next == r {
+            return r;
+        }
+        r = next;
+    }
+}
+
+/// Convert any pattern to a boolean one (edges → `true`).
+pub fn to_bool<T: semiring::traits::Value>(pat: &Dcsr<T>) -> Dcsr<bool> {
+    let mut c = Coo::new(pat.nrows(), pat.ncols());
+    for (r, col, _) in pat.iter() {
+        c.push(r, col, true);
+    }
+    c.build_dcsr(LorLand)
+}
+
+/// Topological levels of a DAG via Kahn's algorithm: `level(v)` = length
+/// of the longest path from any source to `v`. Returns `None` if the
+/// graph has a cycle. Requires compact vertex ids.
+pub fn topo_levels(pat: &Dcsr<bool>) -> Option<Vec<(Ix, u32)>> {
+    let n = usize::try_from(pat.nrows()).expect("topo needs compact ids");
+    let mut indeg = vec![0usize; n];
+    let mut has_vertex = vec![false; n];
+    for (r, c, _) in pat.iter() {
+        indeg[c as usize] += 1;
+        has_vertex[r as usize] = true;
+        has_vertex[c as usize] = true;
+    }
+    let mut level = vec![0u32; n];
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&v| has_vertex[v] && indeg[v] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(v) = queue.pop_front() {
+        seen += 1;
+        let (succs, _) = pat.row(v as Ix);
+        for &w in succs {
+            let w = w as usize;
+            level[w] = level[w].max(level[v] + 1);
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    let total: usize = has_vertex.iter().filter(|&&b| b).count();
+    if seen != total {
+        return None; // a cycle kept some in-degree positive
+    }
+    Some(
+        (0..n)
+            .filter(|&v| has_vertex[v])
+            .map(|v| (v as Ix, level[v]))
+            .collect(),
+    )
+}
+
+/// `true` if the directed pattern contains a cycle. Equivalent to a
+/// vertex reaching itself in the transitive closure — both formulations
+/// are tested against each other.
+pub fn has_cycle(pat: &Dcsr<bool>) -> bool {
+    topo_levels(pat).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_levels;
+    use crate::pattern::pattern_u8;
+    use hypersparse::gen::random_pattern;
+    use semiring::PlusTimes;
+
+    fn mk(edges: &[(Ix, Ix)], n: Ix) -> Dcsr<bool> {
+        let mut c = Coo::new(n, n);
+        for &(a, b) in edges {
+            c.push(a, b, true);
+        }
+        c.build_dcsr(LorLand)
+    }
+
+    #[test]
+    fn chain_closure() {
+        let g = mk(&[(0, 1), (1, 2), (2, 3)], 4);
+        let c = transitive_closure(&g);
+        assert_eq!(c.nnz(), 6); // all i<j pairs
+        assert_eq!(c.get(0, 3), Some(&true));
+        assert_eq!(c.get(3, 0), None);
+    }
+
+    #[test]
+    fn closure_rows_equal_bfs_reachability() {
+        for seed in 0..4 {
+            let w = random_pattern(24, 24, 60, seed, PlusTimes::<f64>::new());
+            let g = to_bool(&w);
+            let c = transitive_closure(&g);
+            for src in [0u64, 5, 23] {
+                let reach_bfs: Vec<Ix> = bfs_levels(&pattern_u8(&w), src)
+                    .into_iter()
+                    .filter(|&(v, l)| l > 0 || v != src) // exclude trivial self at level 0
+                    .filter(|&(_, l)| l > 0)
+                    .map(|(v, _)| v)
+                    .collect();
+                let (row, _) = c.row(src);
+                // BFS reach (≥1 hop) ⊆ closure row; closure row may also
+                // contain src itself if src lies on a cycle.
+                for v in &reach_bfs {
+                    assert!(row.contains(v), "seed {seed} src {src} missing {v}");
+                }
+                for v in row {
+                    if *v != src {
+                        assert!(reach_bfs.contains(v), "seed {seed} src {src} extra {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected_both_ways() {
+        let dag = mk(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        assert!(!has_cycle(&dag));
+        let cyc = mk(&[(0, 1), (1, 2), (2, 0)], 4);
+        assert!(has_cycle(&cyc));
+        // Closure view: a cycle member reaches itself.
+        let c = transitive_closure(&cyc);
+        assert_eq!(c.get(0, 0), Some(&true));
+        let cd = transitive_closure(&dag);
+        assert!((0..4).all(|v| cd.get(v, v).is_none()));
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let dag = mk(&[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], 5);
+        let lv = topo_levels(&dag).expect("acyclic");
+        let get = |v: Ix| lv.iter().find(|&&(x, _)| x == v).unwrap().1;
+        assert_eq!(get(0), 0);
+        assert_eq!(get(1), 1);
+        assert_eq!(get(2), 1);
+        assert_eq!(get(3), 2); // longest path
+        assert_eq!(get(4), 3);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = mk(&[(1, 1)], 4);
+        assert!(has_cycle(&g));
+    }
+}

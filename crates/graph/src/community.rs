@@ -1,0 +1,171 @@
+//! Community detection: synchronous label propagation + modularity.
+//!
+//! Each round, every vertex adopts the most frequent label among its
+//! neighbors — one `vᵀA`-shaped sweep per round, here computed per-vertex
+//! over the pattern's rows (the frequency vote has no semiring
+//! formulation, but the data access is still the array's). Ties break
+//! toward the smaller label and a vertex keeps its label on a tie with
+//! it, so the process is deterministic and tends to a fixpoint;
+//! `max_rounds` bounds oscillation. [`modularity`] scores any labelling
+//! against the configuration model.
+
+use std::collections::HashMap;
+
+use hypersparse::{Dcsr, Ix};
+
+/// Synchronous label-propagation communities on a symmetric pattern.
+/// Returns `(vertex, community label)` sorted by vertex; labels are the
+/// smallest vertex id that propagated them.
+pub fn label_propagation(sym_pat: &Dcsr<f64>, max_rounds: usize) -> Vec<(Ix, Ix)> {
+    let mut label: HashMap<Ix, Ix> = sym_pat.row_ids().iter().map(|&v| (v, v)).collect();
+    for _ in 0..max_rounds {
+        let mut next = label.clone();
+        let mut changed = false;
+        for (v, nbrs, _) in sym_pat.iter_rows() {
+            // Frequency vote among neighbor labels.
+            let mut counts: HashMap<Ix, usize> = HashMap::new();
+            for u in nbrs {
+                if let Some(&l) = label.get(u) {
+                    *counts.entry(l).or_insert(0) += 1;
+                }
+            }
+            let Some((&best, &best_n)) = counts
+                .iter()
+                .min_by_key(|&(&l, &n)| (std::cmp::Reverse(n), l))
+            else {
+                continue;
+            };
+            let current = label[&v];
+            let current_n = counts.get(&current).copied().unwrap_or(0);
+            if best_n > current_n && best != current {
+                next.insert(v, best);
+                changed = true;
+            }
+        }
+        label = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut out: Vec<(Ix, Ix)> = label.into_iter().collect();
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+/// Newman modularity `Q = Σ_c (e_c/m − (d_c/2m)²)` of a labelling over a
+/// symmetric pattern (each undirected edge stored twice).
+pub fn modularity(sym_pat: &Dcsr<f64>, labels: &[(Ix, Ix)]) -> f64 {
+    let lab: HashMap<Ix, Ix> = labels.iter().copied().collect();
+    let two_m = sym_pat.nnz() as f64; // both directions stored
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let mut intra: HashMap<Ix, f64> = HashMap::new(); // 2·e_c
+    let mut deg: HashMap<Ix, f64> = HashMap::new(); // d_c
+    for (r, c, _) in sym_pat.iter() {
+        let (Some(&lr), Some(&lc)) = (lab.get(&r), lab.get(&c)) else {
+            continue;
+        };
+        *deg.entry(lr).or_insert(0.0) += 1.0;
+        if lr == lc {
+            *intra.entry(lr).or_insert(0.0) += 1.0;
+        }
+    }
+    deg.keys()
+        .map(|cidx| {
+            let e = intra.get(cidx).copied().unwrap_or(0.0) / two_m;
+            let d = deg[cidx] / two_m;
+            e - d * d
+        })
+        .sum()
+}
+
+/// Number of distinct communities in a labelling.
+pub fn community_count(labels: &[(Ix, Ix)]) -> usize {
+    let mut ids: Vec<Ix> = labels.iter().map(|&(_, c)| c).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::symmetrize;
+    use hypersparse::Coo;
+    use semiring::PlusTimes;
+
+    fn s() -> PlusTimes<f64> {
+        PlusTimes::new()
+    }
+
+    /// Two K4 cliques joined by one bridge edge.
+    fn two_cliques() -> Dcsr<f64> {
+        let mut c = Coo::new(8, 8);
+        for block in [0u64, 4] {
+            for i in 0..4u64 {
+                for j in 0..4u64 {
+                    if i != j {
+                        c.push(block + i, block + j, 1.0);
+                    }
+                }
+            }
+        }
+        c.push(3, 4, 1.0);
+        symmetrize(&c.build_dcsr(s()), s())
+    }
+
+    #[test]
+    fn cliques_become_communities() {
+        let g = two_cliques();
+        let labels = label_propagation(&g, 20);
+        assert_eq!(community_count(&labels), 2);
+        // Every vertex in a block shares its block's label.
+        let l0 = labels[0].1;
+        for &(v, l) in &labels {
+            if v < 4 {
+                assert_eq!(l, l0, "vertex {v}");
+            } else {
+                assert_ne!(l, l0, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn modularity_prefers_the_true_partition() {
+        let g = two_cliques();
+        let good = label_propagation(&g, 20);
+        let q_good = modularity(&g, &good);
+        // All-one-community labelling:
+        let lumped: Vec<(Ix, Ix)> = g.row_ids().iter().map(|&v| (v, 0)).collect();
+        let q_lumped = modularity(&g, &lumped);
+        // Each-vertex-alone labelling:
+        let split: Vec<(Ix, Ix)> = g.row_ids().iter().map(|&v| (v, v)).collect();
+        let q_split = modularity(&g, &split);
+        assert!(q_good > q_lumped, "{q_good} vs lumped {q_lumped}");
+        assert!(q_good > q_split, "{q_good} vs split {q_split}");
+        assert!(q_good > 0.3);
+    }
+
+    #[test]
+    fn all_one_community_has_zero_modularity() {
+        let g = two_cliques();
+        let lumped: Vec<(Ix, Ix)> = g.row_ids().iter().map(|&v| (v, 0)).collect();
+        assert!(modularity(&g, &lumped).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_and_stable() {
+        let g = two_cliques();
+        assert_eq!(label_propagation(&g, 20), label_propagation(&g, 20));
+        // Running longer never changes a converged labelling.
+        assert_eq!(label_propagation(&g, 20), label_propagation(&g, 200));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Dcsr::<f64>::empty(4, 4);
+        assert!(label_propagation(&g, 5).is_empty());
+        assert_eq!(modularity(&g, &[]), 0.0);
+    }
+}

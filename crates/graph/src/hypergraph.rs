@@ -1,0 +1,212 @@
+//! Incidence (edge) arrays and hyper-multi-graphs — Figs. 2 and 3.
+//!
+//! Streaming events connecting several entities at once are
+//! *hyper-edges*; repeated events between the same entities are
+//! *multi-edges*. Neither fits an adjacency array, but both are natural
+//! in a pair of incidence arrays:
+//!
+//! ```text
+//! E_out(k, k₁) ≠ 0   edge k leaves vertex k₁
+//! E_in (k, k₂) ≠ 0   edge k enters vertex k₂
+//! ```
+//!
+//! The adjacency projection (Fig. 3) is one array multiply:
+//! `A = E_outᵀ ⊕.⊗ E_in`, with `A(i, j) = ⊕_k E_outᵀ(i, k) ⊗ E_in(k, j)`
+//! — under `+.×`, the multi-edge multiplicity count.
+
+use hypersparse::{Coo, Dcsr, Ix};
+use semiring::traits::Semiring;
+use semiring::{PlusMonoid, PlusTimes};
+
+/// A hyper-multi-graph held as a pair of incidence arrays over an
+/// `edges × vertices` key space.
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    /// Number of edges inserted (the edge key space used so far).
+    pub n_edges: Ix,
+    /// Vertex key-space size.
+    pub n_vertices: Ix,
+    e_out_trips: Vec<(Ix, Ix, f64)>,
+    e_in_trips: Vec<(Ix, Ix, f64)>,
+}
+
+impl Hypergraph {
+    /// An empty hypergraph over `n_vertices` (edge ids grow unboundedly).
+    pub fn new(n_vertices: Ix) -> Self {
+        Hypergraph {
+            n_edges: 0,
+            n_vertices,
+            e_out_trips: Vec::new(),
+            e_in_trips: Vec::new(),
+        }
+    }
+
+    /// Append an ordinary directed edge `src → dst` with weight `w`.
+    /// Returns the new edge id. Repeated calls create multi-edges.
+    pub fn add_edge(&mut self, src: Ix, dst: Ix, w: f64) -> Ix {
+        self.add_hyperedge(&[src], &[dst], w)
+    }
+
+    /// Append a hyper-edge leaving every vertex in `srcs` and entering
+    /// every vertex in `dsts` (Fig. 2's red edges). Returns the edge id.
+    pub fn add_hyperedge(&mut self, srcs: &[Ix], dsts: &[Ix], w: f64) -> Ix {
+        assert!(
+            !srcs.is_empty() && !dsts.is_empty(),
+            "hyperedge needs endpoints"
+        );
+        let k = self.n_edges;
+        self.n_edges += 1;
+        for &s in srcs {
+            assert!(s < self.n_vertices);
+            self.e_out_trips.push((k, s, w));
+        }
+        for &d in dsts {
+            assert!(d < self.n_vertices);
+            self.e_in_trips.push((k, d, w));
+        }
+        k
+    }
+
+    /// Materialize `E_out` (edges × vertices).
+    pub fn e_out(&self) -> Dcsr<f64> {
+        let mut c = Coo::new(self.n_edges.max(1), self.n_vertices);
+        c.extend(self.e_out_trips.iter().copied());
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    /// Materialize `E_in` (edges × vertices).
+    pub fn e_in(&self) -> Dcsr<f64> {
+        let mut c = Coo::new(self.n_edges.max(1), self.n_vertices);
+        c.extend(self.e_in_trips.iter().copied());
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    /// Fig. 3: `A = E_outᵀ ⊕.⊗ E_in` over any semiring. Under `+.×` with
+    /// unit weights, `A(i, j)` counts the (multi-)edges from `i` to `j`.
+    pub fn adjacency<S: Semiring<Value = f64>>(&self, s: S) -> Dcsr<f64> {
+        incidence_to_adjacency(&self.e_out(), &self.e_in(), s)
+    }
+
+    /// Out-degrees (counting hyper- and multi-edges once per incidence).
+    pub fn out_degrees(&self) -> Vec<(Ix, f64)> {
+        let d = hypersparse::ops::reduce_cols(&self.e_out(), PlusMonoid::<f64>::default());
+        d.iter().map(|(v, w)| (v, *w)).collect()
+    }
+
+    /// In-degrees.
+    pub fn in_degrees(&self) -> Vec<(Ix, f64)> {
+        let d = hypersparse::ops::reduce_cols(&self.e_in(), PlusMonoid::<f64>::default());
+        d.iter().map(|(v, w)| (v, *w)).collect()
+    }
+}
+
+/// The Fig. 3 projection as a free function:
+/// `A(i, j) = ⊕_k E_outᵀ(i, k) ⊗ E_in(k, j)`.
+pub fn incidence_to_adjacency<S: Semiring<Value = f64>>(
+    e_out: &Dcsr<f64>,
+    e_in: &Dcsr<f64>,
+    s: S,
+) -> Dcsr<f64> {
+    let e_out_t = hypersparse::ops::transpose(e_out);
+    hypersparse::ops::mxm(&e_out_t, e_in, s)
+}
+
+/// Direct hash-accumulation baseline for the same projection: pair up
+/// the out- and in-endpoints of each edge without any matrix machinery.
+pub fn incidence_to_adjacency_baseline(e_out: &Dcsr<f64>, e_in: &Dcsr<f64>) -> Vec<(Ix, Ix, f64)> {
+    use std::collections::HashMap;
+    let mut acc: HashMap<(Ix, Ix), f64> = HashMap::new();
+    for (k, out_cols, out_vals) in e_out.iter_rows() {
+        let (in_cols, in_vals) = e_in.row(k);
+        for (&i, wo) in out_cols.iter().zip(out_vals) {
+            for (&j, wi) in in_cols.iter().zip(in_vals) {
+                *acc.entry((i, j)).or_insert(0.0) += wo * wi;
+            }
+        }
+    }
+    let mut v: Vec<(Ix, Ix, f64)> = acc
+        .into_iter()
+        .filter(|&(_, w)| w != 0.0)
+        .map(|((i, j), w)| (i, j, w))
+        .collect();
+    v.sort_by_key(|&(i, j, _)| (i, j));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_edges_project_to_adjacency() {
+        let mut h = Hypergraph::new(8);
+        h.add_edge(0, 1, 1.0);
+        h.add_edge(1, 2, 1.0);
+        let a = h.adjacency(PlusTimes::<f64>::new());
+        assert_eq!(a.get(0, 1), Some(&1.0));
+        assert_eq!(a.get(1, 2), Some(&1.0));
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn multi_edges_accumulate() {
+        let mut h = Hypergraph::new(4);
+        h.add_edge(0, 1, 1.0);
+        h.add_edge(0, 1, 1.0);
+        h.add_edge(0, 1, 1.0);
+        let a = h.adjacency(PlusTimes::<f64>::new());
+        assert_eq!(a.get(0, 1), Some(&3.0)); // multiplicity count
+    }
+
+    #[test]
+    fn hyperedge_fans_out() {
+        // One event from {0} into {1, 2, 3} (Fig. 2's red edge).
+        let mut h = Hypergraph::new(4);
+        h.add_hyperedge(&[0], &[1, 2, 3], 1.0);
+        let a = h.adjacency(PlusTimes::<f64>::new());
+        assert_eq!(a.nnz(), 3);
+        for j in 1..4 {
+            assert_eq!(a.get(0, j), Some(&1.0));
+        }
+    }
+
+    #[test]
+    fn hyperedge_many_to_many() {
+        let mut h = Hypergraph::new(6);
+        h.add_hyperedge(&[0, 1], &[2, 3, 4], 1.0);
+        let a = h.adjacency(PlusTimes::<f64>::new());
+        assert_eq!(a.nnz(), 6); // 2 × 3 implied pairs
+        assert_eq!(a.get(1, 4), Some(&1.0));
+    }
+
+    #[test]
+    fn degrees_count_incidences() {
+        let mut h = Hypergraph::new(4);
+        h.add_hyperedge(&[0], &[1, 2], 1.0);
+        h.add_edge(0, 3, 1.0);
+        assert_eq!(h.out_degrees(), vec![(0, 2.0)]);
+        assert_eq!(h.in_degrees(), vec![(1, 1.0), (2, 1.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn projection_matches_baseline() {
+        let mut h = Hypergraph::new(16);
+        h.add_hyperedge(&[0, 1], &[2, 3], 1.0);
+        h.add_edge(5, 6, 2.0);
+        h.add_edge(5, 6, 2.0);
+        h.add_hyperedge(&[7], &[0, 1, 2, 3], 0.5);
+        let by_mxm: Vec<(Ix, Ix, f64)> = h
+            .adjacency(PlusTimes::<f64>::new())
+            .iter()
+            .map(|(i, j, &v)| (i, j, v))
+            .collect();
+        let by_hash = incidence_to_adjacency_baseline(&h.e_out(), &h.e_in());
+        assert_eq!(by_mxm, by_hash);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(4);
+        assert_eq!(h.adjacency(PlusTimes::<f64>::new()).nnz(), 0);
+    }
+}

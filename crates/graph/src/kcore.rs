@@ -1,0 +1,157 @@
+//! k-core decomposition by algebraic peeling.
+//!
+//! The k-core is the maximal subgraph where every vertex has degree ≥ k.
+//! Each peel round is one row reduction (degrees) plus one `select`
+//! (drop under-degree vertices' edges) — pure array operations. A
+//! bucket-peeling baseline cross-checks the core numbers.
+
+use std::collections::HashMap;
+
+use hypersparse::{Dcsr, Ix};
+use semiring::{PlusMonoid, PlusTimes};
+
+fn s() -> PlusTimes<f64> {
+    PlusTimes::new()
+}
+
+/// The k-core of a symmetric 1.0-pattern: iteratively delete vertices of
+/// degree < k until stable. Returns the surviving symmetric pattern.
+pub fn kcore(sym_pat: &Dcsr<f64>, k: usize) -> Dcsr<f64> {
+    // Degrees are entry counts: normalize values to 1.0 first.
+    let mut g = hypersparse::ops::apply(sym_pat, semiring::ZeroNorm(s()), s());
+    loop {
+        let deg = hypersparse::ops::reduce_rows(&g, PlusMonoid::<f64>::default());
+        let survivors: std::collections::HashSet<Ix> = deg
+            .iter()
+            .filter(|(_, d)| **d >= k as f64)
+            .map(|(v, _)| v)
+            .collect();
+        let next = hypersparse::ops::select(&g, |r, c, _| {
+            survivors.contains(&r) && survivors.contains(&c)
+        });
+        if next == g {
+            return g;
+        }
+        g = next;
+    }
+}
+
+/// Core number of every vertex with at least one edge: the largest k
+/// such that the vertex survives in the k-core.
+pub fn core_numbers(sym_pat: &Dcsr<f64>) -> HashMap<Ix, usize> {
+    let mut out: HashMap<Ix, usize> = HashMap::new();
+    let mut g = sym_pat.clone();
+    let mut k = 1usize;
+    while g.nnz() > 0 {
+        g = kcore(&g, k);
+        for &v in g.row_ids() {
+            out.insert(v, k);
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Bucket-peeling baseline (classical O(E) algorithm) for core numbers.
+pub fn core_numbers_baseline(sym_pat: &Dcsr<f64>) -> HashMap<Ix, usize> {
+    let n = usize::try_from(sym_pat.nrows()).expect("baseline needs compact ids");
+    let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (r, c, _) in sym_pat.iter() {
+        nbrs[r as usize].push(c as usize);
+    }
+    let mut deg: Vec<usize> = nbrs.iter().map(|l| l.len()).collect();
+    let has_edge: Vec<bool> = deg.iter().map(|&d| d > 0).collect();
+
+    // Peel in non-decreasing degree order.
+    let mut order: Vec<usize> = (0..n).filter(|&v| has_edge[v]).collect();
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    let mut current_core = 0usize;
+    while !order.is_empty() {
+        // Find the minimum-degree remaining vertex (simple O(V²) peel —
+        // fine as a baseline oracle).
+        let (idx, &v) = order
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| deg[v])
+            .expect("nonempty");
+        current_core = current_core.max(deg[v]);
+        core[v] = current_core;
+        removed[v] = true;
+        order.swap_remove(idx);
+        for &w in &nbrs[v] {
+            if !removed[w] {
+                deg[w] -= 1;
+            }
+        }
+    }
+    (0..n)
+        .filter(|&v| has_edge[v])
+        .map(|v| (v as Ix, core[v]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::symmetrize;
+    use crate::triangles::vertices;
+    use hypersparse::gen::random_pattern;
+    use hypersparse::Coo;
+
+    fn sym(edges: &[(Ix, Ix)], n: Ix) -> Dcsr<f64> {
+        let mut c = Coo::new(n, n);
+        for &(a, b) in edges {
+            c.push(a, b, 1.0);
+        }
+        symmetrize(&c.build_dcsr(s()), s())
+    }
+
+    #[test]
+    fn clique_plus_tail() {
+        // K4 (0–3) with a tail 3–4–5.
+        let g = sym(
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
+            8,
+        );
+        let c3 = kcore(&g, 3);
+        assert_eq!(vertices(&c3), vec![0, 1, 2, 3]); // only the clique
+        let c1 = kcore(&g, 1);
+        assert_eq!(c1, g); // everything has degree ≥ 1
+        assert_eq!(kcore(&g, 4).nnz(), 0); // nothing is 4-core
+    }
+
+    #[test]
+    fn core_numbers_match_baseline() {
+        for seed in 0..5 {
+            let g = symmetrize(&random_pattern(32, 32, 120, seed, s()), s());
+            let ours = core_numbers(&g);
+            let base = core_numbers_baseline(&g);
+            assert_eq!(ours, base, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cycle_is_its_own_2core() {
+        let g = sym(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        assert_eq!(kcore(&g, 2), g);
+        let cn = core_numbers(&g);
+        assert!(cn.values().all(|&k| k == 2));
+    }
+
+    #[test]
+    fn empty_graph_has_no_cores() {
+        let g = Dcsr::<f64>::empty(4, 4);
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(kcore(&g, 1).nnz(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Graph algorithms in the language of linear algebra.
+//!
+//! Fig. 1 of the paper illustrates the *graph–adjacency-array duality*:
+//! breadth-first search — the fundamental operation of graphs — **is**
+//! array multiplication — the fundamental operation of arrays. This crate
+//! realizes both sides of the duality:
+//!
+//! * Semiring formulations over [`hypersparse`] matrices:
+//!   [`bfs`] (any-pair / min-first), [`sssp`] (min-plus Bellman–Ford),
+//!   [`cc`] (min-label propagation), [`triangles`] (masked SpGEMM),
+//!   [`pagerank`] (plus-times power iteration), [`centrality`]
+//!   (Brandes betweenness as per-level vxm/mxv), [`kcore`] (algebraic
+//!   peeling), [`mis`] (Luby over max.×), [`similarity`] (Jaccard via
+//!   masked SpGEMM), [`closure`] (∨.∧ transitive closure, topological
+//!   levels);
+//! * Classical pointer-chasing [`baseline`]s (queue BFS, binary-heap
+//!   Dijkstra, union-find components, wedge-check triangles) — the other
+//!   side of the duality, used to validate results and to benchmark the
+//!   Fig. 1 comparison;
+//! * [`hypergraph`] — incidence (edge) arrays `E_out`/`E_in` with hyper-
+//!   and multi-edges (Fig. 2) and the projection
+//!   `A = E_outᵀ ⊕.⊗ E_in` (Fig. 3);
+//! * [`setops`] — graph union/intersection as element-wise ⊕/⊗ (Fig. 5),
+//!   next to hash-set baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bfs;
+pub mod cc;
+pub mod centrality;
+pub mod closure;
+pub mod coloring;
+pub mod community;
+pub mod hyperalgo;
+pub mod hypergraph;
+pub mod kcore;
+pub mod mis;
+pub mod msbfs;
+pub mod pagerank;
+pub mod pattern;
+pub mod setops;
+pub mod similarity;
+pub mod sssp;
+pub mod triangles;
+
+pub use hypergraph::Hypergraph;
+pub use pattern::{pattern_u64, pattern_u8, symmetrize};

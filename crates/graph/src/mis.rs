@@ -1,0 +1,164 @@
+//! Maximal independent set — Luby's algorithm over `max.×`.
+//!
+//! Each round assigns candidates random priorities and admits every
+//! vertex whose priority beats all neighbors'. The neighbor-maximum is
+//! one `vᵀA` over the `max.×` semiring (pattern weights 1.0 make ⊗ a
+//! pass-through); admitted vertices and their neighborhoods leave the
+//! candidate pool. Independence and maximality are verified directly in
+//! the tests.
+
+use hypersparse::{Dcsr, Ix, SparseVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semiring::MaxTimes;
+
+/// A maximal independent set of an undirected graph given as a symmetric
+/// 1.0-pattern with no self-loops. Isolated vertices (no edges) are not
+/// represented in the pattern and therefore not returned; they are all
+/// trivially independent.
+pub fn maximal_independent_set(sym_pat: &Dcsr<f64>, seed: u64) -> Vec<Ix> {
+    let s = MaxTimes::<f64>::new();
+    // ⊗ must pass priorities through unscaled: force unit edge weights.
+    let sym_pat = &hypersparse::ops::apply(
+        sym_pat,
+        semiring::ZeroNorm(semiring::PlusTimes::<f64>::new()),
+        semiring::PlusTimes::<f64>::new(),
+    );
+    let n = sym_pat.nrows();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Candidates: every vertex incident to an edge.
+    let mut candidates: Vec<Ix> = sym_pat.row_ids().to_vec();
+    let mut in_set: Vec<Ix> = Vec::new();
+
+    while !candidates.is_empty() {
+        // Random positive priorities (0 is the max.× zero — excluded).
+        let prio = SparseVec::from_entries(
+            n,
+            candidates
+                .iter()
+                .map(|&v| (v, 0.5 + rng.gen::<f64>()))
+                .collect(),
+            s,
+        );
+        // neighbor_best(v) = max over candidate neighbors u of prio(u).
+        let neighbor_best = prio.vxm(sym_pat, s);
+
+        // Winners: priority strictly above every candidate neighbor.
+        let winners: Vec<Ix> = prio
+            .iter()
+            .filter(|(v, p)| match neighbor_best.get(v) {
+                Some(nb) => *p > nb,
+                None => true, // no candidate neighbors at all
+            })
+            .map(|(v, _)| v)
+            .collect();
+        debug_assert!(!winners.is_empty(), "Luby round must make progress");
+
+        // Remove winners and their whole neighborhoods from candidacy.
+        let winner_marks =
+            SparseVec::from_entries(n, winners.iter().map(|&v| (v, 1.0)).collect(), s);
+        let their_nbrs = winner_marks.vxm(sym_pat, s);
+        let dead: std::collections::HashSet<Ix> = winners
+            .iter()
+            .copied()
+            .chain(their_nbrs.iter().map(|(v, _)| v))
+            .collect();
+        candidates.retain(|v| !dead.contains(v));
+        in_set.extend(winners);
+    }
+    in_set.sort_unstable();
+    in_set
+}
+
+/// Check independence: no two set members share an edge.
+pub fn is_independent(sym_pat: &Dcsr<f64>, set: &[Ix]) -> bool {
+    let members: std::collections::HashSet<Ix> = set.iter().copied().collect();
+    !sym_pat
+        .iter()
+        .any(|(r, c, _)| members.contains(&r) && members.contains(&c))
+}
+
+/// Check maximality: every non-member vertex with edges has a neighbor
+/// in the set.
+pub fn is_maximal(sym_pat: &Dcsr<f64>, set: &[Ix]) -> bool {
+    let members: std::collections::HashSet<Ix> = set.iter().copied().collect();
+    for &v in sym_pat.row_ids() {
+        if members.contains(&v) {
+            continue;
+        }
+        let (nbrs, _) = sym_pat.row(v);
+        if !nbrs.iter().any(|u| members.contains(u)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::symmetrize;
+    use hypersparse::gen::random_pattern;
+    use hypersparse::Coo;
+    use semiring::PlusTimes;
+
+    fn s() -> PlusTimes<f64> {
+        PlusTimes::new()
+    }
+
+    #[test]
+    fn triangle_yields_one_vertex() {
+        let mut c = Coo::new(3, 3);
+        for (a, b) in [(0u64, 1u64), (1, 2), (0, 2)] {
+            c.push(a, b, 1.0);
+            c.push(b, a, 1.0);
+        }
+        let g = c.build_dcsr(s());
+        let mis = maximal_independent_set(&g, 1);
+        assert_eq!(mis.len(), 1);
+        assert!(is_independent(&g, &mis));
+        assert!(is_maximal(&g, &mis));
+    }
+
+    #[test]
+    fn path_alternates() {
+        let mut c = Coo::new(6, 6);
+        for (a, b) in [(0u64, 1u64), (1, 2), (2, 3), (3, 4), (4, 5)] {
+            c.push(a, b, 1.0);
+            c.push(b, a, 1.0);
+        }
+        let g = c.build_dcsr(s());
+        let mis = maximal_independent_set(&g, 2);
+        assert!(is_independent(&g, &mis));
+        assert!(is_maximal(&g, &mis));
+        // Any MIS of P6 has 2 or 3 vertices.
+        assert!((2..=3).contains(&mis.len()));
+    }
+
+    #[test]
+    fn random_graphs_always_independent_and_maximal() {
+        for seed in 0..6 {
+            let g = symmetrize(&random_pattern(64, 64, 300, seed, s()), s());
+            let mis = maximal_independent_set(&g, seed * 7 + 1);
+            assert!(is_independent(&g, &mis), "seed {seed}");
+            assert!(is_maximal(&g, &mis), "seed {seed}");
+            assert!(!mis.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = symmetrize(&random_pattern(32, 32, 100, 1, s()), s());
+        assert_eq!(
+            maximal_independent_set(&g, 9),
+            maximal_independent_set(&g, 9)
+        );
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_set() {
+        let g = Dcsr::<f64>::empty(8, 8);
+        assert!(maximal_independent_set(&g, 1).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-source BFS — the frontier as a *matrix*.
+//!
+//! Fig. 1's duality scales up: BFS from `k` sources at once is one
+//! `F ⊕.⊗ A` per level, where `F` is a `sources × vertices` frontier
+//! *matrix*. One SpGEMM advances every search simultaneously — the
+//! formulation GraphBLAS uses for batched betweenness and all-pairs
+//! problems, and the reason "BFS is array multiplication" matters for
+//! throughput, not just elegance.
+
+use hypersparse::{Coo, Dcsr, Ix};
+use semiring::AnyPair;
+
+/// Levels from each source: returns a `sources × vertices` matrix whose
+/// entry `(s, v)` is `level + 1` (shifted so level 0 is storable over the
+/// any-pair pattern algebra; subtract 1 to read true levels).
+pub fn msbfs_levels(pat: &Dcsr<u8>, sources: &[Ix]) -> Dcsr<u64> {
+    let s = AnyPair;
+    let n = pat.nrows();
+    let k = sources.len() as Ix;
+
+    // Frontier and visited start as source indicators.
+    let mut frontier = {
+        let mut c = Coo::new(k, n);
+        for (i, &src) in sources.iter().enumerate() {
+            c.push(i as Ix, src, 1u8);
+        }
+        c.build_dcsr(s)
+    };
+    let mut visited = frontier.clone();
+    let mut levels: Vec<(Ix, Ix, u64)> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| (i as Ix, src, 1u64))
+        .collect();
+
+    let mut level = 1u64;
+    while frontier.nnz() > 0 {
+        // One SpGEMM advances every source's frontier at once.
+        let expanded = hypersparse::ops::mxm(&frontier, pat, s);
+        // Mask off per-source visited vertices.
+        let next = hypersparse::ops::select(&expanded, |r, c, _| visited.get(r, c).is_none());
+        for (r, c, _) in next.iter() {
+            levels.push((r, c, level + 1));
+        }
+        visited = hypersparse::ops::ewise_add(&visited, &next, s);
+        frontier = next;
+        level += 1;
+    }
+
+    let mut c = Coo::new(k, n);
+    c.extend(levels);
+    c.build_dcsr(semiring::MinFirst) // u64 values; no duplicates exist
+}
+
+/// Read the true level of `(source index, vertex)` from an
+/// [`msbfs_levels`] result (`None` = unreachable).
+pub fn level_of(levels: &Dcsr<u64>, source_idx: Ix, v: Ix) -> Option<u64> {
+    levels.get(source_idx, v).map(|l| l - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_levels;
+    use crate::pattern::pattern_u8;
+    use hypersparse::gen::{rmat_dcsr, RmatParams};
+    use semiring::PlusTimes;
+
+    fn g() -> Dcsr<f64> {
+        let mut c = Coo::new(8, 8);
+        c.extend([
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (4, 5, 1.0),
+            (5, 0, 1.0),
+        ]);
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    #[test]
+    fn matches_single_source_bfs_per_row() {
+        let pat = pattern_u8(&g());
+        let sources = [0u64, 4, 7];
+        let ms = msbfs_levels(&pat, &sources);
+        for (i, &src) in sources.iter().enumerate() {
+            let single = bfs_levels(&pat, src);
+            for (v, l) in single {
+                assert_eq!(
+                    level_of(&ms, i as Ix, v),
+                    Some(l as u64),
+                    "source {src}, vertex {v}"
+                );
+            }
+            // And nothing extra:
+            let reached = ms.row(i as Ix).0.len();
+            assert_eq!(reached, bfs_levels(&pat, src).len());
+        }
+    }
+
+    #[test]
+    fn batched_equals_sequential_on_rmat() {
+        let g = rmat_dcsr(
+            RmatParams {
+                scale: 9,
+                edge_factor: 6,
+                ..Default::default()
+            },
+            4,
+            PlusTimes::<f64>::new(),
+        );
+        let pat = pattern_u8(&g);
+        let sources: Vec<Ix> = (0..16).collect();
+        let ms = msbfs_levels(&pat, &sources);
+        for (i, &src) in sources.iter().enumerate() {
+            let single: Vec<(Ix, u64)> = bfs_levels(&pat, src)
+                .into_iter()
+                .map(|(v, l)| (v, l as u64))
+                .collect();
+            let batched: Vec<(Ix, u64)> = {
+                let (cols, vals) = ms.row(i as Ix);
+                cols.iter().zip(vals).map(|(&v, &l)| (v, l - 1)).collect()
+            };
+            assert_eq!(single, batched, "source {src}");
+        }
+    }
+
+    #[test]
+    fn sources_start_at_level_zero() {
+        let pat = pattern_u8(&g());
+        let ms = msbfs_levels(&pat, &[3]);
+        assert_eq!(level_of(&ms, 0, 3), Some(0));
+        assert_eq!(level_of(&ms, 0, 0), None); // 3 reaches nothing
+    }
+}

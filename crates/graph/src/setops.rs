@@ -1,0 +1,127 @@
+//! Graph union and intersection — Fig. 5.
+//!
+//! Element-wise ⊕ of adjacency arrays *is* graph union; element-wise ⊗
+//! *is* graph intersection. The hash-set baselines here compute the same
+//! results on explicit edge sets for cross-validation and for the Fig. 5
+//! benchmark comparison.
+
+use std::collections::HashMap;
+
+use hypersparse::{Dcsr, Ix};
+use semiring::traits::Semiring;
+
+/// Graph union via `A ⊕ B` (weights on shared edges combine with ⊕).
+pub fn graph_union<S: Semiring<Value = f64>>(a: &Dcsr<f64>, b: &Dcsr<f64>, s: S) -> Dcsr<f64> {
+    hypersparse::ops::ewise_add(a, b, s)
+}
+
+/// Graph intersection via `A ⊗ B` (only shared edges survive, weights
+/// combine with ⊗).
+pub fn graph_intersection<S: Semiring<Value = f64>>(
+    a: &Dcsr<f64>,
+    b: &Dcsr<f64>,
+    s: S,
+) -> Dcsr<f64> {
+    hypersparse::ops::ewise_mul(a, b, s)
+}
+
+/// Hash-map union baseline on explicit edge sets.
+pub fn union_baseline<S: Semiring<Value = f64>>(
+    a: &[(Ix, Ix, f64)],
+    b: &[(Ix, Ix, f64)],
+    s: S,
+) -> Vec<(Ix, Ix, f64)> {
+    let mut map: HashMap<(Ix, Ix), f64> = a.iter().map(|&(i, j, w)| ((i, j), w)).collect();
+    for &(i, j, w) in b {
+        map.entry((i, j))
+            .and_modify(|x| *x = s.add(*x, w))
+            .or_insert(w);
+    }
+    let mut out: Vec<(Ix, Ix, f64)> = map
+        .into_iter()
+        .filter(|(_, w)| !s.is_zero(w))
+        .map(|((i, j), w)| (i, j, w))
+        .collect();
+    out.sort_by_key(|&(i, j, _)| (i, j));
+    out
+}
+
+/// Hash-map intersection baseline on explicit edge sets.
+pub fn intersection_baseline<S: Semiring<Value = f64>>(
+    a: &[(Ix, Ix, f64)],
+    b: &[(Ix, Ix, f64)],
+    s: S,
+) -> Vec<(Ix, Ix, f64)> {
+    let map: HashMap<(Ix, Ix), f64> = a.iter().map(|&(i, j, w)| ((i, j), w)).collect();
+    let mut out: Vec<(Ix, Ix, f64)> = b
+        .iter()
+        .filter_map(|&(i, j, w)| {
+            map.get(&(i, j)).and_then(|&wa| {
+                let v = s.mul(wa, w);
+                (!s.is_zero(&v)).then_some((i, j, v))
+            })
+        })
+        .collect();
+    out.sort_by_key(|&(i, j, _)| (i, j));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersparse::gen::random_dcsr;
+    use semiring::{MaxPlus, PlusTimes};
+
+    #[test]
+    fn union_is_ewise_add() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 200, 21, s);
+        let b = random_dcsr(64, 64, 200, 22, s);
+        let u = graph_union(&a, &b, s);
+        let want = union_baseline(&a.to_triplets(), &b.to_triplets(), s);
+        let got: Vec<_> = u.iter().map(|(i, j, &w)| (i, j, w)).collect();
+        assert_eq!(got, want);
+        assert!(u.nnz() >= a.nnz().max(b.nnz()));
+    }
+
+    #[test]
+    fn intersection_is_ewise_mul() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(32, 32, 400, 23, s);
+        let b = random_dcsr(32, 32, 400, 24, s);
+        let i = graph_intersection(&a, &b, s);
+        let want = intersection_baseline(&a.to_triplets(), &b.to_triplets(), s);
+        let got: Vec<_> = i.iter().map(|(r, c, &w)| (r, c, w)).collect();
+        assert_eq!(got, want);
+        assert!(i.nnz() <= a.nnz().min(b.nnz()));
+    }
+
+    #[test]
+    fn union_intersection_containment() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(32, 32, 300, 25, s);
+        let b = random_dcsr(32, 32, 300, 26, s);
+        let u = graph_union(&a, &b, s);
+        let i = graph_intersection(&a, &b, s);
+        // Every intersection edge is a union edge.
+        for (r, c, _) in i.iter() {
+            assert!(u.get(r, c).is_some());
+        }
+    }
+
+    #[test]
+    fn topology_is_semiring_independent() {
+        // Fig. 5's point: the *pattern* of union/intersection is the same
+        // under any semiring; only values differ.
+        let s1 = PlusTimes::<f64>::new();
+        let s2 = MaxPlus::<f64>::new();
+        let a = random_dcsr(32, 32, 200, 27, s1);
+        let b = random_dcsr(32, 32, 200, 28, s1);
+        let pat = |m: &Dcsr<f64>| -> Vec<(Ix, Ix)> { m.iter().map(|(r, c, _)| (r, c)).collect() };
+        assert_eq!(pat(&graph_union(&a, &b, s1)), pat(&graph_union(&a, &b, s2)));
+        assert_eq!(
+            pat(&graph_intersection(&a, &b, s1)),
+            pat(&graph_intersection(&a, &b, s2))
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Coordinate (triplet) builder format.
+//!
+//! COO is the ingestion format: streaming events append `(row, col, val)`
+//! triplets in arrival order; [`Coo::build_dcsr`] sorts, merges duplicates
+//! with the semiring ⊕ (so repeated observations of the same edge
+//! accumulate, the streaming-insert model of hierarchical hypersparse
+//! arrays), drops semiring zeros, and produces a compressed format.
+
+use semiring::traits::{Semiring, Value};
+
+use crate::dcsr::Dcsr;
+use crate::Ix;
+
+/// An unsorted triplet buffer.
+#[derive(Clone, Debug)]
+pub struct Coo<T> {
+    nrows: Ix,
+    ncols: Ix,
+    entries: Vec<(Ix, Ix, T)>,
+}
+
+impl<T: Value> Coo<T> {
+    /// An empty buffer for an `nrows × ncols` key space.
+    pub fn new(nrows: Ix, ncols: Ix) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append one triplet. Out-of-range indices panic — the key space is
+    /// huge by construction, so a violation is a caller bug, not data.
+    pub fn push(&mut self, row: Ix, col: Ix, val: T) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row}, {col}) outside {}×{} key space",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col, val));
+    }
+
+    /// Append many triplets.
+    pub fn extend<I: IntoIterator<Item = (Ix, Ix, T)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+
+    /// Number of buffered triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no triplets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Row dimension of the key space.
+    pub fn nrows(&self) -> Ix {
+        self.nrows
+    }
+
+    /// Column dimension of the key space.
+    pub fn ncols(&self) -> Ix {
+        self.ncols
+    }
+
+    /// Sort, ⊕-merge duplicates, drop zeros, and emit a [`Dcsr`].
+    pub fn build_dcsr<S: Semiring<Value = T>>(mut self, s: S) -> Dcsr<T> {
+        // Stable sort by (row, col); merge order within a duplicate group
+        // is therefore insertion order, keeping ⊕-folding deterministic.
+        self.entries.sort_by_key(|a| (a.0, a.1));
+
+        let mut rows: Vec<Ix> = Vec::new();
+        let mut rowptr: Vec<usize> = vec![0];
+        let mut colidx: Vec<Ix> = Vec::with_capacity(self.entries.len());
+        let mut vals: Vec<T> = Vec::with_capacity(self.entries.len());
+
+        let mut it = self.entries.into_iter().peekable();
+        while let Some((r, c, mut v)) = it.next() {
+            while let Some((nr, nc, _)) = it.peek() {
+                if *nr == r && *nc == c {
+                    let (_, _, nv) = it.next().expect("peeked");
+                    s.add_assign(&mut v, nv);
+                } else {
+                    break;
+                }
+            }
+            if s.is_zero(&v) {
+                continue;
+            }
+            if rows.last() != Some(&r) {
+                rows.push(r);
+                rowptr.push(colidx.len());
+            }
+            colidx.push(c);
+            vals.push(v);
+            *rowptr.last_mut().expect("nonempty") = colidx.len();
+        }
+
+        Dcsr::from_parts(self.nrows, self.ncols, rows, rowptr, colidx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::{MinPlus, PlusTimes};
+
+    #[test]
+    fn build_sorts_and_merges_duplicates() {
+        let mut c = Coo::new(10, 10);
+        c.extend([(3, 2, 1.0), (0, 5, 2.0), (3, 2, 4.0), (3, 1, 7.0)]);
+        let m = c.build_dcsr(PlusTimes::<f64>::new());
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(3, 2), Some(&5.0)); // 1 ⊕ 4
+        assert_eq!(m.get(0, 5), Some(&2.0));
+        assert_eq!(m.get(3, 1), Some(&7.0));
+        // Row ids sorted, cols sorted within rows.
+        assert_eq!(m.row_ids(), &[0, 3]);
+    }
+
+    #[test]
+    fn zeros_are_dropped_after_merge() {
+        let mut c = Coo::new(4, 4);
+        c.extend([(1, 1, 3.0), (1, 1, -3.0), (2, 2, 0.0)]);
+        let m = c.build_dcsr(PlusTimes::<f64>::new());
+        assert_eq!(m.nnz(), 0);
+        assert!(m.row_ids().is_empty());
+    }
+
+    #[test]
+    fn tropical_merge_uses_min() {
+        let mut c = Coo::new(4, 4);
+        c.extend([(0, 1, 5.0), (0, 1, 2.0), (0, 1, 9.0)]);
+        let m = c.build_dcsr(MinPlus::<f64>::new());
+        assert_eq!(m.get(0, 1), Some(&2.0));
+    }
+
+    #[test]
+    fn tropical_zero_infinity_is_dropped() {
+        let mut c = Coo::new(4, 4);
+        c.push(0, 1, f64::INFINITY);
+        c.push(0, 2, 1.0);
+        let m = c.build_dcsr(MinPlus::<f64>::new());
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), None);
+    }
+
+    #[test]
+    fn huge_key_space_is_fine() {
+        let n = 1u64 << 60;
+        let mut c = Coo::new(n, n);
+        c.push(n - 1, n - 2, 1.0);
+        c.push(0, 0, 2.0);
+        let m = c.build_dcsr(PlusTimes::<f64>::new());
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(n - 1, n - 2), Some(&1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_panics() {
+        let mut c = Coo::new(4, 4);
+        c.push(4, 0, 1.0);
+    }
+}

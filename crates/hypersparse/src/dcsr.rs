@@ -1,0 +1,255 @@
+//! Doubly-compressed sparse rows — the *hypersparse* format.
+//!
+//! Classic CSR spends one pointer per row, which is fatal when the row
+//! key space is ~2⁶⁰ but only a few thousand rows are occupied. DCSR
+//! (Buluç & Gilbert 2008, cited as the paper's hypersparse foundation)
+//! stores the sorted list of non-empty row ids next to their extents, so
+//! the entire structure is `O(nnz)`.
+//!
+//! `Dcsr` is also this crate's *compute* format: every binary kernel in
+//! [`crate::ops`] canonicalizes its operands to DCSR. Invariants (checked
+//! in debug builds):
+//!
+//! * `rows` strictly increasing; every listed row non-empty;
+//! * `rowptr.len() == rows.len() + 1`, non-decreasing, bracketing `colidx`;
+//! * column ids strictly increasing within each row;
+//! * no stored value is the semiring zero (enforced at construction by
+//!   builders — the struct itself is semiring-agnostic).
+
+use semiring::traits::Value;
+
+use crate::Ix;
+
+/// Hypersparse matrix: only non-empty rows are represented.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsr<T> {
+    nrows: Ix,
+    ncols: Ix,
+    rows: Vec<Ix>,
+    rowptr: Vec<usize>,
+    colidx: Vec<Ix>,
+    vals: Vec<T>,
+}
+
+impl<T: Value> Dcsr<T> {
+    /// An empty `nrows × ncols` matrix.
+    pub fn empty(nrows: Ix, ncols: Ix) -> Self {
+        Dcsr {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            rowptr: vec![0],
+            colidx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Assemble from raw parts. Debug-asserts all structural invariants.
+    pub fn from_parts(
+        nrows: Ix,
+        ncols: Ix,
+        rows: Vec<Ix>,
+        rowptr: Vec<usize>,
+        colidx: Vec<Ix>,
+        vals: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(rowptr.len(), rows.len() + 1);
+        debug_assert_eq!(colidx.len(), vals.len());
+        debug_assert_eq!(*rowptr.last().unwrap_or(&0), colidx.len());
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "row ids not strictly increasing"
+        );
+        debug_assert!(rows.iter().all(|&r| r < nrows));
+        debug_assert!(rowptr.windows(2).all(|w| w[0] < w[1]), "empty row stored");
+        debug_assert!(
+            (0..rows.len()).all(|i| colidx[rowptr[i]..rowptr[i + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])),
+            "column ids not strictly increasing within a row"
+        );
+        debug_assert!(colidx.iter().all(|&c| c < ncols));
+        Dcsr {
+            nrows,
+            ncols,
+            rows,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Row dimension of the key space.
+    pub fn nrows(&self) -> Ix {
+        self.nrows
+    }
+
+    /// Column dimension of the key space.
+    pub fn ncols(&self) -> Ix {
+        self.ncols
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Number of non-empty rows.
+    pub fn n_nonempty_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The sorted non-empty row ids.
+    pub fn row_ids(&self) -> &[Ix] {
+        &self.rows
+    }
+
+    /// Position of `row` in the non-empty row list, if occupied.
+    pub fn find_row(&self, row: Ix) -> Option<usize> {
+        self.rows.binary_search(&row).ok()
+    }
+
+    /// The `k`-th non-empty row as `(row_id, cols, vals)`.
+    pub fn row_at(&self, k: usize) -> (Ix, &[Ix], &[T]) {
+        let (lo, hi) = (self.rowptr[k], self.rowptr[k + 1]);
+        (self.rows[k], &self.colidx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Columns and values of `row`, or empty slices if the row is empty.
+    pub fn row(&self, row: Ix) -> (&[Ix], &[T]) {
+        match self.find_row(row) {
+            Some(k) => {
+                let (_, c, v) = self.row_at(k);
+                (c, v)
+            }
+            None => (&[], &[]),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, row: Ix, col: Ix) -> Option<&T> {
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&col).ok().map(|i| &vals[i])
+    }
+
+    /// Iterate all entries in `(row, col)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ix, Ix, &T)> + '_ {
+        (0..self.rows.len()).flat_map(move |k| {
+            let (r, cols, vals) = self.row_at(k);
+            cols.iter().zip(vals).map(move |(&c, v)| (r, c, v))
+        })
+    }
+
+    /// Iterate non-empty rows as `(row_id, cols, vals)`.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (Ix, &[Ix], &[T])> + '_ {
+        (0..self.rows.len()).map(move |k| self.row_at(k))
+    }
+
+    /// All entries as owned triplets (test/interop helper).
+    pub fn to_triplets(&self) -> Vec<(Ix, Ix, T)> {
+        self.iter().map(|(r, c, v)| (r, c, v.clone())).collect()
+    }
+
+    /// Heap bytes used by the index structure and values — the Fig. 4
+    /// storage metric. `O(nnz)`: no term scales with `nrows`.
+    pub fn bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<Ix>()
+            + self.rowptr.len() * std::mem::size_of::<usize>()
+            + self.colidx.len() * std::mem::size_of::<Ix>()
+            + self.vals.len() * std::mem::size_of::<T>()
+    }
+
+    /// Re-dimension the key space (e.g. after key-dictionary growth in the
+    /// associative-array layer). Panics if any stored entry would fall
+    /// outside the new bounds.
+    pub fn resize(&mut self, nrows: Ix, ncols: Ix) {
+        assert!(self.rows.last().is_none_or(|&r| r < nrows));
+        assert!(self.colidx.iter().all(|&c| c < ncols));
+        self.nrows = nrows;
+        self.ncols = ncols;
+    }
+
+    /// Decompose into raw parts `(nrows, ncols, rows, rowptr, colidx, vals)`.
+    pub fn into_parts(self) -> (Ix, Ix, Vec<Ix>, Vec<usize>, Vec<Ix>, Vec<T>) {
+        (
+            self.nrows,
+            self.ncols,
+            self.rows,
+            self.rowptr,
+            self.colidx,
+            self.vals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use semiring::PlusTimes;
+
+    fn sample() -> Dcsr<f64> {
+        let mut c = Coo::new(100, 100);
+        c.extend([(5, 1, 1.0), (5, 7, 2.0), (50, 0, 3.0), (99, 99, 4.0)]);
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    #[test]
+    fn structure_queries() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.n_nonempty_rows(), 3);
+        assert_eq!(m.row_ids(), &[5, 50, 99]);
+        assert_eq!(m.row(5).0, &[1, 7]);
+        assert_eq!(m.row(6), (&[][..], &[][..]));
+        assert_eq!(m.get(50, 0), Some(&3.0));
+        assert_eq!(m.get(50, 1), None);
+    }
+
+    #[test]
+    fn iteration_is_row_major_sorted() {
+        let m = sample();
+        let trips: Vec<_> = m.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(
+            trips,
+            vec![(5, 1, 1.0), (5, 7, 2.0), (50, 0, 3.0), (99, 99, 4.0)]
+        );
+    }
+
+    #[test]
+    fn bytes_independent_of_dimension() {
+        let mut small = Coo::new(100, 100);
+        small.push(1, 1, 1.0);
+        let small = small.build_dcsr(PlusTimes::<f64>::new());
+
+        let huge_n = 1u64 << 60;
+        let mut huge = Coo::new(huge_n, huge_n);
+        huge.push(1, 1, 1.0);
+        let huge = huge.build_dcsr(PlusTimes::<f64>::new());
+
+        assert_eq!(small.bytes(), huge.bytes());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Dcsr::<f64>::empty(10, 10);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.get(0, 0), None);
+    }
+
+    #[test]
+    fn resize_grows_key_space() {
+        let mut m = sample();
+        m.resize(1 << 40, 1 << 40);
+        assert_eq!(m.nrows(), 1 << 40);
+        assert_eq!(m.get(5, 7), Some(&2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn resize_cannot_orphan_entries() {
+        let mut m = sample();
+        m.resize(10, 10); // row 50 and 99 out of bounds
+    }
+}

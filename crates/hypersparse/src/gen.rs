@@ -1,0 +1,165 @@
+//! Synthetic workload generators (uniform sparse, RMAT power-law).
+//!
+//! The paper's substrate libraries are exercised on streaming-graph
+//! workloads; RMAT/Kronecker generators are the standard stand-in
+//! (Graph500, Sparse DNN Challenge). All generators are seeded and
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semiring::traits::Semiring;
+
+use crate::coo::Coo;
+use crate::dcsr::Dcsr;
+use crate::Ix;
+
+/// Uniformly random matrix: `nnz` draws (duplicates ⊕-merge, so the final
+/// count can be slightly lower) with values in `[1, 2)` — never the zero
+/// of any Table I semiring.
+pub fn random_dcsr<S>(nrows: Ix, ncols: Ix, nnz: usize, seed: u64, s: S) -> Dcsr<S::Value>
+where
+    S: Semiring<Value = f64>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Coo::new(nrows, ncols);
+    for _ in 0..nnz {
+        let r = rng.gen_range(0..nrows);
+        let col = rng.gen_range(0..ncols);
+        c.push(r, col, 1.0 + rng.gen::<f64>());
+    }
+    c.build_dcsr(s)
+}
+
+/// Parameters of the RMAT recursive generator.
+#[derive(Copy, Clone, Debug)]
+pub struct RmatParams {
+    /// log₂ of the vertex count.
+    pub scale: u32,
+    /// Average edges per vertex.
+    pub edge_factor: usize,
+    /// Quadrant probabilities; Graph500 uses (0.57, 0.19, 0.19, 0.05).
+    pub probs: (f64, f64, f64, f64),
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            scale: 10,
+            edge_factor: 8,
+            probs: (0.57, 0.19, 0.19, 0.05),
+        }
+    }
+}
+
+/// RMAT power-law digraph as weighted triplets (before dedup).
+pub fn rmat_edges(p: RmatParams, seed: u64) -> Vec<(Ix, Ix, f64)> {
+    let n = 1u64 << p.scale;
+    let m = n as usize * p.edge_factor;
+    let (a, b, c, _d) = p.probs;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut r, mut col) = (0u64, 0u64);
+        for level in (0..p.scale).rev() {
+            let x: f64 = rng.gen();
+            let bit = 1u64 << level;
+            if x < a {
+                // upper-left: nothing set
+            } else if x < a + b {
+                col |= bit;
+            } else if x < a + b + c {
+                r |= bit;
+            } else {
+                r |= bit;
+                col |= bit;
+            }
+        }
+        edges.push((r, col, 1.0 + rng.gen::<f64>()));
+    }
+    edges
+}
+
+/// RMAT power-law digraph assembled into a hypersparse matrix.
+pub fn rmat_dcsr<S>(p: RmatParams, seed: u64, s: S) -> Dcsr<f64>
+where
+    S: Semiring<Value = f64>,
+{
+    let n = 1u64 << p.scale;
+    let mut coo = Coo::new(n, n);
+    coo.extend(rmat_edges(p, seed));
+    coo.build_dcsr(s)
+}
+
+/// A uniformly random sparse *boolean-pattern* matrix with `f64` weight 1
+/// on every edge — handy for topology-only workloads.
+pub fn random_pattern<S>(nrows: Ix, ncols: Ix, nnz: usize, seed: u64, s: S) -> Dcsr<f64>
+where
+    S: Semiring<Value = f64>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(nnz);
+    let mut c = Coo::new(nrows, ncols);
+    while seen.len() < nnz.min((nrows as u128 * ncols as u128) as usize) {
+        let pos = (rng.gen_range(0..nrows), rng.gen_range(0..ncols));
+        if seen.insert(pos) {
+            c.push(pos.0, pos.1, 1.0);
+        }
+    }
+    c.build_dcsr(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::PlusTimes;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(100, 100, 500, 1, s);
+        let b = random_dcsr(100, 100, 500, 1, s);
+        let c = random_dcsr(100, 100, 500, 2, s);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let p = RmatParams {
+            scale: 8,
+            edge_factor: 4,
+            ..Default::default()
+        };
+        let g = rmat_dcsr(p, 7, PlusTimes::<f64>::new());
+        assert_eq!(g.nrows(), 256);
+        assert!(g.nnz() > 0);
+        assert!(g.nnz() <= 256 * 4);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // Power-law: the busiest row should hold far more than the mean.
+        let p = RmatParams {
+            scale: 10,
+            edge_factor: 8,
+            ..Default::default()
+        };
+        let g = rmat_dcsr(p, 3, PlusTimes::<f64>::new());
+        let max_deg = g
+            .iter_rows()
+            .map(|(_, cols, _)| cols.len())
+            .max()
+            .unwrap_or(0);
+        let mean = g.nnz() as f64 / g.n_nonempty_rows() as f64;
+        assert!(
+            max_deg as f64 > 4.0 * mean,
+            "max {max_deg} vs mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn pattern_values_are_one() {
+        let g = random_pattern(32, 32, 64, 5, PlusTimes::<f64>::new());
+        assert!(g.iter().all(|(_, _, &v)| v == 1.0));
+    }
+}

@@ -1,0 +1,522 @@
+//! Element-wise ⊕ (union) and ⊗ (intersection) — Fig. 5's graph union
+//! and graph intersection.
+//!
+//! Both are sorted two-pointer merges over the non-empty row lists and
+//! within-row column lists: `O(nnz(A) + nnz(B))`, never touching the
+//! (possibly astronomically large) dimensions.
+
+use semiring::traits::{Semiring, Value};
+
+use crate::dcsr::Dcsr;
+use crate::Ix;
+
+/// `C = A ⊕ B`: union of sparsity patterns, collisions combined with ⊕.
+/// An entry present in only one operand passes through unchanged —
+/// exactly the `A ⊕ 0 = A` behaviour of Table II.
+pub fn ewise_add<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+    assert_dims(a, b);
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() || j < rb.len() {
+        let next_row;
+        let (mut acols, mut avals): (&[Ix], &[T]) = (&[], &[]);
+        let (mut bcols, mut bvals): (&[Ix], &[T]) = (&[], &[]);
+        if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
+            next_row = ra[i];
+            let (_, c, v) = a.row_at(i);
+            (acols, avals) = (c, v);
+            i += 1;
+        } else if i >= ra.len() || rb[j] < ra[i] {
+            next_row = rb[j];
+            let (_, c, v) = b.row_at(j);
+            (bcols, bvals) = (c, v);
+            j += 1;
+        } else {
+            next_row = ra[i];
+            let (_, c, v) = a.row_at(i);
+            (acols, avals) = (c, v);
+            let (_, c, v) = b.row_at(j);
+            (bcols, bvals) = (c, v);
+            i += 1;
+            j += 1;
+        }
+
+        let start = colidx.len();
+        merge_add_row(acols, avals, bcols, bvals, s, &mut colidx, &mut vals);
+        if colidx.len() > start {
+            rows.push(next_row);
+            rowptr.push(colidx.len());
+        }
+    }
+    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// `C = A ⊗ B`: intersection of sparsity patterns, survivors combined
+/// with ⊗. Entries present in only one operand meet an implicit `0`,
+/// which annihilates — so they vanish (Table II's `A ⊗ 𝟙 = A` dual).
+pub fn ewise_mul<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+    assert_dims(a, b);
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() && j < rb.len() {
+        match ra[i].cmp(&rb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (_, acols, avals) = a.row_at(i);
+                let (_, bcols, bvals) = b.row_at(j);
+                let start = colidx.len();
+                let (mut p, mut q) = (0usize, 0usize);
+                while p < acols.len() && q < bcols.len() {
+                    match acols[p].cmp(&bcols[q]) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            let v = s.mul(avals[p].clone(), bvals[q].clone());
+                            if !s.is_zero(&v) {
+                                colidx.push(acols[p]);
+                                vals.push(v);
+                            }
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                if colidx.len() > start {
+                    rows.push(ra[i]);
+                    rowptr.push(colidx.len());
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// `C = A ⊕' B` with an *arbitrary* combiner `op` at collisions (GraphBLAS
+/// `eWiseAdd` with a user binary op): pass-through entries are untouched,
+/// colliding entries combine with `op`, results equal to the semiring
+/// zero drop. Used where the combining operation is not the semiring's ⊕
+/// (e.g. `second` for "overwrite" merges, `-` for diffs).
+pub fn ewise_add_op<T, S, O>(a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    O: semiring::traits::BinaryOp<T, T, T>,
+{
+    assert_dims(a, b);
+    let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() || j < rb.len() {
+        if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
+            let (r, cols, vs) = a.row_at(i);
+            trips.extend(cols.iter().zip(vs).map(|(&c, v)| (r, c, v.clone())));
+            i += 1;
+        } else if i >= ra.len() || rb[j] < ra[i] {
+            let (r, cols, vs) = b.row_at(j);
+            trips.extend(cols.iter().zip(vs).map(|(&c, v)| (r, c, v.clone())));
+            j += 1;
+        } else {
+            let (r, acols, avals) = a.row_at(i);
+            let (_, bcols, bvals) = b.row_at(j);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < acols.len() || q < bcols.len() {
+                if q >= bcols.len() || (p < acols.len() && acols[p] < bcols[q]) {
+                    trips.push((r, acols[p], avals[p].clone()));
+                    p += 1;
+                } else if p >= acols.len() || bcols[q] < acols[p] {
+                    trips.push((r, bcols[q], bvals[q].clone()));
+                    q += 1;
+                } else {
+                    let v = op.apply(avals[p].clone(), bvals[q].clone());
+                    if !s.is_zero(&v) {
+                        trips.push((r, acols[p], v));
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    from_sorted_trips(a.nrows(), a.ncols(), trips)
+}
+
+/// `C = A ⊗' B` with an arbitrary combiner at intersections (GraphBLAS
+/// `eWiseMult` with a user binary op).
+pub fn ewise_mul_op<T, S, O>(a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    O: semiring::traits::BinaryOp<T, T, T>,
+{
+    assert_dims(a, b);
+    let mut trips: Vec<(Ix, Ix, T)> = Vec::new();
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() && j < rb.len() {
+        match ra[i].cmp(&rb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (r, acols, avals) = a.row_at(i);
+                let (_, bcols, bvals) = b.row_at(j);
+                let (mut p, mut q) = (0usize, 0usize);
+                while p < acols.len() && q < bcols.len() {
+                    match acols[p].cmp(&bcols[q]) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            let v = op.apply(avals[p].clone(), bvals[q].clone());
+                            if !s.is_zero(&v) {
+                                trips.push((r, acols[p], v));
+                            }
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    from_sorted_trips(a.nrows(), a.ncols(), trips)
+}
+
+/// GraphBLAS `eWiseUnion`: like [`ewise_add_op`], but an entry present in
+/// only one operand still goes through `op`, paired with the *other
+/// operand's default value* — so `op` need not treat "absent" as an
+/// identity. E.g. `ewise_union(a, b, minus, 0.0, 0.0, s)` is a true
+/// element-wise subtraction `A − B` including `0 − b` cells.
+pub fn ewise_union<T, S, O>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    op: O,
+    a_default: T,
+    b_default: T,
+    s: S,
+) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    O: semiring::traits::BinaryOp<T, T, T>,
+{
+    assert_dims(a, b);
+    let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut push = |r: Ix, c: Ix, v: T| {
+        if !s.is_zero(&v) {
+            trips.push((r, c, v));
+        }
+    };
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() || j < rb.len() {
+        if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
+            let (r, cols, vs) = a.row_at(i);
+            for (&c, v) in cols.iter().zip(vs) {
+                push(r, c, op.apply(v.clone(), b_default.clone()));
+            }
+            i += 1;
+        } else if i >= ra.len() || rb[j] < ra[i] {
+            let (r, cols, vs) = b.row_at(j);
+            for (&c, v) in cols.iter().zip(vs) {
+                push(r, c, op.apply(a_default.clone(), v.clone()));
+            }
+            j += 1;
+        } else {
+            let (r, acols, avals) = a.row_at(i);
+            let (_, bcols, bvals) = b.row_at(j);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < acols.len() || q < bcols.len() {
+                if q >= bcols.len() || (p < acols.len() && acols[p] < bcols[q]) {
+                    push(r, acols[p], op.apply(avals[p].clone(), b_default.clone()));
+                    p += 1;
+                } else if p >= acols.len() || bcols[q] < acols[p] {
+                    push(r, bcols[q], op.apply(a_default.clone(), bvals[q].clone()));
+                    q += 1;
+                } else {
+                    push(r, acols[p], op.apply(avals[p].clone(), bvals[q].clone()));
+                    p += 1;
+                    q += 1;
+                }
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    from_sorted_trips(a.nrows(), a.ncols(), trips)
+}
+
+fn from_sorted_trips<T: Value>(nrows: Ix, ncols: Ix, trips: Vec<(Ix, Ix, T)>) -> Dcsr<T> {
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(trips.len());
+    let mut vals = Vec::with_capacity(trips.len());
+    for (r, c, v) in trips {
+        if rows.last() != Some(&r) {
+            rows.push(r);
+            rowptr.push(colidx.len());
+        }
+        colidx.push(c);
+        vals.push(v);
+        *rowptr.last_mut().expect("nonempty") = colidx.len();
+    }
+    Dcsr::from_parts(nrows, ncols, rows, rowptr, colidx, vals)
+}
+
+fn merge_add_row<T: Value, S: Semiring<Value = T>>(
+    acols: &[Ix],
+    avals: &[T],
+    bcols: &[Ix],
+    bvals: &[T],
+    s: S,
+    colidx: &mut Vec<Ix>,
+    vals: &mut Vec<T>,
+) {
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < acols.len() || q < bcols.len() {
+        if q >= bcols.len() || (p < acols.len() && acols[p] < bcols[q]) {
+            colidx.push(acols[p]);
+            vals.push(avals[p].clone());
+            p += 1;
+        } else if p >= acols.len() || bcols[q] < acols[p] {
+            colidx.push(bcols[q]);
+            vals.push(bvals[q].clone());
+            q += 1;
+        } else {
+            let v = s.add(avals[p].clone(), bvals[q].clone());
+            if !s.is_zero(&v) {
+                colidx.push(acols[p]);
+                vals.push(v);
+            }
+            p += 1;
+            q += 1;
+        }
+    }
+}
+
+fn assert_dims<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) {
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "element-wise operands must share a key space"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen::random_dcsr;
+    use semiring::{MinPlus, PlusTimes, UnionIntersect};
+
+    fn m(n: Ix, t: &[(Ix, Ix, f64)]) -> Dcsr<f64> {
+        let mut c = Coo::new(n, n);
+        c.extend(t.iter().copied());
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    #[test]
+    fn add_is_union_with_combining() {
+        let a = m(4, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let b = m(4, &[(1, 1, 3.0), (2, 2, 4.0)]);
+        let c = ewise_add(&a, &b, PlusTimes::<f64>::new());
+        assert_eq!(c.nnz(), 3);
+        assert_eq!(c.get(0, 0), Some(&1.0));
+        assert_eq!(c.get(1, 1), Some(&5.0));
+        assert_eq!(c.get(2, 2), Some(&4.0));
+    }
+
+    #[test]
+    fn mul_is_intersection() {
+        let a = m(4, &[(0, 0, 2.0), (1, 1, 2.0), (3, 3, 9.0)]);
+        let b = m(4, &[(1, 1, 3.0), (2, 2, 4.0), (3, 3, 1.0)]);
+        let c = ewise_mul(&a, &b, PlusTimes::<f64>::new());
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(1, 1), Some(&6.0));
+        assert_eq!(c.get(3, 3), Some(&9.0));
+        assert_eq!(c.get(0, 0), None);
+    }
+
+    #[test]
+    fn add_identity_law_on_arrays() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 200, 42, s);
+        let zero = Dcsr::<f64>::empty(64, 64);
+        assert_eq!(ewise_add(&a, &zero, s), a);
+        assert_eq!(ewise_add(&zero, &a, s), a);
+    }
+
+    #[test]
+    fn mul_with_empty_annihilates() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 200, 43, s);
+        let zero = Dcsr::<f64>::empty(64, 64);
+        assert_eq!(ewise_mul(&a, &zero, s).nnz(), 0);
+    }
+
+    #[test]
+    fn cancellation_drops_entries() {
+        let a = m(4, &[(0, 0, 5.0)]);
+        let b = m(4, &[(0, 0, -5.0)]);
+        let c = ewise_add(&a, &b, PlusTimes::<f64>::new());
+        assert_eq!(c.nnz(), 0);
+        assert!(c.row_ids().is_empty());
+    }
+
+    #[test]
+    fn tropical_ewise_add_takes_min() {
+        let s = MinPlus::<f64>::new();
+        let mut ca = Coo::new(4, 4);
+        ca.push(0, 0, 5.0);
+        let mut cb = Coo::new(4, 4);
+        cb.push(0, 0, 3.0);
+        let c = ewise_add(&ca.build_dcsr(s), &cb.build_dcsr(s), s);
+        assert_eq!(c.get(0, 0), Some(&3.0));
+    }
+
+    #[test]
+    fn set_valued_union_intersection() {
+        use semiring::PSet;
+        let s = UnionIntersect;
+        let mut ca = Coo::new(2, 2);
+        ca.push(0, 0, PSet::from_iter([1, 2]));
+        let a = ca.build_dcsr(s);
+        let mut cb = Coo::new(2, 2);
+        cb.push(0, 0, PSet::from_iter([2, 3]));
+        let b = cb.build_dcsr(s);
+        assert_eq!(
+            ewise_add(&a, &b, s).get(0, 0),
+            Some(&PSet::from_iter([1, 2, 3]))
+        );
+        assert_eq!(ewise_mul(&a, &b, s).get(0, 0), Some(&PSet::from_iter([2])));
+    }
+
+    #[test]
+    fn commutativity_on_random() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 300, 44, s);
+        let b = random_dcsr(64, 64, 300, 45, s);
+        assert_eq!(ewise_add(&a, &b, s), ewise_add(&b, &a, s));
+        assert_eq!(ewise_mul(&a, &b, s), ewise_mul(&b, &a, s));
+    }
+
+    #[test]
+    fn ewise_add_op_second_is_overwrite_merge() {
+        use semiring::Second;
+        let a = m(4, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let b = m(4, &[(1, 1, 9.0), (2, 2, 3.0)]);
+        let c = ewise_add_op(&a, &b, Second, PlusTimes::<f64>::new());
+        assert_eq!(c.get(0, 0), Some(&1.0)); // only in a
+        assert_eq!(c.get(1, 1), Some(&9.0)); // b wins the collision
+        assert_eq!(c.get(2, 2), Some(&3.0)); // only in b
+    }
+
+    #[test]
+    fn ewise_add_op_subtract_diffs() {
+        use semiring::FnBinOp;
+        let a = m(4, &[(0, 0, 5.0), (1, 1, 2.0)]);
+        let b = m(4, &[(0, 0, 5.0), (1, 1, 1.5)]);
+        let c = ewise_add_op(
+            &a,
+            &b,
+            FnBinOp(|x: f64, y: f64| x - y),
+            PlusTimes::<f64>::new(),
+        );
+        // Equal cells cancel to zero and drop; the differing cell remains.
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(1, 1), Some(&0.5));
+    }
+
+    #[test]
+    fn ewise_mul_op_max_at_intersections() {
+        use semiring::FnBinOp;
+        let a = m(4, &[(0, 0, 1.0), (1, 1, 7.0)]);
+        let b = m(4, &[(1, 1, 3.0), (2, 2, 9.0)]);
+        let c = ewise_mul_op(
+            &a,
+            &b,
+            FnBinOp(|x: f64, y: f64| x.max(y)),
+            PlusTimes::<f64>::new(),
+        );
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(1, 1), Some(&7.0));
+    }
+
+    #[test]
+    fn ewise_union_true_subtraction() {
+        use semiring::FnBinOp;
+        let sr = PlusTimes::<f64>::new();
+        let a = m(4, &[(0, 0, 5.0), (1, 1, 2.0)]);
+        let b = m(4, &[(1, 1, 2.0), (2, 2, 3.0)]);
+        let minus = FnBinOp(|x: f64, y: f64| x - y);
+        let c = ewise_union(&a, &b, minus, 0.0, 0.0, sr);
+        assert_eq!(c.get(0, 0), Some(&5.0)); // 5 − default(0)
+        assert_eq!(c.get(1, 1), None); // 2 − 2 cancels
+        assert_eq!(c.get(2, 2), Some(&-3.0)); // default(0) − 3: sign flips!
+    }
+
+    #[test]
+    fn ewise_union_with_add_matches_ewise_add() {
+        use semiring::FnBinOp;
+        let sr = PlusTimes::<f64>::new();
+        let a = random_dcsr(24, 24, 120, 60, sr);
+        let b = random_dcsr(24, 24, 120, 61, sr);
+        let plus = FnBinOp(|x: f64, y: f64| x + y);
+        assert_eq!(
+            ewise_union(&a, &b, plus, 0.0, 0.0, sr),
+            ewise_add(&a, &b, sr)
+        );
+    }
+
+    #[test]
+    fn ewise_union_custom_defaults() {
+        use semiring::FnBinOp;
+        let sr = PlusTimes::<f64>::new();
+        let a = m(4, &[(0, 0, 4.0)]);
+        let b = m(4, &[(1, 1, 6.0)]);
+        // min with +∞ defaults: singleton cells pass through unchanged.
+        let mn = FnBinOp(|x: f64, y: f64| x.min(y));
+        let c = ewise_union(&a, &b, mn, f64::INFINITY, f64::INFINITY, sr);
+        assert_eq!(c.get(0, 0), Some(&4.0));
+        assert_eq!(c.get(1, 1), Some(&6.0));
+    }
+
+    #[test]
+    fn op_variants_reduce_to_semiring_ops() {
+        let sr = PlusTimes::<f64>::new();
+        let a = random_dcsr(32, 32, 150, 50, sr);
+        let b = random_dcsr(32, 32, 150, 51, sr);
+        use semiring::FnBinOp;
+        assert_eq!(
+            ewise_add_op(&a, &b, FnBinOp(|x: f64, y: f64| x + y), sr),
+            ewise_add(&a, &b, sr)
+        );
+        assert_eq!(
+            ewise_mul_op(&a, &b, FnBinOp(|x: f64, y: f64| x * y), sr),
+            ewise_mul(&a, &b, sr)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a key space")]
+    fn dim_mismatch_panics() {
+        let a = Dcsr::<f64>::empty(3, 3);
+        let b = Dcsr::<f64>::empty(4, 4);
+        let _ = ewise_add(&a, &b, PlusTimes::<f64>::new());
+    }
+}

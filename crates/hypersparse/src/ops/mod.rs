@@ -1,0 +1,19 @@
+//! Semiring kernels over the hypersparse compute format ([`crate::Dcsr`]).
+//!
+//! Every kernel is generic over a [`semiring::Semiring`] (or a monoid for
+//! reductions), drops semiring zeros from its output, and is
+//! deterministic — the parallel SpGEMM partitions work by row and
+//! assembles results in row order, so thread count never changes a bit of
+//! the answer.
+
+pub mod ewise;
+pub mod mxm;
+pub mod reduce;
+pub mod structure;
+pub mod transform;
+
+pub use ewise::{ewise_add, ewise_add_op, ewise_mul, ewise_mul_op, ewise_union};
+pub use mxm::{mxm, mxm_masked, mxm_seq};
+pub use reduce::{reduce_cols, reduce_rows, reduce_scalar};
+pub use structure::{assign, concat_cols, concat_rows, diag, diag_of, matrix_power, tril, triu};
+pub use transform::{apply, extract, kron, select, transpose};

@@ -1,0 +1,407 @@
+//! Sparse matrix–matrix multiply (SpGEMM) — the array ⊕.⊗ of Table II.
+//!
+//! Gustavson's row-wise algorithm: for each non-empty row *i* of `A`,
+//! accumulate `⊕_k A(i,k) ⊗ B(k,:)`. Two accumulator strategies:
+//!
+//! * **hash** — a `HashMap<col, T>` per row: `O(flops)` regardless of the
+//!   column dimension; the only choice in hypersparse column spaces.
+//! * **dense scratch** — a reusable `Vec<Option<T>>` of width `ncols`:
+//!   faster constants when the column space is compact.
+//!
+//! [`mxm`] picks automatically (and the `ablation_accumulator` bench
+//! measures the crossover); the parallel front end shards rows of `A`
+//! across rayon tasks and concatenates per-shard outputs in row order, so
+//! the result is identical to [`mxm_seq`].
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+use semiring::traits::{Semiring, Value};
+
+use crate::dcsr::Dcsr;
+use crate::Ix;
+
+/// Column spaces at most this wide use the dense scratch accumulator.
+const DENSE_ACC_MAX: u64 = 1 << 22;
+
+/// Rows of `A` per parallel shard.
+const ROWS_PER_SHARD: usize = 256;
+
+/// `C = A ⊕.⊗ B`, parallel and deterministic.
+pub fn mxm<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "inner dimensions differ: {}×{} · {}×{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let nrows_ne = a.n_nonempty_rows();
+    if nrows_ne < 2 * ROWS_PER_SHARD {
+        return mxm_seq(a, b, s);
+    }
+
+    let shard_results: Vec<RowsChunk<T>> = (0..nrows_ne)
+        .into_par_iter()
+        .step_by(ROWS_PER_SHARD)
+        .map(|start| {
+            let end = (start + ROWS_PER_SHARD).min(nrows_ne);
+            multiply_row_range(a, b, s, start, end)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+    for chunk in shard_results {
+        for (r, cv) in chunk {
+            rows.push(r);
+            for (c, v) in cv {
+                colidx.push(c);
+                vals.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+    }
+    Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// Sequential reference SpGEMM (same output as [`mxm`]).
+pub fn mxm_seq<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions differ");
+    let chunk = multiply_row_range(a, b, s, 0, a.n_nonempty_rows());
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+    for (r, cv) in chunk {
+        rows.push(r);
+        for (c, v) in cv {
+            colidx.push(c);
+            vals.push(v);
+        }
+        rowptr.push(colidx.len());
+    }
+    Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// Masked SpGEMM: `C = (A ⊕.⊗ B) ⊙ mask` (structural mask, i.e. only
+/// positions stored in `mask` are computed/kept; `complement` inverts the
+/// selection). Fusing the mask into the accumulator loop is what makes
+/// masked triangle counting `O(flops into the mask)` instead of
+/// `O(all flops)`.
+pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    mask: &Dcsr<M>,
+    complement: bool,
+    s: S,
+) -> Dcsr<T> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions differ");
+    assert_eq!(mask.nrows(), a.nrows(), "mask row dimension");
+    assert_eq!(mask.ncols(), b.ncols(), "mask column dimension");
+
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+
+    for (i, acols, avals) in a.iter_rows() {
+        let (mcols, _) = mask.row(i);
+        let mut acc: HashMap<Ix, T> = HashMap::new();
+        for (&k, aik) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k);
+            for (&j, bkj) in bcols.iter().zip(bvals) {
+                let in_mask = mcols.binary_search(&j).is_ok();
+                if in_mask == complement {
+                    continue;
+                }
+                let p = s.mul(aik.clone(), bkj.clone());
+                match acc.entry(j) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        s.add_assign(e.get_mut(), p)
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(p);
+                    }
+                }
+            }
+        }
+        let mut row: Vec<(Ix, T)> = acc.into_iter().filter(|(_, v)| !s.is_zero(v)).collect();
+        if row.is_empty() {
+            continue;
+        }
+        row.sort_by_key(|e| e.0);
+        rows.push(i);
+        for (c, v) in row {
+            colidx.push(c);
+            vals.push(v);
+        }
+        rowptr.push(colidx.len());
+    }
+    Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// Per-shard result: `(row id, sorted (col, val) entries)` pairs.
+pub type RowsChunk<T> = Vec<(Ix, Vec<(Ix, T)>)>;
+
+fn multiply_row_range<T: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    start: usize,
+    end: usize,
+) -> RowsChunk<T> {
+    if b.ncols() <= DENSE_ACC_MAX {
+        multiply_rows_dense_acc(a, b, s, start, end)
+    } else {
+        multiply_rows_hash_acc(a, b, s, start, end)
+    }
+}
+
+/// Hash-accumulator row multiply — `O(flops)` in any column space.
+/// Public for the accumulator ablation bench; use [`mxm`] otherwise.
+pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    start: usize,
+    end: usize,
+) -> RowsChunk<T> {
+    let mut out = Vec::new();
+    let mut acc: HashMap<Ix, T> = HashMap::new();
+    for k_row in start..end {
+        let (i, acols, avals) = a.row_at(k_row);
+        acc.clear();
+        for (&k, aik) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k);
+            for (&j, bkj) in bcols.iter().zip(bvals) {
+                let p = s.mul(aik.clone(), bkj.clone());
+                match acc.entry(j) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        s.add_assign(e.get_mut(), p)
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(p);
+                    }
+                }
+            }
+        }
+        let mut row: Vec<(Ix, T)> = acc.drain().filter(|(_, v)| !s.is_zero(v)).collect();
+        if row.is_empty() {
+            continue;
+        }
+        row.sort_by_key(|e| e.0);
+        out.push((i, row));
+    }
+    out
+}
+
+/// Dense-scratch row multiply — a `Vec<Option<T>>` of width `ncols`,
+/// reset via a touched-columns list so each row costs `O(flops)` too,
+/// with far better constants in compact column spaces. Public for the
+/// accumulator ablation bench; use [`mxm`] otherwise.
+pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    start: usize,
+    end: usize,
+) -> RowsChunk<T> {
+    let width = b.ncols() as usize;
+    let mut scratch: Vec<Option<T>> = vec![None; width];
+    let mut touched: Vec<Ix> = Vec::new();
+    let mut out = Vec::new();
+
+    for k_row in start..end {
+        let (i, acols, avals) = a.row_at(k_row);
+        for (&k, aik) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k);
+            for (&j, bkj) in bcols.iter().zip(bvals) {
+                let p = s.mul(aik.clone(), bkj.clone());
+                match &mut scratch[j as usize] {
+                    Some(v) => s.add_assign(v, p),
+                    slot @ None => {
+                        *slot = Some(p);
+                        touched.push(j);
+                    }
+                }
+            }
+        }
+        if touched.is_empty() {
+            continue;
+        }
+        touched.sort_unstable();
+        let mut row: Vec<(Ix, T)> = Vec::with_capacity(touched.len());
+        for &j in &touched {
+            if let Some(v) = scratch[j as usize].take() {
+                if !s.is_zero(&v) {
+                    row.push((j, v));
+                }
+            }
+        }
+        touched.clear();
+        if !row.is_empty() {
+            out.push((i, row));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen::random_dcsr;
+    use semiring::{LorLand, MinPlus, PlusTimes};
+
+    fn from_triplets(n: Ix, t: &[(Ix, Ix, f64)]) -> Dcsr<f64> {
+        let mut c = Coo::new(n, n);
+        c.extend(t.iter().copied());
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    /// Naive dense oracle over a semiring.
+    fn oracle<S: Semiring<Value = f64>>(a: &Dcsr<f64>, b: &Dcsr<f64>, s: S) -> Vec<(Ix, Ix, f64)> {
+        let mut acc: std::collections::BTreeMap<(Ix, Ix), f64> = Default::default();
+        for (i, k, av) in a.iter() {
+            for (k2, j, bv) in b.iter() {
+                if k == k2 {
+                    let p = s.mul(*av, *bv);
+                    acc.entry((i, j))
+                        .and_modify(|x| *x = s.add(*x, p))
+                        .or_insert(p);
+                }
+            }
+        }
+        acc.into_iter()
+            .filter(|(_, v)| !s.is_zero(v))
+            .map(|((i, j), v)| (i, j, v))
+            .collect()
+    }
+
+    #[test]
+    fn small_known_product() {
+        // [[1,2],[0,3]] * [[4,0],[5,6]] = [[14,12],[15,18]]
+        let a = from_triplets(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
+        let b = from_triplets(2, &[(0, 0, 4.0), (1, 0, 5.0), (1, 1, 6.0)]);
+        let c = mxm(&a, &b, PlusTimes::<f64>::new());
+        assert_eq!(c.get(0, 0), Some(&14.0));
+        assert_eq!(c.get(0, 1), Some(&12.0));
+        assert_eq!(c.get(1, 0), Some(&15.0));
+        assert_eq!(c.get(1, 1), Some(&18.0));
+    }
+
+    #[test]
+    fn matches_oracle_on_random() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 300, 1, s);
+        let b = random_dcsr(64, 64, 300, 2, s);
+        let c = mxm(&a, &b, s);
+        let got: Vec<_> = c.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        let want = oracle(&a, &b, s);
+        assert_eq!(got.len(), want.len());
+        for ((gi, gj, gv), (wi, wj, wv)) in got.iter().zip(&want) {
+            assert_eq!((gi, gj), (wi, wj));
+            assert!((gv - wv).abs() < 1e-9, "{gv} vs {wv}");
+        }
+    }
+
+    #[test]
+    fn min_plus_mxm_is_path_relaxation() {
+        let s = MinPlus::<f64>::new();
+        let mut c = Coo::new(3, 3);
+        c.extend([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 9.0)]);
+        let a = c.build_dcsr(s);
+        let a2 = mxm(&a, &a, s);
+        // Two-hop: 0→1→2 costs 3.
+        assert_eq!(a2.get(0, 2), Some(&3.0));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let s = PlusTimes::<f64>::new();
+        // Big enough to trigger the parallel path (>512 non-empty rows).
+        let a = random_dcsr(2000, 2000, 20_000, 3, s);
+        let b = random_dcsr(2000, 2000, 20_000, 4, s);
+        assert_eq!(mxm(&a, &b, s), mxm_seq(&a, &b, s));
+    }
+
+    #[test]
+    fn hash_and_dense_accumulators_agree() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(128, 128, 800, 5, s);
+        let b = random_dcsr(128, 128, 800, 6, s);
+        let h = multiply_rows_hash_acc(&a, &b, s, 0, a.n_nonempty_rows());
+        let d = multiply_rows_dense_acc(&a, &b, s, 0, a.n_nonempty_rows());
+        assert_eq!(h, d);
+    }
+
+    #[test]
+    fn hypersparse_product_in_huge_space() {
+        let n = 1u64 << 50;
+        let s = PlusTimes::<f64>::new();
+        let mut ca = Coo::new(n, n);
+        ca.extend([(7, 1 << 40, 2.0), (9, 3, 5.0)]);
+        let mut cb = Coo::new(n, n);
+        cb.extend([(1 << 40, 123, 3.0), (3, 456, 7.0)]);
+        let c = mxm(&ca.build_dcsr(s), &cb.build_dcsr(s), s);
+        assert_eq!(c.get(7, 123), Some(&6.0));
+        assert_eq!(c.get(9, 456), Some(&35.0));
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn masked_mxm_keeps_only_mask_positions() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(32, 32, 200, 7, s);
+        let b = random_dcsr(32, 32, 200, 8, s);
+        let mask = random_dcsr(32, 32, 100, 9, s);
+        let full = mxm(&a, &b, s);
+        let masked = mxm_masked(&a, &b, &mask, false, s);
+        for (i, j, v) in masked.iter() {
+            assert!(mask.get(i, j).is_some());
+            assert_eq!(full.get(i, j), Some(v));
+        }
+        // And every full-product entry inside the mask is present.
+        for (i, j, v) in full.iter() {
+            if mask.get(i, j).is_some() {
+                assert_eq!(masked.get(i, j), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn complement_masked_mxm() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(32, 32, 200, 10, s);
+        let b = random_dcsr(32, 32, 200, 11, s);
+        let mask = random_dcsr(32, 32, 100, 12, s);
+        let comp = mxm_masked(&a, &b, &mask, true, s);
+        for (i, j, _) in comp.iter() {
+            assert!(mask.get(i, j).is_none());
+        }
+    }
+
+    #[test]
+    fn boolean_reachability_product() {
+        let s = LorLand;
+        let mut c = Coo::new(3, 3);
+        c.extend([(0, 1, true), (1, 2, true)]);
+        let a = c.build_dcsr(s);
+        let a2 = mxm(&a, &a, s);
+        assert_eq!(a2.get(0, 2), Some(&true));
+        assert_eq!(a2.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn conformance_checked() {
+        let a = Dcsr::<f64>::empty(3, 4);
+        let b = Dcsr::<f64>::empty(5, 3);
+        let _ = mxm(&a, &b, PlusTimes::<f64>::new());
+    }
+}

@@ -1,0 +1,116 @@
+//! Monoid reductions — the paper's projections `A ⊕.⊗ 𝟙` (§IV).
+//!
+//! `C = A ⊕.⊗ 𝟙` collapses columns: `C(k₁) = ⊕_{k₂} A(k₁, k₂)` — that is
+//! [`reduce_rows`]. `𝟙 ⊕.⊗ A` collapses rows — [`reduce_cols`]. Rather
+//! than materialize an all-ones array over a 2⁶⁰ key space, the kernels
+//! fold directly; the equivalence with the literal ⊕.⊗-against-ones form
+//! is asserted in the `hyperspace-core` semilink tests.
+
+use std::collections::HashMap;
+
+use semiring::traits::{Monoid, Value};
+
+use crate::dcsr::Dcsr;
+use crate::vector::SparseVec;
+use crate::Ix;
+
+/// Fold each non-empty row with the monoid: `out(i) = ⊕_j A(i, j)`.
+pub fn reduce_rows<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    let mut idx = Vec::with_capacity(a.n_nonempty_rows());
+    let mut vals = Vec::with_capacity(a.n_nonempty_rows());
+    for (r, _cols, vs) in a.iter_rows() {
+        let mut acc = m.identity();
+        for v in vs {
+            acc = m.combine(acc, v.clone());
+        }
+        if !m.is_identity(&acc) {
+            idx.push(r);
+            vals.push(acc);
+        }
+    }
+    SparseVec::from_sorted_parts(a.nrows(), idx, vals)
+}
+
+/// Fold each non-empty column: `out(j) = ⊕_i A(i, j)`.
+pub fn reduce_cols<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    let mut acc: HashMap<Ix, T> = HashMap::new();
+    for (_r, c, v) in a.iter() {
+        match acc.entry(c) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let cur = e.get_mut();
+                *cur = m.combine(cur.clone(), v.clone());
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(v.clone());
+            }
+        }
+    }
+    let mut entries: Vec<(Ix, T)> = acc.into_iter().filter(|(_, v)| !m.is_identity(v)).collect();
+    entries.sort_by_key(|e| e.0);
+    let (idx, vals) = entries.into_iter().unzip();
+    SparseVec::from_sorted_parts(a.ncols(), idx, vals)
+}
+
+/// Fold every stored entry into one value.
+pub fn reduce_scalar<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> T {
+    let mut acc = m.identity();
+    for (_, _, v) in a.iter() {
+        acc = m.combine(acc, v.clone());
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use semiring::{MaxMonoid, MinMonoid, PlusMonoid};
+
+    fn m(t: &[(Ix, Ix, f64)]) -> Dcsr<f64> {
+        let mut c = Coo::new(8, 8);
+        c.extend(t.iter().copied());
+        c.build_dcsr(semiring::PlusTimes::<f64>::new())
+    }
+
+    #[test]
+    fn row_reduction_is_out_degree_weight() {
+        let a = m(&[(0, 1, 1.0), (0, 2, 2.0), (3, 3, 5.0)]);
+        let r = reduce_rows(&a, PlusMonoid::<f64>::default());
+        assert_eq!(r.get(&0), Some(&3.0));
+        assert_eq!(r.get(&3), Some(&5.0));
+        assert_eq!(r.get(&1), None);
+    }
+
+    #[test]
+    fn col_reduction_is_in_degree_weight() {
+        let a = m(&[(0, 1, 1.0), (2, 1, 2.0), (3, 3, 5.0)]);
+        let c = reduce_cols(&a, PlusMonoid::<f64>::default());
+        assert_eq!(c.get(&1), Some(&3.0));
+        assert_eq!(c.get(&3), Some(&5.0));
+    }
+
+    #[test]
+    fn scalar_reduction() {
+        let a = m(&[(0, 1, 1.0), (2, 1, 2.0), (3, 3, 5.0)]);
+        assert_eq!(reduce_scalar(&a, PlusMonoid::<f64>::default()), 8.0);
+        assert_eq!(reduce_scalar(&a, MaxMonoid::<f64>::default()), 5.0);
+        assert_eq!(reduce_scalar(&a, MinMonoid::<f64>::default()), 1.0);
+    }
+
+    #[test]
+    fn empty_reduces_to_identity() {
+        let a = Dcsr::<f64>::empty(8, 8);
+        assert_eq!(reduce_scalar(&a, PlusMonoid::<f64>::default()), 0.0);
+        assert!(reduce_rows(&a, PlusMonoid::<f64>::default()).is_empty());
+        assert!(reduce_cols(&a, PlusMonoid::<f64>::default()).is_empty());
+    }
+
+    #[test]
+    fn identity_results_are_dropped() {
+        // Row sums that cancel to the monoid identity don't appear.
+        let a = m(&[(0, 1, 2.0), (0, 2, -2.0), (1, 1, 1.0)]);
+        let r = reduce_rows(&a, PlusMonoid::<f64>::default());
+        assert_eq!(r.get(&0), None);
+        assert_eq!(r.get(&1), Some(&1.0));
+    }
+}

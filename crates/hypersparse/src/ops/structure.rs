@@ -1,0 +1,340 @@
+//! Structural composition: assign, concatenation, diagonals, triangles,
+//! matrix powers — the remaining GraphBLAS surface.
+
+use semiring::traits::{Semiring, Value};
+
+use crate::dcsr::Dcsr;
+use crate::vector::SparseVec;
+use crate::Ix;
+
+/// `A(rows, cols) = B` — submatrix assignment (GraphBLAS `GrB_assign`):
+/// entry `B(i, j)` lands at `A(rows[i], cols[j])`, replacing anything in
+/// the selected cross-pattern (cells selected but absent in `B` are
+/// cleared). Selectors must be strictly increasing.
+pub fn assign<T: Value>(a: &Dcsr<T>, rows_sel: &[Ix], cols_sel: &[Ix], b: &Dcsr<T>) -> Dcsr<T> {
+    debug_assert!(rows_sel.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(cols_sel.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(b.nrows(), rows_sel.len() as Ix, "assign row conformance");
+    assert_eq!(b.ncols(), cols_sel.len() as Ix, "assign col conformance");
+
+    let row_set: std::collections::HashSet<Ix> = rows_sel.iter().copied().collect();
+    let col_set: std::collections::HashSet<Ix> = cols_sel.iter().copied().collect();
+
+    // Survivors of A: everything outside the selected cross-pattern.
+    let mut trips: Vec<(Ix, Ix, T)> = a
+        .iter()
+        .filter(|(r, c, _)| !(row_set.contains(r) && col_set.contains(c)))
+        .map(|(r, c, v)| (r, c, v.clone()))
+        .collect();
+    // Incoming entries of B, mapped through the selectors.
+    for (i, j, v) in b.iter() {
+        trips.push((rows_sel[i as usize], cols_sel[j as usize], v.clone()));
+    }
+    trips.sort_by_key(|&(r, c, _)| (r, c));
+
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(trips.len());
+    let mut vals = Vec::with_capacity(trips.len());
+    for (r, c, v) in trips {
+        if rows.last() != Some(&r) {
+            rows.push(r);
+            rowptr.push(colidx.len());
+        }
+        colidx.push(c);
+        vals.push(v);
+        *rowptr.last_mut().expect("nonempty") = colidx.len();
+    }
+    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// Stack `a` on top of `b` (column dimensions must match).
+pub fn concat_rows<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
+    assert_eq!(a.ncols(), b.ncols(), "concat_rows column conformance");
+    let (nra, nc) = (a.nrows(), a.ncols());
+    let nrows = nra.checked_add(b.nrows()).expect("row overflow");
+
+    let mut rows: Vec<Ix> = a.row_ids().to_vec();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals = Vec::with_capacity(a.nnz() + b.nnz());
+    for (_, cols, vs) in a.iter_rows() {
+        colidx.extend_from_slice(cols);
+        vals.extend_from_slice(vs);
+        rowptr.push(colidx.len());
+    }
+    for (r, cols, vs) in b.iter_rows() {
+        rows.push(nra + r);
+        colidx.extend_from_slice(cols);
+        vals.extend_from_slice(vs);
+        rowptr.push(colidx.len());
+    }
+    Dcsr::from_parts(nrows, nc, rows, rowptr, colidx, vals)
+}
+
+/// Place `a` to the left of `b` (row dimensions must match).
+pub fn concat_cols<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
+    assert_eq!(a.nrows(), b.nrows(), "concat_cols row conformance");
+    let shift = a.ncols();
+    let ncols = shift.checked_add(b.ncols()).expect("col overflow");
+
+    // Merge per row: a's columns first (unchanged), then b's shifted.
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals = Vec::with_capacity(a.nnz() + b.nnz());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() || j < rb.len() {
+        let r;
+        if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
+            r = ra[i];
+        } else if i >= ra.len() || rb[j] < ra[i] {
+            r = rb[j];
+        } else {
+            r = ra[i];
+        }
+        let start = colidx.len();
+        if i < ra.len() && ra[i] == r {
+            let (_, cols, vs) = a.row_at(i);
+            colidx.extend_from_slice(cols);
+            vals.extend_from_slice(vs);
+            i += 1;
+        }
+        if j < rb.len() && rb[j] == r {
+            let (_, cols, vs) = b.row_at(j);
+            colidx.extend(cols.iter().map(|&c| c + shift));
+            vals.extend_from_slice(vs);
+            j += 1;
+        }
+        if colidx.len() > start {
+            rows.push(r);
+            rowptr.push(colidx.len());
+        }
+    }
+    Dcsr::from_parts(a.nrows(), ncols, rows, rowptr, colidx, vals)
+}
+
+/// Diagonal matrix from a sparse vector: `D(i, i) = v(i)`.
+pub fn diag<T: Value>(v: &SparseVec<T>) -> Dcsr<T> {
+    let n = v.dim();
+    let mut rows = Vec::with_capacity(v.nnz());
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(v.nnz());
+    let mut vals = Vec::with_capacity(v.nnz());
+    for (i, x) in v.iter() {
+        rows.push(i);
+        colidx.push(i);
+        vals.push(x.clone());
+        rowptr.push(colidx.len());
+    }
+    Dcsr::from_parts(n, n, rows, rowptr, colidx, vals)
+}
+
+/// Extract the main diagonal of a matrix as a sparse vector.
+pub fn diag_of<T: Value>(a: &Dcsr<T>) -> SparseVec<T> {
+    let dim = a.nrows().min(a.ncols());
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (r, cols, vs) in a.iter_rows() {
+        if let Ok(p) = cols.binary_search(&r) {
+            idx.push(r);
+            vals.push(vs[p].clone());
+        }
+    }
+    SparseVec::from_sorted_parts(dim.max(idx.last().map_or(0, |l| l + 1)), idx, vals)
+}
+
+/// Strictly-lower-triangular part (`c < r`).
+pub fn tril<T: Value>(a: &Dcsr<T>) -> Dcsr<T> {
+    super::transform::select(a, |r, c, _| c < r)
+}
+
+/// Strictly-upper-triangular part (`c > r`).
+pub fn triu<T: Value>(a: &Dcsr<T>) -> Dcsr<T> {
+    super::transform::select(a, |r, c, _| c > r)
+}
+
+/// `A^k` over a semiring, by repeated squaring (`A⁰ = 𝕀` is disallowed —
+/// identity matrices over huge key spaces are exactly the paper's
+/// closing open problem; require `k ≥ 1`).
+pub fn matrix_power<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, k: u32, s: S) -> Dcsr<T> {
+    assert!(k >= 1, "matrix_power requires k ≥ 1");
+    assert_eq!(a.nrows(), a.ncols(), "power of a square matrix");
+    let mut result: Option<Dcsr<T>> = None;
+    let mut base = a.clone();
+    let mut k = k;
+    while k > 0 {
+        if k & 1 == 1 {
+            result = Some(match result {
+                None => base.clone(),
+                Some(r) => super::mxm::mxm(&r, &base, s),
+            });
+        }
+        k >>= 1;
+        if k > 0 {
+            base = super::mxm::mxm(&base, &base, s);
+        }
+    }
+    result.expect("k ≥ 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen::random_dcsr;
+    use semiring::{LorLand, MinPlus, PlusTimes};
+
+    fn s() -> PlusTimes<f64> {
+        PlusTimes::new()
+    }
+
+    fn m(n: Ix, t: &[(Ix, Ix, f64)]) -> Dcsr<f64> {
+        let mut c = Coo::new(n, n);
+        c.extend(t.iter().copied());
+        c.build_dcsr(s())
+    }
+
+    #[test]
+    fn assign_replaces_cross_pattern() {
+        let a = m(4, &[(0, 0, 1.0), (1, 1, 2.0), (3, 3, 4.0), (1, 3, 9.0)]);
+        let b = m(2, &[(0, 0, 7.0)]); // 2×2 block
+                                      // Assign into rows {1,3} × cols {1,3}: clears (1,1), (3,3), (1,3);
+                                      // writes b(0,0)=7 at (1,1).
+        let out = assign(&a, &[1, 3], &[1, 3], &b.clone());
+        assert_eq!(out.get(0, 0), Some(&1.0)); // untouched
+        assert_eq!(out.get(1, 1), Some(&7.0)); // replaced
+        assert_eq!(out.get(3, 3), None); // cleared
+        assert_eq!(out.get(1, 3), None); // cleared
+        assert_eq!(out.nnz(), 2);
+    }
+
+    #[test]
+    fn assign_then_extract_round_trips() {
+        let a = random_dcsr(16, 16, 60, 1, s());
+        let b = random_dcsr(4, 4, 8, 2, s());
+        let rows = [2u64, 5, 9, 13];
+        let cols = [0u64, 3, 8, 15];
+        let out = assign(&a, &rows, &cols, &b);
+        assert_eq!(super::super::transform::extract(&out, &rows, &cols), b);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = m(2, &[(0, 1, 1.0)]);
+        let b = m(2, &[(1, 0, 2.0)]);
+        let c = concat_rows(&a, &b);
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.get(0, 1), Some(&1.0));
+        assert_eq!(c.get(3, 0), Some(&2.0));
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn concat_cols_widens() {
+        let a = m(2, &[(0, 1, 1.0), (1, 0, 5.0)]);
+        let b = m(2, &[(0, 0, 2.0)]);
+        let c = concat_cols(&a, &b);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.get(0, 1), Some(&1.0));
+        assert_eq!(c.get(0, 2), Some(&2.0)); // shifted by 2
+        assert_eq!(c.get(1, 0), Some(&5.0));
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn concat_block_identity() {
+        // [A | B] stacked twice == 4-block matrix with right dims.
+        let a = random_dcsr(8, 8, 20, 3, s());
+        let b = random_dcsr(8, 8, 20, 4, s());
+        let wide = concat_cols(&a, &b);
+        let tall = concat_rows(&wide, &wide);
+        assert_eq!(tall.nrows(), 16);
+        assert_eq!(tall.ncols(), 16);
+        assert_eq!(tall.nnz(), 2 * (a.nnz() + b.nnz()));
+    }
+
+    #[test]
+    fn diag_round_trip() {
+        let v = SparseVec::from_entries(8, vec![(1, 2.0), (5, 3.0)], s());
+        let d = diag(&v);
+        assert_eq!(d.nnz(), 2);
+        assert_eq!(d.get(5, 5), Some(&3.0));
+        assert_eq!(diag_of(&d), v);
+    }
+
+    #[test]
+    fn diag_of_skips_off_diagonal() {
+        let a = m(4, &[(0, 0, 1.0), (0, 1, 9.0), (2, 2, 3.0)]);
+        let d = diag_of(&a);
+        assert_eq!(d.nnz(), 2);
+        assert_eq!(d.get(&0), Some(&1.0));
+        assert_eq!(d.get(&2), Some(&3.0));
+    }
+
+    #[test]
+    fn tril_triu_partition_offdiagonal() {
+        let a = random_dcsr(16, 16, 80, 5, s());
+        let low = tril(&a);
+        let up = triu(&a);
+        let dg = diag_of(&a);
+        assert_eq!(low.nnz() + up.nnz() + dg.nnz(), a.nnz());
+        assert!(low.iter().all(|(r, c, _)| c < r));
+        assert!(up.iter().all(|(r, c, _)| c > r));
+    }
+
+    #[test]
+    fn power_counts_paths() {
+        // Path 0→1→2→3: A² has the 2-hop pairs, A³ the single 3-hop.
+        let a = m(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let a2 = matrix_power(&a, 2, s());
+        assert_eq!(a2.get(0, 2), Some(&1.0));
+        assert_eq!(a2.nnz(), 2);
+        let a3 = matrix_power(&a, 3, s());
+        assert_eq!(a3.get(0, 3), Some(&1.0));
+        assert_eq!(a3.nnz(), 1);
+    }
+
+    #[test]
+    fn power_equals_iterated_mxm() {
+        let a = random_dcsr(12, 12, 40, 6, s());
+        let direct = super::super::mxm::mxm(&super::super::mxm::mxm(&a, &a, s()), &a, s());
+        let fast = matrix_power(&a, 3, s());
+        let d: Vec<_> = direct.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        let f: Vec<_> = fast.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(d.len(), f.len());
+        for ((dr, dc, dv), (fr, fc, fv)) in d.iter().zip(&f) {
+            assert_eq!((dr, dc), (fr, fc));
+            assert!((dv - fv).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tropical_power_is_k_hop_shortest_paths() {
+        let sm = MinPlus::<f64>::new();
+        let mut c = Coo::new(3, 3);
+        c.extend([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 9.0)]);
+        let a = c.build_dcsr(sm);
+        let a2 = matrix_power(&a, 2, sm);
+        assert_eq!(a2.get(0, 2), Some(&3.0));
+    }
+
+    #[test]
+    fn boolean_power_is_exact_k_reachability() {
+        let mut c = Coo::new(4, 4);
+        for (x, y) in [(0u64, 1u64), (1, 2), (2, 3)] {
+            c.push(x, y, true);
+        }
+        let a = c.build_dcsr(LorLand);
+        assert_eq!(matrix_power(&a, 3, LorLand).get(0, 3), Some(&true));
+        assert_eq!(matrix_power(&a, 2, LorLand).get(0, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zeroth_power_rejected() {
+        let a = m(4, &[(0, 1, 1.0)]);
+        let _ = matrix_power(&a, 0, s());
+    }
+}

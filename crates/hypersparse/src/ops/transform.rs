@@ -1,0 +1,269 @@
+//! Structural transforms: transpose, apply, select, extract, Kronecker.
+
+use std::collections::HashMap;
+
+use semiring::traits::{Semiring, UnaryOp, Value};
+
+use crate::dcsr::Dcsr;
+use crate::Ix;
+
+/// `Aᵀ`: bucket entries by column, emit column-major as new rows.
+/// `O(nnz log nnz)` without materializing either dimension.
+pub fn transpose<T: Value>(a: &Dcsr<T>) -> Dcsr<T> {
+    let mut trips: Vec<(Ix, Ix, T)> = a.iter().map(|(r, c, v)| (c, r, v.clone())).collect();
+    trips.sort_by_key(|x| (x.0, x.1));
+
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(trips.len());
+    let mut vals = Vec::with_capacity(trips.len());
+    for (r, c, v) in trips {
+        if rows.last() != Some(&r) {
+            rows.push(r);
+            rowptr.push(colidx.len());
+        }
+        colidx.push(c);
+        vals.push(v);
+        *rowptr.last_mut().expect("nonempty") = colidx.len();
+    }
+    Dcsr::from_parts(a.ncols(), a.nrows(), rows, rowptr, colidx, vals)
+}
+
+/// Apply a unary operator to every stored value; results equal to the
+/// semiring zero are dropped (so `apply` can only shrink the pattern).
+pub fn apply<T: Value, S, O>(a: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+where
+    S: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(a.nnz());
+    let mut vals = Vec::with_capacity(a.nnz());
+    for (r, cols, vs) in a.iter_rows() {
+        let start = colidx.len();
+        for (&c, v) in cols.iter().zip(vs) {
+            let w = op.apply(v.clone());
+            if !s.is_zero(&w) {
+                colidx.push(c);
+                vals.push(w);
+            }
+        }
+        if colidx.len() > start {
+            rows.push(r);
+            rowptr.push(colidx.len());
+        }
+    }
+    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// Keep entries satisfying a predicate on `(row, col, value)` —
+/// GraphBLAS `GrB_select`.
+pub fn select<T: Value, F: Fn(Ix, Ix, &T) -> bool>(a: &Dcsr<T>, keep: F) -> Dcsr<T> {
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+    for (r, cols, vs) in a.iter_rows() {
+        let start = colidx.len();
+        for (&c, v) in cols.iter().zip(vs) {
+            if keep(r, c, v) {
+                colidx.push(c);
+                vals.push(v.clone());
+            }
+        }
+        if colidx.len() > start {
+            rows.push(r);
+            rowptr.push(colidx.len());
+        }
+    }
+    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+}
+
+/// `A(rows, cols)` — submatrix extraction with *reindexing*: output
+/// position `(i, j)` is `A(rows[i], cols[j])`. Selector slices must be
+/// strictly increasing (GraphBLAS allows duplicates; the associative
+/// array layer never produces them, so we keep the stronger contract).
+pub fn extract<T: Value>(a: &Dcsr<T>, rows_sel: &[Ix], cols_sel: &[Ix]) -> Dcsr<T> {
+    debug_assert!(rows_sel.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(cols_sel.windows(2).all(|w| w[0] < w[1]));
+    let col_pos: HashMap<Ix, Ix> = cols_sel
+        .iter()
+        .enumerate()
+        .map(|(p, &c)| (c, p as Ix))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+    for (new_r, &old_r) in rows_sel.iter().enumerate() {
+        let (cols, vs) = a.row(old_r);
+        let start = colidx.len();
+        for (&c, v) in cols.iter().zip(vs) {
+            if let Some(&p) = col_pos.get(&c) {
+                colidx.push(p);
+                vals.push(v.clone());
+            }
+        }
+        if colidx.len() > start {
+            rows.push(new_r as Ix);
+            rowptr.push(colidx.len());
+        }
+    }
+    Dcsr::from_parts(
+        rows_sel.len() as Ix,
+        cols_sel.len() as Ix,
+        rows,
+        rowptr,
+        colidx,
+        vals,
+    )
+}
+
+/// Kronecker product `A ⊗ₖ B`: output dimension
+/// `(nrows_A·nrows_B) × (ncols_A·ncols_B)`, entry
+/// `(i_A·nrows_B + i_B, j_A·ncols_B + j_B) = A(i_A,j_A) ⊗ B(i_B,j_B)`.
+/// The generator behind Graph500/RMAT-style power-law graphs.
+pub fn kron<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+    let nrows = a
+        .nrows()
+        .checked_mul(b.nrows())
+        .expect("kron rows overflow");
+    let ncols = a
+        .ncols()
+        .checked_mul(b.ncols())
+        .expect("kron cols overflow");
+
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::with_capacity(a.nnz() * b.nnz());
+    let mut vals = Vec::with_capacity(a.nnz() * b.nnz());
+
+    // Row ids of the product appear in sorted order because a's rows and
+    // b's rows are each sorted and the blocks are disjoint.
+    for (ra, acols, avals) in a.iter_rows() {
+        for (rb, bcols, bvals) in b.iter_rows() {
+            let r = ra * b.nrows() + rb;
+            let start = colidx.len();
+            for (&ca, va) in acols.iter().zip(avals) {
+                for (&cb, vb) in bcols.iter().zip(bvals) {
+                    let v = s.mul(va.clone(), vb.clone());
+                    if !s.is_zero(&v) {
+                        colidx.push(ca * b.ncols() + cb);
+                        vals.push(v);
+                    }
+                }
+            }
+            if colidx.len() > start {
+                rows.push(r);
+                rowptr.push(colidx.len());
+            }
+        }
+    }
+    Dcsr::from_parts(nrows, ncols, rows, rowptr, colidx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen::random_dcsr;
+    use semiring::{PlusTimes, Relu, ZeroNorm};
+
+    fn m(n: Ix, t: &[(Ix, Ix, f64)]) -> Dcsr<f64> {
+        let mut c = Coo::new(n, n);
+        c.extend(t.iter().copied());
+        c.build_dcsr(PlusTimes::<f64>::new())
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(100, 60, 400, 7, s);
+        let t = transpose(&a);
+        assert_eq!(t.nrows(), 60);
+        assert_eq!(t.ncols(), 100);
+        assert_eq!(transpose(&t), a);
+        for (r, c, v) in a.iter() {
+            assert_eq!(t.get(c, r), Some(v));
+        }
+    }
+
+    #[test]
+    fn transpose_of_product_law() {
+        // (AB)ᵀ = BᵀAᵀ (Table II).
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(40, 40, 200, 8, s);
+        let b = random_dcsr(40, 40, 200, 9, s);
+        let lhs = transpose(&super::super::mxm::mxm(&a, &b, s));
+        let rhs = super::super::mxm::mxm(&transpose(&b), &transpose(&a), s);
+        let l: Vec<_> = lhs.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        let r: Vec<_> = rhs.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(l.len(), r.len());
+        for ((li, lj, lv), (ri, rj, rv)) in l.iter().zip(&r) {
+            assert_eq!((li, lj), (ri, rj));
+            assert!((lv - rv).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_zero_norm_produces_pattern() {
+        let a = m(4, &[(0, 1, 7.0), (2, 3, -2.0)]);
+        let p = apply(
+            &a,
+            ZeroNorm(PlusTimes::<f64>::new()),
+            PlusTimes::<f64>::new(),
+        );
+        assert_eq!(p.get(0, 1), Some(&1.0));
+        assert_eq!(p.get(2, 3), Some(&1.0));
+    }
+
+    #[test]
+    fn apply_drops_new_zeros() {
+        let a = m(4, &[(0, 1, -7.0), (2, 3, 2.0)]);
+        let r = apply(&a, Relu(0.0), PlusTimes::<f64>::new());
+        assert_eq!(r.nnz(), 1);
+        assert_eq!(r.get(2, 3), Some(&2.0));
+    }
+
+    #[test]
+    fn select_by_predicate() {
+        let a = m(4, &[(0, 1, 1.0), (1, 0, 2.0), (2, 3, 3.0)]);
+        let upper = select(&a, |r, c, _| c > r);
+        assert_eq!(upper.nnz(), 2);
+        assert!(upper.get(1, 0).is_none());
+    }
+
+    #[test]
+    fn extract_reindexes() {
+        let a = m(6, &[(1, 1, 1.0), (1, 4, 2.0), (4, 4, 3.0), (5, 0, 9.0)]);
+        let sub = extract(&a, &[1, 4], &[1, 4]);
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.ncols(), 2);
+        assert_eq!(sub.get(0, 0), Some(&1.0)); // old (1,1)
+        assert_eq!(sub.get(0, 1), Some(&2.0)); // old (1,4)
+        assert_eq!(sub.get(1, 1), Some(&3.0)); // old (4,4)
+        assert_eq!(sub.nnz(), 3);
+    }
+
+    #[test]
+    fn kron_small() {
+        let a = m(2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let b = m(2, &[(0, 1, 3.0)]);
+        let k = kron(&a, &b, PlusTimes::<f64>::new());
+        assert_eq!(k.nrows(), 4);
+        assert_eq!(k.get(0, 1), Some(&3.0)); // (0,0)⊗(0,1)
+        assert_eq!(k.get(2, 3), Some(&6.0)); // (1,1)⊗(0,1)
+        assert_eq!(k.nnz(), 2);
+    }
+
+    #[test]
+    fn kron_nnz_is_product() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(8, 8, 10, 13, s);
+        let b = random_dcsr(8, 8, 12, 14, s);
+        let k = kron(&a, &b, s);
+        assert_eq!(k.nnz(), a.nnz() * b.nnz());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based kernel verification against naive oracles, plus
+//! format-independence of every operation.
+
+use hypersparse::{Coo, Dcsr, Format, Ix, Matrix};
+use proptest::prelude::*;
+use semiring::{MinPlus, PlusTimes, Semiring};
+
+const N: Ix = 16;
+
+fn triplets() -> impl Strategy<Value = Vec<(Ix, Ix, i64)>> {
+    proptest::collection::vec((0..N, 0..N, 1i64..10), 0..60)
+}
+
+fn build<S: Semiring<Value = i64>>(t: &[(Ix, Ix, i64)], s: S) -> Dcsr<i64> {
+    let mut c = Coo::new(N, N);
+    c.extend(t.iter().copied());
+    c.build_dcsr(s)
+}
+
+/// Naive dense-map oracle for ⊕.⊗.
+fn mxm_oracle<S: Semiring<Value = i64>>(a: &Dcsr<i64>, b: &Dcsr<i64>, s: S) -> Vec<(Ix, Ix, i64)> {
+    let mut acc: std::collections::BTreeMap<(Ix, Ix), i64> = Default::default();
+    for (i, k, &av) in a.iter() {
+        for (k2, j, &bv) in b.iter() {
+            if k == k2 {
+                let p = s.mul(av, bv);
+                acc.entry((i, j))
+                    .and_modify(|x| *x = s.add(*x, p))
+                    .or_insert(p);
+            }
+        }
+    }
+    acc.into_iter()
+        .filter(|(_, v)| !s.is_zero(v))
+        .map(|((i, j), v)| (i, j, v))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn mxm_matches_oracle_plus_times(ta in triplets(), tb in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b) = (build(&ta, s), build(&tb, s));
+        let got: Vec<_> = hypersparse::ops::mxm(&a, &b, s)
+            .iter()
+            .map(|(i, j, &v)| (i, j, v))
+            .collect();
+        prop_assert_eq!(got, mxm_oracle(&a, &b, s));
+    }
+
+    #[test]
+    fn mxm_matches_oracle_min_plus(ta in triplets(), tb in triplets()) {
+        let s = MinPlus::<i64>::new();
+        let (a, b) = (build(&ta, s), build(&tb, s));
+        let got: Vec<_> = hypersparse::ops::mxm(&a, &b, s)
+            .iter()
+            .map(|(i, j, &v)| (i, j, v))
+            .collect();
+        prop_assert_eq!(got, mxm_oracle(&a, &b, s));
+    }
+
+    #[test]
+    fn ewise_ops_match_map_oracles(ta in triplets(), tb in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b) = (build(&ta, s), build(&tb, s));
+        let ma: std::collections::BTreeMap<(Ix, Ix), i64> =
+            a.iter().map(|(r, c, &v)| ((r, c), v)).collect();
+        let mb: std::collections::BTreeMap<(Ix, Ix), i64> =
+            b.iter().map(|(r, c, &v)| ((r, c), v)).collect();
+
+        // union oracle
+        let mut u = ma.clone();
+        for (&k, &v) in &mb {
+            u.entry(k).and_modify(|x| *x += v).or_insert(v);
+        }
+        u.retain(|_, v| *v != 0);
+        let got: Vec<_> = hypersparse::ops::ewise_add(&a, &b, s)
+            .iter()
+            .map(|(r, c, &v)| ((r, c), v))
+            .collect();
+        prop_assert_eq!(got, u.into_iter().collect::<Vec<_>>());
+
+        // intersection oracle
+        let mut i: Vec<((Ix, Ix), i64)> = ma
+            .iter()
+            .filter_map(|(&k, &v)| mb.get(&k).map(|w| (k, v * w)))
+            .filter(|(_, v)| *v != 0)
+            .collect();
+        i.sort();
+        let got: Vec<_> = hypersparse::ops::ewise_mul(&a, &b, s)
+            .iter()
+            .map(|(r, c, &v)| ((r, c), v))
+            .collect();
+        prop_assert_eq!(got, i);
+    }
+
+    #[test]
+    fn transpose_involution_and_entry_map(t in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = build(&t, s);
+        let at = hypersparse::ops::transpose(&a);
+        prop_assert_eq!(hypersparse::ops::transpose(&at), a.clone());
+        for (r, c, v) in a.iter() {
+            prop_assert_eq!(at.get(c, r), Some(v));
+        }
+    }
+
+    #[test]
+    fn every_format_preserves_every_op(ta in triplets(), tb in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a0 = Matrix::from_dcsr(build(&ta, s), s);
+        let b0 = Matrix::from_dcsr(build(&tb, s), s);
+        let want = a0.mxm(&b0, s);
+        let want_add = a0.ewise_add(&b0, s);
+        for fa in [Format::Dense, Format::Bitmap, Format::Csr, Format::Dcsr] {
+            let a = a0.clone().with_format(fa, s);
+            prop_assert_eq!(a.mxm(&b0, s), want.clone());
+            prop_assert_eq!(a.ewise_add(&b0, s), want_add.clone());
+            prop_assert_eq!(a.nnz(), a0.nnz());
+        }
+    }
+
+    #[test]
+    fn builder_merge_equals_map_fold(t in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = build(&t, s);
+        let mut oracle: std::collections::BTreeMap<(Ix, Ix), i64> = Default::default();
+        for &(r, c, v) in &t {
+            *oracle.entry((r, c)).or_insert(0) += v;
+        }
+        oracle.retain(|_, v| *v != 0);
+        let got: Vec<_> = a.iter().map(|(r, c, &v)| ((r, c), v)).collect();
+        prop_assert_eq!(got, oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concat_extract_inverse(ta in triplets(), tb in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b) = (build(&ta, s), build(&tb, s));
+        let tall = hypersparse::ops::concat_rows(&a, &b);
+        let rows_a: Vec<Ix> = (0..N).collect();
+        let rows_b: Vec<Ix> = (N..2 * N).collect();
+        let cols: Vec<Ix> = (0..N).collect();
+        prop_assert_eq!(hypersparse::ops::extract(&tall, &rows_a, &cols), a);
+        prop_assert_eq!(hypersparse::ops::extract(&tall, &rows_b, &cols), b);
+    }
+
+    #[test]
+    fn masked_mxm_is_filtered_full_mxm(ta in triplets(), tb in triplets(), tm in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let (a, b, mask) = (build(&ta, s), build(&tb, s), build(&tm, s));
+        let full = hypersparse::ops::mxm(&a, &b, s);
+        let masked = hypersparse::ops::mxm_masked(&a, &b, &mask, false, s);
+        let expect = hypersparse::ops::select(&full, |r, c, _| mask.get(r, c).is_some());
+        prop_assert_eq!(masked, expect);
+        let comp = hypersparse::ops::mxm_masked(&a, &b, &mask, true, s);
+        let expect_c = hypersparse::ops::select(&full, |r, c, _| mask.get(r, c).is_none());
+        prop_assert_eq!(comp, expect_c);
+    }
+}

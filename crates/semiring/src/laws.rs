@@ -1,0 +1,224 @@
+//! Executable semiring laws.
+//!
+//! The paper leans on four properties of semirings (§I): the distributive
+//! property (reordering for parallelism), the additive identity, the
+//! multiplicative annihilator (both enabling sparsity), and
+//! associativity/commutativity (query planning). Each function here checks
+//! one law on concrete values and returns `bool`, so both unit tests and
+//! the proptest suites of every downstream crate can share them.
+//!
+//! Floating-point caveat: ordinary `+.×` on floats is only *approximately*
+//! associative/distributive. The checkers accept an equality predicate so
+//! float suites can pass an epsilon comparison while exact value sets
+//! (integers, booleans, sets, tropical min/max which are exact on floats)
+//! use `==`.
+
+use crate::traits::{Monoid, Semiring};
+
+/// Check every semiring law at once on a triple of sample values.
+/// `eq` decides value equality (pass `|a, b| a == b` for exact sets).
+pub fn semiring_laws<S, F>(s: &S, a: S::Value, b: S::Value, c: S::Value, eq: F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    add_associative(s, a.clone(), b.clone(), c.clone(), &eq)
+        && add_commutative(s, a.clone(), b.clone(), &eq)
+        && add_identity(s, a.clone(), &eq)
+        && mul_associative(s, a.clone(), b.clone(), c.clone(), &eq)
+        && mul_identity(s, a.clone(), &eq)
+        && annihilator(s, a.clone(), &eq)
+        && distributive_left(s, a.clone(), b.clone(), c.clone(), &eq)
+        && distributive_right(s, a, b, c, &eq)
+}
+
+/// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`.
+pub fn add_associative<S, F>(s: &S, a: S::Value, b: S::Value, c: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    let lhs = s.add(s.add(a.clone(), b.clone()), c.clone());
+    let rhs = s.add(a, s.add(b, c));
+    eq(&lhs, &rhs)
+}
+
+/// `a ⊕ b = b ⊕ a`.
+pub fn add_commutative<S, F>(s: &S, a: S::Value, b: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    eq(&s.add(a.clone(), b.clone()), &s.add(b, a))
+}
+
+/// `a ⊕ 0 = 0 ⊕ a = a`.
+pub fn add_identity<S, F>(s: &S, a: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    eq(&s.add(a.clone(), s.zero()), &a) && eq(&s.add(s.zero(), a.clone()), &a)
+}
+
+/// `(a ⊗ b) ⊗ c = a ⊗ (b ⊗ c)`.
+pub fn mul_associative<S, F>(s: &S, a: S::Value, b: S::Value, c: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    let lhs = s.mul(s.mul(a.clone(), b.clone()), c.clone());
+    let rhs = s.mul(a, s.mul(b, c));
+    eq(&lhs, &rhs)
+}
+
+/// `a ⊗ 1 = 1 ⊗ a = a`.
+pub fn mul_identity<S, F>(s: &S, a: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    eq(&s.mul(a.clone(), s.one()), &a) && eq(&s.mul(s.one(), a.clone()), &a)
+}
+
+/// `a ⊗ 0 = 0 ⊗ a = 0` — the property that lets sparse kernels skip
+/// absent entries.
+pub fn annihilator<S, F>(s: &S, a: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    eq(&s.mul(a.clone(), s.zero()), &s.zero()) && eq(&s.mul(s.zero(), a), &s.zero())
+}
+
+/// `a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)` — the §I headline property.
+pub fn distributive_left<S, F>(s: &S, a: S::Value, b: S::Value, c: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    let lhs = s.mul(a.clone(), s.add(b.clone(), c.clone()));
+    let rhs = s.add(s.mul(a.clone(), b), s.mul(a, c));
+    eq(&lhs, &rhs)
+}
+
+/// `(b ⊕ c) ⊗ a = (b ⊗ a) ⊕ (c ⊗ a)`.
+pub fn distributive_right<S, F>(s: &S, a: S::Value, b: S::Value, c: S::Value, eq: &F) -> bool
+where
+    S: Semiring,
+    F: Fn(&S::Value, &S::Value) -> bool,
+{
+    let lhs = s.mul(s.add(b.clone(), c.clone()), a.clone());
+    let rhs = s.add(s.mul(b, a.clone()), s.mul(c, a));
+    eq(&lhs, &rhs)
+}
+
+/// Monoid laws: associativity, commutativity, identity.
+pub fn monoid_laws<T, M, F>(m: &M, a: T, b: T, c: T, eq: F) -> bool
+where
+    T: crate::traits::Value,
+    M: Monoid<T>,
+    F: Fn(&T, &T) -> bool,
+{
+    let assoc = {
+        let lhs = m.combine(m.combine(a.clone(), b.clone()), c.clone());
+        let rhs = m.combine(a.clone(), m.combine(b.clone(), c.clone()));
+        eq(&lhs, &rhs)
+    };
+    let comm = eq(&m.combine(a.clone(), b.clone()), &m.combine(b, a.clone()));
+    let ident = eq(&m.combine(a.clone(), m.identity()), &a);
+    assoc && comm && ident
+}
+
+/// Exact equality predicate for value sets where the laws hold exactly.
+pub fn exact<T: PartialEq>(a: &T, b: &T) -> bool {
+    a == b
+}
+
+/// Relative-epsilon equality for ordinary float arithmetic, where
+/// associativity/distributivity only hold approximately.
+pub fn approx(eps: f64) -> impl Fn(&f64, &f64) -> bool {
+    move |a, b| {
+        if a == b {
+            return true;
+        }
+        if a.is_infinite() || b.is_infinite() {
+            // unequal infinities (or one finite, one infinite)
+            return false;
+        }
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= eps * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoids::{MaxMonoid, PlusMonoid};
+    use crate::pset::PSet;
+    use crate::semirings::{LorLand, MaxMin, MinPlus, PlusTimes, UnionIntersect};
+
+    #[test]
+    fn integer_plus_times_satisfies_all_laws() {
+        let s = PlusTimes::<i64>::new();
+        assert!(semiring_laws(&s, 3, -7, 11, exact));
+    }
+
+    #[test]
+    fn min_plus_satisfies_all_laws_exactly_on_floats() {
+        let s = MinPlus::<f64>::new();
+        assert!(semiring_laws(&s, 1.5, -2.25, 7.0, exact));
+        assert!(semiring_laws(&s, f64::INFINITY, 0.0, -3.0, exact));
+    }
+
+    #[test]
+    fn max_min_satisfies_all_laws() {
+        let s = MaxMin::<i64>::new();
+        assert!(semiring_laws(&s, 3, 9, -4, exact));
+    }
+
+    #[test]
+    fn union_intersect_satisfies_all_laws() {
+        let s = UnionIntersect;
+        let a = PSet::from_iter([1, 2, 3]);
+        let b = PSet::from_iter([2, 4]);
+        let c = PSet::universe();
+        assert!(semiring_laws(&s, a, b, c, exact));
+    }
+
+    #[test]
+    fn booleans_satisfy_all_laws() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    assert!(semiring_laws(&LorLand, a, b, c, exact));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_plus_times_needs_approx_eq() {
+        let s = PlusTimes::<f64>::new();
+        // Rounding triple: exact distributivity fails on binary floats,
+        // approximate equality recovers the law.
+        let (a, b, c) = (0.1, 0.2, 0.3);
+        // (0.1 + 0.2) + 0.3 != 0.1 + (0.2 + 0.3) in binary floating point.
+        assert!(!add_associative(&s, a, b, c, &exact));
+        assert!(semiring_laws(&s, a, b, c, approx(1e-9)));
+    }
+
+    #[test]
+    fn monoid_laws_hold() {
+        assert!(monoid_laws(&PlusMonoid::<i64>::default(), 1, 2, 3, exact));
+        assert!(monoid_laws(&MaxMonoid::<i64>::default(), -5, 0, 9, exact));
+    }
+
+    #[test]
+    fn approx_handles_infinities() {
+        let eq = approx(1e-12);
+        assert!(eq(&f64::INFINITY, &f64::INFINITY));
+        assert!(!eq(&f64::INFINITY, &f64::NEG_INFINITY));
+        assert!(eq(&1.0, &(1.0 + 1e-15)));
+    }
+}

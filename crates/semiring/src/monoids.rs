@@ -1,0 +1,179 @@
+//! Stand-alone commutative monoids for reductions.
+//!
+//! The paper's projection identity `C = A ⊕.⊗ 1 ⟹ C(k₁,:) = ⊕_{k₂} A(k₁,k₂)`
+//! (§IV) is a row reduction; these monoids are what `reduce_rows`,
+//! `reduce_cols`, and `reduce_scalar` take.
+
+use crate::numeric::Numeric;
+use crate::pset::PSet;
+use crate::traits::Monoid;
+
+/// `(T, +, 0)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PlusMonoid<T>(std::marker::PhantomData<T>);
+impl<T: Numeric> Monoid<T> for PlusMonoid<T> {
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        T::plus(a, b)
+    }
+}
+
+/// `(T, ×, 1)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct TimesMonoid<T>(std::marker::PhantomData<T>);
+impl<T: Numeric> Monoid<T> for TimesMonoid<T> {
+    fn identity(&self) -> T {
+        T::ONE
+    }
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        T::times(a, b)
+    }
+}
+
+/// `(T, min, +∞)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MinMonoid<T>(std::marker::PhantomData<T>);
+impl<T: Numeric> Monoid<T> for MinMonoid<T> {
+    fn identity(&self) -> T {
+        T::MAX_VALUE
+    }
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        T::min_of(a, b)
+    }
+}
+
+/// `(T, max, −∞)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MaxMonoid<T>(std::marker::PhantomData<T>);
+impl<T: Numeric> Monoid<T> for MaxMonoid<T> {
+    fn identity(&self) -> T {
+        T::MIN_VALUE
+    }
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        T::max_of(a, b)
+    }
+}
+
+/// `(bool, ∨, false)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LorMonoid;
+impl Monoid<bool> for LorMonoid {
+    fn identity(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+/// `(bool, ∧, true)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LandMonoid;
+impl Monoid<bool> for LandMonoid {
+    fn identity(&self) -> bool {
+        true
+    }
+    #[inline(always)]
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// `(𝒫(𝕍), ∪, ∅)` — the additive monoid of the relational semiring.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct UnionMonoid;
+impl Monoid<PSet> for UnionMonoid {
+    fn identity(&self) -> PSet {
+        PSet::empty()
+    }
+    fn combine(&self, a: PSet, b: PSet) -> PSet {
+        a.union(&b)
+    }
+    fn is_identity(&self, v: &PSet) -> bool {
+        v.is_empty()
+    }
+}
+
+/// `(𝒫(𝕍), ∩, 𝒫(𝕍))` — the multiplicative monoid of the relational
+/// semiring; the identity is the full universe.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct IntersectMonoid;
+impl Monoid<PSet> for IntersectMonoid {
+    fn identity(&self) -> PSet {
+        PSet::universe()
+    }
+    fn combine(&self, a: PSet, b: PSet) -> PSet {
+        a.intersect(&b)
+    }
+    fn is_identity(&self, v: &PSet) -> bool {
+        v.is_universe()
+    }
+}
+
+/// `(T, any, ·)` — GraphBLAS `GxB_ANY`: returns either operand. Valid as a
+/// reduction monoid whenever *which* surviving value is immaterial (pure
+/// reachability). Deterministic here: keeps the left operand.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AnyMonoid<T: Copy>(pub T);
+impl<T: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static> Monoid<T> for AnyMonoid<T> {
+    fn identity(&self) -> T {
+        self.0
+    }
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        if a == self.0 {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_monoids() {
+        assert_eq!(PlusMonoid::<i64>::default().combine(2, 3), 5);
+        assert_eq!(TimesMonoid::<i64>::default().combine(2, 3), 6);
+        assert_eq!(MinMonoid::<i64>::default().identity(), i64::MAX);
+        assert_eq!(MaxMonoid::<f64>::default().identity(), f64::NEG_INFINITY);
+        assert_eq!(MinMonoid::<f64>::default().combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn boolean_monoids() {
+        assert!(LorMonoid.combine(false, true));
+        assert!(!LandMonoid.combine(false, true));
+        assert!(!LorMonoid.identity());
+        assert!(LandMonoid.identity());
+    }
+
+    #[test]
+    fn set_monoids() {
+        let a = PSet::from_iter([1, 2]);
+        let b = PSet::from_iter([2, 3]);
+        assert_eq!(
+            UnionMonoid.combine(a.clone(), b.clone()),
+            PSet::from_iter([1, 2, 3])
+        );
+        assert_eq!(IntersectMonoid.combine(a, b), PSet::from_iter([2]));
+        assert!(UnionMonoid.is_identity(&PSet::empty()));
+        assert!(IntersectMonoid.is_identity(&PSet::universe()));
+    }
+
+    #[test]
+    fn any_monoid_keeps_first_nonidentity() {
+        let m = AnyMonoid(0u32);
+        assert_eq!(m.combine(0, 7), 7);
+        assert_eq!(m.combine(5, 7), 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Numeric value abstraction shared by all Table I semirings.
+//!
+//! Table I of the paper instantiates its semirings over ℝ (optionally
+//! extended with ±∞) and over arbitrary totally ordered sets 𝕍. Floating
+//! point has genuine ±∞; integers use their saturating extremes, with
+//! saturating arithmetic so that `MIN/MAX` really behave as absorbing
+//! infinities under tropical `+`.
+
+/// Scalar number usable in the numeric semirings of Table I.
+///
+/// `MIN_VALUE`/`MAX_VALUE` play the roles of −∞/+∞ in the extended reals:
+/// they must be absorbing under [`Numeric::plus`] (hence saturating
+/// integer arithmetic) so that e.g. `min.+` path relaxation through an
+/// "unreached" (+∞) vertex stays unreached.
+pub trait Numeric:
+    Copy + PartialEq + PartialOrd + std::fmt::Debug + std::fmt::Display + Send + Sync + 'static
+{
+    /// Additive identity of ordinary arithmetic.
+    const ZERO: Self;
+    /// Multiplicative identity of ordinary arithmetic.
+    const ONE: Self;
+    /// The −∞ element (minimum of the value set).
+    const MIN_VALUE: Self;
+    /// The +∞ element (maximum of the value set).
+    const MAX_VALUE: Self;
+
+    /// Arithmetic `a + b`, saturating at ±∞.
+    fn plus(a: Self, b: Self) -> Self;
+    /// Arithmetic `a × b`, saturating at ±∞.
+    fn times(a: Self, b: Self) -> Self;
+    /// `min(a, b)` under the total order.
+    fn min_of(a: Self, b: Self) -> Self;
+    /// `max(a, b)` under the total order.
+    fn max_of(a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_numeric_float {
+    ($($t:ty),*) => {$(
+        impl Numeric for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const MIN_VALUE: Self = <$t>::NEG_INFINITY;
+            const MAX_VALUE: Self = <$t>::INFINITY;
+
+            #[inline(always)]
+            fn plus(a: Self, b: Self) -> Self { a + b }
+            #[inline(always)]
+            fn times(a: Self, b: Self) -> Self { a * b }
+            #[inline(always)]
+            fn min_of(a: Self, b: Self) -> Self {
+                // NaN-free min: propagate the non-NaN operand.
+                if a < b || b.is_nan() { a } else { b }
+            }
+            #[inline(always)]
+            fn max_of(a: Self, b: Self) -> Self {
+                if a > b || b.is_nan() { a } else { b }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_numeric_int {
+    ($($t:ty),*) => {$(
+        impl Numeric for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+
+            #[inline(always)]
+            fn plus(a: Self, b: Self) -> Self { a.saturating_add(b) }
+            #[inline(always)]
+            fn times(a: Self, b: Self) -> Self { a.saturating_mul(b) }
+            #[inline(always)]
+            fn min_of(a: Self, b: Self) -> Self { a.min(b) }
+            #[inline(always)]
+            fn max_of(a: Self, b: Self) -> Self { a.max(b) }
+        }
+    )*};
+}
+
+impl_numeric_float!(f32, f64);
+impl_numeric_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_infinities_absorb_under_plus() {
+        assert_eq!(f64::plus(f64::MAX_VALUE, -5.0), f64::INFINITY);
+        assert_eq!(f64::plus(f64::MIN_VALUE, 1.0e308), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn int_saturation_mimics_infinity() {
+        assert_eq!(i64::plus(i64::MAX_VALUE, 3), i64::MAX);
+        assert_eq!(i64::plus(i64::MIN_VALUE, -3), i64::MIN);
+        assert_eq!(u32::plus(u32::MAX_VALUE, 1), u32::MAX);
+    }
+
+    #[test]
+    fn min_max_are_total_on_floats_with_nan() {
+        assert_eq!(f64::min_of(1.0, f64::NAN), 1.0);
+        assert_eq!(f64::max_of(f64::NAN, 2.0), 2.0);
+    }
+
+    #[test]
+    fn ordinary_arithmetic() {
+        assert_eq!(i32::times(6, 7), 42);
+        assert_eq!(f32::plus(1.5, 2.5), 4.0);
+        assert_eq!(u64::min_of(3, 9), 3);
+        assert_eq!(u64::max_of(3, 9), 9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Stand-alone unary and binary operators.
+//!
+//! These are the GraphBLAS-style building blocks that are not themselves
+//! semirings: selection multiplicands (`first`, `second`, `pair`) used to
+//! assemble path-tracking semirings, and the unary `apply` operators, most
+//! importantly the paper's element-wise **zero-norm** `| |₀` which maps
+//! every non-zero entry to the semiring `1` (Table II).
+
+use crate::traits::{BinaryOp, Semiring, UnaryOp, Value};
+
+/// `first(a, b) = a` — GraphBLAS `GrB_FIRST`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct First;
+impl<A, B> BinaryOp<A, B, A> for First {
+    #[inline(always)]
+    fn apply(&self, a: A, _b: B) -> A {
+        a
+    }
+}
+
+/// `second(a, b) = b` — GraphBLAS `GrB_SECOND`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Second;
+impl<A, B> BinaryOp<A, B, B> for Second {
+    #[inline(always)]
+    fn apply(&self, _a: A, b: B) -> B {
+        b
+    }
+}
+
+/// `pair(a, b) = 1` — GraphBLAS `GxB_PAIR` (a.k.a. `oneb`). The constant
+/// is supplied at construction so the operator stays semiring-agnostic.
+#[derive(Copy, Clone, Debug)]
+pub struct Pair<T: Copy>(pub T);
+impl<T: Copy + Send + Sync, A, B> BinaryOp<A, B, T> for Pair<T> {
+    #[inline(always)]
+    fn apply(&self, _a: A, _b: B) -> T {
+        self.0
+    }
+}
+
+/// The identity unary operator.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Identity;
+impl<A> UnaryOp<A, A> for Identity {
+    #[inline(always)]
+    fn apply(&self, a: A) -> A {
+        a
+    }
+}
+
+/// The element-wise zero-norm `| |₀` of Table II: maps every stored
+/// (non-zero) value to the semiring `1`, and the semiring `0` to itself.
+///
+/// Applied to an associative array this produces its *sparsity pattern* in
+/// the value set of the target semiring — the `|A|₀ = ℙ` notion the
+/// paper's §IV identities are phrased in.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ZeroNorm<S: Semiring>(pub S);
+impl<S: Semiring> UnaryOp<S::Value, S::Value> for ZeroNorm<S> {
+    #[inline(always)]
+    fn apply(&self, a: S::Value) -> S::Value {
+        if self.0.is_zero(&a) {
+            a
+        } else {
+            self.0.one()
+        }
+    }
+}
+
+/// Rectified linear unit over an ordered value set: `max(a, floor)`.
+/// With `floor = 0` this is the DNN ReLU `h(y) = max(y, 0)` of §V.C; the
+/// paper observes it is exactly `⊕ 0` in the `max.+` semiring.
+#[derive(Copy, Clone, Debug)]
+pub struct Relu<T: Copy>(pub T);
+impl<T: Copy + PartialOrd + Send + Sync> UnaryOp<T, T> for Relu<T> {
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        if a < self.0 {
+            self.0
+        } else {
+            a
+        }
+    }
+}
+
+/// Wrap an arbitrary `Fn` as a unary operator. Handy for one-off `apply`
+/// calls in examples and tests; hot kernels should prefer named ZSTs.
+#[derive(Copy, Clone)]
+pub struct FnOp<F>(pub F);
+impl<A, C, F: Fn(A) -> C + Copy + Send + Sync> UnaryOp<A, C> for FnOp<F> {
+    #[inline(always)]
+    fn apply(&self, a: A) -> C {
+        (self.0)(a)
+    }
+}
+
+/// Wrap an arbitrary `Fn` as a binary operator.
+#[derive(Copy, Clone)]
+pub struct FnBinOp<F>(pub F);
+impl<A, B, C, F: Fn(A, B) -> C + Copy + Send + Sync> BinaryOp<A, B, C> for FnBinOp<F> {
+    #[inline(always)]
+    fn apply(&self, a: A, b: B) -> C {
+        (self.0)(a, b)
+    }
+}
+
+/// A binary operator with both inputs and output in one value set —
+/// what element-wise array kernels require.
+pub trait HomogeneousOp<T: Value>: BinaryOp<T, T, T> {}
+impl<T: Value, O: BinaryOp<T, T, T>> HomogeneousOp<T> for O {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semirings::{MinPlus, PlusTimes};
+
+    #[test]
+    fn first_second_pair() {
+        assert_eq!(First.apply(1, "x"), 1);
+        assert_eq!(Second.apply(1, "x"), "x");
+        let p: Pair<u8> = Pair(1);
+        let v: u8 = p.apply(99i64, "ignored");
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn zero_norm_maps_nonzero_to_one() {
+        let z = ZeroNorm(PlusTimes::<f64>::default());
+        assert_eq!(z.apply(7.25), 1.0);
+        assert_eq!(z.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_norm_respects_tropical_zero() {
+        // In min-plus the "zero" is +∞ and the "one" is 0.
+        let z = ZeroNorm(MinPlus::<f64>::default());
+        assert_eq!(z.apply(3.0), 0.0);
+        assert_eq!(z.apply(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn relu_is_max_with_floor() {
+        let r = Relu(0.0f64);
+        assert_eq!(r.apply(-3.0), 0.0);
+        assert_eq!(r.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn fn_ops_wrap_closures() {
+        let double = FnOp(|x: i32| x * 2);
+        assert_eq!(double.apply(21), 42);
+        let sub = FnBinOp(|a: i32, b: i32| a - b);
+        assert_eq!(sub.apply(5, 3), 2);
+    }
+}

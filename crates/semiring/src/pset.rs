@@ -1,0 +1,194 @@
+//! Power-set values for the relational `∪.∩` semiring.
+//!
+//! Table I's sixth row is the semiring `(𝒫(𝕍), ∪, ∩, ∅, 𝒫(𝕍))` that the
+//! paper identifies with relational algebra (§V.B). Its multiplicative
+//! identity is the *entire power set's top element* — the universe 𝕍 —
+//! which for the unbounded key spaces of digital hyperspace cannot be
+//! materialized. [`PSet`] therefore represents the universe *lazily* as a
+//! distinguished variant, mirroring how the paper's `𝕀` has `𝒫(𝕍)` on the
+//! diagonal without ever enumerating 𝕍.
+//!
+//! Elements are `u64` atoms; string universes go through
+//! [`crate::AtomTable`] interning.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A subset of an (implicit, possibly infinite) universe of `u64` atoms,
+/// or the universe itself.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum PSet {
+    /// The full universe `𝒫(𝕍)`'s top element 𝕍 — multiplicative identity
+    /// of `∪.∩`, absorbing under `∪`.
+    Universe,
+    /// An explicit finite subset (kept sorted by `BTreeSet`).
+    Set(BTreeSet<u64>),
+}
+
+impl PSet {
+    /// The empty set ∅ — additive identity and multiplicative annihilator.
+    pub fn empty() -> Self {
+        PSet::Set(BTreeSet::new())
+    }
+
+    /// The lazy universe 𝕍.
+    pub fn universe() -> Self {
+        PSet::Universe
+    }
+
+    /// Singleton `{v}`.
+    pub fn singleton(v: u64) -> Self {
+        PSet::Set(BTreeSet::from([v]))
+    }
+
+    /// Build from any iterator of atoms.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator; this inherent form reads better at call sites
+    pub fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        PSet::Set(iter.into_iter().collect())
+    }
+
+    /// `true` iff this is ∅.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, PSet::Set(s) if s.is_empty())
+    }
+
+    /// `true` iff this is the universe.
+    pub fn is_universe(&self) -> bool {
+        matches!(self, PSet::Universe)
+    }
+
+    /// Membership test. The universe contains everything.
+    pub fn contains(&self, v: u64) -> bool {
+        match self {
+            PSet::Universe => true,
+            PSet::Set(s) => s.contains(&v),
+        }
+    }
+
+    /// Cardinality, if finite.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            PSet::Universe => None,
+            PSet::Set(s) => Some(s.len()),
+        }
+    }
+
+    /// Set union — the semiring ⊕.
+    pub fn union(&self, other: &PSet) -> PSet {
+        match (self, other) {
+            (PSet::Universe, _) | (_, PSet::Universe) => PSet::Universe,
+            (PSet::Set(a), PSet::Set(b)) => {
+                // Merge the smaller into a clone of the larger.
+                let (big, small) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                let mut out = big.clone();
+                out.extend(small.iter().copied());
+                PSet::Set(out)
+            }
+        }
+    }
+
+    /// Set intersection — the semiring ⊗. The universe is its identity.
+    pub fn intersect(&self, other: &PSet) -> PSet {
+        match (self, other) {
+            (PSet::Universe, x) | (x, PSet::Universe) => x.clone(),
+            (PSet::Set(a), PSet::Set(b)) => {
+                let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                PSet::Set(small.iter().copied().filter(|v| big.contains(v)).collect())
+            }
+        }
+    }
+
+    /// Iterate the atoms of a finite set. Panics on the universe, which has
+    /// no enumerable extension — callers must check [`PSet::is_universe`].
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        match self {
+            PSet::Universe => panic!("cannot enumerate the lazy universe"),
+            PSet::Set(s) => s.iter().copied(),
+        }
+    }
+
+    /// The finite atoms as a sorted `Vec`, or `None` for the universe.
+    pub fn to_vec(&self) -> Option<Vec<u64>> {
+        match self {
+            PSet::Universe => None,
+            PSet::Set(s) => Some(s.iter().copied().collect()),
+        }
+    }
+}
+
+impl fmt::Debug for PSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PSet::Universe => write!(f, "𝕍"),
+            PSet::Set(s) => f.debug_set().entries(s.iter()).finish(),
+        }
+    }
+}
+
+impl fmt::Display for PSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<u64> for PSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        PSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_universe_identities() {
+        let a = PSet::from_iter([1, 5, 9]);
+        assert_eq!(a.union(&PSet::empty()), a);
+        assert_eq!(a.intersect(&PSet::universe()), a);
+        // ∅ annihilates ∩; 𝕍 absorbs ∪.
+        assert!(a.intersect(&PSet::empty()).is_empty());
+        assert!(a.union(&PSet::universe()).is_universe());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = PSet::from_iter([1, 2, 3]);
+        let b = PSet::from_iter([3, 4]);
+        assert_eq!(a.union(&b), PSet::from_iter([1, 2, 3, 4]));
+        assert_eq!(a.intersect(&b), PSet::singleton(3));
+    }
+
+    #[test]
+    fn membership_and_len() {
+        assert!(PSet::universe().contains(123456));
+        assert_eq!(PSet::universe().len(), None);
+        let s = PSet::from_iter([7, 8]);
+        assert!(s.contains(7));
+        assert!(!s.contains(9));
+        assert_eq!(s.len(), Some(2));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union_spot_check() {
+        let a = PSet::from_iter([1, 2]);
+        let b = PSet::from_iter([2, 3]);
+        let c = PSet::from_iter([3, 4]);
+        let lhs = a.intersect(&b.union(&c));
+        let rhs = a.intersect(&b).union(&a.intersect(&c));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn to_vec_is_sorted() {
+        let s = PSet::from_iter([9, 1, 5]);
+        assert_eq!(s.to_vec(), Some(vec![1, 5, 9]));
+        assert_eq!(PSet::universe().to_vec(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot enumerate")]
+    fn universe_iter_panics() {
+        let _ = PSet::universe().iter().count();
+    }
+}

@@ -1,0 +1,138 @@
+//! The scalar face of the paper's **semilink** (§IV).
+//!
+//! A semilink `(𝔸, ⊕, ⊗, ⊕.⊗, 0, 1, 𝕀)` couples the element-wise semiring
+//! `(𝔸, ⊕, ⊗, 0, 1)` with the array semiring `(𝔸, ⊕, ⊕.⊗, 𝕆, 𝕀)`: three
+//! operations sharing a single scalar value set and a single scalar
+//! semiring. At the *scalar* level a semilink is therefore determined by
+//! one [`Semiring`]; the new structure only appears at the *array* level,
+//! where `⊗` (element-wise) and `⊕.⊗` (array multiply) interact through
+//! the identities `1` (all-ones array) and `𝕀` (identity array).
+//!
+//! This module carries the scalar bundle plus the DNN **semiring pair**
+//! of §V.C, which the paper notes is *more* than a semilink: inference
+//! oscillates between two different semirings `S₁ = (+.×)` and
+//! `S₂ = (max.+)` over the same value set.
+//!
+//! The seven array-level identities of §IV are implemented and tested in
+//! the `hyperspace-core` crate (`hyperspace_core::semilink`), where arrays
+//! exist.
+
+use crate::semirings::{MaxPlus, PlusTimes};
+use crate::traits::Semiring;
+
+/// A semilink: one scalar semiring viewed as the common algebra of the
+/// three array operations ⊕, ⊗, and ⊕.⊗.
+///
+/// The array-level operations themselves live where arrays live; this
+/// struct names the coupling and carries the scalar constants every
+/// array-level identity is phrased in.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Semilink<S: Semiring> {
+    /// The underlying scalar semiring.
+    pub semiring: S,
+}
+
+impl<S: Semiring> Semilink<S> {
+    /// Bundle a scalar semiring into a semilink.
+    pub fn new(semiring: S) -> Self {
+        Semilink { semiring }
+    }
+
+    /// The scalar `0` — additive identity, entry value of 𝕆.
+    pub fn zero(&self) -> S::Value {
+        self.semiring.zero()
+    }
+
+    /// The scalar `1` — ⊗ identity, entry value of the all-ones array `1`
+    /// and of the diagonal of `𝕀`.
+    pub fn one(&self) -> S::Value {
+        self.semiring.one()
+    }
+
+    /// Element-wise addition ⊕ at the scalar level.
+    pub fn add(&self, a: S::Value, b: S::Value) -> S::Value {
+        self.semiring.add(a, b)
+    }
+
+    /// Element-wise multiplication ⊗ at the scalar level.
+    pub fn mul(&self, a: S::Value, b: S::Value) -> S::Value {
+        self.semiring.mul(a, b)
+    }
+
+    /// One fused multiply-add step of ⊕.⊗: `acc ⊕ (a ⊗ b)`.
+    pub fn fma(&self, acc: S::Value, a: S::Value, b: S::Value) -> S::Value {
+        let p = self.semiring.mul(a, b);
+        self.semiring.add(acc, p)
+    }
+}
+
+/// The §V.C **DNN semiring pair**: ReLU inference as a linear system
+/// oscillating between `S₁ = (ℝ, +, ×, 0, 1)` and
+/// `S₂ = (ℝ ∪ −∞, max, +, −∞, 0)`:
+///
+/// ```text
+/// y_{k+1} = y_k W_k ⊗ b_k ⊕ 0        (⊗, ⊕ taken in S₂ = max.+)
+///         = max(y_k W_k + b_k, 0)    (ordinary notation)
+/// ```
+///
+/// `y_k W_k` is an `S₁` array product; the bias application `⊗ b_k` and
+/// the rectification `⊕ 0` are `S₂` operations. The struct packages both
+/// semirings so DNN kernels can name the pair as one object.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct DnnSemiringPair {
+    /// `S₁`: standard arithmetic, used for the weight product.
+    pub correlate: PlusTimes<f64>,
+    /// `S₂`: max-plus, used for bias and rectification.
+    pub select: MaxPlus<f64>,
+}
+
+impl DnnSemiringPair {
+    /// The full scalar inference step for one accumulated product `ywa`
+    /// (an entry of `y_k W_k`) and bias `b`:
+    /// `(ywa ⊗ b) ⊕ 0 = max(ywa + b, 0)` in `S₂`.
+    #[inline(always)]
+    pub fn bias_relu(&self, ywa: f64, b: f64) -> f64 {
+        self.select.add(self.select.mul(ywa, b), 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semirings::MinPlus;
+
+    #[test]
+    fn semilink_exposes_scalar_semiring() {
+        let l = Semilink::new(PlusTimes::<i64>::new());
+        assert_eq!(l.zero(), 0);
+        assert_eq!(l.one(), 1);
+        assert_eq!(l.add(2, 3), 5);
+        assert_eq!(l.mul(2, 3), 6);
+        assert_eq!(l.fma(10, 2, 3), 16);
+    }
+
+    #[test]
+    fn tropical_semilink_fma_relaxes_paths() {
+        let l = Semilink::new(MinPlus::<f64>::new());
+        // best-so-far 7, new route 2+3=5 → 5.
+        assert_eq!(l.fma(7.0, 2.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn dnn_pair_matches_relu_formula() {
+        let p = DnnSemiringPair::default();
+        assert_eq!(p.bias_relu(2.0, -0.5), 1.5); // max(2-0.5, 0)
+        assert_eq!(p.bias_relu(-2.0, 0.5), 0.0); // rectified
+        assert_eq!(p.bias_relu(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn dnn_pair_is_two_distinct_semirings() {
+        let p = DnnSemiringPair::default();
+        // Same scalar inputs, different answers under S1 vs S2 "mul":
+        assert_eq!(p.correlate.mul(2.0, 3.0), 6.0); // ×
+        assert_eq!(p.select.mul(2.0, 3.0), 5.0); // +
+        assert_eq!(p.correlate.zero(), 0.0);
+        assert_eq!(p.select.zero(), f64::NEG_INFINITY);
+    }
+}

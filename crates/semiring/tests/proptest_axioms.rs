@@ -1,0 +1,171 @@
+//! Property-based verification of Table I.
+//!
+//! Every semiring the paper tabulates is run through the full law suite
+//! ([`semiring::laws`]) on randomized values from its *actual* value set
+//! (e.g. `max.×` only over ℝ≥0, `min.×` only over ℝ>0 ∪ +∞, exactly as
+//! the table's "Set" column specifies).
+
+use proptest::prelude::*;
+use semiring::laws::{approx, exact, monoid_laws, semiring_laws};
+use semiring::{
+    AnyPair, IntersectMonoid, LandMonoid, LorLand, LorMonoid, MaxMin, MaxMonoid, MaxPlus, MaxTimes,
+    MinFirst, MinMax, MinMonoid, MinPlus, MinSecond, MinTimes, PSet, PlusMonoid, PlusTimes,
+    Semiring, UnionIntersect, UnionMonoid, XorAnd,
+};
+
+/// Finite floats plus the two infinities, as Table I's ℝ ∪ ±∞.
+fn extended_real() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1.0e6..1.0e6f64,
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn nonneg_real() -> impl Strategy<Value = f64> {
+    0.0..1.0e6f64
+}
+
+fn pos_real_or_inf() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 1.0e-3..1.0e6f64,
+        1 => Just(f64::INFINITY),
+    ]
+}
+
+fn small_set() -> impl Strategy<Value = PSet> {
+    prop_oneof![
+        8 => proptest::collection::btree_set(0u64..32, 0..8)
+            .prop_map(PSet::Set),
+        1 => Just(PSet::Universe),
+    ]
+}
+
+proptest! {
+    // ---- Row 1: (ℝ, +, ×, 0, 1) ----
+    #[test]
+    fn plus_times_f64(a in -1e6..1e6f64, b in -1e6..1e6f64, c in -1e6..1e6f64) {
+        prop_assert!(semiring_laws(&PlusTimes::<f64>::new(), a, b, c, approx(1e-9)));
+    }
+
+    #[test]
+    fn plus_times_i64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000, c in -1_000_000i64..1_000_000) {
+        prop_assert!(semiring_laws(&PlusTimes::<i64>::new(), a, b, c, exact));
+    }
+
+    // ---- Row 2: (ℝ ∪ −∞, max, +, −∞, 0) ----
+    #[test]
+    fn max_plus(a in extended_real(), b in extended_real(), c in extended_real()) {
+        // Exclude mixed ±∞ (−∞ + +∞ is undefined in the tropical extension;
+        // saturating arithmetic makes a choice but the algebra excludes it).
+        prop_assume!(!(a == f64::INFINITY || b == f64::INFINITY || c == f64::INFINITY));
+        prop_assert!(semiring_laws(&MaxPlus::<f64>::new(), a, b, c, approx(1e-9)));
+    }
+
+    // ---- Row 3: (ℝ ∪ +∞, min, +, +∞, 0) ----
+    #[test]
+    fn min_plus(a in extended_real(), b in extended_real(), c in extended_real()) {
+        prop_assume!(!(a == f64::NEG_INFINITY || b == f64::NEG_INFINITY || c == f64::NEG_INFINITY));
+        prop_assert!(semiring_laws(&MinPlus::<f64>::new(), a, b, c, approx(1e-9)));
+    }
+
+    // ---- Row 4: (ℝ≥0, max, ×, 0, 1) ----
+    #[test]
+    fn max_times(a in nonneg_real(), b in nonneg_real(), c in nonneg_real()) {
+        prop_assert!(semiring_laws(&MaxTimes::<f64>::new(), a, b, c, approx(1e-9)));
+    }
+
+    // ---- Row 5: (ℝ>0 ∪ +∞, min, ×, +∞, 1) ----
+    #[test]
+    fn min_times(a in pos_real_or_inf(), b in pos_real_or_inf(), c in pos_real_or_inf()) {
+        prop_assert!(semiring_laws(&MinTimes::<f64>::new(), a, b, c, approx(1e-9)));
+    }
+
+    // ---- Row 6: (𝒫(𝕍), ∪, ∩, ∅, 𝒫(𝕍)) ----
+    #[test]
+    fn union_intersect(a in small_set(), b in small_set(), c in small_set()) {
+        prop_assert!(semiring_laws(&UnionIntersect, a, b, c, exact));
+    }
+
+    // ---- Row 7: (𝕍 ∪ −∞, max, min, −∞, +∞) over a sortable set ----
+    #[test]
+    fn max_min(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        prop_assert!(semiring_laws(&MaxMin::<i64>::new(), a, b, c, exact));
+    }
+
+    // ---- Row 8: (𝕍 ∪ +∞, min, max, +∞, −∞) ----
+    #[test]
+    fn min_max(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        prop_assert!(semiring_laws(&MinMax::<i64>::new(), a, b, c, exact));
+    }
+
+    // ---- Boolean ∨.∧ ----
+    #[test]
+    fn lor_land(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        prop_assert!(semiring_laws(&LorLand, a, b, c, exact));
+    }
+
+    // ---- GF(2) xor.and ----
+    #[test]
+    fn xor_and(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        prop_assert!(semiring_laws(&XorAnd, a, b, c, exact));
+    }
+
+    // ---- Reduction monoids ----
+    #[test]
+    fn reduction_monoids(a in -1e6..1e6f64, b in -1e6..1e6f64, c in -1e6..1e6f64) {
+        prop_assert!(monoid_laws(&PlusMonoid::<f64>::default(), a, b, c, approx(1e-9)));
+        prop_assert!(monoid_laws(&MinMonoid::<f64>::default(), a, b, c, exact));
+        prop_assert!(monoid_laws(&MaxMonoid::<f64>::default(), a, b, c, exact));
+    }
+
+    #[test]
+    fn bool_monoids(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        prop_assert!(monoid_laws(&LorMonoid, a, b, c, exact));
+        prop_assert!(monoid_laws(&LandMonoid, a, b, c, exact));
+    }
+
+    #[test]
+    fn set_monoids(a in small_set(), b in small_set(), c in small_set()) {
+        prop_assert!(monoid_laws(&UnionMonoid, a.clone(), b.clone(), c.clone(), exact));
+        prop_assert!(monoid_laws(&IntersectMonoid, a, b, c, exact));
+    }
+
+    // ---- Graph-analytic operator bundles ----
+    // MinFirst / MinSecond / AnyPair are GraphBLAS-style (monoid, binop)
+    // pairs, not full semirings: their ⊗ identity is one-sided by design.
+    // We verify the laws sparse kernels actually rely on: additive monoid
+    // laws and the annihilating zero.
+    #[test]
+    fn min_first_kernel_laws(a in 1u64..1000, b in 1u64..1000, c in 1u64..1000) {
+        let s = MinFirst;
+        prop_assert!(semiring::laws::add_associative(&s, a, b, c, &exact));
+        prop_assert!(semiring::laws::add_commutative(&s, a, b, &exact));
+        prop_assert!(semiring::laws::add_identity(&s, a, &exact));
+        prop_assert!(semiring::laws::annihilator(&s, a, &exact));
+        // mul carries the left (source) operand through present entries:
+        prop_assert_eq!(s.mul(a, b), a);
+    }
+
+    #[test]
+    fn min_second_kernel_laws(a in 1u64..1000, b in 1u64..1000, c in 1u64..1000) {
+        let s = MinSecond;
+        prop_assert!(semiring::laws::add_associative(&s, a, b, c, &exact));
+        prop_assert!(semiring::laws::add_commutative(&s, a, b, &exact));
+        prop_assert!(semiring::laws::add_identity(&s, a, &exact));
+        prop_assert!(semiring::laws::annihilator(&s, a, &exact));
+        prop_assert_eq!(s.mul(a, b), b);
+    }
+
+    #[test]
+    fn any_pair_kernel_laws(a in 0u8..2, b in 0u8..2, c in 0u8..2) {
+        let s = AnyPair;
+        prop_assert!(semiring::laws::add_associative(&s, a, b, c, &exact));
+        prop_assert!(semiring::laws::add_identity(&s, a, &exact));
+        prop_assert!(semiring::laws::annihilator(&s, a, &exact));
+        // pair: product of two present entries is always 1.
+        if a != 0 && b != 0 {
+            prop_assert_eq!(s.mul(a, b), 1);
+        }
+    }
+}

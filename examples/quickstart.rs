@@ -1,0 +1,101 @@
+//! Quickstart: associative arrays, semirings, and the graph–array duality
+//! in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hyperspace::prelude::*;
+use semiring::PlusMonoid;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Associative arrays: spreadsheets with algebra (§III, Table II).
+    // ------------------------------------------------------------------
+    let s = PlusTimes::<f64>::new();
+    let purchases = Assoc::from_triplets(
+        vec![
+            ("alice", "apples", 2.0),
+            ("alice", "pears", 1.0),
+            ("bob", "apples", 5.0),
+            ("carol", "figs", 4.0),
+        ],
+        s,
+    );
+    println!("purchases (person × fruit):\n{purchases}");
+
+    // Different key spaces compose freely — only key overlap matters.
+    let prices = Assoc::from_triplets(
+        vec![
+            ("apples", "usd", 0.50),
+            ("pears", "usd", 0.75),
+            ("figs", "usd", 2.00),
+            ("durian", "usd", 9.00), // nobody bought durian: harmless
+        ],
+        s,
+    );
+    let bill = purchases.matmul(&prices, s);
+    println!("bill = purchases ⊕.⊗ prices:\n{bill}");
+    assert_eq!(bill.get(&"alice", &"usd"), Some(1.75));
+
+    // Reductions are the ⊕.⊗-against-ones projections of §IV.
+    println!(
+        "total spend: {:?}",
+        bill.reduce_cols(PlusMonoid::<f64>::default())
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Semirings change the *meaning* of the same operation (Table I).
+    // ------------------------------------------------------------------
+    let hops = MinPlus::<f64>::new();
+    let flights = Assoc::from_triplets(
+        vec![
+            ("BOS", "ORD", 2.5),
+            ("ORD", "SFO", 4.5),
+            ("BOS", "SFO", 6.6),
+        ],
+        hops,
+    );
+    // One min-plus array square = best ≤2-hop itineraries.
+    let two_hop = flights.matmul(&flights, hops).ewise_add(&flights, hops);
+    println!(
+        "best ≤2-hop BOS→SFO: {:?} hours",
+        two_hop.get(&"BOS", &"SFO")
+    );
+    assert_eq!(two_hop.get(&"BOS", &"SFO"), Some(6.6_f64.min(2.5 + 4.5)));
+
+    // ------------------------------------------------------------------
+    // 3. The graph–array duality (Fig. 1): BFS is array multiplication.
+    // ------------------------------------------------------------------
+    let mut coo = Coo::new(1 << 40, 1 << 40); // a 2⁴⁰-key hypersparse space
+    for (a, b) in [(0u64, 7), (7, 99), (99, 1 << 30), (7, 13)] {
+        coo.push(a, b, 1.0);
+    }
+    let adj = coo.build_dcsr(PlusTimes::<f64>::new());
+    let levels = graph::bfs::bfs_levels(&graph::pattern_u8(&adj), 0);
+    println!("BFS levels from vertex 0 in a 2^40 key space: {levels:?}");
+    assert_eq!(levels.len(), 5);
+
+    // ------------------------------------------------------------------
+    // 4. The storage engine switches formats by itself (Fig. 4).
+    // ------------------------------------------------------------------
+    let dense_ish = Matrix::from_triplets(
+        16,
+        16,
+        (0..16)
+            .flat_map(|i| (0..16).map(move |j| (i, j, 1.0)))
+            .collect(),
+        s,
+    );
+    let hyper = Matrix::from_triplets(1 << 50, 1 << 50, vec![(3, 9, 1.0)], s);
+    println!(
+        "full 16×16 stored as {:?}; one entry in 2^50×2^50 stored as {:?} ({} bytes)",
+        dense_ish.format(),
+        hyper.format(),
+        hyper.bytes()
+    );
+    assert_eq!(dense_ish.format(), Format::Dense);
+    assert_eq!(hyper.format(), Format::Dcsr);
+
+    println!("quickstart OK");
+}

@@ -1,0 +1,80 @@
+//! The conclusion's claim, end to end: associative arrays as "a plug-in
+//! replacement for spreadsheets [and] database tables". One dataset
+//! enters as a CSV spreadsheet, is manipulated with array algebra,
+//! queried with SQL, and leaves as CSV again — the same mathematical
+//! object wearing three costumes.
+//!
+//! ```sh
+//! cargo run --release --example spreadsheet_db
+//! ```
+
+use db::sql::{execute, execute_baseline, parse};
+use db::{AssocTable, RowTable};
+use hyperspace_core::csv::{from_csv_spreadsheet, to_csv_spreadsheet, to_csv_triples};
+use hyperspace_core::range::extract_col_prefix;
+use semiring::{PlusMonoid, PlusTimes};
+
+fn main() {
+    let s = PlusTimes::<f64>::new();
+
+    // ---- 1. A spreadsheet arrives as CSV ----
+    let incoming = "\
+,q1,q2,q3,q4
+widgets,120,95,,180
+gadgets,60,,75,90
+gizmos,,40,55,
+";
+    let sales = from_csv_spreadsheet(incoming, s).expect("valid csv");
+    println!("imported spreadsheet ({} cells):\n{sales}", sales.nnz());
+
+    // ---- 2. Spreadsheet math is array algebra ----
+    let yearly = sales.reduce_rows(PlusMonoid::<f64>::default());
+    println!("yearly totals (row reduction): {yearly:?}");
+    let per_quarter = sales.reduce_cols(PlusMonoid::<f64>::default());
+    println!("per-quarter totals (column reduction): {per_quarter:?}");
+
+    // Element-wise ⊕ merges a second spreadsheet — key alignment is free.
+    let corrections = from_csv_spreadsheet(",q2,q5\nwidgets,5,20\n", s).unwrap();
+    let merged = sales.ewise_add(&corrections, s);
+    assert_eq!(merged.get(&"widgets".into(), &"q2".into()), Some(100.0));
+    assert_eq!(merged.get(&"widgets".into(), &"q5".into()), Some(20.0));
+    println!("after ⊕-merging corrections:\n{merged}");
+
+    // Range algebra: first-half columns only.
+    let h1 = extract_col_prefix(&merged, "q", s).extract(
+        merged.row_keys().to_vec(),
+        vec!["q1".into(), "q2".into()],
+        s,
+    );
+    println!("H1 view:\n{h1}");
+
+    // ---- 3. The same rows as a database, queried with SQL ----
+    let records: Vec<(String, db::Record)> = merged
+        .row_keys()
+        .iter()
+        .map(|product| {
+            let rec: db::Record = merged
+                .row(product)
+                .into_iter()
+                .map(|(q, v)| (q, format!("{v}")))
+                .collect();
+            (product.clone(), rec)
+        })
+        .collect();
+    let table = AssocTable::from_records(records.clone());
+    let baseline = RowTable::from_records(records);
+
+    let q = parse("SELECT q1, q4 FROM sales WHERE q1 = '120'").unwrap();
+    let hits = execute(&q, &table);
+    assert_eq!(hits, execute_baseline(&q, &baseline));
+    println!("SQL query result: {hits:?}");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].0, "widgets");
+
+    // ---- 4. And back out as CSV, both shapes ----
+    let round = from_csv_spreadsheet(&to_csv_spreadsheet(&merged), s).unwrap();
+    assert_eq!(round, merged, "spreadsheet round trip is exact");
+    println!("triples export:\n{}", to_csv_triples(&h1));
+
+    println!("spreadsheet_db OK — one object, three costumes");
+}

@@ -1,0 +1,114 @@
+//! One long end-to-end scenario exercising the entire stack in a single
+//! story, as a digital-hyperspace pipeline: streaming events → hypergraph
+//! incidence → adjacency projection → graph analytics → database views →
+//! relational select → DNN scoring.
+
+use db::{AssocTable, RowTable};
+use graph::cc::{connected_components, count_components};
+use graph::hypergraph::Hypergraph;
+use graph::pagerank::{pagerank, top_k, PageRankOpts};
+use graph::pattern::{pattern_u64, pattern_u8, symmetrize};
+use graph::triangles::triangle_count;
+use hypersparse::Ix;
+use semiring::{PlusTimes, UnionIntersect};
+
+#[test]
+fn full_pipeline() {
+    let s = PlusTimes::<f64>::new();
+    let n_hosts: Ix = 64;
+
+    // ---- 1. Stream events into a hyper-multi-graph (Figs. 2–3) ----
+    let mut h = Hypergraph::new(n_hosts);
+    let mut records: Vec<(String, db::Record)> = Vec::new();
+    let push_flow =
+        |h: &mut Hypergraph, recs: &mut Vec<(String, db::Record)>, src: Ix, dst: Ix, port: &str| {
+            let k = h.add_edge(src, dst, 1.0);
+            recs.push((
+                format!("e{k:04}"),
+                vec![
+                    ("src".into(), format!("h{src:02}")),
+                    ("dst".into(), format!("h{dst:02}")),
+                    ("port".into(), port.into()),
+                ],
+            ));
+        };
+    // A dense cluster 0–5, a chain 10–14, and repeated (multi) edges.
+    for i in 0..6u64 {
+        for j in 0..6u64 {
+            if i != j {
+                push_flow(&mut h, &mut records, i, j, "443");
+            }
+        }
+    }
+    for i in 10..14u64 {
+        push_flow(&mut h, &mut records, i, i + 1, "80");
+    }
+    push_flow(&mut h, &mut records, 0, 1, "80"); // multi-edge
+                                                 // One broadcast hyper-event from host 3 to the chain.
+    h.add_hyperedge(&[3], &[10, 11, 12], 1.0);
+
+    // ---- 2. Project to adjacency (Fig. 3) and sanity-check ----
+    let adj = h.adjacency(s);
+    assert_eq!(adj.get(0, 1), Some(&2.0), "multi-edge multiplicity");
+    assert_eq!(adj.get(3, 11), Some(&1.0), "hyperedge fan-out");
+
+    // ---- 3. Graph analytics over semirings (Figs. 1, 5) ----
+    let sym = symmetrize(&adj, s);
+    let labels = connected_components(&pattern_u64(&sym));
+    // Hyperedge 3→{10,11,12} bridges the clique and the chain: 1 component.
+    assert_eq!(count_components(&labels), 1);
+
+    let tri = triangle_count(&sym);
+    assert!(tri >= 20, "K6 alone has 20 triangles, got {tri}");
+
+    let levels = graph::bfs::bfs_levels(&pattern_u8(&adj), 0);
+    assert!(levels.iter().any(|&(v, _)| v == 14), "0 reaches chain end");
+
+    // PageRank over the compact host space.
+    let mut coo = hypersparse::Coo::new(n_hosts, n_hosts);
+    for (r, c, v) in adj.iter() {
+        coo.push(r, c, *v);
+    }
+    let ranks = pagerank(&coo.build_dcsr(s), PageRankOpts::default());
+    let top = top_k(&ranks, 3);
+    assert!(top[0].1 > 0.0);
+
+    // ---- 4. The same events as database views (Fig. 6) ----
+    let sql = RowTable::from_records(records.clone());
+    let d4m = AssocTable::from_records(records.clone());
+    assert_eq!(sql.neighbors("h00"), d4m.neighbors("h00"));
+    let by_port = d4m.group_count("port");
+    let https = by_port.iter().find(|(p, _)| p == "443").unwrap().1;
+    assert_eq!(https, 30, "clique flows");
+
+    // ---- 5. Relational select via the semilink formula (§V.B) ----
+    let (view, mut atoms) = AssocTable::set_view(&records);
+    let v = atoms.intern("80");
+    let col = "port".to_string();
+    let sel = hyperspace_core::select::select_semilink(&view, &col, v).prune(UnionIntersect);
+    assert_eq!(
+        hyperspace_core::semilink::support_rows(&sel).len(),
+        5, // 4 chain flows + 1 multi-edge flow
+    );
+
+    // ---- 6. Score flows with a sparse DNN (Fig. 8) ----
+    let feat = d4m.array();
+    let nf = feat.col_keys().len() as Ix;
+    let mut batch = hypersparse::Coo::new(feat.row_keys().len() as Ix, nf);
+    for (r, c, v) in feat.matrix().as_dcsr().iter() {
+        batch.push(r, c, *v);
+    }
+    let batch = batch.build_dcsr(s);
+    let net = dnn::radix::radix_net(
+        dnn::radix::RadixNetParams {
+            n_neurons: nf,
+            fanin: 4,
+            depth: 3,
+            bias: -0.05,
+        },
+        1,
+    );
+    let scores = dnn::infer::infer_fused(&net, &batch);
+    assert_eq!(scores, dnn::infer::infer_two_semiring(&net, &batch));
+    assert!(scores.nnz() > 0);
+}

@@ -1,0 +1,79 @@
+//! Streaming-era integration: events arrive continuously into a
+//! hierarchical hypersparse stream *and* a SQL-queryable table; both
+//! views stay consistent, and graph analytics run on snapshots.
+
+use db::sql::{execute, execute_baseline, parse};
+use db::{AssocTable, RowTable};
+use graph::bfs::bfs_levels;
+use graph::msbfs::{level_of, msbfs_levels};
+use graph::pattern::pattern_u8;
+use hypersparse::{Ix, StreamingMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semiring::PlusTimes;
+
+#[test]
+fn streaming_and_sql_views_stay_consistent() {
+    let s = PlusTimes::<f64>::new();
+    let n_hosts: Ix = 50;
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Event stream: (src, dst, port) flows.
+    let mut stream = StreamingMatrix::new(n_hosts, n_hosts, s);
+    let mut records: Vec<(String, db::Record)> = Vec::new();
+    for e in 0..6_000u64 {
+        let src = rng.gen_range(0..n_hosts);
+        let mut dst = rng.gen_range(0..n_hosts);
+        if dst == src {
+            dst = (dst + 1) % n_hosts;
+        }
+        let port = ["80", "443"][rng.gen_range(0..2)];
+        stream.insert(src, dst, 1.0);
+        records.push((
+            format!("e{e:05}"),
+            vec![
+                ("src".into(), format!("h{src:02}")),
+                ("dst".into(), format!("h{dst:02}")),
+                ("port".into(), port.into()),
+            ],
+        ));
+    }
+
+    // Snapshot the stream as the graph view.
+    let adj = stream.snapshot();
+    assert_eq!(adj.iter().map(|(_, _, v)| *v as u64).sum::<u64>(), 6_000);
+
+    // Table views answer the same aggregate.
+    let table = AssocTable::from_records(records.clone());
+    let baseline = RowTable::from_records(records);
+    let total: usize = table.group_count("port").iter().map(|(_, c)| c).sum();
+    assert_eq!(total, 6_000);
+
+    // SQL against both table engines agrees.
+    let q = parse("SELECT dst FROM flows WHERE src = 'h00' AND port = '443'").unwrap();
+    let mut got = execute(&q, &table);
+    let mut want = execute_baseline(&q, &baseline);
+    got.sort();
+    want.sort();
+    assert_eq!(got, want);
+
+    // The streaming graph's out-edge count for host 0 matches the table's.
+    let h0_out_graph: f64 = adj.row(0).1.iter().sum();
+    let h0_out_table = table.select_eq("src", "h00").len() as f64;
+    assert_eq!(h0_out_graph, h0_out_table);
+
+    // Graph analytics on the snapshot: single- and multi-source BFS agree.
+    let pat = pattern_u8(&adj);
+    let sources: Vec<Ix> = (0..8).collect();
+    let ms = msbfs_levels(&pat, &sources);
+    for (i, &src) in sources.iter().enumerate() {
+        for (v, l) in bfs_levels(&pat, src) {
+            assert_eq!(level_of(&ms, i as Ix, v), Some(l as u64));
+        }
+    }
+
+    // Keep streaming after the snapshot; totals track.
+    stream.insert(1, 2, 1.0);
+    let snap2 = stream.snapshot();
+    assert_eq!(snap2.iter().map(|(_, _, v)| *v as u64).sum::<u64>(), 6_001);
+}
