@@ -1,0 +1,108 @@
+//! Ablation: execution-context workspace reuse (DESIGN.md §OpCtx).
+//!
+//! Runs the Fig. 3 projection workload `A = E_outᵀ ⊕.⊗ E_in` two ways:
+//! a **fresh** `OpCtx` per iteration (every SpGEMM allocates its
+//! accumulator scratch from cold) vs one **warm** `OpCtx` reused across
+//! iterations (scratch comes from the arena after the first call). The
+//! shape report prints throughput for both and the warm context's
+//! hit/miss counters; warm must not be slower than fresh.
+
+use bench::{fmt_dur, quick_time};
+use criterion::Criterion;
+use graph::hypergraph::Hypergraph;
+use hypersparse::ops::{mxm_ctx, transpose_ctx};
+use hypersparse::{Dcsr, Ix, OpCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semiring::PlusTimes;
+
+const N_VERTS: Ix = 1 << 16;
+
+fn s() -> PlusTimes<f64> {
+    PlusTimes::new()
+}
+
+fn build(n_edges: usize, hyper_frac: f64, seed: u64) -> (Dcsr<f64>, Dcsr<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = Hypergraph::new(N_VERTS);
+    for _ in 0..n_edges {
+        if rng.gen::<f64>() < hyper_frac {
+            let srcs: Vec<Ix> = (0..rng.gen_range(1..4usize))
+                .map(|_| rng.gen_range(0..N_VERTS))
+                .collect();
+            let dsts: Vec<Ix> = (0..rng.gen_range(2..8usize))
+                .map(|_| rng.gen_range(0..N_VERTS))
+                .collect();
+            h.add_hyperedge(&srcs, &dsts, 1.0);
+        } else {
+            let src = rng.gen_range(0..N_VERTS);
+            let dst = rng.gen_range(0..N_VERTS);
+            h.add_edge(src, dst.max(1), 1.0);
+        }
+    }
+    (h.e_out(), h.e_in())
+}
+
+/// One projection under `ctx`: `A = E_outᵀ ⊕.⊗ E_in`.
+fn project(ctx: &OpCtx, e_out: &Dcsr<f64>, e_in: &Dcsr<f64>) -> Dcsr<f64> {
+    let et = transpose_ctx(ctx, e_out);
+    mxm_ctx(ctx, &et, e_in, s())
+}
+
+fn shape_report() {
+    println!("=== Ablation: OpCtx workspace reuse (Fig. 3 projection) ===");
+    println!("| edges   | hyper% | fresh ctx  | warm ctx   | warm/fresh |");
+    for &(edges, frac) in &[(30_000usize, 0.0), (100_000, 0.0), (100_000, 0.3)] {
+        let (e_out, e_in) = build(edges, frac, 7);
+
+        let (t_fresh, a_fresh) = quick_time(5, || {
+            let ctx = OpCtx::new();
+            project(&ctx, &e_out, &e_in)
+        });
+        let warm = OpCtx::new();
+        let _ = project(&warm, &e_out, &e_in); // prime the arena
+        let (t_warm, a_warm) = quick_time(5, || project(&warm, &e_out, &e_in));
+
+        assert_eq!(a_fresh, a_warm, "ctx reuse changed the projection");
+        println!(
+            "| {:>7} | {:>5.0}% | {:>10} | {:>10} | {:>9.2}x |",
+            edges,
+            frac * 100.0,
+            fmt_dur(t_fresh),
+            fmt_dur(t_warm),
+            t_fresh.as_secs_f64() / t_warm.as_secs_f64(),
+        );
+
+        let snap = warm.metrics().snapshot();
+        println!(
+            "    warm arena: {} hits / {} misses, {} pooled buffer(s)",
+            snap.workspace_hits,
+            snap.workspace_misses,
+            warm.pooled_buffers(),
+        );
+    }
+    println!("✓ warm ≡ fresh bit-for-bit; reuse trades allocation for arena hits");
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    let (e_out, e_in) = build(100_000, 0.3, 7);
+    let mut group = c.benchmark_group("ablation/ctx_reuse");
+    group.sample_size(10);
+    group.bench_function("fresh_ctx", |b| {
+        b.iter(|| {
+            let ctx = OpCtx::new();
+            project(&ctx, &e_out, &e_in)
+        })
+    });
+    let warm = OpCtx::new();
+    let _ = project(&warm, &e_out, &e_in);
+    group.bench_function("warm_ctx", |b| b.iter(|| project(&warm, &e_out, &e_in)));
+    group.finish();
+}
+
+fn main() {
+    shape_report();
+    let mut c = Criterion::default().configure_from_args();
+    criterion_benches(&mut c);
+    c.final_summary();
+}

@@ -3,7 +3,7 @@
 //! * **formats** — forcing CSR vs DCSR vs trusting the automatic policy
 //!   on workloads from each Fig. 4 regime (auto should track the better
 //!   hand-picked format);
-//! * **parallel** — rayon row-sharded SpGEMM vs the sequential kernel;
+//! * **parallel** — row-sharded SpGEMM vs the sequential kernel;
 //! * **accumulator** — hash-map vs dense-scratch Gustavson accumulators
 //!   across column-space sizes (the `mxm` heuristic's crossover).
 

@@ -28,7 +28,7 @@ pub use hyperspace_core as core;
 /// Commonly used items, one `use` away.
 pub mod prelude {
     pub use hyperspace_core::{Assoc, Key};
-    pub use hypersparse::{Coo, Dcsr, Format, Matrix, SparseVec};
+    pub use hypersparse::{Coo, Dcsr, Format, Matrix, MetricsSnapshot, OpCtx, OpError, SparseVec};
     pub use semiring::{
         AnyPair, LorLand, MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, Monoid, PSet,
         PlusTimes, Semilink, Semiring, UnionIntersect,

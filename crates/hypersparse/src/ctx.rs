@@ -1,0 +1,326 @@
+//! The execution context threaded through every computational kernel.
+//!
+//! SuiteSparse:GraphBLAS kernels owe their production viability to three
+//! things the naive formulation lacks: **scratch reuse** (Gustavson
+//! accumulators are not reallocated per multiply), **explicit parallelism
+//! control** (`GxB_NTHREADS`), and **introspection** (`GxB_*` statistics).
+//! [`OpCtx`] packages all three:
+//!
+//! * a **workspace arena** pooling SpGEMM scratch (dense accumulator +
+//!   touched list + hash accumulator, per value type) so hot paths that
+//!   repeat same-shaped multiplies stop allocating per call;
+//! * a **thread cap** replacing the old `mxm` vs `mxm_seq` split: `1`
+//!   forces sequential execution, `n` shards rows across `n` OS threads,
+//!   `auto` (the default) uses the machine's available parallelism —
+//!   results are bit-for-bit identical at every setting;
+//! * the **metrics registry** ([`crate::metrics`]) every `*_ctx` kernel
+//!   reports into.
+//!
+//! Kernels take `&OpCtx`; the context is [`Sync`], so one context can
+//! serve parallel shards (scratch leases go through a mutex that is
+//! touched once per shard, not per row). The existing ctx-free kernel
+//! signatures remain available as thin wrappers over a **thread-local
+//! default context** ([`with_default_ctx`]), so existing callers keep
+//! both their API and their workspace-reuse benefits.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use semiring::traits::Value;
+
+use crate::metrics::MetricsRegistry;
+use crate::Ix;
+
+/// Reusable Gustavson-accumulator scratch for SpGEMM over value type `T`.
+///
+/// Holds both accumulator strategies so the kernel's per-call
+/// dense-vs-hash choice never forces an allocation: the dense scratch
+/// grows monotonically to the widest column space seen, the hash map
+/// keeps its capacity across calls.
+#[derive(Debug)]
+pub struct MxmScratch<T> {
+    /// Dense accumulator, one slot per column of the compact column space.
+    pub dense: Vec<Option<T>>,
+    /// Columns written this row (reset list for `dense`).
+    pub touched: Vec<Ix>,
+    /// Hash accumulator for hypersparse column spaces.
+    pub hash: HashMap<Ix, T>,
+}
+
+impl<T> Default for MxmScratch<T> {
+    fn default() -> Self {
+        MxmScratch {
+            dense: Vec::new(),
+            touched: Vec::new(),
+            hash: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Clone> MxmScratch<T> {
+    /// Grow the dense accumulator to at least `width` slots (never
+    /// shrinks — capacity is the point of pooling).
+    pub fn ensure_dense_width(&mut self, width: usize) {
+        if self.dense.len() < width {
+            self.dense.resize(width, None);
+        }
+    }
+
+    /// Current heap footprint of the dense accumulator, in slots.
+    pub fn dense_capacity(&self) -> usize {
+        self.dense.len()
+    }
+}
+
+/// Type-erased pools of [`MxmScratch`] buffers, keyed by value type.
+#[derive(Debug, Default)]
+struct Workspace {
+    pools: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
+}
+
+/// A leased [`MxmScratch`], returned to the context's pool on drop.
+pub struct ScratchLease<'a, T: Value> {
+    ctx: &'a OpCtx,
+    scratch: Option<MxmScratch<T>>,
+}
+
+impl<T: Value> ScratchLease<'_, T> {
+    /// The leased scratch buffers.
+    pub fn get(&mut self) -> &mut MxmScratch<T> {
+        self.scratch.as_mut().expect("present until drop")
+    }
+}
+
+impl<T: Value> Drop for ScratchLease<'_, T> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            let mut ws = self.ctx.workspace.lock().expect("workspace mutex");
+            ws.pools
+                .entry(TypeId::of::<MxmScratch<T>>())
+                .or_default()
+                .push(Box::new(scratch));
+        }
+    }
+}
+
+/// Execution context: workspace arena + parallelism control + metrics.
+///
+/// See the [module docs](self) for the design; see
+/// [`crate::ops::mxm_ctx`] for the canonical kernel entry point.
+#[derive(Debug, Default)]
+pub struct OpCtx {
+    /// Requested thread cap; `0` means "auto" (available parallelism).
+    threads: AtomicUsize,
+    workspace: Mutex<Workspace>,
+    metrics: MetricsRegistry,
+}
+
+impl OpCtx {
+    /// A fresh context: auto parallelism, empty workspace, zero counters.
+    pub fn new() -> Self {
+        OpCtx::default()
+    }
+
+    /// Builder-style thread cap (`0` = auto). See [`OpCtx::set_threads`].
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Cap kernel parallelism: `1` forces sequential execution, `n` uses
+    /// at most `n` OS threads, `0` restores auto (machine parallelism).
+    /// Takes `&self` so a cap can be adjusted mid-flight on a shared
+    /// context.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads, Ordering::Relaxed);
+    }
+
+    /// The resolved thread count (≥ 1) kernels will use right now.
+    pub fn threads(&self) -> usize {
+        match self.threads.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// The context's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Zero every metrics counter (workspace contents are kept).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+
+    /// Lease SpGEMM scratch for value type `T` from the arena. The lease
+    /// returns the (possibly grown) buffers to the pool on drop; a pool
+    /// hit costs one mutex lock and zero allocations.
+    pub fn lease_mxm_scratch<T: Value>(&self) -> ScratchLease<'_, T> {
+        let mut ws = self.workspace.lock().expect("workspace mutex");
+        let scratch = ws
+            .pools
+            .get_mut(&TypeId::of::<MxmScratch<T>>())
+            .and_then(|pool| pool.pop())
+            .map(|boxed| {
+                *boxed
+                    .downcast::<MxmScratch<T>>()
+                    .expect("pool keyed by type")
+            });
+        drop(ws);
+        match scratch {
+            Some(mut scratch) => {
+                self.metrics.record_ws_hit();
+                scratch.touched.clear();
+                scratch.hash.clear();
+                ScratchLease {
+                    ctx: self,
+                    scratch: Some(scratch),
+                }
+            }
+            None => {
+                self.metrics.record_ws_miss();
+                ScratchLease {
+                    ctx: self,
+                    scratch: Some(MxmScratch::default()),
+                }
+            }
+        }
+    }
+
+    /// Number of scratch buffers currently parked in the arena (all
+    /// value types). Diagnostic; used by the reuse tests.
+    pub fn pooled_buffers(&self) -> usize {
+        let ws = self.workspace.lock().expect("workspace mutex");
+        ws.pools.values().map(|p| p.len()).sum()
+    }
+
+    /// Drop every pooled scratch buffer (e.g. after a one-off huge
+    /// multiply whose dense accumulator should not stay resident).
+    pub fn trim_workspace(&self) {
+        let mut ws = self.workspace.lock().expect("workspace mutex");
+        ws.pools.clear();
+    }
+}
+
+thread_local! {
+    static DEFAULT_CTX: OpCtx = OpCtx::new();
+}
+
+/// Run `f` against this thread's default context — the context behind
+/// every ctx-free kernel signature. The default context persists for the
+/// thread's lifetime, so even legacy callers get workspace reuse; its
+/// metrics accumulate across all ctx-free calls on the thread.
+pub fn with_default_ctx<R>(f: impl FnOnce(&OpCtx) -> R) -> R {
+    DEFAULT_CTX.with(f)
+}
+
+/// Deterministic fan-out: run `jobs` closures on up to `threads` OS
+/// threads and return their results **in job order** regardless of
+/// completion order. Jobs are claimed from a shared atomic counter, so
+/// skewed job costs balance; determinism comes from indexing results by
+/// job id, never from scheduling.
+pub(crate) fn par_run<R, F>(threads: usize, jobs: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.min(jobs).max(1);
+    if threads == 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    let slots = Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= jobs {
+                    break;
+                }
+                let out = job(idx);
+                let mut guard = slots.lock().expect("result mutex");
+                guard[idx] = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cap_resolution() {
+        let ctx = OpCtx::new().with_threads(3);
+        assert_eq!(ctx.threads(), 3);
+        ctx.set_threads(1);
+        assert_eq!(ctx.threads(), 1);
+        ctx.set_threads(0);
+        assert!(ctx.threads() >= 1);
+    }
+
+    #[test]
+    fn scratch_lease_pools_and_reuses() {
+        let ctx = OpCtx::new();
+        {
+            let mut lease = ctx.lease_mxm_scratch::<f64>();
+            lease.get().ensure_dense_width(1024);
+            lease.get().touched.push(7);
+            lease.get().hash.insert(3, 1.5);
+        }
+        assert_eq!(ctx.pooled_buffers(), 1);
+        {
+            let mut lease = ctx.lease_mxm_scratch::<f64>();
+            // Reused: capacity survives, per-call state is clean.
+            assert_eq!(lease.get().dense_capacity(), 1024);
+            assert!(lease.get().touched.is_empty());
+            assert!(lease.get().hash.is_empty());
+        }
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.workspace_misses, 1);
+        assert_eq!(snap.workspace_hits, 1);
+    }
+
+    #[test]
+    fn scratch_pools_are_per_type() {
+        let ctx = OpCtx::new();
+        drop(ctx.lease_mxm_scratch::<f64>());
+        {
+            let mut lease = ctx.lease_mxm_scratch::<bool>();
+            assert_eq!(lease.get().dense_capacity(), 0);
+        }
+        assert_eq!(ctx.pooled_buffers(), 2);
+        assert_eq!(ctx.metrics().snapshot().workspace_misses, 2);
+        ctx.trim_workspace();
+        assert_eq!(ctx.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn par_run_is_deterministic_and_ordered() {
+        let sequential = par_run(1, 64, |i| i * i);
+        for threads in [2, 3, 8] {
+            assert_eq!(par_run(threads, 64, |i| i * i), sequential);
+        }
+        assert_eq!(par_run(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn default_ctx_persists_per_thread() {
+        let before = with_default_ctx(|c| c.metrics().snapshot().workspace_misses);
+        with_default_ctx(|c| drop(c.lease_mxm_scratch::<u32>()));
+        with_default_ctx(|c| drop(c.lease_mxm_scratch::<u32>()));
+        let after = with_default_ctx(|c| c.metrics().snapshot());
+        assert_eq!(after.workspace_misses, before + 1, "second lease pooled");
+        assert!(after.workspace_hits >= 1);
+    }
+}

@@ -27,8 +27,13 @@
 //! All computational kernels ([`ops`]) are generic over a
 //! [`semiring::Semiring`], take operator objects by value (zero-sized →
 //! fully monomorphized inner loops), never store semiring zeros, and are
-//! deterministic: the rayon-parallel SpGEMM partitions by row and merges
-//! in row order, so parallel ≡ sequential bit-for-bit.
+//! deterministic: the parallel SpGEMM partitions by row and merges in
+//! row order, so parallel ≡ sequential bit-for-bit. Every kernel runs
+//! under an execution context ([`ctx::OpCtx`]) providing a reusable
+//! workspace arena, a thread cap, and per-kernel metrics
+//! ([`metrics::MetricsSnapshot`]); ctx-free signatures use a
+//! thread-local default context. Fallible `try_*` variants on
+//! [`Matrix`] return [`OpError`] instead of panicking.
 //!
 //! Index space is `u64` throughout — dimensions are *key-space sizes*,
 //! not allocation sizes; only materialized formats (dense, bitmap, CSR)
@@ -59,10 +64,13 @@
 pub mod bitmap;
 pub mod coo;
 pub mod csr;
+pub mod ctx;
 pub mod dcsr;
 pub mod dense;
+pub mod error;
 pub mod gen;
 pub mod matrix;
+pub mod metrics;
 pub mod ops;
 pub mod stream;
 pub mod vector;
@@ -70,9 +78,12 @@ pub mod vector;
 pub use bitmap::Bitmap;
 pub use coo::Coo;
 pub use csr::Csr;
+pub use ctx::{with_default_ctx, OpCtx};
 pub use dcsr::Dcsr;
 pub use dense::DenseMat;
+pub use error::{Axis, OpError};
 pub use matrix::{Format, FormatPolicy, Matrix};
+pub use metrics::{Kernel, KernelSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use stream::StreamingMatrix;
 pub use vector::SparseVec;
 

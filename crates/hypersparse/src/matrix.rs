@@ -19,8 +19,10 @@ use semiring::traits::{Monoid, Semiring, UnaryOp, Value};
 use crate::bitmap::Bitmap;
 use crate::coo::Coo;
 use crate::csr::Csr;
+use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
 use crate::dense::DenseMat;
+use crate::error::{Axis, OpError};
 use crate::ops;
 use crate::vector::SparseVec;
 use crate::Ix;
@@ -256,15 +258,61 @@ impl<T: Value> Matrix<T> {
         self.as_dcsr().to_triplets()
     }
 
-    fn wrap<S: Semiring<Value = T>>(&self, d: Dcsr<T>, s: S) -> Self {
-        Self::from_dcsr_with_policy(d, s, self.policy)
+    /// Re-run format selection on an operation result, counting the
+    /// storage-format change (if any) in the context's metrics.
+    fn wrap_ctx<S: Semiring<Value = T>>(&self, ctx: &OpCtx, d: Dcsr<T>, s: S) -> Self {
+        let out = Self::from_dcsr_with_policy(d, s, self.policy);
+        if out.format() != self.format() {
+            ctx.metrics().record_format_switch();
+        }
+        out
     }
 
     // ---- semiring operations (each re-runs format selection) ----
+    //
+    // Every operation comes in up to four spellings:
+    //   `op`         — panics on misuse, thread-local default ctx;
+    //   `try_op`     — returns `Result<_, OpError>`, default ctx;
+    //   `op_ctx`     — panics on misuse, explicit `OpCtx`;
+    //   `try_op_ctx` — fallible AND explicit ctx (the primitive the
+    //                  other three wrap).
 
     /// Array multiplication `C = A ⊕.⊗ B`.
     pub fn mxm<S: Semiring<Value = T>>(&self, other: &Self, s: S) -> Self {
-        self.wrap(ops::mxm(&self.as_dcsr(), &other.as_dcsr(), s), s)
+        self.try_mxm(other, s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::mxm`]: dimension mismatch becomes an error.
+    pub fn try_mxm<S: Semiring<Value = T>>(&self, other: &Self, s: S) -> Result<Self, OpError> {
+        with_default_ctx(|ctx| self.try_mxm_ctx(ctx, other, s))
+    }
+
+    /// [`Matrix::mxm`] through an explicit execution context.
+    pub fn mxm_ctx<S: Semiring<Value = T>>(&self, ctx: &OpCtx, other: &Self, s: S) -> Self {
+        self.try_mxm_ctx(ctx, other, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::mxm`] through an explicit execution context.
+    pub fn try_mxm_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        if self.ncols() != other.nrows() {
+            return Err(OpError::DimensionMismatch {
+                op: "mxm",
+                a: (self.nrows(), self.ncols()),
+                b: (other.nrows(), other.ncols()),
+                rule: "inner dimensions differ",
+            });
+        }
+        Ok(self.wrap_ctx(
+            ctx,
+            ops::mxm_ctx(ctx, &self.as_dcsr(), &other.as_dcsr(), s),
+            s,
+        ))
     }
 
     /// Masked array multiplication (see [`ops::mxm_masked`]).
@@ -275,8 +323,22 @@ impl<T: Value> Matrix<T> {
         complement: bool,
         s: S,
     ) -> Self {
-        self.wrap(
-            ops::mxm_masked(
+        with_default_ctx(|ctx| self.mxm_masked_ctx(ctx, other, mask, complement, s))
+    }
+
+    /// [`Matrix::mxm_masked`] through an explicit execution context.
+    pub fn mxm_masked_ctx<S: Semiring<Value = T>, M: Value>(
+        &self,
+        ctx: &OpCtx,
+        other: &Self,
+        mask: &Matrix<M>,
+        complement: bool,
+        s: S,
+    ) -> Self {
+        self.wrap_ctx(
+            ctx,
+            ops::mxm_masked_ctx(
+                ctx,
                 &self.as_dcsr(),
                 &other.as_dcsr(),
                 &mask.as_dcsr(),
@@ -287,54 +349,307 @@ impl<T: Value> Matrix<T> {
         )
     }
 
+    fn check_same_space(&self, other: &Self, op: &'static str) -> Result<(), OpError> {
+        if (self.nrows(), self.ncols()) != (other.nrows(), other.ncols()) {
+            return Err(OpError::DimensionMismatch {
+                op,
+                a: (self.nrows(), self.ncols()),
+                b: (other.nrows(), other.ncols()),
+                rule: "element-wise operands must share a key space",
+            });
+        }
+        Ok(())
+    }
+
     /// Element-wise addition `C = A ⊕ B` (pattern union).
     pub fn ewise_add<S: Semiring<Value = T>>(&self, other: &Self, s: S) -> Self {
-        self.wrap(ops::ewise_add(&self.as_dcsr(), &other.as_dcsr(), s), s)
+        self.try_ewise_add(other, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::ewise_add`].
+    pub fn try_ewise_add<S: Semiring<Value = T>>(
+        &self,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        with_default_ctx(|ctx| self.try_ewise_add_ctx(ctx, other, s))
+    }
+
+    /// [`Matrix::ewise_add`] through an explicit execution context.
+    pub fn ewise_add_ctx<S: Semiring<Value = T>>(&self, ctx: &OpCtx, other: &Self, s: S) -> Self {
+        self.try_ewise_add_ctx(ctx, other, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::ewise_add`] through an explicit context.
+    pub fn try_ewise_add_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        self.check_same_space(other, "ewise_add")?;
+        Ok(self.wrap_ctx(
+            ctx,
+            ops::ewise_add_ctx(ctx, &self.as_dcsr(), &other.as_dcsr(), s),
+            s,
+        ))
     }
 
     /// Element-wise multiplication `C = A ⊗ B` (pattern intersection).
     pub fn ewise_mul<S: Semiring<Value = T>>(&self, other: &Self, s: S) -> Self {
-        self.wrap(ops::ewise_mul(&self.as_dcsr(), &other.as_dcsr(), s), s)
+        self.try_ewise_mul(other, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::ewise_mul`].
+    pub fn try_ewise_mul<S: Semiring<Value = T>>(
+        &self,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        with_default_ctx(|ctx| self.try_ewise_mul_ctx(ctx, other, s))
+    }
+
+    /// [`Matrix::ewise_mul`] through an explicit execution context.
+    pub fn ewise_mul_ctx<S: Semiring<Value = T>>(&self, ctx: &OpCtx, other: &Self, s: S) -> Self {
+        self.try_ewise_mul_ctx(ctx, other, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::ewise_mul`] through an explicit context.
+    pub fn try_ewise_mul_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        self.check_same_space(other, "ewise_mul")?;
+        Ok(self.wrap_ctx(
+            ctx,
+            ops::ewise_mul_ctx(ctx, &self.as_dcsr(), &other.as_dcsr(), s),
+            s,
+        ))
     }
 
     /// Transpose.
     pub fn transpose<S: Semiring<Value = T>>(&self, s: S) -> Self {
-        self.wrap(ops::transpose(&self.as_dcsr()), s)
+        with_default_ctx(|ctx| self.transpose_ctx(ctx, s))
+    }
+
+    /// [`Matrix::transpose`] through an explicit execution context.
+    pub fn transpose_ctx<S: Semiring<Value = T>>(&self, ctx: &OpCtx, s: S) -> Self {
+        self.wrap_ctx(ctx, ops::transpose_ctx(ctx, &self.as_dcsr()), s)
     }
 
     /// Apply a unary operator to every stored value.
     pub fn apply<S: Semiring<Value = T>, O: UnaryOp<T, T>>(&self, op: O, s: S) -> Self {
-        self.wrap(ops::apply(&self.as_dcsr(), op, s), s)
+        with_default_ctx(|ctx| self.apply_ctx(ctx, op, s))
+    }
+
+    /// [`Matrix::apply`] through an explicit execution context.
+    pub fn apply_ctx<S: Semiring<Value = T>, O: UnaryOp<T, T>>(
+        &self,
+        ctx: &OpCtx,
+        op: O,
+        s: S,
+    ) -> Self {
+        self.wrap_ctx(ctx, ops::apply_ctx(ctx, &self.as_dcsr(), op, s), s)
     }
 
     /// Keep entries satisfying `keep(row, col, value)`.
     pub fn select<S: Semiring<Value = T>, F: Fn(Ix, Ix, &T) -> bool>(&self, keep: F, s: S) -> Self {
-        self.wrap(ops::select(&self.as_dcsr(), keep), s)
+        with_default_ctx(|ctx| self.select_ctx(ctx, keep, s))
     }
 
-    /// Submatrix extraction with reindexing.
+    /// [`Matrix::select`] through an explicit execution context.
+    pub fn select_ctx<S: Semiring<Value = T>, F: Fn(Ix, Ix, &T) -> bool>(
+        &self,
+        ctx: &OpCtx,
+        keep: F,
+        s: S,
+    ) -> Self {
+        self.wrap_ctx(ctx, ops::select_ctx(ctx, &self.as_dcsr(), keep), s)
+    }
+
+    /// Submatrix extraction with reindexing. Out-of-range selector
+    /// indices address empty key-space rows/columns and contribute
+    /// nothing; use [`Matrix::try_extract`] to treat them as errors.
     pub fn extract<S: Semiring<Value = T>>(&self, rows: &[Ix], cols: &[Ix], s: S) -> Self {
-        self.wrap(ops::extract(&self.as_dcsr(), rows, cols), s)
+        with_default_ctx(|ctx| self.extract_ctx(ctx, rows, cols, s))
+    }
+
+    /// [`Matrix::extract`] through an explicit execution context.
+    pub fn extract_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        rows: &[Ix],
+        cols: &[Ix],
+        s: S,
+    ) -> Self {
+        self.wrap_ctx(ctx, ops::extract_ctx(ctx, &self.as_dcsr(), rows, cols), s)
+    }
+
+    /// Fallible [`Matrix::extract`]: selector indices must lie inside
+    /// the key space.
+    pub fn try_extract<S: Semiring<Value = T>>(
+        &self,
+        rows: &[Ix],
+        cols: &[Ix],
+        s: S,
+    ) -> Result<Self, OpError> {
+        with_default_ctx(|ctx| self.try_extract_ctx(ctx, rows, cols, s))
+    }
+
+    /// Fallible [`Matrix::extract`] through an explicit context.
+    pub fn try_extract_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        rows: &[Ix],
+        cols: &[Ix],
+        s: S,
+    ) -> Result<Self, OpError> {
+        if let Some(&bad) = rows.iter().find(|&&r| r >= self.nrows()) {
+            return Err(OpError::IndexOutOfBounds {
+                axis: Axis::Rows,
+                index: bad,
+                bound: self.nrows(),
+            });
+        }
+        if let Some(&bad) = cols.iter().find(|&&c| c >= self.ncols()) {
+            return Err(OpError::IndexOutOfBounds {
+                axis: Axis::Cols,
+                index: bad,
+                bound: self.ncols(),
+            });
+        }
+        Ok(self.extract_ctx(ctx, rows, cols, s))
     }
 
     /// Kronecker product.
     pub fn kron<S: Semiring<Value = T>>(&self, other: &Self, s: S) -> Self {
-        self.wrap(ops::kron(&self.as_dcsr(), &other.as_dcsr(), s), s)
+        with_default_ctx(|ctx| self.kron_ctx(ctx, other, s))
+    }
+
+    /// [`Matrix::kron`] through an explicit execution context.
+    pub fn kron_ctx<S: Semiring<Value = T>>(&self, ctx: &OpCtx, other: &Self, s: S) -> Self {
+        self.wrap_ctx(
+            ctx,
+            ops::kron_ctx(ctx, &self.as_dcsr(), &other.as_dcsr(), s),
+            s,
+        )
     }
 
     /// Submatrix assignment `A(rows, cols) = B` (see [`ops::assign`]).
     pub fn assign<S: Semiring<Value = T>>(&self, rows: &[Ix], cols: &[Ix], b: &Self, s: S) -> Self {
-        self.wrap(ops::assign(&self.as_dcsr(), rows, cols, &b.as_dcsr()), s)
+        with_default_ctx(|ctx| self.assign_ctx(ctx, rows, cols, b, s))
+    }
+
+    /// [`Matrix::assign`] through an explicit execution context.
+    pub fn assign_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        rows: &[Ix],
+        cols: &[Ix],
+        b: &Self,
+        s: S,
+    ) -> Self {
+        self.wrap_ctx(
+            ctx,
+            ops::assign_ctx(ctx, &self.as_dcsr(), rows, cols, &b.as_dcsr()),
+            s,
+        )
     }
 
     /// Stack `self` on top of `other`.
     pub fn concat_rows<S: Semiring<Value = T>>(&self, other: &Self, s: S) -> Self {
-        self.wrap(ops::concat_rows(&self.as_dcsr(), &other.as_dcsr()), s)
+        self.try_concat_rows(other, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::concat_rows`]: column mismatch or row-space
+    /// overflow become errors.
+    pub fn try_concat_rows<S: Semiring<Value = T>>(
+        &self,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        with_default_ctx(|ctx| self.try_concat_rows_ctx(ctx, other, s))
+    }
+
+    /// Fallible [`Matrix::concat_rows`] through an explicit context.
+    pub fn try_concat_rows_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        if self.ncols() != other.ncols() {
+            return Err(OpError::DimensionMismatch {
+                op: "concat_rows",
+                a: (self.nrows(), self.ncols()),
+                b: (other.nrows(), other.ncols()),
+                rule: "concat_rows column conformance",
+            });
+        }
+        if self.nrows().checked_add(other.nrows()).is_none() {
+            return Err(OpError::TooLargeToMaterialize {
+                op: "concat_rows",
+                axis: Axis::Rows,
+                extents: (self.nrows(), other.nrows()),
+            });
+        }
+        Ok(self.wrap_ctx(
+            ctx,
+            ops::concat_rows_ctx(ctx, &self.as_dcsr(), &other.as_dcsr()),
+            s,
+        ))
     }
 
     /// Place `self` to the left of `other`.
     pub fn concat_cols<S: Semiring<Value = T>>(&self, other: &Self, s: S) -> Self {
-        self.wrap(ops::concat_cols(&self.as_dcsr(), &other.as_dcsr()), s)
+        self.try_concat_cols(other, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::concat_cols`]: row mismatch or column-space
+    /// overflow become errors.
+    pub fn try_concat_cols<S: Semiring<Value = T>>(
+        &self,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        with_default_ctx(|ctx| self.try_concat_cols_ctx(ctx, other, s))
+    }
+
+    /// Fallible [`Matrix::concat_cols`] through an explicit context.
+    pub fn try_concat_cols_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        other: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
+        if self.nrows() != other.nrows() {
+            return Err(OpError::DimensionMismatch {
+                op: "concat_cols",
+                a: (self.nrows(), self.ncols()),
+                b: (other.nrows(), other.ncols()),
+                rule: "concat_cols row conformance",
+            });
+        }
+        if self.ncols().checked_add(other.ncols()).is_none() {
+            return Err(OpError::TooLargeToMaterialize {
+                op: "concat_cols",
+                axis: Axis::Cols,
+                extents: (self.ncols(), other.ncols()),
+            });
+        }
+        Ok(self.wrap_ctx(
+            ctx,
+            ops::concat_cols_ctx(ctx, &self.as_dcsr(), &other.as_dcsr()),
+            s,
+        ))
     }
 
     /// The main diagonal as a sparse vector.
@@ -344,7 +659,12 @@ impl<T: Value> Matrix<T> {
 
     /// `A^k` over a semiring (`k ≥ 1`).
     pub fn power<S: Semiring<Value = T>>(&self, k: u32, s: S) -> Self {
-        self.wrap(ops::matrix_power(&self.as_dcsr(), k, s), s)
+        with_default_ctx(|ctx| self.power_ctx(ctx, k, s))
+    }
+
+    /// [`Matrix::power`] through an explicit execution context.
+    pub fn power_ctx<S: Semiring<Value = T>>(&self, ctx: &OpCtx, k: u32, s: S) -> Self {
+        self.wrap_ctx(ctx, ops::matrix_power_ctx(ctx, &self.as_dcsr(), k, s), s)
     }
 
     /// Row reduction `out(i) = ⊕_j A(i,j)` (the `A ⊕.⊗ 𝟙` projection).
@@ -352,14 +672,29 @@ impl<T: Value> Matrix<T> {
         ops::reduce_rows(&self.as_dcsr(), m)
     }
 
+    /// [`Matrix::reduce_rows`] through an explicit execution context.
+    pub fn reduce_rows_ctx<M: Monoid<T>>(&self, ctx: &OpCtx, m: M) -> SparseVec<T> {
+        ops::reduce_rows_ctx(ctx, &self.as_dcsr(), m)
+    }
+
     /// Column reduction `out(j) = ⊕_i A(i,j)` (the `𝟙 ⊕.⊗ A` projection).
     pub fn reduce_cols<M: Monoid<T>>(&self, m: M) -> SparseVec<T> {
         ops::reduce_cols(&self.as_dcsr(), m)
     }
 
+    /// [`Matrix::reduce_cols`] through an explicit execution context.
+    pub fn reduce_cols_ctx<M: Monoid<T>>(&self, ctx: &OpCtx, m: M) -> SparseVec<T> {
+        ops::reduce_cols_ctx(ctx, &self.as_dcsr(), m)
+    }
+
     /// Reduce every entry to one scalar.
     pub fn reduce_scalar<M: Monoid<T>>(&self, m: M) -> T {
         ops::reduce_scalar(&self.as_dcsr(), m)
+    }
+
+    /// [`Matrix::reduce_scalar`] through an explicit execution context.
+    pub fn reduce_scalar_ctx<M: Monoid<T>>(&self, ctx: &OpCtx, m: M) -> T {
+        ops::reduce_scalar_ctx(ctx, &self.as_dcsr(), m)
     }
 
     /// `vᵀ A` — one frontier-expansion step.

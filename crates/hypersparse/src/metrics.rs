@@ -1,0 +1,321 @@
+//! Per-kernel observability counters.
+//!
+//! SuiteSparse:GraphBLAS owes much of its production debuggability to
+//! `GxB_*` introspection: you can ask the library what its kernels did.
+//! This module is that layer for the hypersparse engine. Every
+//! computational kernel routed through an [`crate::ctx::OpCtx`] records a
+//! [`Kernel`]-keyed row of counters — calls, input/output nnz, flops
+//! (semiring ⊗ applications, or combiner applications for merges), and
+//! elapsed wall time — plus engine-wide counters for storage-format
+//! switches and workspace-arena hits/misses.
+//!
+//! All counters are relaxed atomics: recording from parallel shards is
+//! race-free, and reading while kernels run yields a consistent-enough
+//! view for reporting (exact totals require quiescence, which tests
+//! have).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Kernel identities tracked by the metrics registry.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Kernel {
+    #[default]
+    Mxm,
+    MxmMasked,
+    EwiseAdd,
+    EwiseMul,
+    EwiseUnion,
+    ReduceRows,
+    ReduceCols,
+    ReduceScalar,
+    Transpose,
+    Apply,
+    Select,
+    Extract,
+    Kron,
+    Assign,
+    ConcatRows,
+    ConcatCols,
+    Power,
+}
+
+impl Kernel {
+    /// Every tracked kernel, in registry order.
+    pub const ALL: [Kernel; 17] = [
+        Kernel::Mxm,
+        Kernel::MxmMasked,
+        Kernel::EwiseAdd,
+        Kernel::EwiseMul,
+        Kernel::EwiseUnion,
+        Kernel::ReduceRows,
+        Kernel::ReduceCols,
+        Kernel::ReduceScalar,
+        Kernel::Transpose,
+        Kernel::Apply,
+        Kernel::Select,
+        Kernel::Extract,
+        Kernel::Kron,
+        Kernel::Assign,
+        Kernel::ConcatRows,
+        Kernel::ConcatCols,
+        Kernel::Power,
+    ];
+
+    /// Stable display name (`mxm`, `ewise_add`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Mxm => "mxm",
+            Kernel::MxmMasked => "mxm_masked",
+            Kernel::EwiseAdd => "ewise_add",
+            Kernel::EwiseMul => "ewise_mul",
+            Kernel::EwiseUnion => "ewise_union",
+            Kernel::ReduceRows => "reduce_rows",
+            Kernel::ReduceCols => "reduce_cols",
+            Kernel::ReduceScalar => "reduce_scalar",
+            Kernel::Transpose => "transpose",
+            Kernel::Apply => "apply",
+            Kernel::Select => "select",
+            Kernel::Extract => "extract",
+            Kernel::Kron => "kron",
+            Kernel::Assign => "assign",
+            Kernel::ConcatRows => "concat_rows",
+            Kernel::ConcatCols => "concat_cols",
+            Kernel::Power => "power",
+        }
+    }
+
+    fn index(self) -> usize {
+        Kernel::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+}
+
+/// Live counters for one kernel.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    calls: AtomicU64,
+    elapsed_ns: AtomicU64,
+    nnz_in: AtomicU64,
+    nnz_out: AtomicU64,
+    flops: AtomicU64,
+}
+
+impl KernelStats {
+    /// Fold one completed kernel invocation into the counters.
+    pub fn record(&self, elapsed: Duration, nnz_in: u64, nnz_out: u64, flops: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.elapsed_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.nnz_in.fetch_add(nnz_in, Ordering::Relaxed);
+        self.nnz_out.fetch_add(nnz_out, Ordering::Relaxed);
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, kernel: Kernel) -> KernelSnapshot {
+        KernelSnapshot {
+            kernel,
+            calls: self.calls.load(Ordering::Relaxed),
+            elapsed_ns: self.elapsed_ns.load(Ordering::Relaxed),
+            nnz_in: self.nnz_in.load(Ordering::Relaxed),
+            nnz_out: self.nnz_out.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.elapsed_ns.store(0, Ordering::Relaxed);
+        self.nnz_in.store(0, Ordering::Relaxed);
+        self.nnz_out.store(0, Ordering::Relaxed);
+        self.flops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen counters for one kernel (what [`MetricsSnapshot`] hands out).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelSnapshot {
+    /// Which kernel these counters describe.
+    pub kernel: Kernel,
+    /// Completed invocations.
+    pub calls: u64,
+    /// Total wall time across invocations, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Total stored entries across all inputs.
+    pub nnz_in: u64,
+    /// Total stored entries across all outputs.
+    pub nnz_out: u64,
+    /// Total useful algebraic work: ⊗ applications for multiplies,
+    /// combiner applications for merges and reductions.
+    pub flops: u64,
+}
+
+/// The per-context metrics registry: one [`KernelStats`] row per
+/// [`Kernel`], plus engine-wide counters.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    stats: [KernelStats; Kernel::ALL.len()],
+    format_switches: AtomicU64,
+    ws_hits: AtomicU64,
+    ws_misses: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// The live counter row for `kernel`.
+    pub fn kernel(&self, kernel: Kernel) -> &KernelStats {
+        &self.stats[kernel.index()]
+    }
+
+    /// Record one completed invocation of `kernel`.
+    pub fn record(&self, kernel: Kernel, elapsed: Duration, nnz_in: u64, nnz_out: u64, flops: u64) {
+        self.kernel(kernel).record(elapsed, nnz_in, nnz_out, flops);
+    }
+
+    /// Count one automatic storage-format change on a result matrix.
+    pub fn record_format_switch(&self) {
+        self.format_switches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one workspace-arena acquisition served from the pool.
+    pub(crate) fn record_ws_hit(&self) {
+        self.ws_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one workspace-arena acquisition that had to allocate.
+    pub(crate) fn record_ws_miss(&self) {
+        self.ws_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze every counter into an owned snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kernels: Kernel::ALL
+                .iter()
+                .map(|&k| self.kernel(k).snapshot(k))
+                .collect(),
+            format_switches: self.format_switches.load(Ordering::Relaxed),
+            workspace_hits: self.ws_hits.load(Ordering::Relaxed),
+            workspace_misses: self.ws_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for s in &self.stats {
+            s.reset();
+        }
+        self.format_switches.store(0, Ordering::Relaxed);
+        self.ws_hits.store(0, Ordering::Relaxed);
+        self.ws_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A frozen view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// One row per kernel, in [`Kernel::ALL`] order.
+    pub kernels: Vec<KernelSnapshot>,
+    /// Automatic storage-format changes recorded by the `Matrix` layer.
+    pub format_switches: u64,
+    /// Workspace acquisitions served by pooled scratch.
+    pub workspace_hits: u64,
+    /// Workspace acquisitions that had to allocate fresh scratch.
+    pub workspace_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// The counters for one kernel.
+    pub fn kernel(&self, kernel: Kernel) -> KernelSnapshot {
+        self.kernels
+            .iter()
+            .copied()
+            .find(|k| k.kernel == kernel)
+            .unwrap_or(KernelSnapshot {
+                kernel,
+                ..Default::default()
+            })
+    }
+
+    /// Total completed kernel invocations.
+    pub fn total_calls(&self) -> u64 {
+        self.kernels.iter().map(|k| k.calls).sum()
+    }
+
+    /// Human-readable table of every kernel with activity.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "kernel", "calls", "nnz_in", "nnz_out", "flops", "elapsed"
+        );
+        for k in &self.kernels {
+            if k.calls == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>12} {:>12} {:>12} {:>9.3} ms",
+                k.kernel.name(),
+                k.calls,
+                k.nnz_in,
+                k.nnz_out,
+                k.flops,
+                k.elapsed_ns as f64 / 1e6
+            );
+        }
+        let _ = writeln!(
+            out,
+            "format switches: {} · workspace: {} hits / {} misses",
+            self.format_switches, self.workspace_hits, self.workspace_misses
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let reg = MetricsRegistry::default();
+        reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30);
+        reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30);
+        reg.record(Kernel::EwiseAdd, Duration::from_nanos(100), 7, 7, 3);
+        reg.record_format_switch();
+        let snap = reg.snapshot();
+        let m = snap.kernel(Kernel::Mxm);
+        assert_eq!(m.calls, 2);
+        assert_eq!(m.nnz_in, 20);
+        assert_eq!(m.nnz_out, 8);
+        assert_eq!(m.flops, 60);
+        assert_eq!(m.elapsed_ns, 10_000);
+        assert_eq!(snap.kernel(Kernel::EwiseAdd).calls, 1);
+        assert_eq!(snap.kernel(Kernel::Kron).calls, 0);
+        assert_eq!(snap.format_switches, 1);
+        assert_eq!(snap.total_calls(), 3);
+        let report = snap.report();
+        assert!(report.contains("mxm"));
+        assert!(report.contains("ewise_add"));
+        assert!(!report.contains("kron"), "idle kernels stay out:\n{report}");
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let reg = MetricsRegistry::default();
+        reg.record(Kernel::Transpose, Duration::from_micros(1), 5, 5, 5);
+        reg.record_ws_miss();
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.total_calls(), 0);
+        assert_eq!(snap.workspace_misses, 0);
+    }
+
+    #[test]
+    fn every_kernel_has_a_distinct_name() {
+        let names: std::collections::HashSet<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), Kernel::ALL.len());
+    }
+}

@@ -4,104 +4,75 @@
 //! Both are sorted two-pointer merges over the non-empty row lists and
 //! within-row column lists: `O(nnz(A) + nnz(B))`, never touching the
 //! (possibly astronomically large) dimensions.
+//!
+//! There is exactly **one merge loop per direction**: the generic
+//! [`ewise_add_op`]/[`ewise_mul_op`] kernels take an arbitrary combiner,
+//! and the classic [`ewise_add`]/[`ewise_mul`] names are the convenience
+//! API plugging in the semiring's own ⊕/⊗. Every kernel has a `*_ctx`
+//! variant recording into an [`OpCtx`]'s metrics; the ctx-free names use
+//! the thread-local default context.
 
-use semiring::traits::{Semiring, Value};
+use std::time::Instant;
 
+use semiring::traits::{BinaryOp, Semiring, Value};
+
+use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::metrics::Kernel;
 use crate::Ix;
+
+/// The semiring's ⊕ as a [`BinaryOp`] combiner.
+#[derive(Copy, Clone)]
+struct AddOf<S>(S);
+impl<T: Value, S: Semiring<Value = T>> BinaryOp<T, T, T> for AddOf<S> {
+    #[inline(always)]
+    fn apply(&self, a: T, b: T) -> T {
+        self.0.add(a, b)
+    }
+}
+
+/// The semiring's ⊗ as a [`BinaryOp`] combiner.
+#[derive(Copy, Clone)]
+struct MulOf<S>(S);
+impl<T: Value, S: Semiring<Value = T>> BinaryOp<T, T, T> for MulOf<S> {
+    #[inline(always)]
+    fn apply(&self, a: T, b: T) -> T {
+        self.0.mul(a, b)
+    }
+}
 
 /// `C = A ⊕ B`: union of sparsity patterns, collisions combined with ⊕.
 /// An entry present in only one operand passes through unchanged —
 /// exactly the `A ⊕ 0 = A` behaviour of Table II.
 pub fn ewise_add<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
-    assert_dims(a, b);
-    let mut rows = Vec::new();
-    let mut rowptr = vec![0usize];
-    let mut colidx = Vec::new();
-    let mut vals = Vec::new();
+    with_default_ctx(|ctx| ewise_add_ctx(ctx, a, b, s))
+}
 
-    let (ra, rb) = (a.row_ids(), b.row_ids());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ra.len() || j < rb.len() {
-        let next_row;
-        let (mut acols, mut avals): (&[Ix], &[T]) = (&[], &[]);
-        let (mut bcols, mut bvals): (&[Ix], &[T]) = (&[], &[]);
-        if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
-            next_row = ra[i];
-            let (_, c, v) = a.row_at(i);
-            (acols, avals) = (c, v);
-            i += 1;
-        } else if i >= ra.len() || rb[j] < ra[i] {
-            next_row = rb[j];
-            let (_, c, v) = b.row_at(j);
-            (bcols, bvals) = (c, v);
-            j += 1;
-        } else {
-            next_row = ra[i];
-            let (_, c, v) = a.row_at(i);
-            (acols, avals) = (c, v);
-            let (_, c, v) = b.row_at(j);
-            (bcols, bvals) = (c, v);
-            i += 1;
-            j += 1;
-        }
-
-        let start = colidx.len();
-        merge_add_row(acols, avals, bcols, bvals, s, &mut colidx, &mut vals);
-        if colidx.len() > start {
-            rows.push(next_row);
-            rowptr.push(colidx.len());
-        }
-    }
-    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+/// [`ewise_add`] through an explicit execution context.
+pub fn ewise_add_ctx<T: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+) -> Dcsr<T> {
+    ewise_add_op_ctx(ctx, a, b, AddOf(s), s)
 }
 
 /// `C = A ⊗ B`: intersection of sparsity patterns, survivors combined
 /// with ⊗. Entries present in only one operand meet an implicit `0`,
 /// which annihilates — so they vanish (Table II's `A ⊗ 𝟙 = A` dual).
 pub fn ewise_mul<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
-    assert_dims(a, b);
-    let mut rows = Vec::new();
-    let mut rowptr = vec![0usize];
-    let mut colidx = Vec::new();
-    let mut vals = Vec::new();
+    with_default_ctx(|ctx| ewise_mul_ctx(ctx, a, b, s))
+}
 
-    let (ra, rb) = (a.row_ids(), b.row_ids());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ra.len() && j < rb.len() {
-        match ra[i].cmp(&rb[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                let (_, acols, avals) = a.row_at(i);
-                let (_, bcols, bvals) = b.row_at(j);
-                let start = colidx.len();
-                let (mut p, mut q) = (0usize, 0usize);
-                while p < acols.len() && q < bcols.len() {
-                    match acols[p].cmp(&bcols[q]) {
-                        std::cmp::Ordering::Less => p += 1,
-                        std::cmp::Ordering::Greater => q += 1,
-                        std::cmp::Ordering::Equal => {
-                            let v = s.mul(avals[p].clone(), bvals[q].clone());
-                            if !s.is_zero(&v) {
-                                colidx.push(acols[p]);
-                                vals.push(v);
-                            }
-                            p += 1;
-                            q += 1;
-                        }
-                    }
-                }
-                if colidx.len() > start {
-                    rows.push(ra[i]);
-                    rowptr.push(colidx.len());
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+/// [`ewise_mul`] through an explicit execution context.
+pub fn ewise_mul_ctx<T: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+) -> Dcsr<T> {
+    ewise_mul_op_ctx(ctx, a, b, MulOf(s), s)
 }
 
 /// `C = A ⊕' B` with an *arbitrary* combiner `op` at collisions (GraphBLAS
@@ -113,9 +84,22 @@ pub fn ewise_add_op<T, S, O>(a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
 where
     T: Value,
     S: Semiring<Value = T>,
-    O: semiring::traits::BinaryOp<T, T, T>,
+    O: BinaryOp<T, T, T>,
+{
+    with_default_ctx(|ctx| ewise_add_op_ctx(ctx, a, b, op, s))
+}
+
+/// [`ewise_add_op`] through an explicit execution context. This is *the*
+/// union merge loop: [`ewise_add`] and [`ewise_add_op`] both land here.
+pub fn ewise_add_op_ctx<T, S, O>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    O: BinaryOp<T, T, T>,
 {
     assert_dims(a, b);
+    let start = Instant::now();
+    let mut flops = 0u64;
     let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());
     let (ra, rb) = (a.row_ids(), b.row_ids());
     let (mut i, mut j) = (0usize, 0usize);
@@ -141,6 +125,7 @@ where
                     q += 1;
                 } else {
                     let v = op.apply(avals[p].clone(), bvals[q].clone());
+                    flops += 1;
                     if !s.is_zero(&v) {
                         trips.push((r, acols[p], v));
                     }
@@ -152,7 +137,15 @@ where
             j += 1;
         }
     }
-    from_sorted_trips(a.nrows(), a.ncols(), trips)
+    let c = from_sorted_trips(a.nrows(), a.ncols(), trips);
+    ctx.metrics().record(
+        Kernel::EwiseAdd,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    c
 }
 
 /// `C = A ⊗' B` with an arbitrary combiner at intersections (GraphBLAS
@@ -161,9 +154,23 @@ pub fn ewise_mul_op<T, S, O>(a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
 where
     T: Value,
     S: Semiring<Value = T>,
-    O: semiring::traits::BinaryOp<T, T, T>,
+    O: BinaryOp<T, T, T>,
+{
+    with_default_ctx(|ctx| ewise_mul_op_ctx(ctx, a, b, op, s))
+}
+
+/// [`ewise_mul_op`] through an explicit execution context. This is *the*
+/// intersection merge loop: [`ewise_mul`] and [`ewise_mul_op`] both land
+/// here.
+pub fn ewise_mul_op_ctx<T, S, O>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    O: BinaryOp<T, T, T>,
 {
     assert_dims(a, b);
+    let start = Instant::now();
+    let mut flops = 0u64;
     let mut trips: Vec<(Ix, Ix, T)> = Vec::new();
     let (ra, rb) = (a.row_ids(), b.row_ids());
     let (mut i, mut j) = (0usize, 0usize);
@@ -181,6 +188,7 @@ where
                         std::cmp::Ordering::Greater => q += 1,
                         std::cmp::Ordering::Equal => {
                             let v = op.apply(avals[p].clone(), bvals[q].clone());
+                            flops += 1;
                             if !s.is_zero(&v) {
                                 trips.push((r, acols[p], v));
                             }
@@ -194,7 +202,15 @@ where
             }
         }
     }
-    from_sorted_trips(a.nrows(), a.ncols(), trips)
+    let c = from_sorted_trips(a.nrows(), a.ncols(), trips);
+    ctx.metrics().record(
+        Kernel::EwiseMul,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    c
 }
 
 /// GraphBLAS `eWiseUnion`: like [`ewise_add_op`], but an entry present in
@@ -213,11 +229,32 @@ pub fn ewise_union<T, S, O>(
 where
     T: Value,
     S: Semiring<Value = T>,
-    O: semiring::traits::BinaryOp<T, T, T>,
+    O: BinaryOp<T, T, T>,
+{
+    with_default_ctx(|ctx| ewise_union_ctx(ctx, a, b, op, a_default, b_default, s))
+}
+
+/// [`ewise_union`] through an explicit execution context.
+pub fn ewise_union_ctx<T, S, O>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    op: O,
+    a_default: T,
+    b_default: T,
+    s: S,
+) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    O: BinaryOp<T, T, T>,
 {
     assert_dims(a, b);
+    let start = Instant::now();
+    let mut flops = 0u64;
     let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());
-    let mut push = |r: Ix, c: Ix, v: T| {
+    let mut push = |r: Ix, c: Ix, v: T, flops: &mut u64| {
+        *flops += 1;
         if !s.is_zero(&v) {
             trips.push((r, c, v));
         }
@@ -228,13 +265,13 @@ where
         if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
             let (r, cols, vs) = a.row_at(i);
             for (&c, v) in cols.iter().zip(vs) {
-                push(r, c, op.apply(v.clone(), b_default.clone()));
+                push(r, c, op.apply(v.clone(), b_default.clone()), &mut flops);
             }
             i += 1;
         } else if i >= ra.len() || rb[j] < ra[i] {
             let (r, cols, vs) = b.row_at(j);
             for (&c, v) in cols.iter().zip(vs) {
-                push(r, c, op.apply(a_default.clone(), v.clone()));
+                push(r, c, op.apply(a_default.clone(), v.clone()), &mut flops);
             }
             j += 1;
         } else {
@@ -243,13 +280,28 @@ where
             let (mut p, mut q) = (0usize, 0usize);
             while p < acols.len() || q < bcols.len() {
                 if q >= bcols.len() || (p < acols.len() && acols[p] < bcols[q]) {
-                    push(r, acols[p], op.apply(avals[p].clone(), b_default.clone()));
+                    push(
+                        r,
+                        acols[p],
+                        op.apply(avals[p].clone(), b_default.clone()),
+                        &mut flops,
+                    );
                     p += 1;
                 } else if p >= acols.len() || bcols[q] < acols[p] {
-                    push(r, bcols[q], op.apply(a_default.clone(), bvals[q].clone()));
+                    push(
+                        r,
+                        bcols[q],
+                        op.apply(a_default.clone(), bvals[q].clone()),
+                        &mut flops,
+                    );
                     q += 1;
                 } else {
-                    push(r, acols[p], op.apply(avals[p].clone(), bvals[q].clone()));
+                    push(
+                        r,
+                        acols[p],
+                        op.apply(avals[p].clone(), bvals[q].clone()),
+                        &mut flops,
+                    );
                     p += 1;
                     q += 1;
                 }
@@ -258,7 +310,15 @@ where
             j += 1;
         }
     }
-    from_sorted_trips(a.nrows(), a.ncols(), trips)
+    let c = from_sorted_trips(a.nrows(), a.ncols(), trips);
+    ctx.metrics().record(
+        Kernel::EwiseUnion,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    c
 }
 
 fn from_sorted_trips<T: Value>(nrows: Ix, ncols: Ix, trips: Vec<(Ix, Ix, T)>) -> Dcsr<T> {
@@ -276,37 +336,6 @@ fn from_sorted_trips<T: Value>(nrows: Ix, ncols: Ix, trips: Vec<(Ix, Ix, T)>) ->
         *rowptr.last_mut().expect("nonempty") = colidx.len();
     }
     Dcsr::from_parts(nrows, ncols, rows, rowptr, colidx, vals)
-}
-
-fn merge_add_row<T: Value, S: Semiring<Value = T>>(
-    acols: &[Ix],
-    avals: &[T],
-    bcols: &[Ix],
-    bvals: &[T],
-    s: S,
-    colidx: &mut Vec<Ix>,
-    vals: &mut Vec<T>,
-) {
-    let (mut p, mut q) = (0usize, 0usize);
-    while p < acols.len() || q < bcols.len() {
-        if q >= bcols.len() || (p < acols.len() && acols[p] < bcols[q]) {
-            colidx.push(acols[p]);
-            vals.push(avals[p].clone());
-            p += 1;
-        } else if p >= acols.len() || bcols[q] < acols[p] {
-            colidx.push(bcols[q]);
-            vals.push(bvals[q].clone());
-            q += 1;
-        } else {
-            let v = s.add(avals[p].clone(), bvals[q].clone());
-            if !s.is_zero(&v) {
-                colidx.push(acols[p]);
-                vals.push(v);
-            }
-            p += 1;
-            q += 1;
-        }
-    }
 }
 
 fn assert_dims<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) {
@@ -510,6 +539,21 @@ mod tests {
             ewise_mul_op(&a, &b, FnBinOp(|x: f64, y: f64| x * y), sr),
             ewise_mul(&a, &b, sr)
         );
+    }
+
+    #[test]
+    fn ctx_variants_record_metrics() {
+        let sr = PlusTimes::<f64>::new();
+        let ctx = crate::ctx::OpCtx::new();
+        let a = m(4, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let b = m(4, &[(1, 1, 3.0), (2, 2, 4.0)]);
+        let c = ewise_add_ctx(&ctx, &a, &b, sr);
+        let _ = ewise_mul_ctx(&ctx, &a, &b, sr);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.kernel(Kernel::EwiseAdd).calls, 1);
+        assert_eq!(snap.kernel(Kernel::EwiseAdd).nnz_out, c.nnz() as u64);
+        assert_eq!(snap.kernel(Kernel::EwiseAdd).flops, 1); // one collision
+        assert_eq!(snap.kernel(Kernel::EwiseMul).calls, 1);
     }
 
     #[test]

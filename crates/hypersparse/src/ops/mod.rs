@@ -5,6 +5,11 @@
 //! deterministic — the parallel SpGEMM partitions work by row and
 //! assembles results in row order, so thread count never changes a bit of
 //! the answer.
+//!
+//! Every kernel comes in two spellings: a `*_ctx` entry point taking an
+//! explicit [`crate::ctx::OpCtx`] (workspace arena + thread cap +
+//! metrics), and the classic ctx-free name, which is a thin wrapper over
+//! the thread-local default context.
 
 pub mod ewise;
 pub mod mxm;
@@ -12,8 +17,19 @@ pub mod reduce;
 pub mod structure;
 pub mod transform;
 
-pub use ewise::{ewise_add, ewise_add_op, ewise_mul, ewise_mul_op, ewise_union};
-pub use mxm::{mxm, mxm_masked, mxm_seq};
-pub use reduce::{reduce_cols, reduce_rows, reduce_scalar};
-pub use structure::{assign, concat_cols, concat_rows, diag, diag_of, matrix_power, tril, triu};
-pub use transform::{apply, extract, kron, select, transpose};
+pub use ewise::{
+    ewise_add, ewise_add_ctx, ewise_add_op, ewise_add_op_ctx, ewise_mul, ewise_mul_ctx,
+    ewise_mul_op, ewise_mul_op_ctx, ewise_union, ewise_union_ctx,
+};
+pub use mxm::{mxm, mxm_ctx, mxm_masked, mxm_masked_ctx, mxm_seq, mxm_seq_ctx};
+pub use reduce::{
+    reduce_cols, reduce_cols_ctx, reduce_rows, reduce_rows_ctx, reduce_scalar, reduce_scalar_ctx,
+};
+pub use structure::{
+    assign, assign_ctx, concat_cols, concat_cols_ctx, concat_rows, concat_rows_ctx, diag, diag_of,
+    matrix_power, matrix_power_ctx, tril, triu,
+};
+pub use transform::{
+    apply, apply_ctx, extract, extract_ctx, kron, kron_ctx, select, select_ctx, transpose,
+    transpose_ctx,
+};

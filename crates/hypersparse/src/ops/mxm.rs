@@ -8,17 +8,23 @@
 //! * **dense scratch** — a reusable `Vec<Option<T>>` of width `ncols`:
 //!   faster constants when the column space is compact.
 //!
-//! [`mxm`] picks automatically (and the `ablation_accumulator` bench
-//! measures the crossover); the parallel front end shards rows of `A`
-//! across rayon tasks and concatenates per-shard outputs in row order, so
-//! the result is identical to [`mxm_seq`].
+//! [`mxm_ctx`] picks automatically (and the `ablation_accumulator` bench
+//! measures the crossover). Accumulator scratch is **leased from the
+//! context's workspace arena** ([`OpCtx::lease_mxm_scratch`]) so repeated
+//! multiplies on a hot path stop allocating per call, and parallelism is
+//! governed by the context's thread cap: rows of `A` are sharded across
+//! `ctx.threads()` OS threads and per-shard outputs concatenate in row
+//! order, so the result is bit-for-bit identical at every thread count.
+//! The ctx-free [`mxm`]/[`mxm_seq`] signatures wrap the thread-local
+//! default context.
 
-use std::collections::HashMap;
+use std::time::Instant;
 
-use rayon::prelude::*;
 use semiring::traits::{Semiring, Value};
 
+use crate::ctx::{par_run, with_default_ctx, MxmScratch, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::metrics::Kernel;
 use crate::Ix;
 
 /// Column spaces at most this wide use the dense scratch accumulator.
@@ -27,8 +33,15 @@ const DENSE_ACC_MAX: u64 = 1 << 22;
 /// Rows of `A` per parallel shard.
 const ROWS_PER_SHARD: usize = 256;
 
-/// `C = A ⊕.⊗ B`, parallel and deterministic.
-pub fn mxm<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+/// `C = A ⊕.⊗ B` through an explicit execution context: scratch comes
+/// from `ctx`'s workspace arena, parallelism follows `ctx.threads()`,
+/// and the invocation is recorded in `ctx.metrics()`.
+pub fn mxm_ctx<T: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+) -> Dcsr<T> {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -38,62 +51,79 @@ pub fn mxm<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> 
         b.nrows(),
         b.ncols()
     );
+    let start = Instant::now();
     let nrows_ne = a.n_nonempty_rows();
-    if nrows_ne < 2 * ROWS_PER_SHARD {
-        return mxm_seq(a, b, s);
-    }
+    let threads = ctx.threads();
 
-    let shard_results: Vec<RowsChunk<T>> = (0..nrows_ne)
-        .into_par_iter()
-        .step_by(ROWS_PER_SHARD)
-        .map(|start| {
-            let end = (start + ROWS_PER_SHARD).min(nrows_ne);
-            multiply_row_range(a, b, s, start, end)
-        })
-        .collect();
+    let (c, flops) = if threads == 1 || nrows_ne < 2 * ROWS_PER_SHARD {
+        let mut lease = ctx.lease_mxm_scratch::<T>();
+        let (chunk, flops) = multiply_row_range_ws(a, b, s, 0, nrows_ne, lease.get());
+        (assemble(a.nrows(), b.ncols(), [chunk]), flops)
+    } else {
+        let nshards = nrows_ne.div_ceil(ROWS_PER_SHARD);
+        let shard_results = par_run(threads, nshards, |shard| {
+            let lo = shard * ROWS_PER_SHARD;
+            let hi = (lo + ROWS_PER_SHARD).min(nrows_ne);
+            let mut lease = ctx.lease_mxm_scratch::<T>();
+            multiply_row_range_ws(a, b, s, lo, hi, lease.get())
+        });
+        let flops = shard_results.iter().map(|(_, f)| f).sum();
+        let chunks: Vec<_> = shard_results.into_iter().map(|(c, _)| c).collect();
+        (assemble(a.nrows(), b.ncols(), chunks), flops)
+    };
 
-    let mut rows = Vec::new();
-    let mut rowptr = vec![0usize];
-    let mut colidx = Vec::new();
-    let mut vals = Vec::new();
-    for chunk in shard_results {
-        for (r, cv) in chunk {
-            rows.push(r);
-            for (c, v) in cv {
-                colidx.push(c);
-                vals.push(v);
-            }
-            rowptr.push(colidx.len());
-        }
-    }
-    Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals)
+    ctx.metrics().record(
+        Kernel::Mxm,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    c
+}
+
+/// Sequential SpGEMM through an explicit context — [`mxm_ctx`] with the
+/// thread cap overridden to 1 for this call (the workspace arena and
+/// metrics still come from `ctx`).
+pub fn mxm_seq_ctx<T: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+) -> Dcsr<T> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions differ");
+    let start = Instant::now();
+    let mut lease = ctx.lease_mxm_scratch::<T>();
+    let (chunk, flops) = multiply_row_range_ws(a, b, s, 0, a.n_nonempty_rows(), lease.get());
+    drop(lease);
+    let c = assemble(a.nrows(), b.ncols(), [chunk]);
+    ctx.metrics().record(
+        Kernel::Mxm,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    c
+}
+
+/// `C = A ⊕.⊗ B`, parallel and deterministic (thread-local default ctx).
+pub fn mxm<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+    with_default_ctx(|ctx| mxm_ctx(ctx, a, b, s))
 }
 
 /// Sequential reference SpGEMM (same output as [`mxm`]).
 pub fn mxm_seq<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
-    assert_eq!(a.ncols(), b.nrows(), "inner dimensions differ");
-    let chunk = multiply_row_range(a, b, s, 0, a.n_nonempty_rows());
-    let mut rows = Vec::new();
-    let mut rowptr = vec![0usize];
-    let mut colidx = Vec::new();
-    let mut vals = Vec::new();
-    for (r, cv) in chunk {
-        rows.push(r);
-        for (c, v) in cv {
-            colidx.push(c);
-            vals.push(v);
-        }
-        rowptr.push(colidx.len());
-    }
-    Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals)
+    with_default_ctx(|ctx| mxm_seq_ctx(ctx, a, b, s))
 }
 
-/// Masked SpGEMM: `C = (A ⊕.⊗ B) ⊙ mask` (structural mask, i.e. only
-/// positions stored in `mask` are computed/kept; `complement` inverts the
-/// selection). Fusing the mask into the accumulator loop is what makes
-/// masked triangle counting `O(flops into the mask)` instead of
-/// `O(all flops)`.
-pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
+/// Masked SpGEMM through an explicit context: `C = (A ⊕.⊗ B) ⊙ mask`
+/// (structural mask, i.e. only positions stored in `mask` are
+/// computed/kept; `complement` inverts the selection). Fusing the mask
+/// into the accumulator loop is what makes masked triangle counting
+/// `O(flops into the mask)` instead of `O(all flops)`.
+pub fn mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
     a: &Dcsr<T>,
     b: &Dcsr<T>,
     mask: &Dcsr<M>,
@@ -103,15 +133,19 @@ pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions differ");
     assert_eq!(mask.nrows(), a.nrows(), "mask row dimension");
     assert_eq!(mask.ncols(), b.ncols(), "mask column dimension");
+    let start = Instant::now();
+    let mut flops = 0u64;
 
     let mut rows = Vec::new();
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::new();
     let mut vals = Vec::new();
 
+    let mut lease = ctx.lease_mxm_scratch::<T>();
+    let acc = &mut lease.get().hash;
     for (i, acols, avals) in a.iter_rows() {
         let (mcols, _) = mask.row(i);
-        let mut acc: HashMap<Ix, T> = HashMap::new();
+        acc.clear();
         for (&k, aik) in acols.iter().zip(avals) {
             let (bcols, bvals) = b.row(k);
             for (&j, bkj) in bcols.iter().zip(bvals) {
@@ -120,6 +154,7 @@ pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
                     continue;
                 }
                 let p = s.mul(aik.clone(), bkj.clone());
+                flops += 1;
                 match acc.entry(j) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         s.add_assign(e.get_mut(), p)
@@ -130,7 +165,7 @@ pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
                 }
             }
         }
-        let mut row: Vec<(Ix, T)> = acc.into_iter().filter(|(_, v)| !s.is_zero(v)).collect();
+        let mut row: Vec<(Ix, T)> = acc.drain().filter(|(_, v)| !s.is_zero(v)).collect();
         if row.is_empty() {
             continue;
         }
@@ -142,37 +177,83 @@ pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
         }
         rowptr.push(colidx.len());
     }
-    Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals)
+    drop(lease);
+    let c = Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::MxmMasked,
+        start.elapsed(),
+        (a.nnz() + b.nnz() + mask.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    c
+}
+
+/// Masked SpGEMM (thread-local default ctx). See [`mxm_masked_ctx`].
+pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    mask: &Dcsr<M>,
+    complement: bool,
+    s: S,
+) -> Dcsr<T> {
+    with_default_ctx(|ctx| mxm_masked_ctx(ctx, a, b, mask, complement, s))
 }
 
 /// Per-shard result: `(row id, sorted (col, val) entries)` pairs.
 pub type RowsChunk<T> = Vec<(Ix, Vec<(Ix, T)>)>;
 
-fn multiply_row_range<T: Value, S: Semiring<Value = T>>(
+/// Concatenate row chunks (already in global row order) into a DCSR.
+fn assemble<T: Value>(
+    nrows: Ix,
+    ncols: Ix,
+    chunks: impl IntoIterator<Item = RowsChunk<T>>,
+) -> Dcsr<T> {
+    let mut rows = Vec::new();
+    let mut rowptr = vec![0usize];
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+    for chunk in chunks {
+        for (r, cv) in chunk {
+            rows.push(r);
+            for (c, v) in cv {
+                colidx.push(c);
+                vals.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+    }
+    Dcsr::from_parts(nrows, ncols, rows, rowptr, colidx, vals)
+}
+
+/// Multiply rows `start..end` of `A` against `B` using workspace
+/// `scratch`, returning the rows plus the ⊗ count.
+fn multiply_row_range_ws<T: Value, S: Semiring<Value = T>>(
     a: &Dcsr<T>,
     b: &Dcsr<T>,
     s: S,
     start: usize,
     end: usize,
-) -> RowsChunk<T> {
+    scratch: &mut MxmScratch<T>,
+) -> (RowsChunk<T>, u64) {
     if b.ncols() <= DENSE_ACC_MAX {
-        multiply_rows_dense_acc(a, b, s, start, end)
+        multiply_rows_dense_ws(a, b, s, start, end, scratch)
     } else {
-        multiply_rows_hash_acc(a, b, s, start, end)
+        multiply_rows_hash_ws(a, b, s, start, end, scratch)
     }
 }
 
-/// Hash-accumulator row multiply — `O(flops)` in any column space.
-/// Public for the accumulator ablation bench; use [`mxm`] otherwise.
-pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
+fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>>(
     a: &Dcsr<T>,
     b: &Dcsr<T>,
     s: S,
     start: usize,
     end: usize,
-) -> RowsChunk<T> {
+    scratch: &mut MxmScratch<T>,
+) -> (RowsChunk<T>, u64) {
+    let acc = &mut scratch.hash;
     let mut out = Vec::new();
-    let mut acc: HashMap<Ix, T> = HashMap::new();
+    let mut flops = 0u64;
     for k_row in start..end {
         let (i, acols, avals) = a.row_at(k_row);
         acc.clear();
@@ -180,6 +261,7 @@ pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
             let (bcols, bvals) = b.row(k);
             for (&j, bkj) in bcols.iter().zip(bvals) {
                 let p = s.mul(aik.clone(), bkj.clone());
+                flops += 1;
                 match acc.entry(j) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         s.add_assign(e.get_mut(), p)
@@ -197,24 +279,23 @@ pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
         row.sort_by_key(|e| e.0);
         out.push((i, row));
     }
-    out
+    (out, flops)
 }
 
-/// Dense-scratch row multiply — a `Vec<Option<T>>` of width `ncols`,
-/// reset via a touched-columns list so each row costs `O(flops)` too,
-/// with far better constants in compact column spaces. Public for the
-/// accumulator ablation bench; use [`mxm`] otherwise.
-pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
+fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>>(
     a: &Dcsr<T>,
     b: &Dcsr<T>,
     s: S,
     start: usize,
     end: usize,
-) -> RowsChunk<T> {
+    scratch: &mut MxmScratch<T>,
+) -> (RowsChunk<T>, u64) {
     let width = b.ncols() as usize;
-    let mut scratch: Vec<Option<T>> = vec![None; width];
-    let mut touched: Vec<Ix> = Vec::new();
+    scratch.ensure_dense_width(width);
+    let dense = &mut scratch.dense;
+    let touched = &mut scratch.touched;
     let mut out = Vec::new();
+    let mut flops = 0u64;
 
     for k_row in start..end {
         let (i, acols, avals) = a.row_at(k_row);
@@ -222,7 +303,8 @@ pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
             let (bcols, bvals) = b.row(k);
             for (&j, bkj) in bcols.iter().zip(bvals) {
                 let p = s.mul(aik.clone(), bkj.clone());
-                match &mut scratch[j as usize] {
+                flops += 1;
+                match &mut dense[j as usize] {
                     Some(v) => s.add_assign(v, p),
                     slot @ None => {
                         *slot = Some(p);
@@ -236,8 +318,8 @@ pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
         }
         touched.sort_unstable();
         let mut row: Vec<(Ix, T)> = Vec::with_capacity(touched.len());
-        for &j in &touched {
-            if let Some(v) = scratch[j as usize].take() {
+        for &j in touched.iter() {
+            if let Some(v) = dense[j as usize].take() {
                 if !s.is_zero(&v) {
                     row.push((j, v));
                 }
@@ -248,7 +330,35 @@ pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
             out.push((i, row));
         }
     }
-    out
+    (out, flops)
+}
+
+/// Hash-accumulator row multiply — `O(flops)` in any column space.
+/// Public for the accumulator ablation bench; use [`mxm_ctx`] otherwise.
+pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    start: usize,
+    end: usize,
+) -> RowsChunk<T> {
+    let mut scratch = MxmScratch::default();
+    multiply_rows_hash_ws(a, b, s, start, end, &mut scratch).0
+}
+
+/// Dense-scratch row multiply — a `Vec<Option<T>>` of width `ncols`,
+/// reset via a touched-columns list so each row costs `O(flops)` too,
+/// with far better constants in compact column spaces. Public for the
+/// accumulator ablation bench; use [`mxm_ctx`] otherwise.
+pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    start: usize,
+    end: usize,
+) -> RowsChunk<T> {
+    let mut scratch = MxmScratch::default();
+    multiply_rows_dense_ws(a, b, s, start, end, &mut scratch).0
 }
 
 #[cfg(test)]
@@ -328,6 +438,42 @@ mod tests {
         let a = random_dcsr(2000, 2000, 20_000, 3, s);
         let b = random_dcsr(2000, 2000, 20_000, 4, s);
         assert_eq!(mxm(&a, &b, s), mxm_seq(&a, &b, s));
+    }
+
+    #[test]
+    fn thread_cap_one_equals_thread_cap_n() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(2000, 2000, 20_000, 3, s);
+        let b = random_dcsr(2000, 2000, 20_000, 4, s);
+        let ctx1 = OpCtx::new().with_threads(1);
+        let reference = mxm_ctx(&ctx1, &a, &b, s);
+        for threads in [2, 4, 8] {
+            let ctxn = OpCtx::new().with_threads(threads);
+            assert_eq!(mxm_ctx(&ctxn, &a, &b, s), reference);
+        }
+    }
+
+    #[test]
+    fn ctx_mxm_records_metrics_and_reuses_scratch() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 300, 21, s);
+        let b = random_dcsr(64, 64, 300, 22, s);
+        let ctx = OpCtx::new().with_threads(1);
+        let c = mxm_ctx(&ctx, &a, &b, s);
+        let snap = ctx.metrics().snapshot();
+        let m = snap.kernel(Kernel::Mxm);
+        assert_eq!(m.calls, 1);
+        assert_eq!(m.nnz_in, (a.nnz() + b.nnz()) as u64);
+        assert_eq!(m.nnz_out, c.nnz() as u64);
+        assert!(m.flops > 0);
+        // Repeated same-shape multiplies are all pool hits after the first.
+        for _ in 0..10 {
+            let _ = mxm_ctx(&ctx, &a, &b, s);
+        }
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.workspace_misses, 1);
+        assert_eq!(snap.workspace_hits, 10);
+        assert_eq!(ctx.pooled_buffers(), 1);
     }
 
     #[test]

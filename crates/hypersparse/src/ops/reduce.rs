@@ -5,17 +5,29 @@
 //! than materialize an all-ones array over a 2⁶⁰ key space, the kernels
 //! fold directly; the equivalence with the literal ⊕.⊗-against-ones form
 //! is asserted in the `hyperspace-core` semilink tests.
+//!
+//! Each kernel has a `*_ctx` variant recording into an [`OpCtx`]'s
+//! metrics; the ctx-free names wrap the thread-local default context.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use semiring::traits::{Monoid, Value};
 
+use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::metrics::Kernel;
 use crate::vector::SparseVec;
 use crate::Ix;
 
 /// Fold each non-empty row with the monoid: `out(i) = ⊕_j A(i, j)`.
 pub fn reduce_rows<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    with_default_ctx(|ctx| reduce_rows_ctx(ctx, a, m))
+}
+
+/// [`reduce_rows`] through an explicit execution context.
+pub fn reduce_rows_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    let start = Instant::now();
     let mut idx = Vec::with_capacity(a.n_nonempty_rows());
     let mut vals = Vec::with_capacity(a.n_nonempty_rows());
     for (r, _cols, vs) in a.iter_rows() {
@@ -28,11 +40,25 @@ pub fn reduce_rows<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
             vals.push(acc);
         }
     }
-    SparseVec::from_sorted_parts(a.nrows(), idx, vals)
+    let out = SparseVec::from_sorted_parts(a.nrows(), idx, vals);
+    ctx.metrics().record(
+        Kernel::ReduceRows,
+        start.elapsed(),
+        a.nnz() as u64,
+        out.nnz() as u64,
+        a.nnz() as u64, // one combine per stored entry
+    );
+    out
 }
 
 /// Fold each non-empty column: `out(j) = ⊕_i A(i, j)`.
 pub fn reduce_cols<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    with_default_ctx(|ctx| reduce_cols_ctx(ctx, a, m))
+}
+
+/// [`reduce_cols`] through an explicit execution context.
+pub fn reduce_cols_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    let start = Instant::now();
     let mut acc: HashMap<Ix, T> = HashMap::new();
     for (_r, c, v) in a.iter() {
         match acc.entry(c) {
@@ -48,15 +74,36 @@ pub fn reduce_cols<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
     let mut entries: Vec<(Ix, T)> = acc.into_iter().filter(|(_, v)| !m.is_identity(v)).collect();
     entries.sort_by_key(|e| e.0);
     let (idx, vals) = entries.into_iter().unzip();
-    SparseVec::from_sorted_parts(a.ncols(), idx, vals)
+    let out = SparseVec::from_sorted_parts(a.ncols(), idx, vals);
+    ctx.metrics().record(
+        Kernel::ReduceCols,
+        start.elapsed(),
+        a.nnz() as u64,
+        out.nnz() as u64,
+        a.nnz() as u64,
+    );
+    out
 }
 
 /// Fold every stored entry into one value.
 pub fn reduce_scalar<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> T {
+    with_default_ctx(|ctx| reduce_scalar_ctx(ctx, a, m))
+}
+
+/// [`reduce_scalar`] through an explicit execution context.
+pub fn reduce_scalar_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -> T {
+    let start = Instant::now();
     let mut acc = m.identity();
     for (_, _, v) in a.iter() {
         acc = m.combine(acc, v.clone());
     }
+    ctx.metrics().record(
+        Kernel::ReduceScalar,
+        start.elapsed(),
+        a.nnz() as u64,
+        1,
+        a.nnz() as u64,
+    );
     acc
 }
 
@@ -112,5 +159,19 @@ mod tests {
         let r = reduce_rows(&a, PlusMonoid::<f64>::default());
         assert_eq!(r.get(&0), None);
         assert_eq!(r.get(&1), Some(&1.0));
+    }
+
+    #[test]
+    fn ctx_reductions_record() {
+        let ctx = crate::ctx::OpCtx::new();
+        let a = m(&[(0, 1, 1.0), (2, 1, 2.0), (3, 3, 5.0)]);
+        let _ = reduce_rows_ctx(&ctx, &a, PlusMonoid::<f64>::default());
+        let _ = reduce_cols_ctx(&ctx, &a, PlusMonoid::<f64>::default());
+        let _ = reduce_scalar_ctx(&ctx, &a, PlusMonoid::<f64>::default());
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.kernel(Kernel::ReduceRows).calls, 1);
+        assert_eq!(snap.kernel(Kernel::ReduceCols).calls, 1);
+        assert_eq!(snap.kernel(Kernel::ReduceScalar).calls, 1);
+        assert_eq!(snap.kernel(Kernel::ReduceRows).flops, 3);
     }
 }

@@ -1,9 +1,17 @@
 //! Structural composition: assign, concatenation, diagonals, triangles,
 //! matrix powers — the remaining GraphBLAS surface.
+//!
+//! The heavyweight kernels have `*_ctx` variants recording into an
+//! [`OpCtx`]'s metrics; the ctx-free names wrap the thread-local default
+//! context.
+
+use std::time::Instant;
 
 use semiring::traits::{Semiring, Value};
 
+use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::metrics::Kernel;
 use crate::vector::SparseVec;
 use crate::Ix;
 
@@ -12,10 +20,22 @@ use crate::Ix;
 /// the selected cross-pattern (cells selected but absent in `B` are
 /// cleared). Selectors must be strictly increasing.
 pub fn assign<T: Value>(a: &Dcsr<T>, rows_sel: &[Ix], cols_sel: &[Ix], b: &Dcsr<T>) -> Dcsr<T> {
+    with_default_ctx(|ctx| assign_ctx(ctx, a, rows_sel, cols_sel, b))
+}
+
+/// [`assign`] through an explicit execution context.
+pub fn assign_ctx<T: Value>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    rows_sel: &[Ix],
+    cols_sel: &[Ix],
+    b: &Dcsr<T>,
+) -> Dcsr<T> {
     debug_assert!(rows_sel.windows(2).all(|w| w[0] < w[1]));
     debug_assert!(cols_sel.windows(2).all(|w| w[0] < w[1]));
     assert_eq!(b.nrows(), rows_sel.len() as Ix, "assign row conformance");
     assert_eq!(b.ncols(), cols_sel.len() as Ix, "assign col conformance");
+    let start = Instant::now();
 
     let row_set: std::collections::HashSet<Ix> = rows_sel.iter().copied().collect();
     let col_set: std::collections::HashSet<Ix> = cols_sel.iter().copied().collect();
@@ -45,12 +65,26 @@ pub fn assign<T: Value>(a: &Dcsr<T>, rows_sel: &[Ix], cols_sel: &[Ix], b: &Dcsr<
         vals.push(v);
         *rowptr.last_mut().expect("nonempty") = colidx.len();
     }
-    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+    let c = Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::Assign,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        0,
+    );
+    c
 }
 
 /// Stack `a` on top of `b` (column dimensions must match).
 pub fn concat_rows<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
+    with_default_ctx(|ctx| concat_rows_ctx(ctx, a, b))
+}
+
+/// [`concat_rows`] through an explicit execution context.
+pub fn concat_rows_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
     assert_eq!(a.ncols(), b.ncols(), "concat_rows column conformance");
+    let start = Instant::now();
     let (nra, nc) = (a.nrows(), a.ncols());
     let nrows = nra.checked_add(b.nrows()).expect("row overflow");
 
@@ -69,12 +103,26 @@ pub fn concat_rows<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
         vals.extend_from_slice(vs);
         rowptr.push(colidx.len());
     }
-    Dcsr::from_parts(nrows, nc, rows, rowptr, colidx, vals)
+    let c = Dcsr::from_parts(nrows, nc, rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::ConcatRows,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        0,
+    );
+    c
 }
 
 /// Place `a` to the left of `b` (row dimensions must match).
 pub fn concat_cols<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
+    with_default_ctx(|ctx| concat_cols_ctx(ctx, a, b))
+}
+
+/// [`concat_cols`] through an explicit execution context.
+pub fn concat_cols_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
     assert_eq!(a.nrows(), b.nrows(), "concat_cols row conformance");
+    let start = Instant::now();
     let shift = a.ncols();
     let ncols = shift.checked_add(b.ncols()).expect("col overflow");
 
@@ -94,7 +142,7 @@ pub fn concat_cols<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
         } else {
             r = ra[i];
         }
-        let start = colidx.len();
+        let row_start = colidx.len();
         if i < ra.len() && ra[i] == r {
             let (_, cols, vs) = a.row_at(i);
             colidx.extend_from_slice(cols);
@@ -107,12 +155,20 @@ pub fn concat_cols<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
             vals.extend_from_slice(vs);
             j += 1;
         }
-        if colidx.len() > start {
+        if colidx.len() > row_start {
             rows.push(r);
             rowptr.push(colidx.len());
         }
     }
-    Dcsr::from_parts(a.nrows(), ncols, rows, rowptr, colidx, vals)
+    let c = Dcsr::from_parts(a.nrows(), ncols, rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::ConcatCols,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        0,
+    );
+    c
 }
 
 /// Diagonal matrix from a sparse vector: `D(i, i) = v(i)`.
@@ -159,24 +215,46 @@ pub fn triu<T: Value>(a: &Dcsr<T>) -> Dcsr<T> {
 /// identity matrices over huge key spaces are exactly the paper's
 /// closing open problem; require `k ≥ 1`).
 pub fn matrix_power<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, k: u32, s: S) -> Dcsr<T> {
+    with_default_ctx(|ctx| matrix_power_ctx(ctx, a, k, s))
+}
+
+/// [`matrix_power`] through an explicit execution context: the repeated
+/// squarings run as [`super::mxm::mxm_ctx`] against the same context (so
+/// they share its workspace arena and show up under the `mxm` counters),
+/// while the overall call is recorded under `power`.
+pub fn matrix_power_ctx<T: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    k: u32,
+    s: S,
+) -> Dcsr<T> {
     assert!(k >= 1, "matrix_power requires k ≥ 1");
     assert_eq!(a.nrows(), a.ncols(), "power of a square matrix");
+    let start = Instant::now();
     let mut result: Option<Dcsr<T>> = None;
     let mut base = a.clone();
-    let mut k = k;
-    while k > 0 {
-        if k & 1 == 1 {
+    let mut kk = k;
+    while kk > 0 {
+        if kk & 1 == 1 {
             result = Some(match result {
                 None => base.clone(),
-                Some(r) => super::mxm::mxm(&r, &base, s),
+                Some(r) => super::mxm::mxm_ctx(ctx, &r, &base, s),
             });
         }
-        k >>= 1;
-        if k > 0 {
-            base = super::mxm::mxm(&base, &base, s);
+        kk >>= 1;
+        if kk > 0 {
+            base = super::mxm::mxm_ctx(ctx, &base, &base, s);
         }
     }
-    result.expect("k ≥ 1")
+    let c = result.expect("k ≥ 1");
+    ctx.metrics().record(
+        Kernel::Power,
+        start.elapsed(),
+        a.nnz() as u64,
+        c.nnz() as u64,
+        0,
+    );
+    c
 }
 
 #[cfg(test)]

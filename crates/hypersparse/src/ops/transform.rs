@@ -1,15 +1,28 @@
 //! Structural transforms: transpose, apply, select, extract, Kronecker.
+//!
+//! Each kernel has a `*_ctx` variant recording calls/nnz/flops into an
+//! [`OpCtx`]'s metrics; the ctx-free names wrap the thread-local default
+//! context.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use semiring::traits::{Semiring, UnaryOp, Value};
 
+use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::metrics::Kernel;
 use crate::Ix;
 
 /// `Aᵀ`: bucket entries by column, emit column-major as new rows.
 /// `O(nnz log nnz)` without materializing either dimension.
 pub fn transpose<T: Value>(a: &Dcsr<T>) -> Dcsr<T> {
+    with_default_ctx(|ctx| transpose_ctx(ctx, a))
+}
+
+/// [`transpose`] through an explicit execution context.
+pub fn transpose_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>) -> Dcsr<T> {
+    let start = Instant::now();
     let mut trips: Vec<(Ix, Ix, T)> = a.iter().map(|(r, c, v)| (c, r, v.clone())).collect();
     trips.sort_by_key(|x| (x.0, x.1));
 
@@ -26,7 +39,15 @@ pub fn transpose<T: Value>(a: &Dcsr<T>) -> Dcsr<T> {
         vals.push(v);
         *rowptr.last_mut().expect("nonempty") = colidx.len();
     }
-    Dcsr::from_parts(a.ncols(), a.nrows(), rows, rowptr, colidx, vals)
+    let c = Dcsr::from_parts(a.ncols(), a.nrows(), rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::Transpose,
+        start.elapsed(),
+        a.nnz() as u64,
+        c.nnz() as u64,
+        0,
+    );
+    c
 }
 
 /// Apply a unary operator to every stored value; results equal to the
@@ -36,12 +57,22 @@ where
     S: Semiring<Value = T>,
     O: UnaryOp<T, T>,
 {
+    with_default_ctx(|ctx| apply_ctx(ctx, a, op, s))
+}
+
+/// [`apply`] through an explicit execution context.
+pub fn apply_ctx<T: Value, S, O>(ctx: &OpCtx, a: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+where
+    S: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    let start = Instant::now();
     let mut rows = Vec::new();
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::with_capacity(a.nnz());
     let mut vals = Vec::with_capacity(a.nnz());
     for (r, cols, vs) in a.iter_rows() {
-        let start = colidx.len();
+        let rstart = colidx.len();
         for (&c, v) in cols.iter().zip(vs) {
             let w = op.apply(v.clone());
             if !s.is_zero(&w) {
@@ -49,35 +80,61 @@ where
                 vals.push(w);
             }
         }
-        if colidx.len() > start {
+        if colidx.len() > rstart {
             rows.push(r);
             rowptr.push(colidx.len());
         }
     }
-    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+    let c = Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::Apply,
+        start.elapsed(),
+        a.nnz() as u64,
+        c.nnz() as u64,
+        a.nnz() as u64, // one operator application per stored entry
+    );
+    c
 }
 
 /// Keep entries satisfying a predicate on `(row, col, value)` —
 /// GraphBLAS `GrB_select`.
 pub fn select<T: Value, F: Fn(Ix, Ix, &T) -> bool>(a: &Dcsr<T>, keep: F) -> Dcsr<T> {
+    with_default_ctx(|ctx| select_ctx(ctx, a, keep))
+}
+
+/// [`select`] through an explicit execution context.
+pub fn select_ctx<T: Value, F: Fn(Ix, Ix, &T) -> bool>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    keep: F,
+) -> Dcsr<T> {
+    let start = Instant::now();
     let mut rows = Vec::new();
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::new();
     let mut vals = Vec::new();
     for (r, cols, vs) in a.iter_rows() {
-        let start = colidx.len();
+        let rstart = colidx.len();
         for (&c, v) in cols.iter().zip(vs) {
             if keep(r, c, v) {
                 colidx.push(c);
                 vals.push(v.clone());
             }
         }
-        if colidx.len() > start {
+        if colidx.len() > rstart {
             rows.push(r);
             rowptr.push(colidx.len());
         }
     }
-    Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals)
+    let c = Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::Select,
+        start.elapsed(),
+        a.nnz() as u64,
+        c.nnz() as u64,
+        a.nnz() as u64, // one predicate evaluation per stored entry
+    );
+    c
 }
 
 /// `A(rows, cols)` — submatrix extraction with *reindexing*: output
@@ -85,8 +142,19 @@ pub fn select<T: Value, F: Fn(Ix, Ix, &T) -> bool>(a: &Dcsr<T>, keep: F) -> Dcsr
 /// strictly increasing (GraphBLAS allows duplicates; the associative
 /// array layer never produces them, so we keep the stronger contract).
 pub fn extract<T: Value>(a: &Dcsr<T>, rows_sel: &[Ix], cols_sel: &[Ix]) -> Dcsr<T> {
+    with_default_ctx(|ctx| extract_ctx(ctx, a, rows_sel, cols_sel))
+}
+
+/// [`extract`] through an explicit execution context.
+pub fn extract_ctx<T: Value>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    rows_sel: &[Ix],
+    cols_sel: &[Ix],
+) -> Dcsr<T> {
     debug_assert!(rows_sel.windows(2).all(|w| w[0] < w[1]));
     debug_assert!(cols_sel.windows(2).all(|w| w[0] < w[1]));
+    let start = Instant::now();
     let col_pos: HashMap<Ix, Ix> = cols_sel
         .iter()
         .enumerate()
@@ -99,26 +167,34 @@ pub fn extract<T: Value>(a: &Dcsr<T>, rows_sel: &[Ix], cols_sel: &[Ix]) -> Dcsr<
     let mut vals = Vec::new();
     for (new_r, &old_r) in rows_sel.iter().enumerate() {
         let (cols, vs) = a.row(old_r);
-        let start = colidx.len();
+        let rstart = colidx.len();
         for (&c, v) in cols.iter().zip(vs) {
             if let Some(&p) = col_pos.get(&c) {
                 colidx.push(p);
                 vals.push(v.clone());
             }
         }
-        if colidx.len() > start {
+        if colidx.len() > rstart {
             rows.push(new_r as Ix);
             rowptr.push(colidx.len());
         }
     }
-    Dcsr::from_parts(
+    let c = Dcsr::from_parts(
         rows_sel.len() as Ix,
         cols_sel.len() as Ix,
         rows,
         rowptr,
         colidx,
         vals,
-    )
+    );
+    ctx.metrics().record(
+        Kernel::Extract,
+        start.elapsed(),
+        a.nnz() as u64,
+        c.nnz() as u64,
+        0,
+    );
+    c
 }
 
 /// Kronecker product `A ⊗ₖ B`: output dimension
@@ -126,6 +202,16 @@ pub fn extract<T: Value>(a: &Dcsr<T>, rows_sel: &[Ix], cols_sel: &[Ix]) -> Dcsr<
 /// `(i_A·nrows_B + i_B, j_A·ncols_B + j_B) = A(i_A,j_A) ⊗ B(i_B,j_B)`.
 /// The generator behind Graph500/RMAT-style power-law graphs.
 pub fn kron<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+    with_default_ctx(|ctx| kron_ctx(ctx, a, b, s))
+}
+
+/// [`kron`] through an explicit execution context.
+pub fn kron_ctx<T: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+) -> Dcsr<T> {
     let nrows = a
         .nrows()
         .checked_mul(b.nrows())
@@ -134,6 +220,8 @@ pub fn kron<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) ->
         .ncols()
         .checked_mul(b.ncols())
         .expect("kron cols overflow");
+    let start = Instant::now();
+    let mut flops = 0u64;
 
     let mut rows = Vec::new();
     let mut rowptr = vec![0usize];
@@ -145,23 +233,32 @@ pub fn kron<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) ->
     for (ra, acols, avals) in a.iter_rows() {
         for (rb, bcols, bvals) in b.iter_rows() {
             let r = ra * b.nrows() + rb;
-            let start = colidx.len();
+            let rstart = colidx.len();
             for (&ca, va) in acols.iter().zip(avals) {
                 for (&cb, vb) in bcols.iter().zip(bvals) {
                     let v = s.mul(va.clone(), vb.clone());
+                    flops += 1;
                     if !s.is_zero(&v) {
                         colidx.push(ca * b.ncols() + cb);
                         vals.push(v);
                     }
                 }
             }
-            if colidx.len() > start {
+            if colidx.len() > rstart {
                 rows.push(r);
                 rowptr.push(colidx.len());
             }
         }
     }
-    Dcsr::from_parts(nrows, ncols, rows, rowptr, colidx, vals)
+    let c = Dcsr::from_parts(nrows, ncols, rows, rowptr, colidx, vals);
+    ctx.metrics().record(
+        Kernel::Kron,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    c
 }
 
 #[cfg(test)]
@@ -265,5 +362,22 @@ mod tests {
         let b = random_dcsr(8, 8, 12, 14, s);
         let k = kron(&a, &b, s);
         assert_eq!(k.nnz(), a.nnz() * b.nnz());
+    }
+
+    #[test]
+    fn ctx_transform_kernels_record() {
+        let s = PlusTimes::<f64>::new();
+        let ctx = crate::ctx::OpCtx::new();
+        let a = m(4, &[(0, 1, 1.0), (1, 0, 2.0), (2, 3, 3.0)]);
+        let _ = transpose_ctx(&ctx, &a);
+        let _ = select_ctx(&ctx, &a, |r, c, _| c > r);
+        let _ = extract_ctx(&ctx, &a, &[0, 2], &[1, 3]);
+        let _ = kron_ctx(&ctx, &a, &a, s);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.kernel(Kernel::Transpose).calls, 1);
+        assert_eq!(snap.kernel(Kernel::Select).calls, 1);
+        assert_eq!(snap.kernel(Kernel::Extract).calls, 1);
+        assert_eq!(snap.kernel(Kernel::Kron).calls, 1);
+        assert_eq!(snap.kernel(Kernel::Kron).flops, 9); // 3 nnz × 3 nnz
     }
 }

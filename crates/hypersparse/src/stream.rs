@@ -14,11 +14,14 @@
 //! tests; the insert-rate advantage over per-event rebuilds is what the
 //! cited paper measures.
 
+use std::sync::Arc;
+
 use semiring::traits::Semiring;
 
 use crate::coo::Coo;
+use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
-use crate::ops::ewise_add;
+use crate::ops::ewise_add_ctx;
 use crate::Ix;
 
 /// Capacity of the level-0 insert buffer.
@@ -38,6 +41,7 @@ pub struct StreamingMatrix<S: Semiring> {
     buffer: Vec<(Ix, Ix, S::Value)>,
     levels: Vec<Option<Dcsr<S::Value>>>,
     inserted: u64,
+    ctx: Option<Arc<OpCtx>>,
 }
 
 impl<S: Semiring> StreamingMatrix<S> {
@@ -50,6 +54,29 @@ impl<S: Semiring> StreamingMatrix<S> {
             buffer: Vec::with_capacity(BUFFER_CAP),
             levels: Vec::new(),
             inserted: 0,
+            ctx: None,
+        }
+    }
+
+    /// Route every internal ⊕-merge (cascades and snapshots) through the
+    /// given execution context, so its metrics observe the stream's merge
+    /// traffic and its workspace arena is reused across cascades.
+    pub fn with_ctx(mut self, ctx: Arc<OpCtx>) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    /// The execution context merges run under, if one was attached.
+    pub fn ctx(&self) -> Option<&Arc<OpCtx>> {
+        self.ctx.as_ref()
+    }
+
+    /// ⊕-merge two layers under the attached context (or the
+    /// thread-local default when none is attached).
+    fn merge(&self, a: &Dcsr<S::Value>, b: &Dcsr<S::Value>) -> Dcsr<S::Value> {
+        match &self.ctx {
+            Some(ctx) => ewise_add_ctx(ctx, a, b, self.s),
+            None => with_default_ctx(|ctx| ewise_add_ctx(ctx, a, b, self.s)),
         }
     }
 
@@ -89,7 +116,7 @@ impl<S: Semiring> StreamingMatrix<S> {
                     break;
                 }
                 Some(existing) => {
-                    carry = ewise_add(&existing, &carry, self.s);
+                    carry = self.merge(&existing, &carry);
                     let cap = BUFFER_CAP * GROWTH.pow(k as u32 + 1);
                     if carry.nnz() <= cap {
                         self.levels[k] = Some(carry);
@@ -109,7 +136,7 @@ impl<S: Semiring> StreamingMatrix<S> {
         self.flush_buffer();
         let mut acc = Dcsr::empty(self.nrows, self.ncols);
         for level in self.levels.iter().flatten() {
-            acc = ewise_add(&acc, level, self.s);
+            acc = self.merge(&acc, level);
         }
         acc
     }
@@ -221,6 +248,24 @@ mod tests {
         stream.insert(1, 1, -2.0);
         assert_eq!(stream.get(1, 1), None);
         assert_eq!(stream.snapshot().nnz(), 0);
+    }
+
+    #[test]
+    fn attached_ctx_observes_merge_traffic() {
+        let s = PlusTimes::<f64>::new();
+        let ctx = Arc::new(OpCtx::new());
+        let n = 1u64 << 30;
+        let mut stream = StreamingMatrix::new(n, n, s).with_ctx(Arc::clone(&ctx));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 * BUFFER_CAP {
+            stream.insert(rng.gen_range(0..n), rng.gen_range(0..n), 1.0);
+        }
+        let _ = stream.snapshot();
+        let snap = ctx.metrics().snapshot();
+        assert!(
+            snap.kernel(crate::metrics::Kernel::EwiseAdd).calls > 0,
+            "cascade and snapshot merges should be visible in the ctx"
+        );
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the bench harness
+//! vendors the slice of criterion's API this workspace uses:
+//! `Criterion::default().configure_from_args()`, `bench_function`,
+//! `benchmark_group` (+ `sample_size`, `finish`), `Bencher::iter`, and
+//! `final_summary`. Measurement is plain wall clock: one warmup call,
+//! then `sample_size` timed iterations, reported as median / mean / min.
+//! No statistical regression analysis, no HTML reports — numbers print
+//! to stdout, which is what `EXPERIMENTS.md` records.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Default timed iterations per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Cap on a single benchmark's total measured time; sampling stops early
+/// (with however many samples are in) once this budget is spent.
+const TIME_BUDGET: Duration = Duration::from_secs(5);
+
+/// Opaque value sink preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    benches_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            benches_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Override the default number of timed iterations.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, &mut f);
+        self.benches_run += 1;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Print the closing line (criterion API compatibility).
+    pub fn final_summary(&self) {
+        println!(
+            "[criterion-shim] {} benchmark(s) complete",
+            self.benches_run
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Timed iterations for every benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&format!("{}/{}", self.name, id.into()), samples, &mut f);
+        self.parent.benches_run += 1;
+        self
+    }
+
+    /// Close the group (criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the work.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Measure `work` repeatedly (one warmup + up to `sample_size` timed
+    /// runs, subject to the harness time budget).
+    pub fn iter<O, W: FnMut() -> O>(&mut self, mut work: W) {
+        black_box(work()); // warmup
+        let budget_start = Instant::now();
+        for _ in 0..self.target {
+            let t = Instant::now();
+            black_box(work());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        target: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<44} (no samples — closure never called iter)");
+        return;
+    }
+    b.samples.sort();
+    let n = b.samples.len();
+    let median = b.samples[n / 2];
+    let mean = b.samples.iter().sum::<Duration>() / n as u32;
+    let min = b.samples[0];
+    println!(
+        "{id:<44} median {:>12} mean {:>12} min {:>12} ({n} samples)",
+        fmt(median),
+        fmt(mean),
+        fmt(min)
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(3).configure_from_args();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(42)));
+        g.finish();
+        assert_eq!(c.benches_run, 2);
+        c.final_summary();
+    }
+}

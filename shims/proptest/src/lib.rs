@@ -1,0 +1,739 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this shim reimplements
+//! the slice of proptest this workspace's suites use: the [`proptest!`]
+//! macro, range/tuple/`Just`/`prop_oneof!` strategies, `collection::vec`
+//! and `collection::btree_set`, a character-class subset of
+//! `string::string_regex`, `prop_map`/`prop_filter` combinators, and the
+//! `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   (via `Debug` in the panic payload) but is not minimized.
+//! * **Deterministic seeding.** Each `proptest!` test derives its RNG
+//!   seed from the test's name, so failures reproduce exactly.
+//! * `string_regex` supports literals, `[...]` classes (with ranges),
+//!   and `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers — enough for key
+//!   alphabets, not a general regex engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+#[doc(hidden)]
+pub use rand::SeedableRng;
+use rand::{Rng, SampleRange, StandardSample};
+
+/// Number of random cases a `proptest!` test runs by default.
+pub const DEFAULT_CASES: u32 = 48;
+
+/// Maximum consecutive `prop_filter` rejections before a strategy gives
+/// up (mirrors proptest's "too many local rejects").
+const MAX_FILTER_RETRIES: u32 = 1000;
+
+/// Per-test configuration, set via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The generator handed to strategies (a seeded [`StdRng`]).
+pub type TestRng = StdRng;
+
+/// A recipe for producing random values of `Value`.
+///
+/// Unlike real proptest there is no value tree: `generate` directly
+/// yields a sample, and combinators compose these samplers.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; `reason` names the filter in
+    /// the give-up panic.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Generate a value, then run a strategy derived from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Uniformly permute the generated collection (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+            self.generate(rng)
+        }))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected {MAX_FILTER_RETRIES} consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased strategy (what `prop_oneof!` arms collapse to).
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Collections [`Strategy::prop_shuffle`] can permute in place.
+pub trait Shuffleable: Debug {
+    /// Permute the collection uniformly at random.
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+impl<T: Debug> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Clone, Debug)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut v = self.inner.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// Strategy producing exactly `0`'s clone every time.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The full-domain strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as StandardSample>::standard_sample(rng)
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Ranges are strategies (uniform over the half-open interval).
+impl<T> Strategy for Range<T>
+where
+    T: Debug + Clone,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Lengths a collection strategy may produce.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(pub Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    /// `Vec<T>` with a length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_size(rng, &self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet<T>`; the set may be smaller than the drawn length when
+    /// elements collide (matches proptest's behaviour).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_size(rng, &self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    fn sample_size(rng: &mut TestRng, size: &SizeRange) -> usize {
+        if size.0.is_empty() {
+            size.0.start
+        } else {
+            rng.gen_range(size.0.clone())
+        }
+    }
+}
+
+/// String strategies (`string_regex` subset).
+pub mod string {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Error from [`string_regex`] on an unsupported pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One parsed regex atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strings matching a small regex subset: literals, `[...]` classes
+    /// with `a-z` ranges, and `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let mut pieces = Vec::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error(pattern.into()))?
+                        + i
+                        + 1;
+                    let inner = &chars[i + 1..close];
+                    i = close + 1;
+                    expand_class(inner)
+                }
+                '\\' => {
+                    i += 2;
+                    vec![*chars.get(i - 1).ok_or_else(|| Error(pattern.into()))?]
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => return Err(Error(pattern.into())),
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern)?;
+            pieces.push(Piece { choices, min, max });
+        }
+        Ok(RegexStrategy { pieces })
+    }
+
+    fn expand_class(inner: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut k = 0usize;
+        while k < inner.len() {
+            if k + 2 < inner.len() && inner[k + 1] == '-' {
+                for c in inner[k]..=inner[k + 2] {
+                    out.push(c);
+                }
+                k += 3;
+            } else {
+                out.push(inner[k]);
+                k += 1;
+            }
+        }
+        out
+    }
+
+    fn parse_quantifier(
+        chars: &[char],
+        i: &mut usize,
+        pattern: &str,
+    ) -> Result<(usize, usize), Error> {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error(pattern.into()))?
+                    + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                let parts: Vec<&str> = body.split(',').collect();
+                let min = parts[0].trim().parse().map_err(|_| Error(pattern.into()))?;
+                let max = if parts.len() > 1 {
+                    parts[1].trim().parse().map_err(|_| Error(pattern.into()))?
+                } else {
+                    min
+                };
+                Ok((min, max))
+            }
+            Some('?') => {
+                *i += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *i += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *i += 1;
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    /// See [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = if piece.min == piece.max {
+                    piece.min
+                } else {
+                    rng.gen_range(piece.min..piece.max + 1)
+                };
+                for _ in 0..n {
+                    out.push(piece.choices[rng.gen_range(0..piece.choices.len())]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Everything a test module needs, one `use` away.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Derive the per-test RNG seed from the test path (stable across runs).
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a over the name; any stable hash works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `cases` random cases of `body`, panicking with the case inputs on
+/// the first failure. Used by the [`proptest!`] expansion.
+pub fn run_cases(
+    test_name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    let mut rng = TestRng::seed_from_u64(seed_for(test_name));
+    for case in 0..cases {
+        if let Err(msg) = body(&mut rng) {
+            panic!("[{test_name}] property failed at case {case}/{cases}: {msg}");
+        }
+    }
+}
+
+/// Randomized-property test harness (no shrinking; see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($cfg) $($rest)*);
+    };
+    (@config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.cases,
+                    |__proptest_rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (counts as a pass) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Weighted union of type-erased strategies (built by [`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T: Debug> OneOf<T> {
+    /// Build from `(weight, strategy)` arms; weights must not all be 0.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if draw < *w {
+                return s.generate(rng);
+            }
+            draw -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn string_regex_subset() {
+        let s = crate::string::string_regex("[a-c]{2,4}x").unwrap();
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v.ends_with('x'));
+            let body = &v[..v.len() - 1];
+            assert!((2..=4).contains(&body.len()));
+            assert!(body.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u64..10, pair in (0i64..5, -1.0..1.0f64)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 5 && pair.1 < 1.0);
+        }
+
+        #[test]
+        fn filters_and_maps(v in crate::collection::vec((0u8..6).prop_map(|x| x * 2), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![8 => 0u8..1, 1 => Just(9u8)]) {
+            prop_assert!(x == 0 || x == 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_applies(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}
