@@ -7,29 +7,45 @@
 //! carries the *source* vertex id through each edge and whose ⊕ picks
 //! the smallest — a deterministic BFS tree.
 
-use hypersparse::{Dcsr, Ix, SparseVec};
+use hypersparse::ops::mxv::{choose_direction, vxm_masked_opt_ctx};
+use hypersparse::ops::transpose_ctx;
+use hypersparse::{with_default_ctx, Dcsr, Direction, Ix, SparseVec};
 use semiring::{AnyPair, MinFirst};
+
+use crate::frontier::Visited;
 
 /// BFS levels from `src` over a `u8` pattern (see
 /// [`crate::pattern::pattern_u8`]). Returns `(vertex, level)` pairs
 /// sorted by vertex, `src` at level 0; unreachable vertices are absent.
+///
+/// Each level is one fused masked expansion `(fᵀA) ⊙ ¬visited`
+/// ([`vxm_masked_opt_ctx`]) — direction-optimized once the frontier is
+/// dense enough to justify building the transpose, which then persists
+/// for the remaining levels.
 pub fn bfs_levels(pat: &Dcsr<u8>, src: Ix) -> Vec<(Ix, u32)> {
     let s = AnyPair;
     let n = pat.nrows();
     let mut out: Vec<(Ix, u32)> = vec![(src, 0)];
-    let mut visited = SparseVec::from_entries(n, vec![(src, 1u8)], s);
-    let mut frontier = visited.clone();
+    let mut visited = Visited::with_seed(src);
+    let mut frontier = SparseVec::from_entries(n, vec![(src, 1u8)], s);
+    let mut at: Option<Dcsr<u8>> = None;
     let mut level = 0u32;
-    while !frontier.is_empty() {
-        level += 1;
-        // q = (fᵀ A) masked by unvisited — the Fig. 1 array operation.
-        let next = frontier.vxm(pat, s).without(&visited);
-        for (v, _) in next.iter() {
-            out.push((v, level));
+    with_default_ctx(|ctx| {
+        while !frontier.is_empty() {
+            level += 1;
+            if at.is_none() && choose_direction(&frontier, pat, true) == Direction::Pull {
+                at = Some(transpose_ctx(ctx, pat));
+            }
+            // q = (fᵀ A) ⊙ ¬visited — the Fig. 1 array operation, masked
+            // inside the kernel.
+            let next = vxm_masked_opt_ctx(ctx, &frontier, pat, at.as_ref(), visited.as_slice(), s);
+            for (v, _) in next.iter() {
+                out.push((v, level));
+            }
+            visited.absorb_sorted(next.indices());
+            frontier = next;
         }
-        visited = visited.ewise_add(&next, s);
-        frontier = next;
-    }
+    });
     out.sort_by_key(|e| e.0);
     out
 }
@@ -45,17 +61,24 @@ pub fn bfs_parents(pat: &Dcsr<u64>, src: Ix) -> Vec<(Ix, Ix)> {
     // Frontier values carry the (1-shifted) id of the frontier vertex
     // itself, so MinFirst's ⊗ delivers it to each successor as a parent
     // candidate; ⊕ = min picks the smallest-id parent.
-    let mut visited = SparseVec::from_entries(n, vec![(src, src + 1)], s);
-    let mut frontier = visited.clone();
-    while !frontier.is_empty() {
-        let next = frontier.vxm(pat, s).without(&visited);
-        for (v, &parent_shifted) in next.iter() {
-            out.push((v, parent_shifted - 1));
+    let mut visited = Visited::with_seed(src);
+    let mut frontier = SparseVec::from_entries(n, vec![(src, src + 1)], s);
+    let mut at: Option<Dcsr<u64>> = None;
+    with_default_ctx(|ctx| {
+        while !frontier.is_empty() {
+            if at.is_none() && choose_direction(&frontier, pat, true) == Direction::Pull {
+                at = Some(transpose_ctx(ctx, pat));
+            }
+            let next = vxm_masked_opt_ctx(ctx, &frontier, pat, at.as_ref(), visited.as_slice(), s);
+            for (v, &parent_shifted) in next.iter() {
+                out.push((v, parent_shifted - 1));
+            }
+            visited.absorb_sorted(next.indices());
+            // Re-stamp the new frontier with its own ids for the next hop.
+            frontier =
+                SparseVec::from_entries(n, next.iter().map(|(v, _)| (v, v + 1)).collect(), s);
         }
-        visited = visited.ewise_add(&next, s);
-        // Re-stamp the new frontier with its own ids for the next hop.
-        frontier = SparseVec::from_entries(n, next.iter().map(|(v, _)| (v, v + 1)).collect(), s);
-    }
+    });
     out.sort_by_key(|e| e.0);
     out
 }

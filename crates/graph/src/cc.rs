@@ -5,7 +5,9 @@
 //! [`semiring::MinFirst`] operator bundle. At the fixpoint, every vertex
 //! in a component carries the component's smallest vertex id.
 
-use hypersparse::{Dcsr, Ix, SparseVec};
+use hypersparse::ops::mxv::{choose_direction, vxm_opt_ctx};
+use hypersparse::ops::transpose_ctx;
+use hypersparse::{with_default_ctx, Dcsr, Direction, Ix, SparseVec};
 use semiring::MinFirst;
 
 /// Connected components of an *undirected* graph given as a symmetric
@@ -25,14 +27,21 @@ pub fn connected_components(pat: &Dcsr<u64>) -> Vec<(Ix, Ix)> {
     verts.dedup();
     let mut labels = SparseVec::from_entries(n, verts.iter().map(|&v| (v, v + 1)).collect(), s);
 
-    loop {
-        let prop = labels.vxm(pat, s);
+    // The label vector is dense over incident vertices from the first
+    // sweep, so the direction heuristic typically pulls; ⊕ = min makes
+    // either direction bit-identical.
+    let mut at: Option<Dcsr<u64>> = None;
+    with_default_ctx(|ctx| loop {
+        if at.is_none() && choose_direction(&labels, pat, true) == Direction::Pull {
+            at = Some(transpose_ctx(ctx, pat));
+        }
+        let prop = vxm_opt_ctx(ctx, &labels, pat, at.as_ref(), s);
         let next = labels.ewise_add(&prop, s);
         if next == labels {
             break;
         }
         labels = next;
-    }
+    });
     labels.iter().map(|(v, &l)| (v, l - 1)).collect()
 }
 

@@ -9,8 +9,12 @@
 
 use std::collections::HashMap;
 
-use hypersparse::{Dcsr, Ix, SparseVec};
+use hypersparse::ops::mxv::{mxv_opt_ctx, vxm_masked_opt_ctx};
+use hypersparse::ops::transpose_ctx;
+use hypersparse::{with_default_ctx, Dcsr, Ix, SparseVec};
 use semiring::PlusTimes;
+
+use crate::frontier::Visited;
 
 type S = PlusTimes<f64>;
 
@@ -30,53 +34,60 @@ pub fn betweenness(pat: &Dcsr<f64>, sources: &[Ix]) -> Vec<f64> {
     let pat = &hypersparse::ops::apply(pat, semiring::ZeroNorm(s()), s());
     let mut bc = vec![0.0f64; n];
 
-    for &src in sources {
-        // ---- forward: per-level frontiers with path counts σ ----
-        let mut sigma: HashMap<Ix, f64> = HashMap::from([(src, 1.0)]);
-        let mut levels: Vec<SparseVec<f64>> =
-            vec![SparseVec::from_entries(pat.nrows(), vec![(src, 1.0)], s())];
-        loop {
-            let frontier = levels.last().expect("nonempty");
-            // candidate path counts into the next level
-            let q = frontier.vxm(pat, s());
-            // keep only unvisited vertices
-            let next = q.select(|v, _| !sigma.contains_key(&v));
-            if next.is_empty() {
-                break;
+    with_default_ctx(|ctx| {
+        // One transpose serves every source: the pull option of the
+        // forward masked sweeps and the push option of the backward mxv.
+        let at = transpose_ctx(ctx, pat);
+        for &src in sources {
+            // ---- forward: per-level frontiers with path counts σ ----
+            let mut sigma: HashMap<Ix, f64> = HashMap::from([(src, 1.0)]);
+            let mut visited = Visited::with_seed(src);
+            let mut levels: Vec<SparseVec<f64>> =
+                vec![SparseVec::from_entries(pat.nrows(), vec![(src, 1.0)], s())];
+            loop {
+                let frontier = levels.last().expect("nonempty");
+                // path counts into the next level, visited masked off
+                // inside the kernel
+                let next =
+                    vxm_masked_opt_ctx(ctx, frontier, pat, Some(&at), visited.as_slice(), s());
+                if next.is_empty() {
+                    break;
+                }
+                for (v, c) in next.iter() {
+                    sigma.insert(v, *c);
+                }
+                visited.absorb_sorted(next.indices());
+                levels.push(next);
             }
-            for (v, c) in next.iter() {
-                sigma.insert(v, *c);
-            }
-            levels.push(next);
-        }
 
-        // ---- backward: dependency accumulation per level ----
-        let mut delta: HashMap<Ix, f64> = HashMap::new();
-        for d in (1..levels.len()).rev() {
-            // t(w) = (1 + δ(w)) / σ(w) for w at depth d
-            let deep = &levels[d];
-            let t = SparseVec::from_entries(
-                pat.nrows(),
-                deep.iter()
-                    .map(|(w, &sig)| (w, (1.0 + delta.get(&w).copied().unwrap_or(0.0)) / sig))
-                    .collect(),
-                s(),
-            );
-            // u(v) = Σ_w A(v, w) t(w) — one mxv per level
-            let u = SparseVec::mxv(pat, &t, s());
-            // δ(v) += σ(v) · u(v) for v at depth d−1
-            for (v, &sig) in levels[d - 1].iter() {
-                if let Some(uv) = u.get(&v) {
-                    *delta.entry(v).or_insert(0.0) += sig * uv;
+            // ---- backward: dependency accumulation per level ----
+            let mut delta: HashMap<Ix, f64> = HashMap::new();
+            for d in (1..levels.len()).rev() {
+                // t(w) = (1 + δ(w)) / σ(w) for w at depth d
+                let deep = &levels[d];
+                let t = SparseVec::from_entries(
+                    pat.nrows(),
+                    deep.iter()
+                        .map(|(w, &sig)| (w, (1.0 + delta.get(&w).copied().unwrap_or(0.0)) / sig))
+                        .collect(),
+                    s(),
+                );
+                // u(v) = Σ_w A(v, w) t(w) — one mxv per level
+                let u = mxv_opt_ctx(ctx, pat, Some(&at), &t, s());
+                // δ(v) += σ(v) · u(v) for v at depth d−1
+                for (v, &sig) in levels[d - 1].iter() {
+                    if let Some(uv) = u.get(&v) {
+                        *delta.entry(v).or_insert(0.0) += sig * uv;
+                    }
+                }
+            }
+            for (v, dv) in delta {
+                if v != src {
+                    bc[v as usize] += dv;
                 }
             }
         }
-        for (v, dv) in delta {
-            if v != src {
-                bc[v as usize] += dv;
-            }
-        }
-    }
+    });
     bc
 }
 

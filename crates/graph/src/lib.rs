@@ -33,6 +33,7 @@ pub mod centrality;
 pub mod closure;
 pub mod coloring;
 pub mod community;
+pub mod frontier;
 pub mod hyperalgo;
 pub mod hypergraph;
 pub mod kcore;

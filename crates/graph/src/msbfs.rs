@@ -35,10 +35,10 @@ pub fn msbfs_levels(pat: &Dcsr<u8>, sources: &[Ix]) -> Dcsr<u64> {
 
     let mut level = 1u64;
     while frontier.nnz() > 0 {
-        // One SpGEMM advances every source's frontier at once.
-        let expanded = hypersparse::ops::mxm(&frontier, pat, s);
-        // Mask off per-source visited vertices.
-        let next = hypersparse::ops::select(&expanded, |r, c, _| visited.get(r, c).is_none());
+        // One complement-masked SpGEMM advances every source's frontier
+        // at once, skipping per-source visited vertices inside the
+        // accumulator loop instead of select-filtering afterwards.
+        let next = hypersparse::ops::mxm_masked(&frontier, pat, &visited, true, s);
         for (r, c, _) in next.iter() {
             levels.push((r, c, level + 1));
         }

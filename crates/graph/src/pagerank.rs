@@ -5,7 +5,10 @@
 //! purely linear-algebraic loop over the hypersparse engine. Vertex ids
 //! must be compact (`n` is materialized as the rank vector's length).
 
-use hypersparse::{Dcsr, Ix};
+use hypersparse::ops::mxv::vxm_dense_pull_ctx;
+use hypersparse::ops::{apply, transpose};
+use hypersparse::{with_default_ctx, Dcsr, Ix};
+use semiring::{PlusTimes, ZeroNorm};
 
 /// PageRank options.
 #[derive(Copy, Clone, Debug)]
@@ -45,25 +48,38 @@ pub fn pagerank(pat: &Dcsr<f64>, opts: PageRankOpts) -> Vec<f64> {
         outdeg[r as usize] = cols.len();
     }
 
+    let s = PlusTimes::<f64>::new();
+    // Unit-weight transpose, once: the pull kernel gathers each vertex's
+    // in-edges in increasing source order — the exact f64 addition order
+    // of the original row-major scatter loop, so results are
+    // bit-identical to it at every thread count.
+    let at = transpose(&apply(pat, ZeroNorm(s), s));
+
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
-    for _ in 0..opts.max_iter {
-        // Dangling vertices spread their rank uniformly.
-        let dangling: f64 = (0..n).filter(|&v| outdeg[v] == 0).map(|v| rank[v]).sum();
-        let spread = d * dangling / n as f64;
-        next.iter_mut().for_each(|x| *x = base + spread);
-        for (r, cols, _) in pat.iter_rows() {
-            let share = d * rank[r as usize] / cols.len() as f64;
-            for &c in cols {
-                next[c as usize] += share;
+    let mut scaled = vec![0.0f64; n];
+    with_default_ctx(|ctx| {
+        for _ in 0..opts.max_iter {
+            // Dangling vertices spread their rank uniformly.
+            let dangling: f64 = (0..n).filter(|&v| outdeg[v] == 0).map(|v| rank[v]).sum();
+            let spread = d * dangling / n as f64;
+            next.iter_mut().for_each(|x| *x = base + spread);
+            // next ← next + scaledᵀ · pattern, gathered over in-edges.
+            for v in 0..n {
+                scaled[v] = if outdeg[v] == 0 {
+                    0.0
+                } else {
+                    d * rank[v] / outdeg[v] as f64
+                };
+            }
+            vxm_dense_pull_ctx(ctx, &scaled, &at, &mut next, s);
+            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut rank, &mut next);
+            if delta < opts.tol {
+                break;
             }
         }
-        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-        std::mem::swap(&mut rank, &mut next);
-        if delta < opts.tol {
-            break;
-        }
-    }
+    });
     rank
 }
 

@@ -6,7 +6,9 @@
 //! longest-path (`max.+`), widest-path (`max.min`), or most-reliable-path
 //! (`max.×`) solvers, which [`sssp_generic`] exposes.
 
-use hypersparse::{Dcsr, Ix, SparseVec};
+use hypersparse::ops::mxv::{choose_direction, vxm_opt_ctx};
+use hypersparse::ops::transpose_ctx;
+use hypersparse::{with_default_ctx, Dcsr, Direction, Ix, SparseVec};
 use semiring::traits::Semiring;
 use semiring::MinPlus;
 
@@ -25,14 +27,24 @@ pub fn sssp_generic<S: Semiring<Value = f64>>(w: &Dcsr<f64>, src: Ix, s: S) -> V
     let mut dist = SparseVec::from_entries(n, vec![(src, s.one())], s);
     // At most |V|−1 sweeps; stop early on fixpoint.
     let max_sweeps = (w.n_nonempty_rows() + 1).max(2);
-    for _ in 0..max_sweeps {
-        let relax = dist.vxm(w, s);
-        let next = dist.ewise_add(&relax, s);
-        if next == dist {
-            break;
+    // The distance vector only grows, so once it is dense enough to
+    // favor pulling, build the transpose and keep it for all remaining
+    // sweeps. ⊕ = min/max is grouping-exact: either direction and any
+    // thread count produce bit-identical distances.
+    let mut at: Option<Dcsr<f64>> = None;
+    with_default_ctx(|ctx| {
+        for _ in 0..max_sweeps {
+            if at.is_none() && choose_direction(&dist, w, true) == Direction::Pull {
+                at = Some(transpose_ctx(ctx, w));
+            }
+            let relax = vxm_opt_ctx(ctx, &dist, w, at.as_ref(), s);
+            let next = dist.ewise_add(&relax, s);
+            if next == dist {
+                break;
+            }
+            dist = next;
         }
-        dist = next;
-    }
+    });
     dist.iter().map(|(v, d)| (v, *d)).collect()
 }
 

@@ -90,6 +90,20 @@ where
     coo.build_dcsr(s)
 }
 
+/// Directed ring (cycle) of `n` vertices: edge `v → (v+1) mod n` with
+/// weight 1. The adversarial case for direction heuristics — every
+/// frontier stays a single vertex, so pull never pays off.
+pub fn ring_dcsr<S>(n: Ix, s: S) -> Dcsr<f64>
+where
+    S: Semiring<Value = f64>,
+{
+    let mut c = Coo::new(n, n);
+    for v in 0..n {
+        c.push(v, (v + 1) % n.max(1), 1.0);
+    }
+    c.build_dcsr(s)
+}
+
 /// A uniformly random sparse *boolean-pattern* matrix with `f64` weight 1
 /// on every edge — handy for topology-only workloads.
 pub fn random_pattern<S>(nrows: Ix, ncols: Ix, nnz: usize, seed: u64, s: S) -> Dcsr<f64>
@@ -155,6 +169,13 @@ mod tests {
             max_deg as f64 > 4.0 * mean,
             "max {max_deg} vs mean {mean:.1}"
         );
+    }
+
+    #[test]
+    fn ring_is_a_single_cycle() {
+        let g = ring_dcsr(16, PlusTimes::<f64>::new());
+        assert_eq!(g.nnz(), 16);
+        assert!(g.iter().all(|(r, c, &v)| v == 1.0 && c == (r + 1) % 16));
     }
 
     #[test]

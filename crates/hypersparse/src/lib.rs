@@ -83,7 +83,7 @@ pub use dcsr::Dcsr;
 pub use dense::DenseMat;
 pub use error::{Axis, OpError};
 pub use matrix::{Format, FormatPolicy, Matrix};
-pub use metrics::{Kernel, KernelSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Direction, Kernel, KernelSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use stream::StreamingMatrix;
 pub use vector::SparseVec;
 

@@ -13,6 +13,7 @@
 //! format-native SpMV (benchmarked in the Fig. 4 harness).
 
 use std::borrow::Cow;
+use std::sync::{Arc, OnceLock};
 
 use semiring::traits::{Monoid, Semiring, UnaryOp, Value};
 
@@ -100,10 +101,17 @@ enum Repr<T> {
 }
 
 /// An opaque matrix that owns its storage-format decision.
+///
+/// Also owns a lazily-built **transpose cache** feeding the pull
+/// direction of [`Matrix::vxm`]/[`Matrix::mxv`]: built on first
+/// [`Matrix::cached_transpose`], shared by clones (the content is
+/// identical), and invalidated by mutation ([`Matrix::set_element`]) or
+/// by any operation that produces a new matrix.
 #[derive(Clone, Debug)]
 pub struct Matrix<T> {
     repr: Repr<T>,
     policy: FormatPolicy,
+    at_cache: Arc<OnceLock<Arc<Dcsr<T>>>>,
 }
 
 impl<T: Value> Matrix<T> {
@@ -112,6 +120,7 @@ impl<T: Value> Matrix<T> {
         Matrix {
             repr: Repr::Dcsr(Dcsr::empty(nrows, ncols)),
             policy: FormatPolicy::default(),
+            at_cache: Arc::new(OnceLock::new()),
         }
     }
 
@@ -146,7 +155,11 @@ impl<T: Value> Matrix<T> {
             Format::Csr => Repr::Csr(Csr::from_dcsr(&d)),
             Format::Dcsr => Repr::Dcsr(d),
         };
-        Matrix { repr, policy }
+        Matrix {
+            repr,
+            policy,
+            at_cache: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Force a specific storage format (for the Fig. 4 and ablation
@@ -160,7 +173,11 @@ impl<T: Value> Matrix<T> {
             Format::Csr => Repr::Csr(Csr::from_dcsr(&d)),
             Format::Dcsr => Repr::Dcsr(d),
         };
-        Matrix { repr, policy }
+        Matrix {
+            repr,
+            policy,
+            at_cache: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Replace the format policy (applies to subsequent operations).
@@ -697,13 +714,164 @@ impl<T: Value> Matrix<T> {
         ops::reduce_scalar_ctx(ctx, &self.as_dcsr(), m)
     }
 
-    /// `vᵀ A` — one frontier-expansion step.
-    pub fn vxm<S: Semiring<Value = T>>(&self, v: &SparseVec<T>, s: S) -> SparseVec<T> {
-        v.vxm(&self.as_dcsr(), s)
+    // ---- transpose cache (feeds the pull direction of vxm/mxv) ----
+
+    /// The transpose in compute format, built on first use via
+    /// [`ops::transpose_ctx`] and cached until the matrix mutates.
+    /// Clones share the cache (their content is identical); operations
+    /// that produce a *new* matrix start with an empty cache.
+    pub fn cached_transpose_ctx(&self, ctx: &OpCtx) -> Arc<Dcsr<T>> {
+        self.at_cache
+            .get_or_init(|| Arc::new(ops::transpose_ctx(ctx, &self.as_dcsr())))
+            .clone()
     }
 
-    /// `A v` — sparse row-dot products.
+    /// [`Matrix::cached_transpose_ctx`] against the thread-local
+    /// default context.
+    pub fn cached_transpose(&self) -> Arc<Dcsr<T>> {
+        with_default_ctx(|ctx| self.cached_transpose_ctx(ctx))
+    }
+
+    /// Whether the transpose is currently materialized. While it is,
+    /// [`Matrix::vxm`]/[`Matrix::mxv`] direction-optimize per call.
+    pub fn has_cached_transpose(&self) -> bool {
+        self.at_cache.get().is_some()
+    }
+
+    /// Drop this handle's cached transpose (other clones keep theirs).
+    pub fn clear_transpose_cache(&mut self) {
+        self.at_cache = Arc::new(OnceLock::new());
+    }
+
+    /// Set (or, with a semiring zero, delete) one cell, re-running
+    /// format selection and invalidating the transpose cache.
+    pub fn set_element<S: Semiring<Value = T>>(&mut self, row: Ix, col: Ix, val: T, s: S) {
+        assert!(
+            row < self.nrows() && col < self.ncols(),
+            "set_element: index out of bounds"
+        );
+        let mut triplets = self.to_triplets();
+        triplets.retain(|(r, c, _)| !(*r == row && *c == col));
+        if !s.is_zero(&val) {
+            triplets.push((row, col, val));
+        }
+        let mut coo = Coo::new(self.nrows(), self.ncols());
+        coo.extend(triplets);
+        // `from_dcsr_with_policy` starts with a fresh (empty) cache —
+        // this rebuild is the invalidation.
+        *self = Self::from_dcsr_with_policy(coo.build_dcsr(s), s, self.policy);
+    }
+
+    /// `vᵀ A` — one frontier-expansion step. Direction-optimized when
+    /// the transpose is cached, push otherwise.
+    pub fn vxm<S: Semiring<Value = T>>(&self, v: &SparseVec<T>, s: S) -> SparseVec<T> {
+        self.try_vxm(v, s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::vxm`]: dimension mismatch becomes an error.
+    pub fn try_vxm<S: Semiring<Value = T>>(
+        &self,
+        v: &SparseVec<T>,
+        s: S,
+    ) -> Result<SparseVec<T>, OpError> {
+        with_default_ctx(|ctx| self.try_vxm_ctx(ctx, v, s))
+    }
+
+    /// [`Matrix::vxm`] through an explicit execution context.
+    pub fn vxm_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        v: &SparseVec<T>,
+        s: S,
+    ) -> SparseVec<T> {
+        self.try_vxm_ctx(ctx, v, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::vxm`] through an explicit execution context.
+    pub fn try_vxm_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        v: &SparseVec<T>,
+        s: S,
+    ) -> Result<SparseVec<T>, OpError> {
+        if v.dim() != self.nrows() {
+            return Err(OpError::DimensionMismatch {
+                op: "vxm",
+                a: (1, v.dim()),
+                b: (self.nrows(), self.ncols()),
+                rule: "dimension mismatch",
+            });
+        }
+        // Use the transpose if someone already paid for it; never build
+        // one mid-multiply.
+        let at = self.at_cache.get().cloned();
+        Ok(ops::mxv::vxm_opt_ctx(
+            ctx,
+            v,
+            &self.as_dcsr(),
+            at.as_deref(),
+            s,
+        ))
+    }
+
+    /// `A v` — sparse row-dot products. Direction-optimized when the
+    /// transpose is cached; Dense/Bitmap storage uses format-native
+    /// SpMV.
     pub fn mxv<S: Semiring<Value = T>>(&self, v: &SparseVec<T>, s: S) -> SparseVec<T> {
+        self.try_mxv(v, s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::mxv`]: dimension mismatch becomes an error.
+    pub fn try_mxv<S: Semiring<Value = T>>(
+        &self,
+        v: &SparseVec<T>,
+        s: S,
+    ) -> Result<SparseVec<T>, OpError> {
+        with_default_ctx(|ctx| self.try_mxv_ctx(ctx, v, s))
+    }
+
+    /// [`Matrix::mxv`] through an explicit execution context.
+    pub fn mxv_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        v: &SparseVec<T>,
+        s: S,
+    ) -> SparseVec<T> {
+        self.try_mxv_ctx(ctx, v, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::mxv`] through an explicit execution context.
+    pub fn try_mxv_ctx<S: Semiring<Value = T>>(
+        &self,
+        ctx: &OpCtx,
+        v: &SparseVec<T>,
+        s: S,
+    ) -> Result<SparseVec<T>, OpError> {
+        if v.dim() != self.ncols() {
+            return Err(OpError::DimensionMismatch {
+                op: "mxv",
+                a: (self.nrows(), self.ncols()),
+                b: (v.dim(), 1),
+                rule: "dimension mismatch",
+            });
+        }
+        if matches!(self.repr, Repr::Csr(_) | Repr::Dcsr(_)) {
+            let at = self.at_cache.get().cloned();
+            return Ok(ops::mxv::mxv_opt_ctx(
+                ctx,
+                &self.as_dcsr(),
+                at.as_deref(),
+                v,
+                s,
+            ));
+        }
+        Ok(self.mxv_native(v, s))
+    }
+
+    /// Format-native SpMV over the full storage formats.
+    fn mxv_native<S: Semiring<Value = T>>(&self, v: &SparseVec<T>, s: S) -> SparseVec<T> {
         match &self.repr {
             // Format-native SpMV for the full formats (no conversion).
             Repr::Dense(m) => {
@@ -743,8 +911,8 @@ impl<T: Value> Matrix<T> {
                 }
                 SparseVec::from_sorted_parts(m.nrows(), idx, vals)
             }
-            Repr::Csr(m) => SparseVec::mxv(&m.to_dcsr(), v, s),
-            Repr::Dcsr(m) => SparseVec::mxv(m, v, s),
+            // Sparse storage goes through the kernel module instead.
+            Repr::Csr(_) | Repr::Dcsr(_) => ops::mxv::mxv(&self.as_dcsr(), v, s),
         }
     }
 }
@@ -876,5 +1044,70 @@ mod tests {
             c.format(),
             c.nnz()
         );
+    }
+
+    #[test]
+    fn transpose_cache_builds_once_and_matches() {
+        let m = Matrix::from_dcsr(random_dcsr(1 << 30, 1 << 30, 200, 11, s()), s());
+        assert!(!m.has_cached_transpose());
+        let at = m.cached_transpose();
+        assert!(m.has_cached_transpose());
+        assert!(
+            std::sync::Arc::ptr_eq(&at, &m.cached_transpose()),
+            "second call must reuse, not rebuild"
+        );
+        assert_eq!(*at, crate::ops::transpose(&m.as_dcsr()));
+    }
+
+    #[test]
+    fn mutation_invalidates_transpose_cache() {
+        let mut m = Matrix::from_dcsr(random_dcsr(1 << 30, 1 << 30, 150, 12, s()), s());
+        let _ = m.cached_transpose();
+        assert!(m.has_cached_transpose());
+        m.set_element(3, 5, 9.5, s());
+        assert!(!m.has_cached_transpose(), "set_element must invalidate");
+        assert_eq!(m.get(3, 5), Some(&9.5));
+        // The rebuilt cache reflects the new entry.
+        assert_eq!(m.cached_transpose().get(5, 3), Some(&9.5));
+        // Deleting via a semiring zero also invalidates.
+        m.set_element(3, 5, 0.0, s());
+        assert!(!m.has_cached_transpose());
+        assert_eq!(m.get(3, 5), None);
+    }
+
+    #[test]
+    fn clear_transpose_cache_is_per_handle() {
+        let a = Matrix::from_dcsr(random_dcsr(64, 64, 100, 13, s()), s());
+        let _ = a.cached_transpose();
+        let mut b = a.clone();
+        assert!(b.has_cached_transpose(), "clones share the cache");
+        b.clear_transpose_cache();
+        assert!(!b.has_cached_transpose());
+        assert!(a.has_cached_transpose(), "original keeps its cache");
+    }
+
+    #[test]
+    fn vxm_mxv_agree_with_and_without_cache() {
+        let m = Matrix::from_dcsr(random_dcsr(200, 200, 1800, 14, s()), s());
+        let v = SparseVec::from_entries(200, (0..150).map(|i| (i, 1.0 + i as f64)).collect(), s());
+        let plain_vxm = m.vxm(&v, s());
+        let plain_mxv = m.mxv(&v, s());
+        let _ = m.cached_transpose();
+        // Dense-ish frontier over a cached transpose takes the pull path;
+        // results are identical either way.
+        assert_eq!(m.vxm(&v, s()), plain_vxm);
+        assert_eq!(m.mxv(&v, s()), plain_mxv);
+    }
+
+    #[test]
+    fn try_vxm_mxv_dimension_errors() {
+        let m = Matrix::from_dcsr(random_dcsr(10, 12, 30, 15, s()), s());
+        let bad = SparseVec::<f64>::empty(11);
+        let e = m.try_vxm(&bad, s()).unwrap_err();
+        assert!(e.to_string().contains("vxm: dimension mismatch"), "{e}");
+        let e = m.try_mxv(&bad, s()).unwrap_err();
+        assert!(e.to_string().contains("mxv: dimension mismatch"), "{e}");
+        assert!(m.try_vxm(&SparseVec::empty(10), s()).is_ok());
+        assert!(m.try_mxv(&SparseVec::empty(12), s()).is_ok());
     }
 }

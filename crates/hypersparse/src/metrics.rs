@@ -39,11 +39,13 @@ pub enum Kernel {
     ConcatRows,
     ConcatCols,
     Power,
+    Vxm,
+    Mxv,
 }
 
 impl Kernel {
     /// Every tracked kernel, in registry order.
-    pub const ALL: [Kernel; 17] = [
+    pub const ALL: [Kernel; 19] = [
         Kernel::Mxm,
         Kernel::MxmMasked,
         Kernel::EwiseAdd,
@@ -61,6 +63,8 @@ impl Kernel {
         Kernel::ConcatRows,
         Kernel::ConcatCols,
         Kernel::Power,
+        Kernel::Vxm,
+        Kernel::Mxv,
     ];
 
     /// Stable display name (`mxm`, `ewise_add`, …).
@@ -83,11 +87,35 @@ impl Kernel {
             Kernel::ConcatRows => "concat_rows",
             Kernel::ConcatCols => "concat_cols",
             Kernel::Power => "power",
+            Kernel::Vxm => "vxm",
+            Kernel::Mxv => "mxv",
         }
     }
 
     fn index(self) -> usize {
         Kernel::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+}
+
+/// Traversal direction chosen by the matrix–vector kernels
+/// ([`crate::ops::mxv`]): Beamer-style direction optimization picks per
+/// call between scattering the sparse frontier (*push*) and gathering
+/// over the transpose (*pull*).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Scatter each frontier entry along its row of `A`.
+    Push,
+    /// Gather into each output slot over a row of `Aᵀ`.
+    Pull,
+}
+
+impl Direction {
+    /// Stable display name (`push` / `pull`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+        }
     }
 }
 
@@ -158,6 +186,10 @@ pub struct MetricsRegistry {
     format_switches: AtomicU64,
     ws_hits: AtomicU64,
     ws_misses: AtomicU64,
+    mv_push: AtomicU64,
+    mv_pull: AtomicU64,
+    mask_probes: AtomicU64,
+    mask_hits: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -186,6 +218,18 @@ impl MetricsRegistry {
         self.ws_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record the direction a matrix–vector kernel chose, plus its mask
+    /// activity: `probes` complement-mask lookups of which `hits` found
+    /// the index masked off (and skipped the work).
+    pub fn record_mv_direction(&self, direction: Direction, probes: u64, hits: u64) {
+        match direction {
+            Direction::Push => self.mv_push.fetch_add(1, Ordering::Relaxed),
+            Direction::Pull => self.mv_pull.fetch_add(1, Ordering::Relaxed),
+        };
+        self.mask_probes.fetch_add(probes, Ordering::Relaxed);
+        self.mask_hits.fetch_add(hits, Ordering::Relaxed);
+    }
+
     /// Freeze every counter into an owned snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -196,6 +240,10 @@ impl MetricsRegistry {
             format_switches: self.format_switches.load(Ordering::Relaxed),
             workspace_hits: self.ws_hits.load(Ordering::Relaxed),
             workspace_misses: self.ws_misses.load(Ordering::Relaxed),
+            mv_push_calls: self.mv_push.load(Ordering::Relaxed),
+            mv_pull_calls: self.mv_pull.load(Ordering::Relaxed),
+            mask_probes: self.mask_probes.load(Ordering::Relaxed),
+            mask_hits: self.mask_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -207,6 +255,10 @@ impl MetricsRegistry {
         self.format_switches.store(0, Ordering::Relaxed);
         self.ws_hits.store(0, Ordering::Relaxed);
         self.ws_misses.store(0, Ordering::Relaxed);
+        self.mv_push.store(0, Ordering::Relaxed);
+        self.mv_pull.store(0, Ordering::Relaxed);
+        self.mask_probes.store(0, Ordering::Relaxed);
+        self.mask_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -221,9 +273,26 @@ pub struct MetricsSnapshot {
     pub workspace_hits: u64,
     /// Workspace acquisitions that had to allocate fresh scratch.
     pub workspace_misses: u64,
+    /// Matrix–vector kernel invocations that ran in push direction.
+    pub mv_push_calls: u64,
+    /// Matrix–vector kernel invocations that ran in pull direction.
+    pub mv_pull_calls: u64,
+    /// Complement-mask lookups performed inside fused kernels.
+    pub mask_probes: u64,
+    /// Mask lookups that found the index masked off (work skipped).
+    pub mask_hits: u64,
 }
 
 impl MetricsSnapshot {
+    /// Fraction of complement-mask probes that skipped work
+    /// (`0.0` when no masked kernel ran).
+    pub fn mask_hit_rate(&self) -> f64 {
+        if self.mask_probes == 0 {
+            0.0
+        } else {
+            self.mask_hits as f64 / self.mask_probes as f64
+        }
+    }
     /// The counters for one kernel.
     pub fn kernel(&self, kernel: Kernel) -> KernelSnapshot {
         self.kernels
@@ -270,6 +339,17 @@ impl MetricsSnapshot {
             "format switches: {} · workspace: {} hits / {} misses",
             self.format_switches, self.workspace_hits, self.workspace_misses
         );
+        if self.mv_push_calls + self.mv_pull_calls > 0 {
+            let _ = writeln!(
+                out,
+                "mxv direction: {} push / {} pull · mask: {} hits / {} probes ({:.0}%)",
+                self.mv_push_calls,
+                self.mv_pull_calls,
+                self.mask_hits,
+                self.mask_probes,
+                self.mask_hit_rate() * 100.0
+            );
+        }
         out
     }
 }
@@ -311,6 +391,25 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.total_calls(), 0);
         assert_eq!(snap.workspace_misses, 0);
+    }
+
+    #[test]
+    fn direction_and_mask_counters() {
+        let reg = MetricsRegistry::default();
+        reg.record_mv_direction(Direction::Push, 10, 4);
+        reg.record_mv_direction(Direction::Pull, 6, 6);
+        let snap = reg.snapshot();
+        assert_eq!(snap.mv_push_calls, 1);
+        assert_eq!(snap.mv_pull_calls, 1);
+        assert_eq!(snap.mask_probes, 16);
+        assert_eq!(snap.mask_hits, 10);
+        assert!((snap.mask_hit_rate() - 10.0 / 16.0).abs() < 1e-12);
+        assert!(snap.report().contains("mxv direction"), "{}", snap.report());
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.mv_push_calls, 0);
+        assert_eq!(snap.mask_hit_rate(), 0.0);
+        assert!(!snap.report().contains("mxv direction"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub mod ewise;
 pub mod mxm;
+pub mod mxv;
 pub mod reduce;
 pub mod structure;
 pub mod transform;
@@ -22,6 +23,11 @@ pub use ewise::{
     ewise_mul_op, ewise_mul_op_ctx, ewise_union, ewise_union_ctx,
 };
 pub use mxm::{mxm, mxm_ctx, mxm_masked, mxm_masked_ctx, mxm_seq, mxm_seq_ctx};
+pub use mxv::{
+    choose_direction, mxv, mxv_ctx, mxv_opt_ctx, try_mxv, try_mxv_ctx, try_vxm, try_vxm_ctx, vxm,
+    vxm_ctx, vxm_dense_pull_ctx, vxm_masked_ctx, vxm_masked_opt_ctx, vxm_opt_ctx, vxm_pull_ctx,
+    vxm_push_ctx,
+};
 pub use reduce::{
     reduce_cols, reduce_cols_ctx, reduce_rows, reduce_rows_ctx, reduce_scalar, reduce_scalar_ctx,
 };

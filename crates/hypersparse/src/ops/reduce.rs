@@ -14,11 +14,17 @@ use std::time::Instant;
 
 use semiring::traits::{Monoid, Value};
 
-use crate::ctx::{with_default_ctx, OpCtx};
+use crate::ctx::{par_run, with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
 use crate::metrics::Kernel;
 use crate::vector::SparseVec;
 use crate::Ix;
+
+/// Stored rows per shard when fanning row-wise kernels out over
+/// [`par_run`]. Every row's fold happens wholly inside one shard and
+/// shards concatenate in row order, so the output is bit-identical at
+/// any thread count.
+pub(crate) const ROWS_PER_SHARD: usize = 512;
 
 /// Fold each non-empty row with the monoid: `out(i) = ⊕_j A(i, j)`.
 pub fn reduce_rows<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
@@ -28,18 +34,39 @@ pub fn reduce_rows<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
 /// [`reduce_rows`] through an explicit execution context.
 pub fn reduce_rows_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -> SparseVec<T> {
     let start = Instant::now();
-    let mut idx = Vec::with_capacity(a.n_nonempty_rows());
-    let mut vals = Vec::with_capacity(a.n_nonempty_rows());
-    for (r, _cols, vs) in a.iter_rows() {
-        let mut acc = m.identity();
-        for v in vs {
-            acc = m.combine(acc, v.clone());
+    let nrows = a.n_nonempty_rows();
+    let nshards = nrows.div_ceil(ROWS_PER_SHARD).max(1);
+    let fold_rows = |lo: usize, hi: usize| {
+        let mut idx = Vec::with_capacity(hi - lo);
+        let mut vals = Vec::with_capacity(hi - lo);
+        for k in lo..hi {
+            let (r, _cols, vs) = a.row_at(k);
+            let mut acc = m.identity();
+            for v in vs {
+                acc = m.combine(acc, v.clone());
+            }
+            if !m.is_identity(&acc) {
+                idx.push(r);
+                vals.push(acc);
+            }
         }
-        if !m.is_identity(&acc) {
-            idx.push(r);
-            vals.push(acc);
+        (idx, vals)
+    };
+    let (idx, vals) = if nshards == 1 {
+        fold_rows(0, nrows)
+    } else {
+        let parts = par_run(ctx.threads(), nshards, |shard| {
+            let lo = shard * ROWS_PER_SHARD;
+            fold_rows(lo, (lo + ROWS_PER_SHARD).min(nrows))
+        });
+        let mut idx = Vec::with_capacity(nrows);
+        let mut vals = Vec::with_capacity(nrows);
+        for (i, v) in parts {
+            idx.extend(i);
+            vals.extend(v);
         }
-    }
+        (idx, vals)
+    };
     let out = SparseVec::from_sorted_parts(a.nrows(), idx, vals);
     ctx.metrics().record(
         Kernel::ReduceRows,
@@ -173,5 +200,21 @@ mod tests {
         assert_eq!(snap.kernel(Kernel::ReduceCols).calls, 1);
         assert_eq!(snap.kernel(Kernel::ReduceScalar).calls, 1);
         assert_eq!(snap.kernel(Kernel::ReduceRows).flops, 3);
+    }
+
+    #[test]
+    fn parallel_reduce_rows_is_bit_identical() {
+        // Enough non-empty rows to span several shards.
+        let a = crate::gen::random_dcsr(4000, 4000, 20_000, 31, semiring::PlusTimes::<f64>::new());
+        assert!(a.n_nonempty_rows() > 2 * ROWS_PER_SHARD);
+        let base = {
+            let ctx = crate::ctx::OpCtx::new().with_threads(1);
+            reduce_rows_ctx(&ctx, &a, PlusMonoid::<f64>::default())
+        };
+        for threads in [2, 4, 8] {
+            let ctx = crate::ctx::OpCtx::new().with_threads(threads);
+            let got = reduce_rows_ctx(&ctx, &a, PlusMonoid::<f64>::default());
+            assert!(got == base, "reduce_rows differs at {threads} threads");
+        }
     }
 }

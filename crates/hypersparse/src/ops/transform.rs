@@ -9,9 +9,10 @@ use std::time::Instant;
 
 use semiring::traits::{Semiring, UnaryOp, Value};
 
-use crate::ctx::{with_default_ctx, OpCtx};
+use crate::ctx::{par_run, with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
 use crate::metrics::Kernel;
+use crate::ops::reduce::ROWS_PER_SHARD;
 use crate::Ix;
 
 /// `Aᵀ`: bucket entries by column, emit column-major as new rows.
@@ -67,23 +68,51 @@ where
     O: UnaryOp<T, T>,
 {
     let start = Instant::now();
-    let mut rows = Vec::new();
+    let nrows = a.n_nonempty_rows();
+    let nshards = nrows.div_ceil(ROWS_PER_SHARD).max(1);
+    // Each shard maps its stored rows independently, recording row ends
+    // relative to its own output; stitching adds the running offset.
+    // Row order (and so the output) is identical at any thread count.
+    let map_rows = |lo: usize, hi: usize| {
+        let mut rows = Vec::with_capacity(hi - lo);
+        let mut ends = Vec::with_capacity(hi - lo);
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        for k in lo..hi {
+            let (r, cols, vs) = a.row_at(k);
+            let rstart = colidx.len();
+            for (&c, v) in cols.iter().zip(vs) {
+                let w = op.apply(v.clone());
+                if !s.is_zero(&w) {
+                    colidx.push(c);
+                    vals.push(w);
+                }
+            }
+            if colidx.len() > rstart {
+                rows.push(r);
+                ends.push(colidx.len());
+            }
+        }
+        (rows, ends, colidx, vals)
+    };
+    let parts = if nshards == 1 {
+        vec![map_rows(0, nrows)]
+    } else {
+        par_run(ctx.threads(), nshards, |shard| {
+            let lo = shard * ROWS_PER_SHARD;
+            map_rows(lo, (lo + ROWS_PER_SHARD).min(nrows))
+        })
+    };
+    let mut rows = Vec::with_capacity(nrows);
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::with_capacity(a.nnz());
     let mut vals = Vec::with_capacity(a.nnz());
-    for (r, cols, vs) in a.iter_rows() {
-        let rstart = colidx.len();
-        for (&c, v) in cols.iter().zip(vs) {
-            let w = op.apply(v.clone());
-            if !s.is_zero(&w) {
-                colidx.push(c);
-                vals.push(w);
-            }
-        }
-        if colidx.len() > rstart {
-            rows.push(r);
-            rowptr.push(colidx.len());
-        }
+    for (r, ends, ci, vs) in parts {
+        let offset = colidx.len();
+        rows.extend(r);
+        rowptr.extend(ends.into_iter().map(|e| e + offset));
+        colidx.extend(ci);
+        vals.extend(vs);
     }
     let c = Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals);
     ctx.metrics().record(
@@ -379,5 +408,32 @@ mod tests {
         assert_eq!(snap.kernel(Kernel::Extract).calls, 1);
         assert_eq!(snap.kernel(Kernel::Kron).calls, 1);
         assert_eq!(snap.kernel(Kernel::Kron).flops, 9); // 3 nnz × 3 nnz
+    }
+
+    #[test]
+    fn parallel_apply_is_bit_identical() {
+        let s = PlusTimes::<f64>::new();
+        // Enough non-empty rows to span several shards, plus values that
+        // Relu will drop (negated half) so row patterns shrink.
+        let a0 = random_dcsr(4000, 4000, 20_000, 33, s);
+        let trips: Vec<(Ix, Ix, f64)> = a0
+            .iter()
+            .map(|(r, c, v)| (r, c, if (r + c) % 2 == 0 { *v } else { -v }))
+            .collect();
+        let mut coo = Coo::new(4000, 4000);
+        coo.extend(trips);
+        let a = coo.build_dcsr(s);
+        assert!(a.n_nonempty_rows() > 2 * ROWS_PER_SHARD);
+        let base = {
+            let ctx = crate::ctx::OpCtx::new().with_threads(1);
+            apply_ctx(&ctx, &a, Relu(0.0), s)
+        };
+        for threads in [2, 4, 8] {
+            let ctx = crate::ctx::OpCtx::new().with_threads(threads);
+            assert!(
+                apply_ctx(&ctx, &a, Relu(0.0), s) == base,
+                "apply differs at {threads} threads"
+            );
+        }
     }
 }

@@ -1,10 +1,9 @@
 //! Sparse vectors — frontiers, reductions, and DNN activations.
 
-use std::collections::HashMap;
-
 use semiring::traits::{Monoid, Semiring, UnaryOp, Value};
 
 use crate::dcsr::Dcsr;
+use crate::error::OpError;
 use crate::Ix;
 
 /// A sparse vector over a `u64` key space: parallel sorted `(idx, val)`
@@ -184,56 +183,29 @@ impl<T: Value> SparseVec<T> {
     /// This is one BFS/SSSP step: scatter each frontier entry along its
     /// row of `A`, ⊕-merging collisions. `O(Σ_{i ∈ v} |A(i,:)|)` — cost
     /// proportional to the edges touched, independent of dimension.
+    /// Thin wrapper over [`crate::ops::mxv::vxm`] (same outputs as the
+    /// original sequential scatter; now segmented, parallel, metered).
     pub fn vxm<S: Semiring<Value = T>>(&self, a: &Dcsr<T>, s: S) -> Self {
-        assert_eq!(self.dim, a.nrows(), "dimension mismatch");
-        let mut acc: HashMap<Ix, T> = HashMap::new();
-        for (i, x) in self.iter() {
-            let (cols, vals) = a.row(i);
-            for (&j, aij) in cols.iter().zip(vals) {
-                let p = s.mul(x.clone(), aij.clone());
-                match acc.entry(j) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        s.add_assign(e.get_mut(), p);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(p);
-                    }
-                }
-            }
-        }
-        let mut entries: Vec<(Ix, T)> = acc.into_iter().filter(|(_, v)| !s.is_zero(v)).collect();
-        entries.sort_by_key(|e| e.0);
-        let (idx, vals) = entries.into_iter().unzip();
-        SparseVec::from_sorted_parts(a.ncols(), idx, vals)
+        crate::ops::mxv::vxm(self, a, s)
+    }
+
+    /// Fallible [`SparseVec::vxm`]: dimension mismatch becomes an
+    /// [`OpError`] instead of a panic.
+    pub fn try_vxm<S: Semiring<Value = T>>(&self, a: &Dcsr<T>, s: S) -> Result<Self, OpError> {
+        crate::ops::mxv::try_vxm(self, a, s)
     }
 
     /// Matrix × column-vector: `(A v)(i) = ⊕_j A(i,j) ⊗ v(j)` — a sparse
     /// dot product of each stored row with `v`.
+    ///
+    /// Thin wrapper over [`crate::ops::mxv::mxv`].
     pub fn mxv<S: Semiring<Value = T>>(a: &Dcsr<T>, v: &Self, s: S) -> Self {
-        assert_eq!(v.dim, a.ncols(), "dimension mismatch");
-        let mut idx = Vec::new();
-        let mut vals = Vec::new();
-        for (r, cols, avals) in a.iter_rows() {
-            let mut acc = s.zero();
-            let (mut p, mut q) = (0usize, 0usize);
-            while p < cols.len() && q < v.idx.len() {
-                match cols[p].cmp(&v.idx[q]) {
-                    std::cmp::Ordering::Less => p += 1,
-                    std::cmp::Ordering::Greater => q += 1,
-                    std::cmp::Ordering::Equal => {
-                        let t = s.mul(avals[p].clone(), v.vals[q].clone());
-                        s.add_assign(&mut acc, t);
-                        p += 1;
-                        q += 1;
-                    }
-                }
-            }
-            if !s.is_zero(&acc) {
-                idx.push(r);
-                vals.push(acc);
-            }
-        }
-        SparseVec::from_sorted_parts(a.nrows(), idx, vals)
+        crate::ops::mxv::mxv(a, v, s)
+    }
+
+    /// Fallible [`SparseVec::mxv`].
+    pub fn try_mxv<S: Semiring<Value = T>>(a: &Dcsr<T>, v: &Self, s: S) -> Result<Self, OpError> {
+        crate::ops::mxv::try_mxv(a, v, s)
     }
 
     /// Restrict to indices where `keep` returns `false` → entry removed.

@@ -157,4 +157,50 @@ proptest! {
         let expect_c = hypersparse::ops::select(&full, |r, c, _| mask.get(r, c).is_none());
         prop_assert_eq!(comp, expect_c);
     }
+
+    #[test]
+    fn fused_masked_vxm_is_unfused_then_without(ta in triplets(), tv in triplets(), tm in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = build(&ta, s);
+        let v = hypersparse::SparseVec::from_entries(
+            N, tv.iter().map(|&(i, _, x)| (i, x)).collect(), s);
+        let mask_vec = hypersparse::SparseVec::from_entries(
+            N, tm.iter().map(|&(i, _, _)| (i, 1i64)).collect(), s);
+        let mask: Vec<Ix> = mask_vec.indices().to_vec();
+        let fused = hypersparse::ops::vxm_masked_ctx(&hypersparse::OpCtx::new(), &v, &a, &mask, s);
+        let unfused = hypersparse::ops::vxm(&v, &a, s).without(&mask_vec);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn vxm_push_equals_pull(ta in triplets(), tv in triplets()) {
+        let s = PlusTimes::<i64>::new();
+        let a = build(&ta, s);
+        let at = hypersparse::ops::transpose(&a);
+        let v = hypersparse::SparseVec::from_entries(
+            N, tv.iter().map(|&(i, _, x)| (i, x)).collect(), s);
+        let ctx = hypersparse::OpCtx::new();
+        prop_assert_eq!(
+            hypersparse::ops::vxm_push_ctx(&ctx, &v, &a, s),
+            hypersparse::ops::vxm_pull_ctx(&ctx, &v, &at, s)
+        );
+    }
+
+    #[test]
+    fn parallel_vxm_equals_sequential(ta in triplets(), tv in triplets()) {
+        // i64 ⊕ is exact, so any segmentation/sharding must agree with
+        // the single-thread run bit for bit.
+        let s = MinPlus::<i64>::new();
+        let a = build(&ta, s);
+        let v = hypersparse::SparseVec::from_entries(
+            N, tv.iter().map(|&(i, _, x)| (i, x)).collect(), s);
+        let seq = hypersparse::OpCtx::new().with_threads(1);
+        let base_vxm = hypersparse::ops::vxm_ctx(&seq, &v, &a, s);
+        let base_mxv = hypersparse::ops::mxv_ctx(&seq, &a, &v, s);
+        for threads in [2usize, 4, 8] {
+            let ctx = hypersparse::OpCtx::new().with_threads(threads);
+            prop_assert_eq!(hypersparse::ops::vxm_ctx(&ctx, &v, &a, s), base_vxm.clone());
+            prop_assert_eq!(hypersparse::ops::mxv_ctx(&ctx, &a, &v, s), base_mxv.clone());
+        }
+    }
 }
