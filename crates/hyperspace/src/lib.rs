@@ -9,7 +9,10 @@
 //!   §IV semilink identities, the §V.B select;
 //! * [`graph`] — BFS/SSSP/CC/triangles/PageRank + baselines (Figs. 1–3, 5);
 //! * [`db`] — row-store / triple-store / exploded-schema views (Fig. 6);
-//! * [`dnn`] — two-semiring sparse DNN inference (Figs. 7–8).
+//! * [`dnn`] — two-semiring sparse DNN inference (Figs. 7–8);
+//! * [`pipeline`] — sharded streaming ingest/query service with snapshot
+//!   isolation, backpressure, and checkpoint/restore (the paper's
+//!   "75 billion inserts/second" streaming story, §II).
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -20,6 +23,7 @@ pub use db;
 pub use dnn;
 pub use graph;
 pub use hypersparse;
+pub use pipeline;
 pub use semiring;
 
 /// The paper's primary contribution: associative arrays and semilinks.
@@ -28,7 +32,11 @@ pub use hyperspace_core as core;
 /// Commonly used items, one `use` away.
 pub mod prelude {
     pub use hyperspace_core::{Assoc, Key};
-    pub use hypersparse::{Coo, Dcsr, Format, Matrix, MetricsSnapshot, OpCtx, OpError, SparseVec};
+    pub use hypersparse::{
+        Coo, Dcsr, Format, Matrix, MetricsSnapshot, OpCtx, OpError, SparseVec, StreamConfig,
+        StreamingMatrix,
+    };
+    pub use pipeline::{EpochSnapshot, Pipeline, PipelineConfig, PipelineError};
     pub use semiring::{
         AnyPair, LorLand, MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, Monoid, PSet,
         PlusTimes, Semilink, Semiring, UnionIntersect,

@@ -84,7 +84,7 @@ pub use dense::DenseMat;
 pub use error::{Axis, OpError};
 pub use matrix::{Format, FormatPolicy, Matrix};
 pub use metrics::{Direction, Kernel, KernelSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use stream::StreamingMatrix;
+pub use stream::{StreamConfig, StreamingMatrix};
 pub use vector::SparseVec;
 
 /// External index type: key spaces are up to ~2⁶⁰, far beyond anything a

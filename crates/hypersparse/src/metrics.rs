@@ -41,11 +41,12 @@ pub enum Kernel {
     Power,
     Vxm,
     Mxv,
+    StreamMerge,
 }
 
 impl Kernel {
     /// Every tracked kernel, in registry order.
-    pub const ALL: [Kernel; 19] = [
+    pub const ALL: [Kernel; 20] = [
         Kernel::Mxm,
         Kernel::MxmMasked,
         Kernel::EwiseAdd,
@@ -65,6 +66,7 @@ impl Kernel {
         Kernel::Power,
         Kernel::Vxm,
         Kernel::Mxv,
+        Kernel::StreamMerge,
     ];
 
     /// Stable display name (`mxm`, `ewise_add`, …).
@@ -89,6 +91,7 @@ impl Kernel {
             Kernel::Power => "power",
             Kernel::Vxm => "vxm",
             Kernel::Mxv => "mxv",
+            Kernel::StreamMerge => "stream_merge",
         }
     }
 

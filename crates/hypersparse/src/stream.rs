@@ -15,21 +15,73 @@
 //! cited paper measures.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use semiring::traits::Semiring;
 
 use crate::coo::Coo;
 use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::metrics::Kernel;
 use crate::ops::ewise_add_ctx;
 use crate::Ix;
 
-/// Capacity of the level-0 insert buffer.
-const BUFFER_CAP: usize = 4096;
+/// Tunable hierarchy parameters for a [`StreamingMatrix`].
+///
+/// The defaults reproduce the historical hard-coded constants, so
+/// `StreamingMatrix::new` behaves exactly as before; serving layers
+/// (e.g. the `pipeline` crate's shards) tune these per deployment —
+/// smaller buffers bound per-event latency, larger growth factors
+/// flatten the hierarchy for snapshot-heavy workloads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Capacity of the level-0 insert buffer (events held unsorted
+    /// before compaction). Must be ≥ 1.
+    pub buffer_cap: usize,
+    /// Growth factor between hierarchy levels: level `k` holds up to
+    /// `buffer_cap · growth^(k+1)` entries before cascading into level
+    /// `k+1`. Must be ≥ 2.
+    pub growth: usize,
+}
 
-/// Growth factor between hierarchy levels: level `k` holds up to
-/// `BUFFER_CAP · GROWTH^k` entries before cascading into level `k+1`.
-const GROWTH: usize = 8;
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            buffer_cap: 4096,
+            growth: 8,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The default configuration (buffer 4096, growth 8).
+    pub fn new() -> Self {
+        StreamConfig::default()
+    }
+
+    /// Builder-style level-0 buffer capacity.
+    pub fn with_buffer_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "buffer_cap must be ≥ 1");
+        self.buffer_cap = cap;
+        self
+    }
+
+    /// Builder-style inter-level growth factor.
+    pub fn with_growth(mut self, growth: usize) -> Self {
+        assert!(growth >= 2, "growth must be ≥ 2");
+        self.growth = growth;
+        self
+    }
+
+    /// Level capacity for hierarchy level `k`:
+    /// `buffer_cap · growth^(k+1)`, saturating.
+    pub fn level_cap(&self, k: usize) -> usize {
+        let pow = (self.growth as u128).saturating_pow(k as u32 + 1);
+        (self.buffer_cap as u128)
+            .saturating_mul(pow)
+            .min(usize::MAX as u128) as usize
+    }
+}
 
 /// An append-optimized hypersparse matrix: an unsorted insert buffer over
 /// a hierarchy of ⊕-merged [`Dcsr`] layers.
@@ -38,6 +90,7 @@ pub struct StreamingMatrix<S: Semiring> {
     nrows: Ix,
     ncols: Ix,
     s: S,
+    config: StreamConfig,
     buffer: Vec<(Ix, Ix, S::Value)>,
     levels: Vec<Option<Dcsr<S::Value>>>,
     inserted: u64,
@@ -45,17 +98,56 @@ pub struct StreamingMatrix<S: Semiring> {
 }
 
 impl<S: Semiring> StreamingMatrix<S> {
-    /// An empty streaming matrix over an `nrows × ncols` key space.
+    /// An empty streaming matrix over an `nrows × ncols` key space with
+    /// the default hierarchy parameters.
     pub fn new(nrows: Ix, ncols: Ix, s: S) -> Self {
+        StreamingMatrix::with_config(nrows, ncols, s, StreamConfig::default())
+    }
+
+    /// An empty streaming matrix with explicit hierarchy parameters.
+    pub fn with_config(nrows: Ix, ncols: Ix, s: S, config: StreamConfig) -> Self {
+        assert!(config.buffer_cap >= 1, "buffer_cap must be ≥ 1");
+        assert!(config.growth >= 2, "growth must be ≥ 2");
         StreamingMatrix {
             nrows,
             ncols,
             s,
-            buffer: Vec::with_capacity(BUFFER_CAP),
+            config,
+            buffer: Vec::with_capacity(config.buffer_cap),
             levels: Vec::new(),
             inserted: 0,
             ctx: None,
         }
+    }
+
+    /// Rebuild a stream from serialized state: the compressed hierarchy
+    /// layers (level `k` at `levels[k]`, `None` for empty slots) plus the
+    /// lifetime insert counter. The insert buffer starts empty — callers
+    /// persisting a stream flush it first ([`StreamingMatrix::flush`]).
+    /// This is the restore half of checkpointing: a stream rebuilt from
+    /// its own [`StreamingMatrix::level_slots`] is observationally
+    /// identical to the original, including future cascade behaviour.
+    ///
+    /// Panics if a layer's dimensions disagree with the key space.
+    pub fn from_levels(
+        nrows: Ix,
+        ncols: Ix,
+        s: S,
+        config: StreamConfig,
+        levels: Vec<Option<Dcsr<S::Value>>>,
+        inserted: u64,
+    ) -> Self {
+        for level in levels.iter().flatten() {
+            assert_eq!(
+                (level.nrows(), level.ncols()),
+                (nrows, ncols),
+                "hierarchy layer dimensions disagree with the key space"
+            );
+        }
+        let mut stream = StreamingMatrix::with_config(nrows, ncols, s, config);
+        stream.levels = levels;
+        stream.inserted = inserted;
+        stream
     }
 
     /// Route every internal ⊕-merge (cascades and snapshots) through the
@@ -71,13 +163,38 @@ impl<S: Semiring> StreamingMatrix<S> {
         self.ctx.as_ref()
     }
 
+    /// The hierarchy parameters this stream runs with.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
     /// ⊕-merge two layers under the attached context (or the
-    /// thread-local default when none is attached).
+    /// thread-local default when none is attached), recording the merge
+    /// as [`Kernel::StreamMerge`] traffic on top of the underlying ewise
+    /// kernel's own row (flops = combiner applications, i.e. the key
+    /// overlap the merge collapsed).
     fn merge(&self, a: &Dcsr<S::Value>, b: &Dcsr<S::Value>) -> Dcsr<S::Value> {
-        match &self.ctx {
+        let t = Instant::now();
+        let out = match &self.ctx {
             Some(ctx) => ewise_add_ctx(ctx, a, b, self.s),
             None => with_default_ctx(|ctx| ewise_add_ctx(ctx, a, b, self.s)),
+        };
+        let nnz_in = (a.nnz() + b.nnz()) as u64;
+        let flops = nnz_in.saturating_sub(out.nnz() as u64);
+        let record = |ctx: &OpCtx| {
+            ctx.metrics().record(
+                Kernel::StreamMerge,
+                t.elapsed(),
+                nnz_in,
+                out.nnz() as u64,
+                flops,
+            )
+        };
+        match &self.ctx {
+            Some(ctx) => record(ctx),
+            None => with_default_ctx(|ctx| record(ctx)),
         }
+        out
     }
 
     /// Append one event. `O(1)` amortized: a buffer push, with an
@@ -86,7 +203,7 @@ impl<S: Semiring> StreamingMatrix<S> {
         assert!(row < self.nrows && col < self.ncols, "key outside space");
         self.buffer.push((row, col, val));
         self.inserted += 1;
-        if self.buffer.len() >= BUFFER_CAP {
+        if self.buffer.len() >= self.config.buffer_cap {
             self.flush_buffer();
         }
     }
@@ -94,6 +211,39 @@ impl<S: Semiring> StreamingMatrix<S> {
     /// Total events inserted (before ⊕-merging).
     pub fn inserted(&self) -> u64 {
         self.inserted
+    }
+
+    /// Row dimension of the key space.
+    pub fn nrows(&self) -> Ix {
+        self.nrows
+    }
+
+    /// Column dimension of the key space.
+    pub fn ncols(&self) -> Ix {
+        self.ncols
+    }
+
+    /// Compact any buffered events into the hierarchy now, leaving the
+    /// insert buffer empty. Checkpointing serializes
+    /// [`StreamingMatrix::level_slots`], so it flushes first; otherwise
+    /// flushing is never required — `snapshot` and `get` already see
+    /// buffered events.
+    pub fn flush(&mut self) {
+        self.flush_buffer();
+    }
+
+    /// Number of events currently waiting in the unsorted insert buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The raw hierarchy: slot `k` holds level `k`'s compressed layer, or
+    /// `None` while that level is empty. Read-only introspection for
+    /// serialization ([`StreamingMatrix::from_levels`] is the inverse);
+    /// does **not** include buffered events — call
+    /// [`StreamingMatrix::flush`] first for a complete picture.
+    pub fn level_slots(&self) -> &[Option<Dcsr<S::Value>>] {
+        &self.levels
     }
 
     /// Compact the buffer into level 0 and cascade overfull levels.
@@ -117,8 +267,7 @@ impl<S: Semiring> StreamingMatrix<S> {
                 }
                 Some(existing) => {
                     carry = self.merge(&existing, &carry);
-                    let cap = BUFFER_CAP * GROWTH.pow(k as u32 + 1);
-                    if carry.nnz() <= cap {
+                    if carry.nnz() <= self.config.level_cap(k) {
                         self.levels[k] = Some(carry);
                         break;
                     }
@@ -257,7 +406,7 @@ mod tests {
         let n = 1u64 << 30;
         let mut stream = StreamingMatrix::new(n, n, s).with_ctx(Arc::clone(&ctx));
         let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..3 * BUFFER_CAP {
+        for _ in 0..3 * stream.config().buffer_cap {
             stream.insert(rng.gen_range(0..n), rng.gen_range(0..n), 1.0);
         }
         let _ = stream.snapshot();
@@ -266,6 +415,62 @@ mod tests {
             snap.kernel(crate::metrics::Kernel::EwiseAdd).calls > 0,
             "cascade and snapshot merges should be visible in the ctx"
         );
+        let sm = snap.kernel(crate::metrics::Kernel::StreamMerge);
+        assert!(
+            sm.calls > 0 && sm.calls <= snap.kernel(crate::metrics::Kernel::EwiseAdd).calls,
+            "every stream merge is also an ewise_add: {sm:?}"
+        );
+    }
+
+    #[test]
+    fn config_controls_cascade_shape() {
+        let s = PlusTimes::<f64>::new();
+        let cfg = StreamConfig::new().with_buffer_cap(8).with_growth(2);
+        assert_eq!(cfg.level_cap(0), 16);
+        assert_eq!(cfg.level_cap(2), 64);
+        let mut stream = StreamingMatrix::with_config(1 << 30, 1 << 30, s, cfg);
+        assert_eq!(stream.config(), cfg);
+        // 64 distinct keys through an 8-entry buffer forces cascades that
+        // the default config would have absorbed in its level-0 buffer.
+        for i in 0..64u64 {
+            stream.insert(i, i, 1.0);
+        }
+        assert!(stream.depth() >= 1, "tiny buffer must have flushed");
+        let mut flat = Coo::new(1 << 30, 1 << 30);
+        flat.extend((0..64u64).map(|i| (i, i, 1.0)));
+        assert_eq!(stream.snapshot(), flat.build_dcsr(s));
+    }
+
+    #[test]
+    fn flush_and_level_introspection_round_trip() {
+        let s = PlusTimes::<f64>::new();
+        let cfg = StreamConfig::new().with_buffer_cap(16).with_growth(4);
+        let mut stream = StreamingMatrix::with_config(1 << 20, 1 << 20, s, cfg);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            stream.insert(rng.gen_range(0..500), rng.gen_range(0..500), 1.0);
+        }
+        assert!(stream.buffered() > 0 || stream.depth() > 0);
+        stream.flush();
+        assert_eq!(stream.buffered(), 0);
+
+        // Rebuild from the exposed levels: observationally identical.
+        let levels = stream.level_slots().to_vec();
+        let mut rebuilt =
+            StreamingMatrix::from_levels(1 << 20, 1 << 20, s, cfg, levels, stream.inserted());
+        assert_eq!(rebuilt.inserted(), stream.inserted());
+        assert_eq!(rebuilt.depth(), stream.depth());
+        assert_eq!(rebuilt.snapshot(), stream.snapshot());
+        // Both continue identically after restore.
+        rebuilt.insert(3, 3, 2.5);
+        stream.insert(3, 3, 2.5);
+        assert_eq!(rebuilt.snapshot(), stream.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "growth")]
+    fn degenerate_growth_rejected() {
+        let _ = StreamConfig::new().with_growth(1);
     }
 
     #[test]

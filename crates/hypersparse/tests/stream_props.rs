@@ -1,0 +1,100 @@
+//! Property tests for the streaming hierarchy: interleaving inserts with
+//! snapshots (which force cascades at arbitrary points) must never change
+//! the final state versus a flat one-shot COO build.
+
+use hypersparse::{Coo, Dcsr, Ix, StreamConfig, StreamingMatrix};
+use proptest::prelude::*;
+use semiring::{MinPlus, PlusTimes, Semiring};
+
+const N: Ix = 1 << 20;
+
+fn events() -> impl Strategy<Value = Vec<(Ix, Ix, i64)>> {
+    proptest::collection::vec((0..200u64, 0..200u64, 1i64..8), 0..400)
+}
+
+/// Positions (as prefix lengths) at which to take a mid-stream snapshot.
+fn cut_points() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..400usize, 0..6)
+}
+
+fn flat<S: Semiring<Value = i64>>(t: &[(Ix, Ix, i64)], s: S) -> Dcsr<i64> {
+    let mut c = Coo::new(N, N);
+    c.extend(t.iter().copied());
+    c.build_dcsr(s)
+}
+
+fn run_interleaved<S: Semiring<Value = i64>>(
+    t: &[(Ix, Ix, i64)],
+    cuts: &[usize],
+    config: StreamConfig,
+    s: S,
+) -> (Dcsr<i64>, Vec<Dcsr<i64>>) {
+    let mut m = StreamingMatrix::with_config(N, N, s, config);
+    let mut mid = Vec::new();
+    for (i, &(r, c, v)) in t.iter().enumerate() {
+        if cuts.contains(&i) {
+            mid.push(m.snapshot());
+        }
+        m.insert(r, c, v);
+    }
+    (m.snapshot(), mid)
+}
+
+proptest! {
+    #[test]
+    fn interleaved_snapshots_match_flat_build(t in events(), cuts in cut_points()) {
+        let s = PlusTimes::<i64>::new();
+        let reference = flat(&t, s);
+        // Tiny buffers/growth force many cascade boundaries.
+        for config in [
+            StreamConfig::new(),
+            StreamConfig::new().with_buffer_cap(4).with_growth(2),
+            StreamConfig::new().with_buffer_cap(7).with_growth(3),
+        ] {
+            let (got, mid) = run_interleaved(&t, &cuts, config, s);
+            prop_assert_eq!(&got, &reference);
+            // Every mid-stream snapshot equals the flat build of its prefix.
+            let mut sorted_cuts: Vec<_> =
+                cuts.iter().copied().filter(|&c| c < t.len()).collect();
+            sorted_cuts.sort_unstable();
+            sorted_cuts.dedup();
+            for (snap, &cut) in mid.iter().zip(sorted_cuts.iter()) {
+                prop_assert_eq!(snap, &flat(&t[..cut], s));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_idempotent_and_non_mutating(t in events()) {
+        let s = MinPlus::<i64>::new();
+        let mut m = StreamingMatrix::with_config(
+            N, N, s, StreamConfig::new().with_buffer_cap(8).with_growth(2));
+        for &(r, c, v) in &t {
+            m.insert(r, c, v);
+        }
+        let a = m.snapshot();
+        let b = m.snapshot();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &flat(&t, s));
+        prop_assert_eq!(m.inserted(), t.len() as u64);
+    }
+
+    #[test]
+    fn flush_then_resume_matches_flat_build(t in events(), split in 0..400usize) {
+        // An explicit flush mid-stream (as checkpointing does) must be
+        // invisible to the final fold.
+        let s = PlusTimes::<i64>::new();
+        let split = split.min(t.len());
+        let mut m = StreamingMatrix::with_config(
+            N, N, s, StreamConfig::new().with_buffer_cap(16).with_growth(2));
+        for &(r, c, v) in &t[..split] {
+            m.insert(r, c, v);
+        }
+        m.flush();
+        prop_assert_eq!(m.buffered(), 0);
+        for &(r, c, v) in &t[split..] {
+            m.insert(r, c, v);
+        }
+        prop_assert_eq!(m.snapshot(), flat(&t, s));
+    }
+}

@@ -1,0 +1,703 @@
+//! Durable checkpoints: length-prefixed binary shard files under a
+//! text manifest, committed by atomic rename.
+//!
+//! Layout of a checkpoint directory:
+//!
+//! ```text
+//! dir/
+//!   gen-000001.manifest      committed generation 1 (epoch, checksums)
+//!   gen-000001/shard-000.bin serialized shard hierarchies
+//!   gen-000001/shard-001.bin
+//!   gen-000002.manifest      a later generation (restore picks the max)
+//!   gen-000002/…
+//! ```
+//!
+//! Commit protocol: shard files are written into the generation
+//! directory first; the manifest is then written to a `.tmp` sibling and
+//! **renamed** into place. The manifest is the commit point — a crash at
+//! any earlier moment leaves no `gen-N.manifest`, so restore never sees
+//! a partial generation (orphan directories are ignored and pruned by
+//! the next successful checkpoint). Every shard file carries a FNV-1a
+//! checksum in the manifest; restore verifies length and checksum before
+//! decoding, so truncation and bit-rot surface as
+//! [`PipelineError::Corrupt`] rather than as garbage matrices.
+//!
+//! Shard files serialize the stream's *hierarchy* (every level layer),
+//! not a folded snapshot: a restored shard is observationally identical
+//! to the original — same future cascade behaviour, bit-identical
+//! snapshots.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use hypersparse::{Dcsr, Ix, StreamConfig, StreamingMatrix};
+use semiring::traits::Semiring;
+
+use crate::error::PipelineError;
+use crate::value::PodValue;
+
+/// Shard-file magic: "HSPS" (hyperspace pipeline shard).
+const SHARD_MAGIC: [u8; 4] = *b"HSPS";
+/// On-disk format version.
+const FORMAT_VERSION: u16 = 1;
+/// First line of every manifest.
+const MANIFEST_HEADER: &str = "hyperspace-pipeline v1";
+
+/// FNV-1a 64-bit over a byte stream — the file checksum recorded in
+/// manifests. Dependency-free and byte-order independent.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What one shard contributed to a committed generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardFileMeta {
+    /// File path relative to the checkpoint directory.
+    pub rel_path: String,
+    /// FNV-1a of the file contents.
+    pub checksum: u64,
+    /// File length in bytes.
+    pub len: u64,
+    /// The shard's lifetime insert counter at checkpoint time.
+    pub inserted: u64,
+}
+
+/// A parsed, committed manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotone generation number (file name carries it too).
+    pub generation: u64,
+    /// Pipeline epoch at commit time.
+    pub epoch: u64,
+    /// [`PodValue::TAG`] of the checkpointed value type.
+    pub value_tag: u16,
+    /// Row key-space bound.
+    pub nrows: Ix,
+    /// Column key-space bound.
+    pub ncols: Ix,
+    /// Total events ingested across shards at commit time.
+    pub events: u64,
+    /// Per-shard file records, indexed by shard id.
+    pub shards: Vec<ShardFileMeta>,
+}
+
+// ---------------------------------------------------------------------
+// Shard file encode/decode
+// ---------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialize a flushed stream's hierarchy. Panics (debug) if events are
+/// still buffered — workers flush before checkpointing.
+pub fn encode_shard<S: Semiring>(stream: &StreamingMatrix<S>) -> Vec<u8>
+where
+    S::Value: PodValue,
+{
+    debug_assert_eq!(stream.buffered(), 0, "flush before encoding");
+    let slots = stream.level_slots();
+    let mut out = Vec::new();
+    out.extend_from_slice(&SHARD_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&<S::Value as PodValue>::TAG.to_le_bytes());
+    put_u64(&mut out, stream.nrows());
+    put_u64(&mut out, stream.ncols());
+    put_u64(&mut out, stream.inserted());
+    put_u64(&mut out, slots.len() as u64);
+    for slot in slots {
+        match slot {
+            None => out.push(0),
+            Some(level) => {
+                out.push(1);
+                let n_rows = level.n_nonempty_rows();
+                put_u64(&mut out, n_rows as u64);
+                put_u64(&mut out, level.nnz() as u64);
+                for &r in level.row_ids() {
+                    put_u64(&mut out, r);
+                }
+                // rowptr is reconstructible from per-row extents, but
+                // storing it keeps decode allocation-exact and O(n).
+                let mut nnz_seen = 0usize;
+                for k in 0..n_rows {
+                    let (_, c, _) = level.row_at(k);
+                    nnz_seen += c.len();
+                    put_u64(&mut out, nnz_seen as u64);
+                }
+                for (_, c, v) in level.iter_rows() {
+                    for &ci in c {
+                        put_u64(&mut out, ci);
+                    }
+                    for val in v {
+                        val.write_le(&mut out);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cursor over a shard file's bytes; every read is bounds-checked so a
+/// truncated file yields a typed error, never a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PipelineError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(PipelineError::corrupt(
+                self.path,
+                format!("truncated: wanted {n} bytes at offset {}", self.pos),
+            )),
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, PipelineError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn u16(&mut self) -> Result<u16, PipelineError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u8(&mut self) -> Result<u8, PipelineError> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// Decode a shard file back into a stream (inverse of [`encode_shard`]).
+pub fn decode_shard<S: Semiring>(
+    bytes: &[u8],
+    path: &Path,
+    s: S,
+    config: StreamConfig,
+) -> Result<StreamingMatrix<S>, PipelineError>
+where
+    S::Value: PodValue,
+{
+    let mut cur = Cursor {
+        bytes,
+        pos: 0,
+        path,
+    };
+    if cur.take(4)? != SHARD_MAGIC {
+        return Err(PipelineError::corrupt(path, "bad magic"));
+    }
+    let version = cur.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(PipelineError::corrupt(
+            path,
+            format!("unsupported format version {version}"),
+        ));
+    }
+    let tag = cur.u16()?;
+    if tag != <S::Value as PodValue>::TAG {
+        return Err(PipelineError::Incompatible {
+            detail: format!(
+                "value tag {tag} on disk, {} requested",
+                <S::Value as PodValue>::TAG
+            ),
+        });
+    }
+    let nrows = cur.u64()?;
+    let ncols = cur.u64()?;
+    let inserted = cur.u64()?;
+    let n_slots = cur.u64()?;
+    if n_slots > 64 {
+        return Err(PipelineError::corrupt(
+            path,
+            format!("implausible hierarchy depth {n_slots}"),
+        ));
+    }
+    let mut levels: Vec<Option<Dcsr<S::Value>>> = Vec::with_capacity(n_slots as usize);
+    for _ in 0..n_slots {
+        if cur.u8()? == 0 {
+            levels.push(None);
+            continue;
+        }
+        let n_rows = cur.u64()? as usize;
+        let nnz = cur.u64()? as usize;
+        if n_rows > nnz {
+            return Err(PipelineError::corrupt(
+                path,
+                format!("{n_rows} non-empty rows but only {nnz} entries"),
+            ));
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            rows.push(cur.u64()?);
+        }
+        if !rows.windows(2).all(|w| w[0] < w[1]) || rows.iter().any(|&r| r >= nrows) {
+            return Err(PipelineError::corrupt(path, "row ids not sorted in-bounds"));
+        }
+        let mut rowptr = Vec::with_capacity(n_rows + 1);
+        rowptr.push(0usize);
+        for _ in 0..n_rows {
+            rowptr.push(cur.u64()? as usize);
+        }
+        if !rowptr.windows(2).all(|w| w[0] < w[1]) || rowptr[n_rows] != nnz {
+            return Err(PipelineError::corrupt(path, "row extents inconsistent"));
+        }
+        let mut colidx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        let width = <S::Value as PodValue>::WIDTH;
+        for k in 0..n_rows {
+            let row_nnz = rowptr[k + 1] - rowptr[k];
+            for _ in 0..row_nnz {
+                colidx.push(cur.u64()?);
+            }
+            for _ in 0..row_nnz {
+                vals.push(<S::Value as PodValue>::read_le(cur.take(width)?));
+            }
+        }
+        let in_row_sorted = (0..n_rows).all(|k| {
+            colidx[rowptr[k]..rowptr[k + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        });
+        if !in_row_sorted || colidx.iter().any(|&c| c >= ncols) {
+            return Err(PipelineError::corrupt(
+                path,
+                "column ids not sorted in-bounds",
+            ));
+        }
+        levels.push(Some(Dcsr::from_parts(
+            nrows, ncols, rows, rowptr, colidx, vals,
+        )));
+    }
+    if cur.pos != bytes.len() {
+        return Err(PipelineError::corrupt(
+            path,
+            format!("{} trailing bytes", bytes.len() - cur.pos),
+        ));
+    }
+    Ok(StreamingMatrix::from_levels(
+        nrows, ncols, s, config, levels, inserted,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Manifest + generation management
+// ---------------------------------------------------------------------
+
+/// `gen-000042` style directory name.
+fn gen_dir_name(generation: u64) -> String {
+    format!("gen-{generation:06}")
+}
+
+/// Path of a generation's manifest file.
+pub fn manifest_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("{}.manifest", gen_dir_name(generation)))
+}
+
+/// Relative path of one shard's file within a generation.
+pub fn shard_rel_path(generation: u64, shard: usize) -> String {
+    format!("{}/shard-{shard:03}.bin", gen_dir_name(generation))
+}
+
+/// Write one shard's encoded bytes into the generation directory,
+/// returning its manifest record. (Called from shard worker threads, so
+/// file writes proceed in parallel.)
+pub fn write_shard_file(
+    dir: &Path,
+    generation: u64,
+    shard: usize,
+    bytes: &[u8],
+    inserted: u64,
+) -> Result<ShardFileMeta, PipelineError> {
+    let rel = shard_rel_path(generation, shard);
+    let path = dir.join(&rel);
+    let parent = path.parent().expect("shard path has a parent");
+    fs::create_dir_all(parent).map_err(|e| PipelineError::io("creating", parent, e))?;
+    fs::write(&path, bytes).map_err(|e| PipelineError::io("writing", &path, e))?;
+    Ok(ShardFileMeta {
+        rel_path: rel,
+        checksum: fnv1a64(bytes),
+        len: bytes.len() as u64,
+        inserted,
+    })
+}
+
+/// Serialize and atomically commit a manifest. The rename is the commit
+/// point for the whole generation.
+pub fn commit_manifest(dir: &Path, manifest: &Manifest) -> Result<(), PipelineError> {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = writeln!(text, "{MANIFEST_HEADER}");
+    let _ = writeln!(text, "generation {}", manifest.generation);
+    let _ = writeln!(text, "epoch {}", manifest.epoch);
+    let _ = writeln!(text, "value_tag {}", manifest.value_tag);
+    let _ = writeln!(text, "nrows {}", manifest.nrows);
+    let _ = writeln!(text, "ncols {}", manifest.ncols);
+    let _ = writeln!(text, "events {}", manifest.events);
+    let _ = writeln!(text, "shards {}", manifest.shards.len());
+    for (i, m) in manifest.shards.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "shard {i} {} {:016x} {} {}",
+            m.rel_path, m.checksum, m.len, m.inserted
+        );
+    }
+    let _ = writeln!(text, "end");
+
+    let final_path = manifest_path(dir, manifest.generation);
+    let tmp_path = final_path.with_extension("manifest.tmp");
+    let mut f =
+        fs::File::create(&tmp_path).map_err(|e| PipelineError::io("creating", &tmp_path, e))?;
+    f.write_all(text.as_bytes())
+        .map_err(|e| PipelineError::io("writing", &tmp_path, e))?;
+    f.sync_all()
+        .map_err(|e| PipelineError::io("syncing", &tmp_path, e))?;
+    drop(f);
+    fs::rename(&tmp_path, &final_path).map_err(|e| PipelineError::io("committing", &final_path, e))
+}
+
+/// Parse a committed manifest.
+pub fn read_manifest(dir: &Path, generation: u64) -> Result<Manifest, PipelineError> {
+    let path = manifest_path(dir, generation);
+    let text = fs::read_to_string(&path).map_err(|e| PipelineError::io("reading", &path, e))?;
+    parse_manifest(&text, &path)
+}
+
+fn parse_manifest(text: &str, path: &Path) -> Result<Manifest, PipelineError> {
+    let corrupt = |detail: &str| PipelineError::corrupt(path, detail.to_string());
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(corrupt("bad header"));
+    }
+    let mut field = |name: &str| -> Result<u64, PipelineError> {
+        let line = lines.next().ok_or_else(|| corrupt("truncated"))?;
+        let rest = line
+            .strip_prefix(name)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| PipelineError::corrupt(path, format!("expected `{name}` line")))?;
+        rest.trim()
+            .parse()
+            .map_err(|_| PipelineError::corrupt(path, format!("bad `{name}` value")))
+    };
+    let generation = field("generation")?;
+    let epoch = field("epoch")?;
+    let value_tag = field("value_tag")? as u16;
+    let nrows = field("nrows")?;
+    let ncols = field("ncols")?;
+    let events = field("events")?;
+    let n_shards = field("shards")? as usize;
+    if n_shards == 0 || n_shards > 4096 {
+        return Err(corrupt("implausible shard count"));
+    }
+    let mut shards = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let line = lines
+            .next()
+            .ok_or_else(|| corrupt("truncated shard list"))?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("shard") {
+            return Err(corrupt("expected `shard` line"));
+        }
+        let idx: usize = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| corrupt("bad shard index"))?;
+        if idx != i {
+            return Err(corrupt("shard records out of order"));
+        }
+        let rel_path = parts.next().ok_or_else(|| corrupt("missing shard path"))?;
+        let checksum = parts
+            .next()
+            .and_then(|p| u64::from_str_radix(p, 16).ok())
+            .ok_or_else(|| corrupt("bad shard checksum"))?;
+        let len: u64 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| corrupt("bad shard length"))?;
+        let inserted: u64 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| corrupt("bad shard insert count"))?;
+        shards.push(ShardFileMeta {
+            rel_path: rel_path.to_string(),
+            checksum,
+            len,
+            inserted,
+        });
+    }
+    if lines.next() != Some("end") {
+        return Err(corrupt("missing end sentinel (truncated commit?)"));
+    }
+    Ok(Manifest {
+        generation,
+        epoch,
+        value_tag,
+        nrows,
+        ncols,
+        events,
+        shards,
+    })
+}
+
+/// Committed generation numbers under `dir`, ascending. Uncommitted
+/// orphan directories (no manifest) are invisible here by design.
+pub fn list_generations(dir: &Path) -> Result<Vec<u64>, PipelineError> {
+    let mut gens = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(gens),
+        Err(e) => return Err(PipelineError::io("listing", dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| PipelineError::io("listing", dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(g) = name
+            .strip_prefix("gen-")
+            .and_then(|r| r.strip_suffix(".manifest"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            gens.push(g);
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+/// Read one shard's file, verify length + checksum against its manifest
+/// record, and decode it.
+pub fn load_shard<S: Semiring>(
+    dir: &Path,
+    meta: &ShardFileMeta,
+    s: S,
+    config: StreamConfig,
+) -> Result<StreamingMatrix<S>, PipelineError>
+where
+    S::Value: PodValue,
+{
+    let path = dir.join(&meta.rel_path);
+    let bytes = fs::read(&path).map_err(|e| PipelineError::io("reading", &path, e))?;
+    if bytes.len() as u64 != meta.len {
+        return Err(PipelineError::corrupt(
+            &path,
+            format!("length {} ≠ manifest {}", bytes.len(), meta.len),
+        ));
+    }
+    let sum = fnv1a64(&bytes);
+    if sum != meta.checksum {
+        return Err(PipelineError::corrupt(
+            &path,
+            format!("checksum {sum:016x} ≠ manifest {:016x}", meta.checksum),
+        ));
+    }
+    decode_shard(&bytes, &path, s, config)
+}
+
+/// Delete committed generations older than the newest `keep` (and any
+/// orphan `gen-*` directories left by interrupted checkpoints older than
+/// the oldest kept generation). Best-effort: pruning failures are
+/// swallowed — the next checkpoint retries.
+pub fn prune_generations(dir: &Path, keep: usize) {
+    let Ok(gens) = list_generations(dir) else {
+        return;
+    };
+    if gens.len() <= keep {
+        return;
+    }
+    for &g in &gens[..gens.len() - keep] {
+        let _ = fs::remove_file(manifest_path(dir, g));
+        let _ = fs::remove_dir_all(dir.join(gen_dir_name(g)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::PlusTimes;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hyperspace-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_stream(seed: u64) -> StreamingMatrix<PlusTimes<f64>> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let s = PlusTimes::<f64>::new();
+        let cfg = StreamConfig::new().with_buffer_cap(64).with_growth(4);
+        let mut stream = StreamingMatrix::with_config(1 << 30, 1 << 30, s, cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..2000 {
+            stream.insert(
+                rng.gen_range(0..5000),
+                rng.gen_range(0..5000),
+                rng.gen::<f64>(),
+            );
+        }
+        stream.flush();
+        stream
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_encode_decode_round_trip() {
+        let mut stream = sample_stream(11);
+        let bytes = encode_shard(&stream);
+        let cfg = stream.config();
+        let mut back =
+            decode_shard(&bytes, Path::new("mem"), PlusTimes::<f64>::new(), cfg).unwrap();
+        assert_eq!(back.inserted(), stream.inserted());
+        assert_eq!(back.snapshot(), stream.snapshot());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_length() {
+        let stream = sample_stream(12);
+        let bytes = encode_shard(&stream);
+        let cfg = stream.config();
+        // Every strict prefix must decode to Err, never panic.
+        for cut in [0, 1, 3, 7, 20, bytes.len() / 2, bytes.len() - 1] {
+            let r = decode_shard(
+                &bytes[..cut],
+                Path::new("mem"),
+                PlusTimes::<f64>::new(),
+                cfg,
+            );
+            assert!(r.is_err(), "prefix of {cut} bytes decoded");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_shard(&long, Path::new("mem"), PlusTimes::<f64>::new(), cfg).is_err());
+    }
+
+    #[test]
+    fn wrong_value_type_is_incompatible() {
+        let stream = sample_stream(13);
+        let bytes = encode_shard(&stream);
+        let r = decode_shard(
+            &bytes,
+            Path::new("mem"),
+            PlusTimes::<f32>::new(),
+            StreamConfig::default(),
+        );
+        assert!(
+            matches!(r, Err(PipelineError::Incompatible { .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn manifest_round_trip_and_discovery() {
+        let dir = tmp_dir("manifest");
+        let manifest = Manifest {
+            generation: 3,
+            epoch: 17,
+            value_tag: 1,
+            nrows: 1 << 20,
+            ncols: 1 << 20,
+            events: 999,
+            shards: vec![
+                ShardFileMeta {
+                    rel_path: shard_rel_path(3, 0),
+                    checksum: 0xdead_beef,
+                    len: 128,
+                    inserted: 500,
+                },
+                ShardFileMeta {
+                    rel_path: shard_rel_path(3, 1),
+                    checksum: 1,
+                    len: 64,
+                    inserted: 499,
+                },
+            ],
+        };
+        commit_manifest(&dir, &manifest).unwrap();
+        assert_eq!(list_generations(&dir).unwrap(), vec![3]);
+        assert_eq!(read_manifest(&dir, 3).unwrap(), manifest);
+        // A second generation wins discovery.
+        let mut next = manifest.clone();
+        next.generation = 4;
+        commit_manifest(&dir, &next).unwrap();
+        assert_eq!(list_generations(&dir).unwrap(), vec![3, 4]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_manifest_refuses_to_parse() {
+        let dir = tmp_dir("trunc-manifest");
+        let manifest = Manifest {
+            generation: 1,
+            epoch: 2,
+            value_tag: 1,
+            nrows: 8,
+            ncols: 8,
+            events: 0,
+            shards: vec![ShardFileMeta {
+                rel_path: shard_rel_path(1, 0),
+                checksum: 0,
+                len: 0,
+                inserted: 0,
+            }],
+        };
+        commit_manifest(&dir, &manifest).unwrap();
+        let path = manifest_path(&dir, 1);
+        let text = fs::read_to_string(&path).unwrap();
+        // Drop the `end` sentinel: simulates a torn write without rename.
+        fs::write(&path, text.trim_end_matches("end\n")).unwrap();
+        let r = read_manifest(&dir, 1);
+        assert!(matches!(r, Err(PipelineError::Corrupt { .. })), "{r:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruning_keeps_newest_generations() {
+        let dir = tmp_dir("prune");
+        for g in 1..=4 {
+            let manifest = Manifest {
+                generation: g,
+                epoch: g,
+                value_tag: 1,
+                nrows: 8,
+                ncols: 8,
+                events: 0,
+                shards: vec![ShardFileMeta {
+                    rel_path: shard_rel_path(g, 0),
+                    checksum: 0,
+                    len: 3,
+                    inserted: 0,
+                }],
+            };
+            fs::create_dir_all(dir.join(gen_dir_name(g))).unwrap();
+            fs::write(dir.join(shard_rel_path(g, 0)), b"abc").unwrap();
+            commit_manifest(&dir, &manifest).unwrap();
+        }
+        prune_generations(&dir, 2);
+        assert_eq!(list_generations(&dir).unwrap(), vec![3, 4]);
+        assert!(!dir.join(gen_dir_name(1)).exists());
+        assert!(dir.join(shard_rel_path(4, 0)).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

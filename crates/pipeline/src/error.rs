@@ -1,0 +1,147 @@
+//! Typed errors for the pipeline service layer.
+//!
+//! Serving layers must never panic on bad input, full queues, or corrupt
+//! disk state — every failure mode of the pipeline surfaces here as a
+//! variant the caller can match on.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong in the pipeline layer.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A non-blocking ingest found the target shard's channel at
+    /// capacity. Retry, block via `ingest`, or shed load.
+    Full {
+        /// The shard whose channel was full.
+        shard: usize,
+    },
+    /// An event's key lies outside the pipeline's `nrows × ncols` space.
+    KeyOutOfBounds {
+        /// The offending row key.
+        row: u64,
+        /// The offending column key.
+        col: u64,
+        /// The configured key-space bounds.
+        bounds: (u64, u64),
+    },
+    /// A shard worker is gone (its thread terminated); the pipeline can
+    /// no longer accept work for that shard.
+    ShardTerminated {
+        /// The dead shard.
+        shard: usize,
+    },
+    /// Filesystem trouble while checkpointing or restoring.
+    Io {
+        /// What the pipeline was doing.
+        action: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// No committed manifest generation exists under the directory.
+    NoManifest {
+        /// The checkpoint directory searched.
+        dir: PathBuf,
+    },
+    /// A checkpoint file failed validation — truncated, checksum
+    /// mismatch, bad magic/version, or unparseable manifest.
+    Corrupt {
+        /// The file that failed validation.
+        path: PathBuf,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// The checkpoint on disk is valid but incompatible with the
+    /// restoring pipeline (different value type or shard topology).
+    Incompatible {
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Full { shard } => {
+                write!(f, "shard {shard} ingest channel is full (backpressure)")
+            }
+            PipelineError::KeyOutOfBounds { row, col, bounds } => write!(
+                f,
+                "event key ({row}, {col}) outside the {}×{} key space",
+                bounds.0, bounds.1
+            ),
+            PipelineError::ShardTerminated { shard } => {
+                write!(f, "shard {shard} worker has terminated")
+            }
+            PipelineError::Io {
+                action,
+                path,
+                source,
+            } => write!(f, "{action} {}: {source}", path.display()),
+            PipelineError::NoManifest { dir } => write!(
+                f,
+                "no committed checkpoint manifest under {}",
+                dir.display()
+            ),
+            PipelineError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint file {}: {detail}", path.display())
+            }
+            PipelineError::Incompatible { detail } => {
+                write!(f, "incompatible checkpoint: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl PipelineError {
+    /// Convenience constructor for I/O failures.
+    pub(crate) fn io(
+        action: &'static str,
+        path: impl Into<PathBuf>,
+        source: std::io::Error,
+    ) -> Self {
+        PipelineError::Io {
+            action,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for validation failures.
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        PipelineError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PipelineError::Full { shard: 3 };
+        assert!(e.to_string().contains("shard 3"));
+        let e = PipelineError::KeyOutOfBounds {
+            row: 9,
+            col: 2,
+            bounds: (4, 4),
+        };
+        assert!(e.to_string().contains("(9, 2)"));
+        let e = PipelineError::corrupt("/tmp/x.bin", "bad magic");
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

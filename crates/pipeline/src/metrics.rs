@@ -1,0 +1,235 @@
+//! Pipeline-level observability, layered over the per-shard
+//! [`hypersparse::MetricsRegistry`].
+//!
+//! Shard workers meter their ⊕-merge traffic through their own `OpCtx`
+//! (visible as `stream_merge`/`ewise_add` kernel rows); this module adds
+//! the *service* counters those registries cannot see: ingest volume,
+//! backpressure events, live channel depth, and snapshot/checkpoint
+//! latency. All counters are relaxed atomics, updated from caller
+//! threads and shard workers concurrently.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use hypersparse::{KernelSnapshot, MetricsSnapshot};
+
+/// Live service counters for one pipeline (shared via `Arc`).
+#[derive(Debug)]
+pub struct PipelineMetrics {
+    events: AtomicU64,
+    batches: AtomicU64,
+    full_rejections: AtomicU64,
+    snapshots: AtomicU64,
+    snapshot_ns: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_ns: AtomicU64,
+    depth: Vec<AtomicUsize>,
+}
+
+impl PipelineMetrics {
+    pub(crate) fn new(shards: usize) -> Self {
+        PipelineMetrics {
+            events: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            full_rejections: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            snapshot_ns: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_ns: AtomicU64::new(0),
+            depth: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Depth is incremented *before* a send is attempted and rolled back
+    /// on failure, so the worker-side decrement can never underflow.
+    pub(crate) fn depth_inc(&self, shard: usize) {
+        self.depth[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn depth_dec(&self, shard: usize) {
+        self.depth[shard].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_accepted(&self, events: u64) {
+        self.events.fetch_add(events, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.full_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn seed_events(&self, events: u64) {
+        self.events.store(events, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_snapshot(&self, elapsed: Duration) {
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_checkpoint(&self, elapsed: Duration) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Messages currently queued (sent, not yet fully processed) on one
+    /// shard's channel. A gauge, racy by nature; useful for spotting a
+    /// lagging shard.
+    pub fn channel_depth(&self, shard: usize) -> usize {
+        self.depth[shard].load(Ordering::Relaxed)
+    }
+
+    /// Freeze every counter.
+    pub fn snapshot(&self) -> PipelineMetricsSnapshot {
+        PipelineMetricsSnapshot {
+            events_ingested: self.events.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            full_rejections: self.full_rejections.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            snapshot_ns: self.snapshot_ns.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_ns: self.checkpoint_ns.load(Ordering::Relaxed),
+            channel_depths: self
+                .depth
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen view of [`PipelineMetrics`].
+#[derive(Clone, Debug, Default)]
+pub struct PipelineMetricsSnapshot {
+    /// Events accepted into shard channels (enqueued, whether or not yet
+    /// merged).
+    pub events_ingested: u64,
+    /// Channel messages those events travelled in (1 per `ingest`, 1 per
+    /// shard touched per `ingest_batch`).
+    pub batches: u64,
+    /// `try_ingest` calls rejected with `Full` (backpressure bites).
+    pub full_rejections: u64,
+    /// Completed epoch snapshots.
+    pub snapshots: u64,
+    /// Total wall time spent assembling snapshots, in nanoseconds.
+    pub snapshot_ns: u64,
+    /// Committed checkpoints.
+    pub checkpoints: u64,
+    /// Total wall time spent writing checkpoints, in nanoseconds.
+    pub checkpoint_ns: u64,
+    /// Per-shard channel depth gauges at freeze time.
+    pub channel_depths: Vec<usize>,
+}
+
+impl PipelineMetricsSnapshot {
+    /// Mean snapshot assembly latency (zero if none ran).
+    pub fn mean_snapshot_latency(&self) -> Duration {
+        self.snapshot_ns
+            .checked_div(self.snapshots)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Human-readable service report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "events: {} in {} messages · rejected (Full): {}",
+            self.events_ingested, self.batches, self.full_rejections
+        );
+        let _ = writeln!(
+            out,
+            "snapshots: {} (mean {:.3} ms) · checkpoints: {} ({:.3} ms total)",
+            self.snapshots,
+            self.mean_snapshot_latency().as_secs_f64() * 1e3,
+            self.checkpoints,
+            self.checkpoint_ns as f64 / 1e6
+        );
+        let _ = writeln!(out, "channel depths: {:?}", self.channel_depths);
+        out
+    }
+}
+
+/// Sum per-shard kernel registries into one workspace-wide
+/// [`MetricsSnapshot`] (kernel rows, format switches, workspace and
+/// direction counters all add element-wise).
+pub fn merge_kernel_snapshots(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut total = MetricsSnapshot::default();
+    for part in parts {
+        if total.kernels.is_empty() {
+            total.kernels = part
+                .kernels
+                .iter()
+                .map(|k| KernelSnapshot {
+                    kernel: k.kernel,
+                    ..Default::default()
+                })
+                .collect();
+        }
+        for (t, p) in total.kernels.iter_mut().zip(&part.kernels) {
+            debug_assert_eq!(t.kernel, p.kernel, "registries share Kernel::ALL order");
+            t.calls += p.calls;
+            t.elapsed_ns += p.elapsed_ns;
+            t.nnz_in += p.nnz_in;
+            t.nnz_out += p.nnz_out;
+            t.flops += p.flops;
+        }
+        total.format_switches += part.format_switches;
+        total.workspace_hits += part.workspace_hits;
+        total.workspace_misses += part.workspace_misses;
+        total.mv_push_calls += part.mv_push_calls;
+        total.mv_pull_calls += part.mv_pull_calls;
+        total.mask_probes += part.mask_probes;
+        total.mask_hits += part.mask_hits;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersparse::{Kernel, OpCtx};
+
+    #[test]
+    fn counters_accumulate_and_report() {
+        let m = PipelineMetrics::new(2);
+        m.depth_inc(0);
+        m.record_accepted(10);
+        m.depth_inc(1);
+        m.record_accepted(5);
+        m.depth_dec(1);
+        m.record_rejected();
+        m.record_snapshot(Duration::from_millis(2));
+        let snap = m.snapshot();
+        assert_eq!(snap.events_ingested, 15);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.full_rejections, 1);
+        assert_eq!(snap.channel_depths, vec![1, 0]);
+        assert_eq!(m.channel_depth(0), 1);
+        assert_eq!(snap.mean_snapshot_latency(), Duration::from_millis(2));
+        assert!(snap.report().contains("rejected (Full): 1"));
+    }
+
+    #[test]
+    fn kernel_snapshots_merge_across_shards() {
+        let a = OpCtx::new();
+        let b = OpCtx::new();
+        a.metrics()
+            .record(Kernel::StreamMerge, Duration::from_micros(1), 10, 8, 2);
+        b.metrics()
+            .record(Kernel::StreamMerge, Duration::from_micros(3), 6, 6, 0);
+        b.metrics()
+            .record(Kernel::EwiseAdd, Duration::from_micros(1), 4, 4, 0);
+        let merged = merge_kernel_snapshots(&[a.metrics().snapshot(), b.metrics().snapshot()]);
+        let sm = merged.kernel(Kernel::StreamMerge);
+        assert_eq!(sm.calls, 2);
+        assert_eq!(sm.nnz_in, 16);
+        assert_eq!(sm.flops, 2);
+        assert_eq!(merged.kernel(Kernel::EwiseAdd).calls, 1);
+        assert_eq!(merge_kernel_snapshots(&[]).total_calls(), 0);
+    }
+}

@@ -1,0 +1,563 @@
+//! The pipeline handle: routing, backpressure, epochs, lifecycle.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hypersparse::{Ix, MetricsSnapshot, OpCtx, StreamingMatrix};
+use semiring::traits::Semiring;
+
+use crate::checkpoint::{
+    commit_manifest, list_generations, load_shard, prune_generations, read_manifest, Manifest,
+};
+use crate::config::{shard_of, PipelineConfig};
+use crate::error::PipelineError;
+use crate::metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot};
+use crate::shard::{Command, Shard};
+use crate::snapshot::EpochSnapshot;
+use crate::value::PodValue;
+
+/// A sharded streaming ingest/query service over one `nrows × ncols`
+/// hypersparse key space.
+///
+/// Events hash-partition by **row key** across `config.shards` worker
+/// threads, each owning a [`StreamingMatrix`] behind a bounded channel.
+/// The handle is `Sync`: share it via `Arc` and ingest from any number
+/// of threads; [`Pipeline::snapshot`] meanwhile assembles consistent,
+/// epoch-stamped views without stopping ingest.
+///
+/// **Determinism contract.** For a fixed event sequence (one logical
+/// ingest order) and a fixed shard count, snapshots are bit-identical
+/// regardless of worker interleaving: rows are disjoint across shards,
+/// each shard merges in its own receive order (= the send order, by
+/// channel FIFO), and the snapshot fold walks shards in index order.
+/// With *multiple* concurrent ingest threads the per-shard order is
+/// whatever the channel arbitration produced — still a consistent
+/// per-shard prefix at every snapshot, but only ⊕-commutative workloads
+/// (all of Table I) see identical folds across runs.
+pub struct Pipeline<S: Semiring>
+where
+    S::Value: PodValue,
+{
+    nrows: Ix,
+    ncols: Ix,
+    s: S,
+    config: PipelineConfig,
+    shards: Vec<Shard<S>>,
+    epoch: AtomicU64,
+    metrics: Arc<PipelineMetrics>,
+    /// Context for snapshot assembly (the cross-shard ⊕-fold).
+    assemble_ctx: OpCtx,
+}
+
+impl<S: Semiring> Pipeline<S>
+where
+    S::Value: PodValue,
+{
+    /// Launch a pipeline with default parameters.
+    pub fn new(nrows: Ix, ncols: Ix, s: S) -> Self {
+        Pipeline::with_config(nrows, ncols, s, PipelineConfig::default())
+    }
+
+    /// Launch a pipeline: spawns `config.shards` worker threads, each
+    /// with an empty stream and a bounded channel.
+    pub fn with_config(nrows: Ix, ncols: Ix, s: S, config: PipelineConfig) -> Self {
+        let streams = (0..config.shards)
+            .map(|_| StreamingMatrix::with_config(nrows, ncols, s, config.stream))
+            .collect();
+        Pipeline::from_streams(nrows, ncols, s, config, streams, 0, 0)
+    }
+
+    fn from_streams(
+        nrows: Ix,
+        ncols: Ix,
+        s: S,
+        config: PipelineConfig,
+        streams: Vec<StreamingMatrix<S>>,
+        epoch: u64,
+        events: u64,
+    ) -> Self {
+        assert_eq!(streams.len(), config.shards);
+        let metrics = Arc::new(PipelineMetrics::new(config.shards));
+        metrics.seed_events(events);
+        let shards = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, stream)| Shard::spawn(i, stream, &config, Arc::clone(&metrics)))
+            .collect();
+        Pipeline {
+            nrows,
+            ncols,
+            s,
+            config,
+            shards,
+            epoch: AtomicU64::new(epoch),
+            metrics,
+            assemble_ctx: OpCtx::new().with_threads(config.merge_threads),
+        }
+    }
+
+    // -- ingest ---------------------------------------------------------
+
+    fn check_key(&self, row: Ix, col: Ix) -> Result<usize, PipelineError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(PipelineError::KeyOutOfBounds {
+                row,
+                col,
+                bounds: (self.nrows, self.ncols),
+            });
+        }
+        Ok(shard_of(row, self.config.shards))
+    }
+
+    /// Append one event, **blocking** while the target shard's channel
+    /// is at capacity — ingest is throttled to merge throughput instead
+    /// of queueing unboundedly.
+    pub fn ingest(&self, row: Ix, col: Ix, val: S::Value) -> Result<(), PipelineError> {
+        let shard = self.check_key(row, col)?;
+        self.metrics.depth_inc(shard);
+        match self.shards[shard].send(shard, Command::Event(row, col, val)) {
+            Ok(()) => {
+                self.metrics.record_accepted(1);
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.depth_dec(shard);
+                Err(e)
+            }
+        }
+    }
+
+    /// Append one event **without blocking**: returns
+    /// [`PipelineError::Full`] when the shard is saturated, letting the
+    /// caller shed or defer load explicitly.
+    pub fn try_ingest(&self, row: Ix, col: Ix, val: S::Value) -> Result<(), PipelineError> {
+        let shard = self.check_key(row, col)?;
+        self.metrics.depth_inc(shard);
+        match self.shards[shard].try_send(shard, Command::Event(row, col, val)) {
+            Ok(()) => {
+                self.metrics.record_accepted(1);
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.depth_dec(shard);
+                if matches!(e, PipelineError::Full { .. }) {
+                    self.metrics.record_rejected();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Route a batch: one channel message per shard touched (amortizes
+    /// channel traffic ~`buffer`-fold for high-rate feeds). Blocking, in
+    /// shard-index order; per-shard event order preserves iteration
+    /// order, so batch boundaries never affect results.
+    pub fn ingest_batch(
+        &self,
+        events: impl IntoIterator<Item = (Ix, Ix, S::Value)>,
+    ) -> Result<(), PipelineError> {
+        let mut routed: Vec<Vec<(Ix, Ix, S::Value)>> =
+            (0..self.config.shards).map(|_| Vec::new()).collect();
+        for (row, col, val) in events {
+            let shard = self.check_key(row, col)?;
+            routed[shard].push((row, col, val));
+        }
+        for (shard, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let n = batch.len() as u64;
+            self.metrics.depth_inc(shard);
+            match self.shards[shard].send(shard, Command::Batch(batch)) {
+                Ok(()) => self.metrics.record_accepted(n),
+                Err(e) => {
+                    self.metrics.depth_dec(shard);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- query ----------------------------------------------------------
+
+    /// Take an epoch-stamped snapshot: sends a marker wave down every
+    /// shard channel, then ⊕-folds the per-shard cuts (disjoint row
+    /// sets) into one owned [`EpochSnapshot`]. Ingest continues behind
+    /// the markers; nothing enqueued after this call's markers can
+    /// appear in the result, and everything this thread enqueued before
+    /// the call is guaranteed in.
+    pub fn snapshot(&self) -> Result<EpochSnapshot<S>, PipelineError> {
+        let t = Instant::now();
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let events = self.metrics.snapshot().events_ingested;
+        // Send every marker before collecting any reply, so shards fold
+        // their hierarchies concurrently.
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            self.metrics.depth_inc(i);
+            if let Err(e) = shard.send(i, Command::Snapshot { reply: tx }) {
+                self.metrics.depth_dec(i);
+                return Err(e);
+            }
+            replies.push(rx);
+        }
+        let mut parts = Vec::with_capacity(replies.len());
+        for (i, rx) in replies.into_iter().enumerate() {
+            parts.push(
+                rx.recv()
+                    .map_err(|_| PipelineError::ShardTerminated { shard: i })?,
+            );
+        }
+        let snap = EpochSnapshot::assemble(epoch, events, &self.assemble_ctx, parts, self.s);
+        self.metrics.record_snapshot(t.elapsed());
+        Ok(snap)
+    }
+
+    // -- checkpoint / restore -------------------------------------------
+
+    /// Write a new checkpoint generation under `dir` and commit it
+    /// atomically (see [`crate::checkpoint`] for the protocol). Advances
+    /// the epoch: the manifest records the cut exactly like a snapshot
+    /// marker wave would, so a restore resumes at this epoch with
+    /// bit-identical snapshot contents. Returns the committed manifest.
+    pub fn checkpoint(&self, dir: &Path) -> Result<Manifest, PipelineError> {
+        let t = Instant::now();
+        std::fs::create_dir_all(dir).map_err(|e| PipelineError::io("creating", dir, e))?;
+        let generation = list_generations(dir)?.last().copied().unwrap_or(0) + 1;
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let events = self.metrics.snapshot().events_ingested;
+
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            self.metrics.depth_inc(i);
+            if let Err(e) = shard.send(
+                i,
+                Command::Checkpoint {
+                    dir: dir.to_path_buf(),
+                    generation,
+                    reply: tx,
+                },
+            ) {
+                self.metrics.depth_dec(i);
+                return Err(e);
+            }
+            replies.push(rx);
+        }
+        let mut shard_meta = Vec::with_capacity(replies.len());
+        for (i, rx) in replies.into_iter().enumerate() {
+            shard_meta.push(
+                rx.recv()
+                    .map_err(|_| PipelineError::ShardTerminated { shard: i })??,
+            );
+        }
+        let manifest = Manifest {
+            generation,
+            epoch,
+            value_tag: <S::Value as PodValue>::TAG,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            events,
+            shards: shard_meta,
+        };
+        commit_manifest(dir, &manifest)?;
+        prune_generations(dir, self.config.keep_generations);
+        self.metrics.record_checkpoint(t.elapsed());
+        Ok(manifest)
+    }
+
+    /// Restore from the newest committed generation under `dir`.
+    /// `config.shards` is taken from the manifest (shard files are only
+    /// valid for the routing that filled them); every other knob applies
+    /// as given. Fails with a typed error — never a panic — on missing,
+    /// truncated, or checksum-mismatched state.
+    pub fn restore(dir: &Path, s: S, config: PipelineConfig) -> Result<Self, PipelineError> {
+        let gens = list_generations(dir)?;
+        let latest = *gens.last().ok_or_else(|| PipelineError::NoManifest {
+            dir: dir.to_path_buf(),
+        })?;
+        Pipeline::restore_generation(dir, latest, s, config)
+    }
+
+    /// Restore a specific committed generation.
+    pub fn restore_generation(
+        dir: &Path,
+        generation: u64,
+        s: S,
+        config: PipelineConfig,
+    ) -> Result<Self, PipelineError> {
+        let manifest = read_manifest(dir, generation)?;
+        if manifest.value_tag != <S::Value as PodValue>::TAG {
+            return Err(PipelineError::Incompatible {
+                detail: format!(
+                    "value tag {} on disk, {} requested",
+                    manifest.value_tag,
+                    <S::Value as PodValue>::TAG
+                ),
+            });
+        }
+        let config = config.with_shards(manifest.shards.len());
+        let streams = manifest
+            .shards
+            .iter()
+            .map(|meta| load_shard(dir, meta, s, config.stream))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Pipeline::from_streams(
+            manifest.nrows,
+            manifest.ncols,
+            s,
+            config,
+            streams,
+            manifest.epoch,
+            manifest.events,
+        ))
+    }
+
+    /// Restore the newest generation that validates, walking backwards
+    /// over committed generations when the newest is corrupt (a fallback
+    /// for torn disks; pair with `keep_generations ≥ 2`). Returns the
+    /// pipeline and the generation that loaded. Errors only when no
+    /// generation validates — with the *newest* generation's error, the
+    /// one an operator needs to see.
+    pub fn restore_with_fallback(
+        dir: &Path,
+        s: S,
+        config: PipelineConfig,
+    ) -> Result<(Self, u64), PipelineError> {
+        let gens = list_generations(dir)?;
+        let mut first_err = None;
+        for &g in gens.iter().rev() {
+            match Pipeline::restore_generation(dir, g, s, config) {
+                Ok(p) => return Ok((p, g)),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(first_err.unwrap_or(PipelineError::NoManifest {
+            dir: dir.to_path_buf(),
+        }))
+    }
+
+    // -- lifecycle ------------------------------------------------------
+
+    /// Graceful shutdown: close every channel, let workers drain all
+    /// queued work (channel FIFO guarantees nothing is dropped), and
+    /// join their threads.
+    pub fn shutdown(mut self) -> Result<(), PipelineError> {
+        self.join_workers()
+    }
+
+    /// Drain, write a final checkpoint, then shut down. The manifest it
+    /// returns is the durable image of every event ever accepted.
+    pub fn shutdown_with_checkpoint(self, dir: &Path) -> Result<Manifest, PipelineError> {
+        // The checkpoint marker itself rides behind all queued ingest,
+        // so the final image includes every accepted event.
+        let manifest = self.checkpoint(dir)?;
+        self.shutdown()?;
+        Ok(manifest)
+    }
+
+    fn join_workers(&mut self) -> Result<(), PipelineError> {
+        let mut handles = Vec::new();
+        for (i, mut shard) in self.shards.drain(..).enumerate() {
+            let handle = shard.handle.take();
+            drop(shard); // drops the sender: the worker's drain signal
+            if let Some(h) = handle {
+                handles.push((i, h));
+            }
+        }
+        for (i, h) in handles {
+            h.join()
+                .map_err(|_| PipelineError::ShardTerminated { shard: i })?;
+        }
+        Ok(())
+    }
+
+    // -- introspection --------------------------------------------------
+
+    /// Row key-space bound.
+    pub fn nrows(&self) -> Ix {
+        self.nrows
+    }
+
+    /// Column key-space bound.
+    pub fn ncols(&self) -> Ix {
+        self.ncols
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// The configuration this pipeline runs with.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// The current epoch (last stamped snapshot/checkpoint).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Events accepted so far (enqueued; possibly not yet merged).
+    pub fn events_ingested(&self) -> u64 {
+        self.metrics.snapshot().events_ingested
+    }
+
+    /// Live service counters (ingest volume, rejections, depths,
+    /// latencies).
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    /// Frozen service counters.
+    pub fn metrics_snapshot(&self) -> PipelineMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// One shard's kernel registry (its `stream_merge` / `ewise_add`
+    /// traffic).
+    pub fn shard_kernel_metrics(&self, shard: usize) -> MetricsSnapshot {
+        self.shards[shard].ctx.metrics().snapshot()
+    }
+
+    /// Kernel counters summed across every shard plus the snapshot
+    /// assembler.
+    pub fn kernel_metrics(&self) -> MetricsSnapshot {
+        let mut parts: Vec<MetricsSnapshot> = self
+            .shards
+            .iter()
+            .map(|sh| sh.ctx.metrics().snapshot())
+            .collect();
+        parts.push(self.assemble_ctx.metrics().snapshot());
+        merge_kernel_snapshots(&parts)
+    }
+}
+
+impl<S: Semiring> Drop for Pipeline<S>
+where
+    S::Value: PodValue,
+{
+    fn drop(&mut self) {
+        // Best-effort drain-and-join so tests and short-lived tools never
+        // leak worker threads; errors are unreportable here.
+        let _ = self.join_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::PlusTimes;
+
+    #[test]
+    fn ingest_and_snapshot_single_thread() {
+        let p = Pipeline::new(1 << 20, 1 << 20, PlusTimes::<f64>::new());
+        for i in 0..500u64 {
+            p.ingest(i % 50, i / 50, 1.0).unwrap();
+        }
+        let snap = p.snapshot().unwrap();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.events(), 500);
+        assert_eq!(snap.nnz(), 500);
+        assert_eq!(snap.get(0, 0), Some(&1.0));
+        assert_eq!(p.epoch(), 1);
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_keys_are_typed_errors() {
+        let p = Pipeline::new(8, 8, PlusTimes::<f64>::new());
+        let r = p.ingest(9, 0, 1.0);
+        assert!(
+            matches!(r, Err(PipelineError::KeyOutOfBounds { .. })),
+            "{r:?}"
+        );
+        let r = p.try_ingest(0, 8, 1.0);
+        assert!(matches!(r, Err(PipelineError::KeyOutOfBounds { .. })));
+        assert_eq!(p.events_ingested(), 0);
+    }
+
+    #[test]
+    fn try_ingest_reports_backpressure() {
+        // 1 shard, 1-message channel, and a worker wedged behind a slow
+        // snapshot is hard to stage deterministically; instead saturate
+        // with the worker's own arrival race: capacity 1 and rapid-fire
+        // try_ingest must eventually see Full at least once, and every
+        // accepted event must still be merged exactly once.
+        let config = PipelineConfig::new()
+            .with_shards(1)
+            .with_channel_capacity(1);
+        let p = Pipeline::with_config(1 << 10, 1 << 10, PlusTimes::<f64>::new(), config);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for i in 0..50_000u64 {
+            match p.try_ingest(i % 100, i % 97, 1.0) {
+                Ok(()) => accepted += 1,
+                Err(PipelineError::Full { shard: 0 }) => rejected += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(p.events_ingested(), accepted);
+        assert_eq!(p.metrics_snapshot().full_rejections, rejected);
+        let snap = p.snapshot().unwrap();
+        let total: f64 = snap.dcsr().iter().map(|(_, _, v)| *v).sum();
+        assert_eq!(total, accepted as f64);
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batch_and_event_ingest_agree() {
+        let s = PlusTimes::<f64>::new();
+        let events: Vec<(u64, u64, f64)> = (0..4000u64)
+            .map(|i| (i % 37, (i * 7) % 41, (i % 5) as f64 + 0.5))
+            .collect();
+        let a = Pipeline::new(64, 64, s);
+        for &(r, c, v) in &events {
+            a.ingest(r, c, v).unwrap();
+        }
+        let b = Pipeline::new(64, 64, s);
+        b.ingest_batch(events.clone()).unwrap();
+        assert_eq!(a.snapshot().unwrap().dcsr(), b.snapshot().unwrap().dcsr());
+        a.shutdown().unwrap();
+        b.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stream_merge_metrics_flow_up() {
+        let config = PipelineConfig::new().with_shards(2).with_stream(
+            hypersparse::StreamConfig::new()
+                .with_buffer_cap(32)
+                .with_growth(2),
+        );
+        let p = Pipeline::with_config(1 << 20, 1 << 20, PlusTimes::<f64>::new(), config);
+        let events: Vec<(u64, u64, f64)> = (0..5000u64).map(|i| (i % 997, i % 991, 1.0)).collect();
+        p.ingest_batch(events).unwrap();
+        let _ = p.snapshot().unwrap();
+        let merged = p.kernel_metrics();
+        assert!(
+            merged.kernel(hypersparse::Kernel::StreamMerge).calls > 0,
+            "cascades must be visible:\n{}",
+            merged.report()
+        );
+        let per_shard: u64 = (0..2)
+            .map(|i| {
+                p.shard_kernel_metrics(i)
+                    .kernel(hypersparse::Kernel::StreamMerge)
+                    .calls
+            })
+            .sum();
+        assert_eq!(
+            per_shard,
+            merged.kernel(hypersparse::Kernel::StreamMerge).calls
+        );
+        p.shutdown().unwrap();
+    }
+}

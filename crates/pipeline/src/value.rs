@@ -1,0 +1,98 @@
+//! Fixed-width binary codec for checkpointable values.
+//!
+//! The checkpoint format is length-prefixed little-endian binary; values
+//! need an exact, portable byte encoding. [`PodValue`] provides one for
+//! the plain-old-data scalars the streaming workloads use. Semirings
+//! over heap values (power sets, strings) can still run in a pipeline —
+//! they just cannot be checkpointed, which the `where` bounds on the
+//! checkpoint entry points enforce at compile time.
+
+use semiring::traits::Value;
+
+/// A [`Value`] with an exact fixed-width little-endian byte encoding.
+///
+/// `TAG` identifies the concrete type inside checkpoint files, so a
+/// restore with the wrong value type is detected as incompatible rather
+/// than misread.
+pub trait PodValue: Value {
+    /// Type tag recorded in checkpoint headers.
+    const TAG: u16;
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Append the encoding of `self` to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Decode from exactly [`PodValue::WIDTH`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($t:ty, $tag:expr) => {
+        impl PodValue for $t {
+            const TAG: u16 = $tag;
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("exact width"))
+            }
+        }
+    };
+}
+
+impl_pod!(f64, 1);
+impl_pod!(f32, 2);
+impl_pod!(u64, 3);
+impl_pod!(i64, 4);
+impl_pod!(u32, 5);
+impl_pod!(i32, 6);
+
+impl PodValue for bool {
+    const TAG: u16 = 7;
+    const WIDTH: usize = 1;
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: PodValue>(v: T) {
+        let mut buf = Vec::new();
+        v.write_le(&mut buf);
+        assert_eq!(buf.len(), T::WIDTH);
+        assert_eq!(T::read_le(&buf), v);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        round_trip(1.5f64);
+        round_trip(-0.25f32);
+        round_trip(u64::MAX);
+        round_trip(-17i64);
+        round_trip(42u32);
+        round_trip(i32::MIN);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags = [
+            <f64 as PodValue>::TAG,
+            <f32 as PodValue>::TAG,
+            <u64 as PodValue>::TAG,
+            <i64 as PodValue>::TAG,
+            <u32 as PodValue>::TAG,
+            <i32 as PodValue>::TAG,
+            <bool as PodValue>::TAG,
+        ];
+        let set: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(set.len(), tags.len());
+    }
+}

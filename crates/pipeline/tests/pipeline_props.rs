@@ -1,0 +1,82 @@
+//! Property tests: for random event streams, the sharded pipeline's
+//! snapshot is bit-identical to a single-shard reference (and to the flat
+//! COO build) at every tested shard count, with snapshots interleaved at
+//! arbitrary points in the stream.
+
+use hypersparse::{Coo, Dcsr, Ix, StreamConfig};
+use pipeline::{Pipeline, PipelineConfig};
+use proptest::prelude::*;
+use semiring::{MinPlus, PlusTimes, Semiring};
+
+const N: Ix = 1 << 24;
+
+fn events() -> impl Strategy<Value = Vec<(Ix, Ix, i64)>> {
+    proptest::collection::vec((0..300u64, 0..300u64, 1i64..9), 0..300)
+}
+
+fn flat<S: Semiring<Value = i64>>(t: &[(Ix, Ix, i64)], s: S) -> Dcsr<i64> {
+    let mut c = Coo::new(N, N);
+    c.extend(t.iter().copied());
+    c.build_dcsr(s)
+}
+
+fn run<S: Semiring<Value = i64>>(
+    t: &[(Ix, Ix, i64)],
+    shards: usize,
+    cuts: &[usize],
+    s: S,
+) -> Dcsr<i64> {
+    let p = Pipeline::with_config(
+        N,
+        N,
+        s,
+        PipelineConfig::new()
+            .with_shards(shards)
+            .with_channel_capacity(32)
+            .with_stream(StreamConfig::new().with_buffer_cap(8).with_growth(2)),
+    );
+    for (i, &(r, c, v)) in t.iter().enumerate() {
+        if cuts.contains(&i) {
+            let _ = p.snapshot().unwrap();
+        }
+        p.ingest(r, c, v).unwrap();
+    }
+    let snap = p.snapshot().unwrap();
+    p.shutdown().unwrap();
+    snap.into_dcsr()
+}
+
+proptest! {
+    #[test]
+    fn sharded_equals_single_shard_reference(t in events(),
+                                             cuts in proptest::collection::vec(0..300usize, 0..4)) {
+        let s = PlusTimes::<i64>::new();
+        let reference = run(&t, 1, &[], s);
+        prop_assert_eq!(&reference, &flat(&t, s));
+        for shards in [2usize, 4] {
+            prop_assert_eq!(&run(&t, shards, &cuts, s), &reference);
+        }
+    }
+
+    #[test]
+    fn batch_boundaries_are_invisible(t in events(), chunk in 1..50usize) {
+        let s = PlusTimes::<i64>::new();
+        let p = Pipeline::with_config(
+            N, N, s, PipelineConfig::new().with_shards(3));
+        for batch in t.chunks(chunk) {
+            p.ingest_batch(batch.iter().copied()).unwrap();
+        }
+        let snap = p.snapshot().unwrap();
+        prop_assert_eq!(snap.dcsr(), &flat(&t, s));
+        prop_assert_eq!(snap.events(), t.len() as u64);
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn min_plus_sharding_matches_flat(t in events()) {
+        let s = MinPlus::<i64>::new();
+        for shards in [1usize, 2, 4] {
+            prop_assert_eq!(&run(&t, shards, &[], s), &flat(&t, s));
+        }
+    }
+}
