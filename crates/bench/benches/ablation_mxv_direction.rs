@@ -151,6 +151,68 @@ fn shape_report() {
         t_seq.as_secs_f64() / t_par.as_secs_f64(),
     );
     println!("✓ push ≡ pull on pattern; fused ≡ unfused and seq ≡ par bit-for-bit");
+
+    // --- tracing overhead on the hot kernel loop ---
+    // Every vxm call opens a span; disabled mode must price that at one
+    // relaxed atomic load (no clock read, no allocation).
+    println!("--- tracing-mode ablation (dense-frontier vxm) ---");
+    let mut base = 0.0f64;
+    for (label, mode) in [
+        ("disabled", hypersparse::TraceMode::Disabled),
+        ("slow-only", hypersparse::TraceMode::SlowOnly),
+        ("full", hypersparse::TraceMode::Full),
+    ] {
+        let ctx = OpCtx::new();
+        ctx.trace().set_mode(mode);
+        if mode == hypersparse::TraceMode::SlowOnly {
+            ctx.trace()
+                .set_slow_threshold(Some(std::time::Duration::from_millis(50)));
+        }
+        let (t, _) = quick_time(5, || {
+            let r = vxm_ctx(&ctx, &dense, &g, s());
+            ctx.trace().clear();
+            r
+        });
+        let secs = t.as_secs_f64();
+        if base == 0.0 {
+            base = secs;
+        }
+        println!(
+            "| {label:>10} | {:>10} | {:>6.3}x |",
+            fmt_dur(t),
+            secs / base
+        );
+    }
+
+    // --- masked SpGEMM: parallel vs sequential on the triangle workload ---
+    // L ⊕.⊗ L masked by L (the Sandia triangle kernel) over the lower
+    // triangle of the symmetrized rmat graph — the hot path that
+    // graph::triangles drives.
+    let sym = hypersparse::ops::ewise_add(&g, &gt, s());
+    let l = hypersparse::ops::select(&sym, |r, c, _| c < r);
+    let seq1 = OpCtx::new().with_threads(1);
+    let (t_mseq, r_mseq) = quick_time(3, || {
+        hypersparse::ops::mxm_masked_ctx(&seq1, &l, &l, &l, false, s())
+    });
+    println!(
+        "--- masked SpGEMM (triangle workload, {} edges in L) ---",
+        l.nnz()
+    );
+    for threads in [2usize, 4, 8] {
+        let par = OpCtx::new().with_threads(threads);
+        let (t_mpar, r_mpar) = quick_time(3, || {
+            hypersparse::ops::mxm_masked_ctx(&par, &l, &l, &l, false, s())
+        });
+        assert_eq!(r_mseq, r_mpar, "thread count changed the masked product");
+        println!(
+            "masked mxm 1 thread {} vs {} threads {} ({:.2}x)",
+            fmt_dur(t_mseq),
+            threads,
+            fmt_dur(t_mpar),
+            t_mseq.as_secs_f64() / t_mpar.as_secs_f64(),
+        );
+    }
+    println!("✓ masked SpGEMM parallel ≡ sequential bit-for-bit");
 }
 
 fn criterion_benches(c: &mut Criterion) {

@@ -124,6 +124,44 @@ fn shape_report() {
         println!("| {label:>17} | {:>10} |", fmt_dur(t));
     }
     println!("✓ bounded channels bound memory without costing throughput");
+
+    // Observability ablation: the same drive with tracing disabled
+    // (default — one relaxed load per span site), slow-only capture, and
+    // full span recording. Disabled must be within noise of the seed.
+    println!("--- tracing-mode ablation at 4 shards ---");
+    println!("| trace mode | wall       | vs disabled |");
+    let mut disabled = 0.0f64;
+    for (label, mode, slow) in [
+        ("disabled", hypersparse::TraceMode::Disabled, None),
+        (
+            "slow-only",
+            hypersparse::TraceMode::SlowOnly,
+            Some(std::time::Duration::from_millis(5)),
+        ),
+        ("full", hypersparse::TraceMode::Full, None),
+    ] {
+        let (t, _) = quick_time(3, || {
+            let p = Arc::new(Pipeline::with_config(
+                N,
+                N,
+                PlusTimes::<f64>::new(),
+                config(4, 1024),
+            ));
+            p.set_trace_mode(mode);
+            p.set_slow_threshold(slow);
+            drive(&p, &events)
+        });
+        let secs = t.as_secs_f64();
+        if disabled == 0.0 {
+            disabled = secs;
+        }
+        println!(
+            "| {label:>10} | {:>10} | {:>10.3}x |",
+            fmt_dur(t),
+            secs / disabled
+        );
+    }
+    println!("✓ disabled-mode tracing is free; full capture bounds its own cost");
 }
 
 fn criterion_benches(c: &mut Criterion) {

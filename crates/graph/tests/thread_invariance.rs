@@ -77,6 +77,39 @@ fn bfs_pagerank_sssp_identical_at_any_thread_count() {
 }
 
 #[test]
+fn triangle_counts_identical_at_any_thread_count() {
+    // triangle_count / edge_support run on the masked SpGEMM, which
+    // shards by row above ~512 non-empty rows — scale 12 clears that.
+    let g = symmetrize(
+        &rmat_dcsr(
+            RmatParams {
+                scale: 12,
+                edge_factor: 8,
+                ..Default::default()
+            },
+            11,
+            PlusTimes::<f64>::new(),
+        ),
+        PlusTimes::<f64>::new(),
+    );
+    let base_count = with_threads(1, || graph::triangles::triangle_count(&g));
+    let base_support = with_threads(1, || graph::triangles::edge_support(&g));
+    assert!(base_count > 0, "rmat graph must close some triangles");
+    for k in [2, 4, 8] {
+        assert_eq!(
+            with_threads(k, || graph::triangles::triangle_count(&g)),
+            base_count,
+            "triangle_count differs at {k} threads"
+        );
+        assert_eq!(
+            with_threads(k, || graph::triangles::edge_support(&g)),
+            base_support,
+            "edge_support differs at {k} threads"
+        );
+    }
+}
+
+#[test]
 fn connected_components_identical_at_any_thread_count() {
     let g = symmetrize(
         &rmat_dcsr(

@@ -34,9 +34,9 @@ pub mod prelude {
     pub use hyperspace_core::{Assoc, Key};
     pub use hypersparse::{
         Coo, Dcsr, Format, Matrix, MetricsSnapshot, OpCtx, OpError, SparseVec, StreamConfig,
-        StreamingMatrix,
+        StreamingMatrix, TraceMode, TraceRegistry,
     };
-    pub use pipeline::{EpochSnapshot, Pipeline, PipelineConfig, PipelineError};
+    pub use pipeline::{EpochSnapshot, Pipeline, PipelineConfig, PipelineError, Stage};
     pub use semiring::{
         AnyPair, LorLand, MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, Monoid, PSet,
         PlusTimes, Semilink, Semiring, UnionIntersect,

@@ -30,7 +30,8 @@ use std::sync::Mutex;
 
 use semiring::traits::Value;
 
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{Kernel, MetricsRegistry};
+use crate::trace::{Span, TraceRegistry};
 use crate::Ix;
 
 /// Reusable Gustavson-accumulator scratch for SpGEMM over value type `T`.
@@ -115,6 +116,7 @@ pub struct OpCtx {
     threads: AtomicUsize,
     workspace: Mutex<Workspace>,
     metrics: MetricsRegistry,
+    trace: TraceRegistry,
 }
 
 impl OpCtx {
@@ -150,6 +152,20 @@ impl OpCtx {
     /// The context's metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The context's span registry ([`crate::trace`]): disabled by
+    /// default; switch on with `ctx.trace().set_mode(TraceMode::Full)`.
+    pub fn trace(&self) -> &TraceRegistry {
+        &self.trace
+    }
+
+    /// Open a span named after `kernel`. Every `*_ctx` kernel calls this
+    /// on entry; `detail` (operand shapes) is evaluated only when
+    /// tracing is enabled, so the disabled-mode cost is one atomic load.
+    #[inline]
+    pub fn kernel_span(&self, kernel: Kernel, detail: impl FnOnce() -> String) -> Span<'_> {
+        self.trace.span(kernel.name(), detail)
     }
 
     /// Zero every metrics counter (workspace contents are kept).

@@ -73,6 +73,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod ops;
 pub mod stream;
+pub mod trace;
 pub mod vector;
 
 pub use bitmap::Bitmap;
@@ -85,6 +86,7 @@ pub use error::{Axis, OpError};
 pub use matrix::{Format, FormatPolicy, Matrix};
 pub use metrics::{Direction, Kernel, KernelSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use stream::{StreamConfig, StreamingMatrix};
+pub use trace::{Histogram, HistogramSnapshot, Span, SpanRecord, TraceMode, TraceRegistry};
 pub use vector::SparseVec;
 
 /// External index type: key spaces are up to ~2⁶⁰, far beyond anything a

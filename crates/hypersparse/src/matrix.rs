@@ -340,7 +340,20 @@ impl<T: Value> Matrix<T> {
         complement: bool,
         s: S,
     ) -> Self {
-        with_default_ctx(|ctx| self.mxm_masked_ctx(ctx, other, mask, complement, s))
+        self.try_mxm_masked(other, mask, complement, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::mxm_masked`]: dimension mismatch (inner
+    /// dimensions or the mask's key space) becomes an error.
+    pub fn try_mxm_masked<S: Semiring<Value = T>, M: Value>(
+        &self,
+        other: &Self,
+        mask: &Matrix<M>,
+        complement: bool,
+        s: S,
+    ) -> Result<Self, OpError> {
+        with_default_ctx(|ctx| self.try_mxm_masked_ctx(ctx, other, mask, complement, s))
     }
 
     /// [`Matrix::mxm_masked`] through an explicit execution context.
@@ -352,18 +365,31 @@ impl<T: Value> Matrix<T> {
         complement: bool,
         s: S,
     ) -> Self {
-        self.wrap_ctx(
+        self.try_mxm_masked_ctx(ctx, other, mask, complement, s)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Matrix::mxm_masked`] through an explicit context.
+    pub fn try_mxm_masked_ctx<S: Semiring<Value = T>, M: Value>(
+        &self,
+        ctx: &OpCtx,
+        other: &Self,
+        mask: &Matrix<M>,
+        complement: bool,
+        s: S,
+    ) -> Result<Self, OpError> {
+        Ok(self.wrap_ctx(
             ctx,
-            ops::mxm_masked_ctx(
+            ops::try_mxm_masked_ctx(
                 ctx,
                 &self.as_dcsr(),
                 &other.as_dcsr(),
                 &mask.as_dcsr(),
                 complement,
                 s,
-            ),
+            )?,
             s,
-        )
+        ))
     }
 
     fn check_same_space(&self, other: &Self, op: &'static str) -> Result<(), OpError> {

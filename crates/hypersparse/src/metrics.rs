@@ -17,6 +17,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::trace::{
+    write_prometheus_header, write_prometheus_histogram, Histogram, HistogramSnapshot,
+};
+
 /// Kernel identities tracked by the metrics registry.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
@@ -101,7 +105,7 @@ impl Kernel {
 }
 
 /// Traversal direction chosen by the matrix–vector kernels
-/// ([`crate::ops::mxv`]): Beamer-style direction optimization picks per
+/// ([`mod@crate::ops::mxv`]): Beamer-style direction optimization picks per
 /// call between scattering the sparse frontier (*push*) and gathering
 /// over the transpose (*pull*).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -130,6 +134,7 @@ pub struct KernelStats {
     nnz_in: AtomicU64,
     nnz_out: AtomicU64,
     flops: AtomicU64,
+    latency: Histogram,
 }
 
 impl KernelStats {
@@ -141,6 +146,7 @@ impl KernelStats {
         self.nnz_in.fetch_add(nnz_in, Ordering::Relaxed);
         self.nnz_out.fetch_add(nnz_out, Ordering::Relaxed);
         self.flops.fetch_add(flops, Ordering::Relaxed);
+        self.latency.record(elapsed);
     }
 
     fn snapshot(&self, kernel: Kernel) -> KernelSnapshot {
@@ -151,6 +157,7 @@ impl KernelStats {
             nnz_in: self.nnz_in.load(Ordering::Relaxed),
             nnz_out: self.nnz_out.load(Ordering::Relaxed),
             flops: self.flops.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
         }
     }
 
@@ -160,6 +167,7 @@ impl KernelStats {
         self.nnz_in.store(0, Ordering::Relaxed);
         self.nnz_out.store(0, Ordering::Relaxed);
         self.flops.store(0, Ordering::Relaxed);
+        self.latency.reset();
     }
 }
 
@@ -179,6 +187,9 @@ pub struct KernelSnapshot {
     /// Total useful algebraic work: ⊗ applications for multiplies,
     /// combiner applications for merges and reductions.
     pub flops: u64,
+    /// Per-invocation latency distribution (log₂ buckets; p50/p95/p99
+    /// via [`HistogramSnapshot::quantile`]).
+    pub latency: HistogramSnapshot,
 }
 
 /// The per-context metrics registry: one [`KernelStats`] row per
@@ -352,6 +363,132 @@ impl MetricsSnapshot {
                 self.mask_probes,
                 self.mask_hit_rate() * 100.0
             );
+        }
+        out
+    }
+
+    /// Fraction of workspace acquisitions served from the pooled arena
+    /// (`0.0` when none were attempted).
+    pub fn workspace_hit_rate(&self) -> f64 {
+        let total = self.workspace_hits + self.workspace_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.workspace_hits as f64 / total as f64
+        }
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of every counter and
+    /// latency histogram: kernel rows become `hypersparse_kernel_*`
+    /// series labelled by kernel (idle kernels are omitted), engine-wide
+    /// counters and hit rates follow. Append the pipeline layer's
+    /// exposition for a full service `/metrics` payload.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let active: Vec<&KernelSnapshot> = self.kernels.iter().filter(|k| k.calls > 0).collect();
+        for (name, help, get) in [
+            (
+                "hypersparse_kernel_calls_total",
+                "Completed kernel invocations.",
+                (|k: &KernelSnapshot| k.calls) as fn(&KernelSnapshot) -> u64,
+            ),
+            (
+                "hypersparse_kernel_nnz_in_total",
+                "Stored entries across all kernel inputs.",
+                |k| k.nnz_in,
+            ),
+            (
+                "hypersparse_kernel_nnz_out_total",
+                "Stored entries across all kernel outputs.",
+                |k| k.nnz_out,
+            ),
+            (
+                "hypersparse_kernel_flops_total",
+                "Semiring operator applications.",
+                |k| k.flops,
+            ),
+        ] {
+            write_prometheus_header(&mut out, name, "counter", help);
+            for k in &active {
+                out.push_str(&format!(
+                    "{name}{{kernel=\"{}\"}} {}\n",
+                    k.kernel.name(),
+                    get(k)
+                ));
+            }
+        }
+        write_prometheus_header(
+            &mut out,
+            "hypersparse_kernel_latency_seconds",
+            "histogram",
+            "Per-invocation kernel latency.",
+        );
+        for k in &active {
+            write_prometheus_histogram(
+                &mut out,
+                "hypersparse_kernel_latency_seconds",
+                &format!("kernel=\"{}\"", k.kernel.name()),
+                &k.latency,
+            );
+        }
+        for (name, help, v) in [
+            (
+                "hypersparse_format_switches_total",
+                "Automatic storage-format changes.",
+                self.format_switches,
+            ),
+            (
+                "hypersparse_workspace_hits_total",
+                "Workspace acquisitions served from the pooled arena.",
+                self.workspace_hits,
+            ),
+            (
+                "hypersparse_workspace_misses_total",
+                "Workspace acquisitions that had to allocate.",
+                self.workspace_misses,
+            ),
+            (
+                "hypersparse_mask_probes_total",
+                "Complement-mask lookups inside fused kernels.",
+                self.mask_probes,
+            ),
+            (
+                "hypersparse_mask_hits_total",
+                "Mask lookups that skipped work.",
+                self.mask_hits,
+            ),
+        ] {
+            write_prometheus_header(&mut out, name, "counter", help);
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        write_prometheus_header(
+            &mut out,
+            "hypersparse_mxv_direction_calls_total",
+            "counter",
+            "Matrix-vector kernel invocations by chosen direction.",
+        );
+        out.push_str(&format!(
+            "hypersparse_mxv_direction_calls_total{{direction=\"push\"}} {}\n",
+            self.mv_push_calls
+        ));
+        out.push_str(&format!(
+            "hypersparse_mxv_direction_calls_total{{direction=\"pull\"}} {}\n",
+            self.mv_pull_calls
+        ));
+        for (name, help, v) in [
+            (
+                "hypersparse_workspace_hit_rate",
+                "Fraction of workspace acquisitions served from the pool.",
+                self.workspace_hit_rate(),
+            ),
+            (
+                "hypersparse_mask_hit_rate",
+                "Fraction of mask probes that skipped work.",
+                self.mask_hit_rate(),
+            ),
+        ] {
+            write_prometheus_header(&mut out, name, "gauge", help);
+            out.push_str(&format!("{name} {v}\n"));
         }
         out
     }

@@ -98,6 +98,9 @@ where
     O: BinaryOp<T, T, T>,
 {
     assert_dims(a, b);
+    let _span = ctx.kernel_span(Kernel::EwiseAdd, || {
+        format!("{}×{}, {}+{} nnz", a.nrows(), a.ncols(), a.nnz(), b.nnz())
+    });
     let start = Instant::now();
     let mut flops = 0u64;
     let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());
@@ -169,6 +172,9 @@ where
     O: BinaryOp<T, T, T>,
 {
     assert_dims(a, b);
+    let _span = ctx.kernel_span(Kernel::EwiseMul, || {
+        format!("{}×{}, {}+{} nnz", a.nrows(), a.ncols(), a.nnz(), b.nnz())
+    });
     let start = Instant::now();
     let mut flops = 0u64;
     let mut trips: Vec<(Ix, Ix, T)> = Vec::new();
@@ -250,6 +256,9 @@ where
     O: BinaryOp<T, T, T>,
 {
     assert_dims(a, b);
+    let _span = ctx.kernel_span(Kernel::EwiseUnion, || {
+        format!("{}×{}, {}+{} nnz", a.nrows(), a.ncols(), a.nnz(), b.nnz())
+    });
     let start = Instant::now();
     let mut flops = 0u64;
     let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());

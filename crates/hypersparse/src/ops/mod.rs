@@ -22,7 +22,10 @@ pub use ewise::{
     ewise_add, ewise_add_ctx, ewise_add_op, ewise_add_op_ctx, ewise_mul, ewise_mul_ctx,
     ewise_mul_op, ewise_mul_op_ctx, ewise_union, ewise_union_ctx,
 };
-pub use mxm::{mxm, mxm_ctx, mxm_masked, mxm_masked_ctx, mxm_seq, mxm_seq_ctx};
+pub use mxm::{
+    mxm, mxm_ctx, mxm_masked, mxm_masked_ctx, mxm_seq, mxm_seq_ctx, try_mxm_masked,
+    try_mxm_masked_ctx,
+};
 pub use mxv::{
     choose_direction, mxv, mxv_ctx, mxv_opt_ctx, try_mxv, try_mxv_ctx, try_vxm, try_vxm_ctx, vxm,
     vxm_ctx, vxm_dense_pull_ctx, vxm_masked_ctx, vxm_masked_opt_ctx, vxm_opt_ctx, vxm_pull_ctx,

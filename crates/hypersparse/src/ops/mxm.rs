@@ -24,14 +24,36 @@ use semiring::traits::{Semiring, Value};
 
 use crate::ctx::{par_run, with_default_ctx, MxmScratch, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::error::OpError;
 use crate::metrics::Kernel;
 use crate::Ix;
 
-/// Column spaces at most this wide use the dense scratch accumulator.
+/// Column spaces at most this wide *may* use the dense scratch
+/// accumulator — provided the row range also carries enough estimated
+/// flops (see [`dense_acc_pays_off`]).
 const DENSE_ACC_MAX: u64 = 1 << 22;
+
+/// Dense scratch must be amortized: require at least `width /
+/// DENSE_ACC_FLOP_RATIO` estimated ⊗ applications before leasing a
+/// `Vec<Option<T>>` of `width` slots. A hypersparse `B` with a wide but
+/// nearly-empty column space fails this and stays on the hash path.
+const DENSE_ACC_FLOP_RATIO: u64 = 8;
 
 /// Rows of `A` per parallel shard.
 const ROWS_PER_SHARD: usize = 256;
+
+/// Shape detail for span/slow-op records: `r×c·r×c nnz a+b`.
+fn mm_detail<T: Value, U: Value>(a: &Dcsr<T>, b: &Dcsr<U>) -> String {
+    format!(
+        "{}×{} · {}×{} nnz {}+{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols(),
+        a.nnz(),
+        b.nnz()
+    )
+}
 
 /// `C = A ⊕.⊗ B` through an explicit execution context: scratch comes
 /// from `ctx`'s workspace arena, parallelism follows `ctx.threads()`,
@@ -51,6 +73,7 @@ pub fn mxm_ctx<T: Value, S: Semiring<Value = T>>(
         b.nrows(),
         b.ncols()
     );
+    let _span = ctx.kernel_span(Kernel::Mxm, || mm_detail(a, b));
     let start = Instant::now();
     let nrows_ne = a.n_nonempty_rows();
     let threads = ctx.threads();
@@ -91,7 +114,16 @@ pub fn mxm_seq_ctx<T: Value, S: Semiring<Value = T>>(
     b: &Dcsr<T>,
     s: S,
 ) -> Dcsr<T> {
-    assert_eq!(a.ncols(), b.nrows(), "inner dimensions differ");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "inner dimensions differ: {}×{} · {}×{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let _span = ctx.kernel_span(Kernel::Mxm, || mm_detail(a, b));
     let start = Instant::now();
     let mut lease = ctx.lease_mxm_scratch::<T>();
     let (chunk, flops) = multiply_row_range_ws(a, b, s, 0, a.n_nonempty_rows(), lease.get());
@@ -130,21 +162,117 @@ pub fn mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
     complement: bool,
     s: S,
 ) -> Dcsr<T> {
-    assert_eq!(a.ncols(), b.nrows(), "inner dimensions differ");
-    assert_eq!(mask.nrows(), a.nrows(), "mask row dimension");
-    assert_eq!(mask.ncols(), b.ncols(), "mask column dimension");
+    try_mxm_masked_ctx(ctx, a, b, mask, complement, s).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Masked SpGEMM (thread-local default ctx). See [`mxm_masked_ctx`].
+pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    mask: &Dcsr<M>,
+    complement: bool,
+    s: S,
+) -> Dcsr<T> {
+    with_default_ctx(|ctx| mxm_masked_ctx(ctx, a, b, mask, complement, s))
+}
+
+/// Fallible [`mxm_masked_ctx`]: non-conforming inner dimensions or a
+/// mask that doesn't share the result's key space become an
+/// [`OpError::DimensionMismatch`] instead of a panic.
+pub fn try_mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    mask: &Dcsr<M>,
+    complement: bool,
+    s: S,
+) -> Result<Dcsr<T>, OpError> {
+    if a.ncols() != b.nrows() {
+        return Err(OpError::DimensionMismatch {
+            op: "mxm_masked",
+            a: (a.nrows(), a.ncols()),
+            b: (b.nrows(), b.ncols()),
+            rule: "inner dimensions differ",
+        });
+    }
+    if mask.nrows() != a.nrows() || mask.ncols() != b.ncols() {
+        return Err(OpError::DimensionMismatch {
+            op: "mxm_masked",
+            a: (a.nrows(), b.ncols()),
+            b: (mask.nrows(), mask.ncols()),
+            rule: "mask must share the result's key space",
+        });
+    }
+    let _span = ctx.kernel_span(Kernel::MxmMasked, || mm_detail(a, b));
     let start = Instant::now();
+    let nrows_ne = a.n_nonempty_rows();
+    let threads = ctx.threads();
+
+    // Same deterministic sharding as the unmasked kernel: rows of `A`
+    // split into fixed ROWS_PER_SHARD shards whose outputs concatenate
+    // in row order, so thread count never changes a bit of the result.
+    let (c, flops) = if threads == 1 || nrows_ne < 2 * ROWS_PER_SHARD {
+        let mut lease = ctx.lease_mxm_scratch::<T>();
+        let (chunk, flops) =
+            multiply_masked_row_range_ws(a, b, mask, complement, s, 0, nrows_ne, lease.get());
+        drop(lease);
+        (assemble(a.nrows(), b.ncols(), [chunk]), flops)
+    } else {
+        let nshards = nrows_ne.div_ceil(ROWS_PER_SHARD);
+        let shard_results = par_run(threads, nshards, |shard| {
+            let lo = shard * ROWS_PER_SHARD;
+            let hi = (lo + ROWS_PER_SHARD).min(nrows_ne);
+            let mut lease = ctx.lease_mxm_scratch::<T>();
+            multiply_masked_row_range_ws(a, b, mask, complement, s, lo, hi, lease.get())
+        });
+        let flops = shard_results.iter().map(|(_, f)| f).sum();
+        let chunks: Vec<_> = shard_results.into_iter().map(|(c, _)| c).collect();
+        (assemble(a.nrows(), b.ncols(), chunks), flops)
+    };
+
+    ctx.metrics().record(
+        Kernel::MxmMasked,
+        start.elapsed(),
+        (a.nnz() + b.nnz() + mask.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    Ok(c)
+}
+
+/// Fallible [`mxm_masked`] (thread-local default ctx).
+pub fn try_mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    mask: &Dcsr<M>,
+    complement: bool,
+    s: S,
+) -> Result<Dcsr<T>, OpError> {
+    with_default_ctx(|ctx| try_mxm_masked_ctx(ctx, a, b, mask, complement, s))
+}
+
+/// Masked multiply of rows `start..end` of `A` (hash accumulator — the
+/// mask filter keeps per-row fill small regardless of the column space).
+#[allow(clippy::too_many_arguments)]
+fn multiply_masked_row_range_ws<T: Value, M: Value, S: Semiring<Value = T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    mask: &Dcsr<M>,
+    complement: bool,
+    s: S,
+    start: usize,
+    end: usize,
+    scratch: &mut MxmScratch<T>,
+) -> (RowsChunk<T>, u64) {
+    let acc = &mut scratch.hash;
+    let mut out = Vec::new();
     let mut flops = 0u64;
-
-    let mut rows = Vec::new();
-    let mut rowptr = vec![0usize];
-    let mut colidx = Vec::new();
-    let mut vals = Vec::new();
-
-    let mut lease = ctx.lease_mxm_scratch::<T>();
-    let acc = &mut lease.get().hash;
-    for (i, acols, avals) in a.iter_rows() {
+    for k_row in start..end {
+        let (i, acols, avals) = a.row_at(k_row);
         let (mcols, _) = mask.row(i);
+        if mcols.is_empty() && !complement {
+            continue; // nothing of this row can survive the mask
+        }
         acc.clear();
         for (&k, aik) in acols.iter().zip(avals) {
             let (bcols, bvals) = b.row(k);
@@ -170,34 +298,9 @@ pub fn mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
             continue;
         }
         row.sort_by_key(|e| e.0);
-        rows.push(i);
-        for (c, v) in row {
-            colidx.push(c);
-            vals.push(v);
-        }
-        rowptr.push(colidx.len());
+        out.push((i, row));
     }
-    drop(lease);
-    let c = Dcsr::from_parts(a.nrows(), b.ncols(), rows, rowptr, colidx, vals);
-    ctx.metrics().record(
-        Kernel::MxmMasked,
-        start.elapsed(),
-        (a.nnz() + b.nnz() + mask.nnz()) as u64,
-        c.nnz() as u64,
-        flops,
-    );
-    c
-}
-
-/// Masked SpGEMM (thread-local default ctx). See [`mxm_masked_ctx`].
-pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
-    mask: &Dcsr<M>,
-    complement: bool,
-    s: S,
-) -> Dcsr<T> {
-    with_default_ctx(|ctx| mxm_masked_ctx(ctx, a, b, mask, complement, s))
+    (out, flops)
 }
 
 /// Per-shard result: `(row id, sorted (col, val) entries)` pairs.
@@ -236,11 +339,38 @@ fn multiply_row_range_ws<T: Value, S: Semiring<Value = T>>(
     end: usize,
     scratch: &mut MxmScratch<T>,
 ) -> (RowsChunk<T>, u64) {
-    if b.ncols() <= DENSE_ACC_MAX {
+    if dense_acc_pays_off(a, b, start, end) {
         multiply_rows_dense_ws(a, b, s, start, end, scratch)
     } else {
         multiply_rows_hash_ws(a, b, s, start, end, scratch)
     }
+}
+
+/// Whether the dense accumulator is worth leasing for rows
+/// `start..end`: the column space must be compact (`≤ DENSE_ACC_MAX`)
+/// **and** the range must carry enough estimated flops to amortize a
+/// `width`-slot scratch vector. The estimate walks `A`'s entries summing
+/// `|B.row(k)|` (the exact ⊗ count) and early-exits at the threshold,
+/// so hypersparse ranges answer "no" after touching only their own nnz.
+/// Either accumulator yields identical output, so this per-range choice
+/// never affects determinism.
+fn dense_acc_pays_off<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>, start: usize, end: usize) -> bool {
+    let width = b.ncols();
+    if width > DENSE_ACC_MAX {
+        return false;
+    }
+    let need = (width / DENSE_ACC_FLOP_RATIO).max(1);
+    let mut est = 0u64;
+    for k_row in start..end {
+        let (_, acols, _) = a.row_at(k_row);
+        for &k in acols {
+            est += b.row(k).0.len() as u64;
+            if est >= need {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>>(
@@ -549,5 +679,126 @@ mod tests {
         let a = Dcsr::<f64>::empty(3, 4);
         let b = Dcsr::<f64>::empty(5, 3);
         let _ = mxm(&a, &b, PlusTimes::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ: 3×4 · 5×3")]
+    fn seq_conformance_panic_carries_shapes() {
+        let a = Dcsr::<f64>::empty(3, 4);
+        let b = Dcsr::<f64>::empty(5, 3);
+        let _ = mxm_seq(&a, &b, PlusTimes::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ: 3×4 vs 5×3")]
+    fn masked_conformance_panic_carries_shapes() {
+        let a = Dcsr::<f64>::empty(3, 4);
+        let b = Dcsr::<f64>::empty(5, 3);
+        let mask = Dcsr::<f64>::empty(3, 3);
+        let _ = mxm_masked(&a, &b, &mask, false, PlusTimes::<f64>::new());
+    }
+
+    #[test]
+    fn try_masked_reports_typed_errors() {
+        let s = PlusTimes::<f64>::new();
+        let a = Dcsr::<f64>::empty(3, 4);
+        let b = Dcsr::<f64>::empty(5, 3);
+        let mask = Dcsr::<f64>::empty(3, 3);
+        let e = try_mxm_masked(&a, &b, &mask, false, s).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                OpError::DimensionMismatch {
+                    op: "mxm_masked",
+                    rule: "inner dimensions differ",
+                    ..
+                }
+            ),
+            "{e:?}"
+        );
+        let b = Dcsr::<f64>::empty(4, 6);
+        let e = try_mxm_masked(&a, &b, &mask, false, s).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("mask must share the result's key space"),
+            "{msg}"
+        );
+        assert!(msg.contains("3×6 vs 3×3"), "{msg}");
+        let mask = Dcsr::<f64>::empty(3, 6);
+        assert!(try_mxm_masked(&a, &b, &mask, false, s).is_ok());
+    }
+
+    #[test]
+    fn masked_parallel_equals_sequential_all_semirings() {
+        // Big enough to trigger the sharded path (>512 non-empty rows).
+        let gen = PlusTimes::<f64>::new();
+        let a = random_dcsr(2000, 2000, 20_000, 13, gen);
+        let b = random_dcsr(2000, 2000, 20_000, 14, gen);
+        let mask = random_dcsr(2000, 2000, 10_000, 15, gen);
+        let ctx1 = OpCtx::new().with_threads(1);
+        for complement in [false, true] {
+            let want_pt = mxm_masked_ctx(&ctx1, &a, &b, &mask, complement, gen);
+            let want_mp = mxm_masked_ctx(&ctx1, &a, &b, &mask, complement, MinPlus::<f64>::new());
+            for threads in [2, 4, 8] {
+                let ctxn = OpCtx::new().with_threads(threads);
+                assert_eq!(
+                    mxm_masked_ctx(&ctxn, &a, &b, &mask, complement, gen),
+                    want_pt,
+                    "PlusTimes complement={complement} threads={threads}"
+                );
+                assert_eq!(
+                    mxm_masked_ctx(&ctxn, &a, &b, &mask, complement, MinPlus::<f64>::new()),
+                    want_mp,
+                    "MinPlus complement={complement} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_empty_column_space_skips_dense_scratch() {
+        // B's column space is wide (2^21 ≤ DENSE_ACC_MAX) but nearly
+        // empty: a handful of flops must not lease a multi-megabyte
+        // dense accumulator.
+        let s = PlusTimes::<f64>::new();
+        let n = 1u64 << 21;
+        let mut ca = Coo::new(8, n);
+        ca.extend([(0, 5, 1.0), (1, 9, 2.0)]);
+        let mut cb = Coo::new(n, n);
+        cb.extend([(5, 1_000_000, 3.0), (9, 2_000_000, 4.0)]);
+        let ctx = OpCtx::new().with_threads(1);
+        let c = mxm_ctx(&ctx, &ca.build_dcsr(s), &cb.build_dcsr(s), s);
+        assert_eq!(c.get(0, 1_000_000), Some(&3.0));
+        assert_eq!(c.get(1, 2_000_000), Some(&8.0));
+        // The pooled scratch must never have grown a dense accumulator.
+        let mut lease = ctx.lease_mxm_scratch::<f64>();
+        assert_eq!(lease.get().dense_capacity(), 0, "dense scratch was leased");
+    }
+
+    #[test]
+    fn compact_busy_column_space_still_uses_dense_scratch() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(128, 128, 800, 16, s);
+        let b = random_dcsr(128, 128, 800, 17, s);
+        let ctx = OpCtx::new().with_threads(1);
+        let _ = mxm_ctx(&ctx, &a, &b, s);
+        let mut lease = ctx.lease_mxm_scratch::<f64>();
+        assert_eq!(lease.get().dense_capacity(), 128);
+    }
+
+    #[test]
+    fn masked_mxm_records_span_when_traced() {
+        use crate::trace::TraceMode;
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(32, 32, 200, 7, s);
+        let b = random_dcsr(32, 32, 200, 8, s);
+        let mask = random_dcsr(32, 32, 100, 9, s);
+        let ctx = OpCtx::new().with_threads(1);
+        ctx.trace().set_mode(TraceMode::Full);
+        let _ = mxm_masked_ctx(&ctx, &a, &b, &mask, false, s);
+        let spans = ctx.trace().spans();
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        assert_eq!(spans[0].name, "mxm_masked");
+        assert!(spans[0].detail.contains("32×32"), "{:?}", spans[0]);
     }
 }

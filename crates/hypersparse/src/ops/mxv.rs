@@ -329,6 +329,10 @@ where
     S: Semiring<Value = T>,
 {
     debug_assert!(mask.is_none_or(|m| m.windows(2).all(|w| w[0] < w[1])));
+    let mat = push_src.or(pull_src).expect("some operand");
+    let _span = ctx.kernel_span(kernel, || {
+        format!("{}×{} mat, {} nnz v", mat.nrows(), mat.ncols(), v.nnz())
+    });
     let start = Instant::now();
     let threads = ctx.threads();
     let dir = match (push_src, pull_src) {
@@ -561,6 +565,9 @@ where
 {
     assert_eq!(v.len() as Ix, at.ncols(), "dimension mismatch");
     assert_eq!(out.len() as Ix, at.nrows(), "dimension mismatch");
+    let _span = ctx.kernel_span(Kernel::Vxm, || {
+        format!("dense-pull {}×{}, {} nnz", at.nrows(), at.ncols(), at.nnz())
+    });
     let start = Instant::now();
     let nrows = at.n_nonempty_rows();
     let nshards = nrows.div_ceil(PULL_ROWS_PER_SHARD).max(1);

@@ -33,6 +33,9 @@ pub fn reduce_rows<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
 
 /// [`reduce_rows`] through an explicit execution context.
 pub fn reduce_rows_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    let _span = ctx.kernel_span(Kernel::ReduceRows, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let nrows = a.n_nonempty_rows();
     let nshards = nrows.div_ceil(ROWS_PER_SHARD).max(1);
@@ -85,6 +88,9 @@ pub fn reduce_cols<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> SparseVec<T> {
 
 /// [`reduce_cols`] through an explicit execution context.
 pub fn reduce_cols_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -> SparseVec<T> {
+    let _span = ctx.kernel_span(Kernel::ReduceCols, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let mut acc: HashMap<Ix, T> = HashMap::new();
     for (_r, c, v) in a.iter() {
@@ -119,6 +125,9 @@ pub fn reduce_scalar<T: Value, M: Monoid<T>>(a: &Dcsr<T>, m: M) -> T {
 
 /// [`reduce_scalar`] through an explicit execution context.
 pub fn reduce_scalar_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -> T {
+    let _span = ctx.kernel_span(Kernel::ReduceScalar, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let mut acc = m.identity();
     for (_, _, v) in a.iter() {

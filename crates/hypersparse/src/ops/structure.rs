@@ -35,6 +35,9 @@ pub fn assign_ctx<T: Value>(
     debug_assert!(cols_sel.windows(2).all(|w| w[0] < w[1]));
     assert_eq!(b.nrows(), rows_sel.len() as Ix, "assign row conformance");
     assert_eq!(b.ncols(), cols_sel.len() as Ix, "assign col conformance");
+    let _span = ctx.kernel_span(Kernel::Assign, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
 
     let row_set: std::collections::HashSet<Ix> = rows_sel.iter().copied().collect();
@@ -84,6 +87,9 @@ pub fn concat_rows<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
 /// [`concat_rows`] through an explicit execution context.
 pub fn concat_rows_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
     assert_eq!(a.ncols(), b.ncols(), "concat_rows column conformance");
+    let _span = ctx.kernel_span(Kernel::ConcatRows, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let (nra, nc) = (a.nrows(), a.ncols());
     let nrows = nra.checked_add(b.nrows()).expect("row overflow");
@@ -122,6 +128,9 @@ pub fn concat_cols<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
 /// [`concat_cols`] through an explicit execution context.
 pub fn concat_cols_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<T> {
     assert_eq!(a.nrows(), b.nrows(), "concat_cols row conformance");
+    let _span = ctx.kernel_span(Kernel::ConcatCols, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let shift = a.ncols();
     let ncols = shift.checked_add(b.ncols()).expect("col overflow");
@@ -230,6 +239,9 @@ pub fn matrix_power_ctx<T: Value, S: Semiring<Value = T>>(
 ) -> Dcsr<T> {
     assert!(k >= 1, "matrix_power requires k ≥ 1");
     assert_eq!(a.nrows(), a.ncols(), "power of a square matrix");
+    let _span = ctx.kernel_span(Kernel::Power, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let mut result: Option<Dcsr<T>> = None;
     let mut base = a.clone();

@@ -23,6 +23,9 @@ pub fn transpose<T: Value>(a: &Dcsr<T>) -> Dcsr<T> {
 
 /// [`transpose`] through an explicit execution context.
 pub fn transpose_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>) -> Dcsr<T> {
+    let _span = ctx.kernel_span(Kernel::Transpose, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let mut trips: Vec<(Ix, Ix, T)> = a.iter().map(|(r, c, v)| (c, r, v.clone())).collect();
     trips.sort_by_key(|x| (x.0, x.1));
@@ -67,6 +70,9 @@ where
     S: Semiring<Value = T>,
     O: UnaryOp<T, T>,
 {
+    let _span = ctx.kernel_span(Kernel::Apply, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let nrows = a.n_nonempty_rows();
     let nshards = nrows.div_ceil(ROWS_PER_SHARD).max(1);
@@ -137,6 +143,9 @@ pub fn select_ctx<T: Value, F: Fn(Ix, Ix, &T) -> bool>(
     a: &Dcsr<T>,
     keep: F,
 ) -> Dcsr<T> {
+    let _span = ctx.kernel_span(Kernel::Select, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let mut rows = Vec::new();
     let mut rowptr = vec![0usize];
@@ -183,6 +192,9 @@ pub fn extract_ctx<T: Value>(
 ) -> Dcsr<T> {
     debug_assert!(rows_sel.windows(2).all(|w| w[0] < w[1]));
     debug_assert!(cols_sel.windows(2).all(|w| w[0] < w[1]));
+    let _span = ctx.kernel_span(Kernel::Extract, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let col_pos: HashMap<Ix, Ix> = cols_sel
         .iter()
@@ -249,6 +261,9 @@ pub fn kron_ctx<T: Value, S: Semiring<Value = T>>(
         .ncols()
         .checked_mul(b.ncols())
         .expect("kron cols overflow");
+    let _span = ctx.kernel_span(Kernel::Kron, || {
+        format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
+    });
     let start = Instant::now();
     let mut flops = 0u64;
 

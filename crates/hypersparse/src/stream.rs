@@ -176,8 +176,18 @@ impl<S: Semiring> StreamingMatrix<S> {
     fn merge(&self, a: &Dcsr<S::Value>, b: &Dcsr<S::Value>) -> Dcsr<S::Value> {
         let t = Instant::now();
         let out = match &self.ctx {
-            Some(ctx) => ewise_add_ctx(ctx, a, b, self.s),
-            None => with_default_ctx(|ctx| ewise_add_ctx(ctx, a, b, self.s)),
+            Some(ctx) => {
+                let _span = ctx.kernel_span(Kernel::StreamMerge, || {
+                    format!("{}+{} nnz layers", a.nnz(), b.nnz())
+                });
+                ewise_add_ctx(ctx, a, b, self.s)
+            }
+            None => with_default_ctx(|ctx| {
+                let _span = ctx.kernel_span(Kernel::StreamMerge, || {
+                    format!("{}+{} nnz layers", a.nnz(), b.nnz())
+                });
+                ewise_add_ctx(ctx, a, b, self.s)
+            }),
         };
         let nnz_in = (a.nnz() + b.nnz()) as u64;
         let flops = nnz_in.saturating_sub(out.nnz() as u64);

@@ -159,6 +159,60 @@ proptest! {
     }
 
     #[test]
+    fn parallel_masked_mxm_equals_sequential_and_filter(
+        ta in triplets(), tb in triplets(), tm in triplets(),
+    ) {
+        // Tile each 16×16 draw down a block diagonal and add a 640-row
+        // strip, so every case clears the ≥512 non-empty-row bar where
+        // the masked SpGEMM switches to its row-sharded parallel path.
+        const TILE: Ix = 40;
+        const BIG: Ix = 16 * TILE;
+        fn tile(t: &[(Ix, Ix, i64)]) -> Vec<(Ix, Ix, i64)> {
+            let mut out: Vec<(Ix, Ix, i64)> = (0..BIG).map(|i| (i, i % 16, 1i64)).collect();
+            for k in 0..TILE {
+                out.extend(t.iter().map(|&(r, c, v)| (r + 16 * k, c + 16 * k, v)));
+            }
+            out
+        }
+        fn build_big<T: Copy + semiring::traits::Value, S: Semiring<Value = T>>(
+            t: &[(Ix, Ix, i64)], f: impl Fn(i64) -> T, s: S,
+        ) -> Dcsr<T> {
+            let mut c = Coo::new(BIG, BIG);
+            c.extend(t.iter().map(|&(r, col, v)| (r, col, f(v))));
+            c.build_dcsr(s)
+        }
+        let (ta, tb, tm) = (tile(&ta), tile(&tb), tile(&tm));
+
+        macro_rules! check {
+            ($s:expr, $f:expr) => {{
+                let s = $s;
+                let (a, b, mask) = (
+                    build_big(&ta, $f, s),
+                    build_big(&tb, $f, s),
+                    build_big(&tm, $f, s),
+                );
+                let full = hypersparse::ops::mxm(&a, &b, s);
+                for complement in [false, true] {
+                    let seq = hypersparse::ops::mxm_masked_ctx(
+                        &hypersparse::OpCtx::new().with_threads(1), &a, &b, &mask, complement, s);
+                    let expect = hypersparse::ops::select(
+                        &full, |r, c, _| mask.get(r, c).is_some() != complement);
+                    prop_assert_eq!(&seq, &expect);
+                    for threads in [2usize, 4, 8] {
+                        let par = hypersparse::ops::mxm_masked_ctx(
+                            &hypersparse::OpCtx::new().with_threads(threads),
+                            &a, &b, &mask, complement, s);
+                        prop_assert_eq!(&par, &seq);
+                    }
+                }
+            }};
+        }
+        check!(PlusTimes::<i64>::new(), |v| v);
+        check!(MinPlus::<i64>::new(), |v| v);
+        check!(semiring::LorLand, |_| true);
+    }
+
+    #[test]
     fn fused_masked_vxm_is_unfused_then_without(ta in triplets(), tv in triplets(), tm in triplets()) {
         let s = PlusTimes::<i64>::new();
         let a = build(&ta, s);

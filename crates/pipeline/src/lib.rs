@@ -67,7 +67,7 @@ pub mod value;
 pub use checkpoint::Manifest;
 pub use config::{shard_of, PipelineConfig};
 pub use error::PipelineError;
-pub use metrics::{PipelineMetrics, PipelineMetricsSnapshot};
+pub use metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot, Stage};
 pub use router::Pipeline;
 pub use snapshot::EpochSnapshot;
 pub use value::PodValue;

@@ -11,7 +11,57 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use hypersparse::{KernelSnapshot, MetricsSnapshot};
+use hypersparse::trace::{write_prometheus_header, write_prometheus_histogram};
+use hypersparse::{Histogram, HistogramSnapshot, KernelSnapshot, MetricsSnapshot};
+
+/// The pipeline stages whose latency is tracked in log₂ histograms.
+///
+/// Each variant indexes a [`HistogramSnapshot`] in
+/// [`PipelineMetricsSnapshot::stage_latency`] and labels a
+/// `pipeline_stage_latency_seconds{stage="…"}` series in the Prometheus
+/// exposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// One event (or one shard's slice of a batch) accepted into a
+    /// shard channel — measures the send path including backpressure.
+    Ingest,
+    /// Hash-partitioning one `ingest_batch` call across shards.
+    Route,
+    /// A shard worker folding one `Event`/`Batch` command into its
+    /// streaming matrix.
+    ShardMerge,
+    /// Assembling one epoch snapshot across all shards.
+    Snapshot,
+    /// Writing one checkpoint to disk.
+    Checkpoint,
+    /// Restoring pipeline state from a checkpoint.
+    Restore,
+}
+
+impl Stage {
+    /// Every stage, in histogram-index order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Ingest,
+        Stage::Route,
+        Stage::ShardMerge,
+        Stage::Snapshot,
+        Stage::Checkpoint,
+        Stage::Restore,
+    ];
+
+    /// Stable lower-snake name used as the `stage` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Route => "route",
+            Stage::ShardMerge => "shard_merge",
+            Stage::Snapshot => "snapshot",
+            Stage::Checkpoint => "checkpoint",
+            Stage::Restore => "restore",
+        }
+    }
+}
 
 /// Live service counters for one pipeline (shared via `Arc`).
 #[derive(Debug)]
@@ -23,6 +73,7 @@ pub struct PipelineMetrics {
     snapshot_ns: AtomicU64,
     checkpoints: AtomicU64,
     checkpoint_ns: AtomicU64,
+    stage_latency: [Histogram; Stage::ALL.len()],
     depth: Vec<AtomicUsize>,
 }
 
@@ -36,8 +87,14 @@ impl PipelineMetrics {
             snapshot_ns: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             checkpoint_ns: AtomicU64::new(0),
+            stage_latency: std::array::from_fn(|_| Histogram::default()),
             depth: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
         }
+    }
+
+    /// Fold one stage execution's wall time into its latency histogram.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stage_latency[stage as usize].record(elapsed);
     }
 
     /// Depth is incremented *before* a send is attempted and rolled back
@@ -92,6 +149,7 @@ impl PipelineMetrics {
             snapshot_ns: self.snapshot_ns.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             checkpoint_ns: self.checkpoint_ns.load(Ordering::Relaxed),
+            stage_latency: std::array::from_fn(|i| self.stage_latency[i].snapshot()),
             channel_depths: self
                 .depth
                 .iter()
@@ -120,6 +178,8 @@ pub struct PipelineMetricsSnapshot {
     pub checkpoints: u64,
     /// Total wall time spent writing checkpoints, in nanoseconds.
     pub checkpoint_ns: u64,
+    /// Per-stage latency histograms, indexed by [`Stage`] discriminant.
+    pub stage_latency: [HistogramSnapshot; Stage::ALL.len()],
     /// Per-shard channel depth gauges at freeze time.
     pub channel_depths: Vec<usize>,
 }
@@ -150,6 +210,94 @@ impl PipelineMetricsSnapshot {
             self.checkpoint_ns as f64 / 1e6
         );
         let _ = writeln!(out, "channel depths: {:?}", self.channel_depths);
+        for stage in Stage::ALL {
+            let h = self.stage(stage);
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "stage {}: {} ops · p50 ≤ {:.3} ms · p99 ≤ {:.3} ms",
+                stage.name(),
+                h.count(),
+                h.quantile(0.50) as f64 / 1e6,
+                h.quantile(0.99) as f64 / 1e6,
+            );
+        }
+        out
+    }
+
+    /// The latency histogram for one stage.
+    pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.stage_latency[stage as usize]
+    }
+
+    /// Render the service counters and stage latency histograms in
+    /// Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Covers only what the shard kernel registries cannot see; append
+    /// [`MetricsSnapshot::render_prometheus`] of the merged kernel
+    /// snapshot (see [`merge_kernel_snapshots`]) for the full picture —
+    /// [`crate::Pipeline::render_prometheus`] does exactly that.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        let counters: [(&str, &str, u64); 5] = [
+            (
+                "pipeline_events_ingested_total",
+                "Events accepted into shard channels.",
+                self.events_ingested,
+            ),
+            (
+                "pipeline_batches_total",
+                "Channel messages those events travelled in.",
+                self.batches,
+            ),
+            (
+                "pipeline_full_rejections_total",
+                "try_ingest calls rejected with Full (backpressure).",
+                self.full_rejections,
+            ),
+            (
+                "pipeline_snapshots_total",
+                "Completed epoch snapshots.",
+                self.snapshots,
+            ),
+            (
+                "pipeline_checkpoints_total",
+                "Committed checkpoints.",
+                self.checkpoints,
+            ),
+        ];
+        for (name, help, value) in counters {
+            write_prometheus_header(&mut out, name, "counter", help);
+            let _ = writeln!(out, "{name} {value}");
+        }
+        write_prometheus_header(
+            &mut out,
+            "pipeline_channel_depth",
+            "gauge",
+            "Messages queued on each shard channel at scrape time.",
+        );
+        for (shard, depth) in self.channel_depths.iter().enumerate() {
+            let _ = writeln!(out, "pipeline_channel_depth{{shard=\"{shard}\"}} {depth}");
+        }
+        if self.stage_latency.iter().any(|h| h.count() > 0) {
+            write_prometheus_header(
+                &mut out,
+                "pipeline_stage_latency_seconds",
+                "histogram",
+                "Wall time per pipeline stage execution.",
+            );
+            for stage in Stage::ALL {
+                let h = self.stage(stage);
+                if h.count() == 0 {
+                    continue;
+                }
+                let labels = format!("stage=\"{}\"", stage.name());
+                write_prometheus_histogram(&mut out, "pipeline_stage_latency_seconds", &labels, h);
+            }
+        }
         out
     }
 }
@@ -177,6 +325,7 @@ pub fn merge_kernel_snapshots(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
             t.nnz_in += p.nnz_in;
             t.nnz_out += p.nnz_out;
             t.flops += p.flops;
+            t.latency.merge(&p.latency);
         }
         total.format_switches += part.format_switches;
         total.workspace_hits += part.workspace_hits;

@@ -6,7 +6,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hypersparse::{Ix, MetricsSnapshot, OpCtx, StreamingMatrix};
+use hypersparse::{Ix, MetricsSnapshot, OpCtx, StreamingMatrix, TraceMode};
 use semiring::traits::Semiring;
 
 use crate::checkpoint::{
@@ -14,7 +14,7 @@ use crate::checkpoint::{
 };
 use crate::config::{shard_of, PipelineConfig};
 use crate::error::PipelineError;
-use crate::metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot};
+use crate::metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot, Stage};
 use crate::shard::{Command, Shard};
 use crate::snapshot::EpochSnapshot;
 use crate::value::PodValue;
@@ -117,10 +117,12 @@ where
     /// of queueing unboundedly.
     pub fn ingest(&self, row: Ix, col: Ix, val: S::Value) -> Result<(), PipelineError> {
         let shard = self.check_key(row, col)?;
+        let t = Instant::now();
         self.metrics.depth_inc(shard);
         match self.shards[shard].send(shard, Command::Event(row, col, val)) {
             Ok(()) => {
                 self.metrics.record_accepted(1);
+                self.metrics.record_stage(Stage::Ingest, t.elapsed());
                 Ok(())
             }
             Err(e) => {
@@ -135,10 +137,12 @@ where
     /// caller shed or defer load explicitly.
     pub fn try_ingest(&self, row: Ix, col: Ix, val: S::Value) -> Result<(), PipelineError> {
         let shard = self.check_key(row, col)?;
+        let t = Instant::now();
         self.metrics.depth_inc(shard);
         match self.shards[shard].try_send(shard, Command::Event(row, col, val)) {
             Ok(()) => {
                 self.metrics.record_accepted(1);
+                self.metrics.record_stage(Stage::Ingest, t.elapsed());
                 Ok(())
             }
             Err(e) => {
@@ -159,6 +163,7 @@ where
         &self,
         events: impl IntoIterator<Item = (Ix, Ix, S::Value)>,
     ) -> Result<(), PipelineError> {
+        let t = Instant::now();
         let mut routed: Vec<Vec<(Ix, Ix, S::Value)>> =
             (0..self.config.shards).map(|_| Vec::new()).collect();
         for (row, col, val) in events {
@@ -170,15 +175,20 @@ where
                 continue;
             }
             let n = batch.len() as u64;
+            let send_t = Instant::now();
             self.metrics.depth_inc(shard);
             match self.shards[shard].send(shard, Command::Batch(batch)) {
-                Ok(()) => self.metrics.record_accepted(n),
+                Ok(()) => {
+                    self.metrics.record_accepted(n);
+                    self.metrics.record_stage(Stage::Ingest, send_t.elapsed());
+                }
                 Err(e) => {
                     self.metrics.depth_dec(shard);
                     return Err(e);
                 }
             }
         }
+        self.metrics.record_stage(Stage::Route, t.elapsed());
         Ok(())
     }
 
@@ -193,6 +203,10 @@ where
     pub fn snapshot(&self) -> Result<EpochSnapshot<S>, PipelineError> {
         let t = Instant::now();
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let _span = self
+            .assemble_ctx
+            .trace()
+            .span("snapshot", || format!("epoch {epoch}"));
         let events = self.metrics.snapshot().events_ingested;
         // Send every marker before collecting any reply, so shards fold
         // their hierarchies concurrently.
@@ -215,6 +229,7 @@ where
         }
         let snap = EpochSnapshot::assemble(epoch, events, &self.assemble_ctx, parts, self.s);
         self.metrics.record_snapshot(t.elapsed());
+        self.metrics.record_stage(Stage::Snapshot, t.elapsed());
         Ok(snap)
     }
 
@@ -229,6 +244,10 @@ where
         let t = Instant::now();
         std::fs::create_dir_all(dir).map_err(|e| PipelineError::io("creating", dir, e))?;
         let generation = list_generations(dir)?.last().copied().unwrap_or(0) + 1;
+        let _span = self
+            .assemble_ctx
+            .trace()
+            .span("checkpoint", || format!("generation {generation}"));
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let events = self.metrics.snapshot().events_ingested;
 
@@ -268,6 +287,7 @@ where
         commit_manifest(dir, &manifest)?;
         prune_generations(dir, self.config.keep_generations);
         self.metrics.record_checkpoint(t.elapsed());
+        self.metrics.record_stage(Stage::Checkpoint, t.elapsed());
         Ok(manifest)
     }
 
@@ -291,6 +311,7 @@ where
         s: S,
         config: PipelineConfig,
     ) -> Result<Self, PipelineError> {
+        let t = Instant::now();
         let manifest = read_manifest(dir, generation)?;
         if manifest.value_tag != <S::Value as PodValue>::TAG {
             return Err(PipelineError::Incompatible {
@@ -307,7 +328,7 @@ where
             .iter()
             .map(|meta| load_shard(dir, meta, s, config.stream))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Pipeline::from_streams(
+        let p = Pipeline::from_streams(
             manifest.nrows,
             manifest.ncols,
             s,
@@ -315,7 +336,14 @@ where
             streams,
             manifest.epoch,
             manifest.events,
-        ))
+        );
+        p.metrics.record_stage(Stage::Restore, t.elapsed());
+        p.assemble_ctx.trace().record_span(
+            "restore",
+            format!("generation {generation}"),
+            t.elapsed(),
+        );
+        Ok(p)
     }
 
     /// Restore the newest generation that validates, walking backwards
@@ -438,6 +466,56 @@ where
             .collect();
         parts.push(self.assemble_ctx.metrics().snapshot());
         merge_kernel_snapshots(&parts)
+    }
+
+    // -- tracing --------------------------------------------------------
+
+    /// Switch span tracing on every context this pipeline owns (the
+    /// snapshot assembler and all shard workers). Default is
+    /// [`TraceMode::Disabled`]: span sites cost one relaxed atomic load.
+    pub fn set_trace_mode(&self, mode: TraceMode) {
+        self.assemble_ctx.trace().set_mode(mode);
+        for shard in &self.shards {
+            shard.ctx.trace().set_mode(mode);
+        }
+    }
+
+    /// Record any span at or over `threshold` (with its input-shape
+    /// detail) on every owned context, even in
+    /// [`TraceMode::SlowOnly`]. `None` switches slow-op capture off.
+    pub fn set_slow_threshold(&self, threshold: Option<std::time::Duration>) {
+        self.assemble_ctx.trace().set_slow_threshold(threshold);
+        for shard in &self.shards {
+            shard.ctx.trace().set_slow_threshold(threshold);
+        }
+    }
+
+    /// Render every owned context's span tree (assembler first, then
+    /// shards in index order). Empty when nothing was traced.
+    pub fn trace_report(&self) -> String {
+        let mut out = String::new();
+        let assembler = self.assemble_ctx.trace().report();
+        if !assembler.is_empty() {
+            out.push_str("assembler:\n");
+            out.push_str(&assembler);
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let tree = shard.ctx.trace().report();
+            if !tree.is_empty() {
+                out.push_str(&format!("shard {i}:\n"));
+                out.push_str(&tree);
+            }
+        }
+        out
+    }
+
+    /// The full Prometheus text exposition: service counters and stage
+    /// latency histograms, followed by the kernel counters and latency
+    /// histograms merged across every shard and the assembler.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.metrics_snapshot().render_prometheus();
+        out.push_str(&self.kernel_metrics().render_prometheus());
+        out
     }
 }
 

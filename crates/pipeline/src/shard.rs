@@ -22,7 +22,7 @@ use semiring::traits::Semiring;
 use crate::checkpoint::{encode_shard, write_shard_file, ShardFileMeta};
 use crate::config::PipelineConfig;
 use crate::error::PipelineError;
-use crate::metrics::PipelineMetrics;
+use crate::metrics::{PipelineMetrics, Stage};
 use crate::value::PodValue;
 
 /// One message on a shard's command channel.
@@ -110,15 +110,35 @@ fn run_worker<S: Semiring>(
 ) where
     S::Value: PodValue,
 {
+    // Span on the shard's own trace registry; the router's
+    // `trace_report` stitches the per-shard trees together.
+    let trace_ctx = stream.ctx().cloned();
     while let Ok(cmd) = receiver.recv() {
+        let span = |name: &'static str, detail: String| {
+            trace_ctx
+                .as_ref()
+                .map(|ctx| ctx.trace().span(name, || detail))
+        };
         match cmd {
-            Command::Event(r, c, v) => stream.insert(r, c, v),
+            Command::Event(r, c, v) => {
+                let _span = span("shard_merge", format!("shard {index} event"));
+                let t = std::time::Instant::now();
+                stream.insert(r, c, v);
+                metrics.record_stage(Stage::ShardMerge, t.elapsed());
+            }
             Command::Batch(events) => {
+                let _span = span(
+                    "shard_merge",
+                    format!("shard {index}, {} events", events.len()),
+                );
+                let t = std::time::Instant::now();
                 for (r, c, v) in events {
                     stream.insert(r, c, v);
                 }
+                metrics.record_stage(Stage::ShardMerge, t.elapsed());
             }
             Command::Snapshot { reply } => {
+                let _span = span("shard_fold", format!("shard {index}"));
                 // Receiver may have given up (timeout); ignore send errors.
                 let _ = reply.send(stream.snapshot());
             }
@@ -127,6 +147,10 @@ fn run_worker<S: Semiring>(
                 generation,
                 reply,
             } => {
+                let _span = span(
+                    "shard_checkpoint",
+                    format!("shard {index} gen {generation}"),
+                );
                 stream.flush();
                 let bytes = encode_shard(&stream);
                 let meta = write_shard_file(&dir, generation, index, &bytes, stream.inserted());

@@ -48,6 +48,10 @@ fn main() {
         PlusTimes::<f64>::new(),
         config,
     ));
+    // Capture any pipeline stage or kernel slower than 5 ms, with its
+    // input shapes — negligible cost until something actually is slow.
+    p.set_trace_mode(TraceMode::SlowOnly);
+    p.set_slow_threshold(Some(std::time::Duration::from_millis(5)));
     println!(
         "pipeline up: {} shards over a {HOSTS}×{HOSTS} key space",
         p.shards()
@@ -147,6 +151,17 @@ fn main() {
         merges.calls, merges.nnz_in
     );
     assert!(merges.calls > 0);
+
+    // ---- /metrics payload + slow-span report on the way out ----
+    let exposition = p.render_prometheus();
+    assert!(exposition.contains("pipeline_events_ingested_total"));
+    assert!(exposition.contains("pipeline_stage_latency_seconds_bucket"));
+    assert!(exposition.contains("hypersparse_kernel_latency_seconds_bucket"));
+    println!("--- prometheus exposition (shutdown scrape) ---\n{exposition}");
+    let slow = p.trace_report();
+    if !slow.is_empty() {
+        println!("--- spans over the slow threshold ---\n{slow}");
+    }
 
     // Drain-and-checkpoint shutdown: the service's clean exit path.
     let p = Arc::try_unwrap(p).ok().expect("all feeds joined");
