@@ -244,7 +244,9 @@ impl<K1: Key, K2: Key, T: Value> Assoc<K1, K2, T> {
                 col_slot.push(slot as Ix);
             }
         }
-        let sub = hypersparse::ops::extract(&self.mat.as_dcsr(), &row_pos, &col_pos);
+        let sub = hypersparse::with_default_ctx(|ctx| {
+            hypersparse::ops::extract_ctx(ctx, &self.mat.as_dcsr(), &row_pos, &col_pos)
+        });
         // `sub` is indexed by position within row_pos/col_pos; remap those
         // positions to the requested-dictionary slots.
         let remapped = remap(
@@ -270,7 +272,12 @@ impl<K1: Key, K2: Key, T: Value> Assoc<K1, K2, T> {
         Assoc {
             row_keys: Arc::new(rk),
             col_keys: Arc::new(ck),
-            mat: Matrix::from_dcsr(hypersparse::ops::ewise_add(&a, &b, s), s),
+            mat: Matrix::from_dcsr(
+                hypersparse::with_default_ctx(|ctx| {
+                    hypersparse::ops::ewise_add_ctx(ctx, &a, &b, s)
+                }),
+                s,
+            ),
         }
     }
 
@@ -280,7 +287,12 @@ impl<K1: Key, K2: Key, T: Value> Assoc<K1, K2, T> {
         Assoc {
             row_keys: Arc::new(rk),
             col_keys: Arc::new(ck),
-            mat: Matrix::from_dcsr(hypersparse::ops::ewise_mul(&a, &b, s), s),
+            mat: Matrix::from_dcsr(
+                hypersparse::with_default_ctx(|ctx| {
+                    hypersparse::ops::ewise_mul_ctx(ctx, &a, &b, s)
+                }),
+                s,
+            ),
         }
     }
 
@@ -316,7 +328,10 @@ impl<K1: Key, K2: Key, T: Value> Assoc<K1, K2, T> {
         Assoc {
             row_keys: self.row_keys.clone(),
             col_keys: other.col_keys.clone(),
-            mat: Matrix::from_dcsr(hypersparse::ops::mxm(&a, &b, s), s),
+            mat: Matrix::from_dcsr(
+                hypersparse::with_default_ctx(|ctx| hypersparse::ops::mxm_ctx(ctx, &a, &b, s)),
+                s,
+            ),
         }
     }
 

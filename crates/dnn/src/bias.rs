@@ -46,11 +46,13 @@ pub fn bias_matrix(y: &Dcsr<f64>, b: &[f64]) -> Dcsr<f64> {
 /// One inference layer with an explicit per-neuron bias vector, computed
 /// exactly as the paper writes it: `Y' = h(Y W + b|Y𝟙|₀)`.
 pub fn layer_with_bias_vector(y: &Dcsr<f64>, w: &Dcsr<f64>, b: &[f64]) -> Dcsr<f64> {
-    let yw = hypersparse::ops::mxm(y, w, s());
-    // B must mark the rows active in *Y* (the input batch), per the paper.
-    let bias = bias_matrix_from_indicator(&active_rows(y), y.ncols(), b);
-    let sum = hypersparse::ops::ewise_add(&yw, &bias, s());
-    hypersparse::ops::apply(&sum, FnOp(|x: f64| x.max(0.0)), s())
+    hypersparse::with_default_ctx(|ctx| {
+        let yw = hypersparse::ops::mxm_ctx(ctx, y, w, s());
+        // B must mark the rows active in *Y* (the input batch), per the paper.
+        let bias = bias_matrix_from_indicator(&active_rows(y), y.ncols(), b);
+        let sum = hypersparse::ops::ewise_add_ctx(ctx, &yw, &bias, s());
+        hypersparse::ops::apply_prune_ctx(ctx, &sum, FnOp(|x: f64| x.max(0.0)), s())
+    })
 }
 
 fn bias_matrix_from_indicator(act: &SparseVec<f64>, ncols: Ix, b: &[f64]) -> Dcsr<f64> {
@@ -106,7 +108,9 @@ pub fn layer_oracle(y: &Dcsr<f64>, w: &Dcsr<f64>, b: &[f64]) -> Vec<(Ix, Ix, f64
 /// The `Y 𝟙` reduction itself (row sums) — exposed because the paper's
 /// formula names it; `active_rows` is its zero-norm.
 pub fn row_sums(y: &Dcsr<f64>) -> SparseVec<f64> {
-    hypersparse::ops::reduce_rows(y, PlusMonoid::<f64>::default())
+    hypersparse::with_default_ctx(|ctx| {
+        hypersparse::ops::reduce_rows_ctx(ctx, y, PlusMonoid::<f64>::default())
+    })
 }
 
 /// Zero-norm of a sparse vector (helper mirroring `| |₀` on matrices).

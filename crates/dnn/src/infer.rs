@@ -1,17 +1,30 @@
 //! Three readings of the same inference — proven pointwise equal.
 //!
-//! * [`infer_fused`]: the engineering formulation — sparse `Y W` then one
-//!   fused `max(x + b, 0)` apply;
+//! * [`infer_fused`]: the engineering formulation — one fused
+//!   SpGEMM-with-epilogue per layer (`mxm_apply_prune_ctx`), the
+//!   `max(x + b, 0)` prune running at accumulator-drain time so the
+//!   intermediate product `Z = Y W` is never materialized;
 //! * [`infer_two_semiring`]: the paper's §V.C formulation — `Y W` in
 //!   `S₁ = +.×`, then literally `(· ⊗ b) ⊕ 0` in `S₂ = max.+`, every
 //!   scalar step going through the semiring objects;
 //! * [`infer_dense`]: a row-major `Vec<f64>` baseline with no sparse
 //!   machinery at all.
 //!
+//! Every sparse path runs on the execution-context stack: the `*_ctx`
+//! entry points thread one [`OpCtx`] through all layers (SpGEMM scratch
+//! is leased from its arena and reused layer to layer, parallelism
+//! follows its thread cap, and each layer records a
+//! [`Kernel::DnnLayer`] metrics row plus a trace span). The classic
+//! names wrap the thread-local default context, and `try_*` twins
+//! return [`OpError::DimensionMismatch`] instead of panicking on a
+//! batch whose width disagrees with the network.
+//!
 //! Batches are `batch × neurons` matrices; activations stay hypersparse
 //! between layers, which is where the Fig. 8 speedups come from.
 
-use hypersparse::{Dcsr, DenseMat};
+use std::time::Instant;
+
+use hypersparse::{ops, with_default_ctx, Dcsr, DenseMat, Kernel, OpCtx, OpError};
 use semiring::semilink::DnnSemiringPair;
 use semiring::{FnOp, MaxPlus, PlusTimes, Semiring};
 
@@ -19,39 +32,122 @@ use crate::network::SparseDnn;
 
 type S1 = PlusTimes<f64>;
 
-/// Fused sparse inference: `Y ← relu(Y W + b)` with one apply per layer.
-pub fn infer_fused(net: &SparseDnn, y0: &Dcsr<f64>) -> Dcsr<f64> {
-    let s1 = S1::new();
-    assert_eq!(y0.ncols(), net.n_neurons, "batch width mismatch");
-    let mut y = y0.clone();
-    for (w, &b) in net.layers.iter().zip(&net.biases) {
-        let z = hypersparse::ops::mxm(&y, w, s1);
-        y = hypersparse::ops::apply(&z, FnOp(move |x: f64| (x + b).max(0.0)), s1);
+/// Batch width must equal the network width for `Y W` to conform.
+fn check_batch(op: &'static str, net: &SparseDnn, y0: &Dcsr<f64>) -> Result<(), OpError> {
+    if y0.ncols() != net.n_neurons {
+        return Err(OpError::DimensionMismatch {
+            op,
+            a: (y0.nrows(), y0.ncols()),
+            b: (net.n_neurons, net.n_neurons),
+            rule: "batch width mismatch",
+        });
     }
-    y
+    Ok(())
 }
 
-/// The literal two-semiring oscillation of §V.C:
-/// `Y_{k+1} = Y_k W_k ⊗ b_k ⊕ 0`, with the product in `S₁` and the
-/// bias/rectification in `S₂ = max.+` — every scalar operation routed
-/// through the [`DnnSemiringPair`] object.
+/// Fused sparse inference: `Y ← relu(Y W + b)` with one fused
+/// SpGEMM+prune kernel per layer (thread-local default ctx).
+pub fn infer_fused(net: &SparseDnn, y0: &Dcsr<f64>) -> Dcsr<f64> {
+    with_default_ctx(|ctx| infer_fused_ctx(ctx, net, y0))
+}
+
+/// [`infer_fused`] through an explicit execution context: one [`OpCtx`]
+/// drives every layer, so SpGEMM scratch leased for layer `k` is a pool
+/// hit for layer `k+1`, and per-layer counters land on the context's
+/// [`Kernel::DnnLayer`] metrics row.
+pub fn infer_fused_ctx(ctx: &OpCtx, net: &SparseDnn, y0: &Dcsr<f64>) -> Dcsr<f64> {
+    try_infer_fused_ctx(ctx, net, y0).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`infer_fused`] (thread-local default ctx).
+pub fn try_infer_fused(net: &SparseDnn, y0: &Dcsr<f64>) -> Result<Dcsr<f64>, OpError> {
+    with_default_ctx(|ctx| try_infer_fused_ctx(ctx, net, y0))
+}
+
+/// Fallible [`infer_fused_ctx`]: a batch whose width disagrees with the
+/// network becomes an [`OpError::DimensionMismatch`] instead of a panic.
+pub fn try_infer_fused_ctx(
+    ctx: &OpCtx,
+    net: &SparseDnn,
+    y0: &Dcsr<f64>,
+) -> Result<Dcsr<f64>, OpError> {
+    check_batch("dnn_infer_fused", net, y0)?;
+    let s1 = S1::new();
+    let mut y = y0.clone();
+    for (k, (w, &b)) in net.layers.iter().zip(&net.biases).enumerate() {
+        let _span = ctx.kernel_span(Kernel::DnnLayer, || {
+            format!("layer {k}: {} act · {} wt", y.nnz(), w.nnz())
+        });
+        let start = Instant::now();
+        let nnz_in = (y.nnz() + w.nnz()) as u64;
+        // One pass: Z = Y W in S₁ with the bias+ReLU epilogue applied as
+        // each accumulator drains; entries pruned to the S₁ zero never
+        // reach the output. (⊗ counts land on the Mxm row.)
+        y = ops::mxm_apply_prune_ctx(ctx, &y, w, s1, FnOp(move |x: f64| (x + b).max(0.0)), s1);
+        ctx.metrics()
+            .record(Kernel::DnnLayer, start.elapsed(), nnz_in, y.nnz() as u64, 0);
+    }
+    Ok(y)
+}
+
+/// The literal two-semiring oscillation of §V.C (thread-local default
+/// ctx): `Y_{k+1} = Y_k W_k ⊗ b_k ⊕ 0`, with the product in `S₁` and
+/// the bias/rectification in `S₂ = max.+` — every scalar operation
+/// routed through the [`DnnSemiringPair`] object.
 pub fn infer_two_semiring(net: &SparseDnn, y0: &Dcsr<f64>) -> Dcsr<f64> {
+    with_default_ctx(|ctx| infer_two_semiring_ctx(ctx, net, y0))
+}
+
+/// [`infer_two_semiring`] through an explicit execution context.
+pub fn infer_two_semiring_ctx(ctx: &OpCtx, net: &SparseDnn, y0: &Dcsr<f64>) -> Dcsr<f64> {
+    try_infer_two_semiring_ctx(ctx, net, y0).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`infer_two_semiring`] (thread-local default ctx).
+pub fn try_infer_two_semiring(net: &SparseDnn, y0: &Dcsr<f64>) -> Result<Dcsr<f64>, OpError> {
+    with_default_ctx(|ctx| try_infer_two_semiring_ctx(ctx, net, y0))
+}
+
+/// Fallible [`infer_two_semiring_ctx`].
+///
+/// Unlike the fused path this keeps the two-pass structure the paper
+/// writes (an `S₁` multiply, then the `S₂` bias/rectify as its own
+/// kernel), but the rectify step goes through
+/// [`ops::apply_prune_ctx`] with the **dropped-zero semiring explicit**:
+/// the values are computed in `S₂ = max.+`, yet the prune must use the
+/// `S₁` zero (`0.0`), *not* the `S₂` zero (`−∞`). `max(x + b, 0)` can
+/// produce `0.0` but never `−∞`, so pruning by the S₂ zero would store
+/// every rectified-to-silence neuron and the activations would densify
+/// instead of staying hypersparse — `0.0` is what "carries no signal
+/// into the next S₁ correlation" means, and the next multiply is in S₁.
+pub fn try_infer_two_semiring_ctx(
+    ctx: &OpCtx,
+    net: &SparseDnn,
+    y0: &Dcsr<f64>,
+) -> Result<Dcsr<f64>, OpError> {
+    check_batch("dnn_infer_two_semiring", net, y0)?;
     let pair = DnnSemiringPair::default();
     let s2: MaxPlus<f64> = pair.select;
-    assert_eq!(y0.ncols(), net.n_neurons, "batch width mismatch");
     let mut y = y0.clone();
-    for (w, &b) in net.layers.iter().zip(&net.biases) {
+    for (k, (w, &b)) in net.layers.iter().zip(&net.biases).enumerate() {
+        let _span = ctx.kernel_span(Kernel::DnnLayer, || {
+            format!("layer {k}: {} act · {} wt", y.nnz(), w.nnz())
+        });
+        let start = Instant::now();
+        let nnz_in = (y.nnz() + w.nnz()) as u64;
         // S₁: correlation.
-        let z = hypersparse::ops::mxm(&y, w, pair.correlate);
-        // S₂: (z ⊗ b) ⊕ 0 = max(z + b, 0). Values that land on ordinary
-        // 0 are dropped relative to S₁'s zero (they carry no signal).
-        y = hypersparse::ops::apply(
+        let z = ops::mxm_ctx(ctx, &y, w, pair.correlate);
+        // S₂: (z ⊗ b) ⊕ 0 = max(z + b, 0), pruned against the S₁ zero.
+        y = ops::apply_prune_ctx(
+            ctx,
             &z,
             FnOp(move |x: f64| s2.add(s2.mul(x, b), 0.0)),
             pair.correlate,
         );
+        ctx.metrics()
+            .record(Kernel::DnnLayer, start.elapsed(), nnz_in, y.nnz() as u64, 0);
     }
-    y
+    Ok(y)
 }
 
 /// Dense baseline: full `batch × n` activation rows, no sparsity.

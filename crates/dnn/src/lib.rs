@@ -19,9 +19,14 @@
 //!   per-layer biases;
 //! * [`radix::radix_net`] — fixed-fan-in, stride-permuted synthetic
 //!   topology (every neuron has exactly `fanin` inputs);
-//! * [`infer`] — `infer_fused` (one apply per layer),
-//!   `infer_two_semiring` (the literal S₁/S₂ oscillation), and
-//!   `infer_dense` (row-major `Vec` baseline);
+//! * [`infer`] — `infer_fused` (one fused SpGEMM+prune kernel per
+//!   layer), `infer_two_semiring` (the literal S₁/S₂ oscillation), and
+//!   `infer_dense` (row-major `Vec` baseline) — each sparse path in
+//!   ctx-explicit, ctx-free, and fallible `try_*` spellings;
+//! * [`ctx::DnnCtx`] — the serving driver: one
+//!   [`hypersparse::OpCtx`] owned for the model's lifetime, so SpGEMM
+//!   scratch pools across layers *and* batches, with per-layer
+//!   `dnn_layer` metrics/trace spans and Prometheus exposition;
 //! * [`input`] — sparse batch generators;
 //! * [`bias`] — the paper's explicit bias replication `B = b|Y𝟙|₀`,
 //!   supporting per-neuron (even positive) bias vectors;
@@ -32,12 +37,18 @@
 #![warn(missing_docs)]
 
 pub mod bias;
+pub mod ctx;
 pub mod infer;
 pub mod input;
 pub mod network;
 pub mod neuron;
 pub mod radix;
 
-pub use infer::{densify_weights, infer_dense, infer_dense_full, infer_fused, infer_two_semiring};
-pub use network::SparseDnn;
+pub use ctx::DnnCtx;
+pub use infer::{
+    densify_weights, infer_dense, infer_dense_full, infer_fused, infer_fused_ctx,
+    infer_two_semiring, infer_two_semiring_ctx, try_infer_fused, try_infer_fused_ctx,
+    try_infer_two_semiring, try_infer_two_semiring_ctx,
+};
+pub use network::{DnnError, SparseDnn};
 pub use radix::{radix_net, RadixNetParams};

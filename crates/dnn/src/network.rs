@@ -1,6 +1,71 @@
 //! Sparse DNN model: hypersparse weight layers + per-layer biases.
 
+use std::fmt;
+
 use hypersparse::Dcsr;
+
+/// Why a [`SparseDnn`] could not be assembled.
+///
+/// [`SparseDnn::new`] panics with these messages; [`SparseDnn::try_new`]
+/// returns them, so a serving layer loading untrusted model files can
+/// reject a bad network without unwinding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DnnError {
+    /// `layers` and `biases` disagree on the network depth.
+    BiasCount {
+        /// Number of weight layers supplied.
+        layers: usize,
+        /// Number of biases supplied.
+        biases: usize,
+    },
+    /// A weight matrix is not `n_neurons × n_neurons`.
+    LayerShape {
+        /// Which layer failed the check.
+        layer: usize,
+        /// Its actual `(nrows, ncols)`.
+        got: (u64, u64),
+        /// The required square width.
+        n_neurons: u64,
+    },
+    /// A bias is positive, which breaks the sparse formulation: a neuron
+    /// with *no* incoming activation would read `relu(0 + b) = b > 0` in
+    /// the dense semantics, but sparse kernels never evaluate absent
+    /// entries, so that contribution is silently dropped. The RadiX-Net
+    /// invariant (see [`crate::radix`]) is `bias ≤ 0`; positive
+    /// per-neuron biases need the explicit `B = b|Y𝟙|₀` construction in
+    /// [`crate::bias`] instead.
+    PositiveBias {
+        /// Which layer carries the offending bias.
+        layer: usize,
+        /// The bias value.
+        bias: f64,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::BiasCount { layers, biases } => {
+                write!(f, "one bias per layer: {layers} layers, {biases} biases")
+            }
+            DnnError::LayerShape {
+                layer,
+                got,
+                n_neurons,
+            } => write!(
+                f,
+                "layer {layer} dimension mismatch: {}×{}, want {n_neurons}×{n_neurons}",
+                got.0, got.1
+            ),
+            DnnError::PositiveBias { layer, bias } => write!(
+                f,
+                "layer {layer} bias {bias} > 0 breaks sparse/dense equivalence"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}
 
 /// An `L`-layer sparse feed-forward network. Uses the graph convention
 /// of §V.C: `W(i, j) ≠ 0` connects neuron `i` to neuron `j`, activations
@@ -22,26 +87,46 @@ pub struct SparseDnn {
 
 impl SparseDnn {
     /// Assemble a network, checking layer conformance and bias signs.
+    /// Panics on a bad network; [`SparseDnn::try_new`] is the fallible
+    /// twin with the same checks.
     pub fn new(n_neurons: u64, layers: Vec<Dcsr<f64>>, biases: Vec<f64>) -> Self {
-        assert_eq!(layers.len(), biases.len(), "one bias per layer");
+        Self::try_new(n_neurons, layers, biases).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Assemble a network, returning a typed [`DnnError`] instead of
+    /// panicking when the layer count, a layer shape, or a bias sign is
+    /// wrong. `bias ≤ 0` is a *validity* condition, not a convention:
+    /// see [`DnnError::PositiveBias`].
+    pub fn try_new(
+        n_neurons: u64,
+        layers: Vec<Dcsr<f64>>,
+        biases: Vec<f64>,
+    ) -> Result<Self, DnnError> {
+        if layers.len() != biases.len() {
+            return Err(DnnError::BiasCount {
+                layers: layers.len(),
+                biases: biases.len(),
+            });
+        }
         for (i, w) in layers.iter().enumerate() {
-            assert_eq!(
-                (w.nrows(), w.ncols()),
-                (n_neurons, n_neurons),
-                "layer {i} dimension mismatch"
-            );
+            if (w.nrows(), w.ncols()) != (n_neurons, n_neurons) {
+                return Err(DnnError::LayerShape {
+                    layer: i,
+                    got: (w.nrows(), w.ncols()),
+                    n_neurons,
+                });
+            }
         }
         for (i, b) in biases.iter().enumerate() {
-            assert!(
-                *b <= 0.0,
-                "layer {i} bias {b} > 0 breaks sparse/dense equivalence"
-            );
+            if *b > 0.0 {
+                return Err(DnnError::PositiveBias { layer: i, bias: *b });
+            }
         }
-        SparseDnn {
+        Ok(SparseDnn {
             n_neurons,
             layers,
             biases,
-        }
+        })
     }
 
     /// Number of layers.
@@ -89,6 +174,42 @@ mod tests {
     #[should_panic(expected = "bias")]
     fn positive_bias_rejected() {
         SparseDnn::new(4, vec![w(4, &[(0, 1, 1.0)])], vec![0.1]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let e = SparseDnn::try_new(4, vec![w(4, &[(0, 1, 1.0)])], vec![0.1]).unwrap_err();
+        assert_eq!(
+            e,
+            DnnError::PositiveBias {
+                layer: 0,
+                bias: 0.1
+            }
+        );
+        assert!(e.to_string().contains("sparse/dense equivalence"), "{e}");
+
+        let e = SparseDnn::try_new(4, vec![w(4, &[])], vec![-0.1, -0.2]).unwrap_err();
+        assert_eq!(
+            e,
+            DnnError::BiasCount {
+                layers: 1,
+                biases: 2
+            }
+        );
+
+        let e = SparseDnn::try_new(3, vec![w(4, &[])], vec![-0.1]).unwrap_err();
+        assert_eq!(
+            e,
+            DnnError::LayerShape {
+                layer: 0,
+                got: (4, 4),
+                n_neurons: 3
+            }
+        );
+        assert!(e.to_string().contains("dimension mismatch"), "{e}");
+
+        // Boundary: bias = 0.0 is valid (relu(0 + 0) = 0 = "not stored").
+        assert!(SparseDnn::try_new(4, vec![w(4, &[(0, 1, 1.0)])], vec![0.0]).is_ok());
     }
 
     #[test]

@@ -71,3 +71,40 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Satellite: the fused kernel's deterministic row sharding must make
+    // inference bit-identical at every thread count, and the fused and
+    // two-semiring paths must agree under each of those counts too.
+    #[test]
+    fn inference_is_thread_invariant_on_radix_nets(
+        seed in 0u64..500,
+        depth in 2usize..8,
+    ) {
+        let n = 128u64;
+        let net = radix_net(
+            RadixNetParams { n_neurons: n, fanin: 4, depth, bias: -0.2 },
+            seed,
+        );
+        let y0 = sparse_batch(8, n, 0.3, seed ^ 0xD00D);
+
+        let single = dnn::DnnCtx::with_threads(1);
+        let fused_1 = single.infer(&net, &y0);
+        let pair_1 = single.infer_two_semiring(&net, &y0);
+        prop_assert_eq!(&fused_1, &pair_1);
+
+        for threads in [2usize, 4] {
+            let driver = dnn::DnnCtx::with_threads(threads);
+            let fused_t = driver.infer(&net, &y0);
+            // Bit-identical: Dcsr equality is exact on values.
+            prop_assert_eq!(&fused_t, &fused_1, "fused @ {} threads", threads);
+            let pair_t = driver.infer_two_semiring(&net, &y0);
+            prop_assert_eq!(&pair_t, &pair_1, "two-semiring @ {} threads", threads);
+        }
+
+        let dense = infer_dense(&net, &DenseMat::from_dcsr(&y0, PlusTimes::<f64>::new()));
+        prop_assert!(equivalent(&fused_1, &dense, 1e-9));
+    }
+}

@@ -31,7 +31,9 @@ pub fn betweenness(pat: &Dcsr<f64>, sources: &[Ix]) -> Vec<f64> {
     let n = usize::try_from(pat.nrows()).expect("betweenness needs compact ids");
     // Path counting needs unit weights regardless of how the pattern was
     // built (e.g. symmetrize sums parallel directions to 2.0).
-    let pat = &hypersparse::ops::apply(pat, semiring::ZeroNorm(s()), s());
+    let pat = &with_default_ctx(|ctx| {
+        hypersparse::ops::apply_ctx(ctx, pat, semiring::ZeroNorm(s()), s())
+    });
     let mut bc = vec![0.0f64; n];
 
     with_default_ctx(|ctx| {

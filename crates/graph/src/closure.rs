@@ -13,15 +13,17 @@ use semiring::LorLand;
 /// repeated squaring: `R ← R ∨ R·R` until fixpoint.
 pub fn transitive_closure(pat: &Dcsr<bool>) -> Dcsr<bool> {
     let s = LorLand;
-    let mut r = pat.clone();
-    loop {
-        let r2 = hypersparse::ops::mxm(&r, &r, s);
-        let next = hypersparse::ops::ewise_add(&r, &r2, s);
-        if next == r {
-            return r;
+    hypersparse::with_default_ctx(|ctx| {
+        let mut r = pat.clone();
+        loop {
+            let r2 = hypersparse::ops::mxm_ctx(ctx, &r, &r, s);
+            let next = hypersparse::ops::ewise_add_ctx(ctx, &r, &r2, s);
+            if next == r {
+                return r;
+            }
+            r = next;
         }
-        r = next;
-    }
+    })
 }
 
 /// Convert any pattern to a boolean one (edges → `true`).

@@ -39,8 +39,10 @@ pub fn greedy_coloring(sym_pat: &Dcsr<f64>, seed: u64) -> Vec<(Ix, Ix)> {
         // Remove the colored layer from the conflict graph.
         let layer_set: std::collections::HashSet<Ix> = layer.into_iter().collect();
         let before: std::collections::HashSet<Ix> = remaining.row_ids().iter().copied().collect();
-        remaining = hypersparse::ops::select(&remaining, |r, c, _| {
-            !layer_set.contains(&r) && !layer_set.contains(&c)
+        remaining = hypersparse::with_default_ctx(|ctx| {
+            hypersparse::ops::select_ctx(ctx, &remaining, |r, c, _| {
+                !layer_set.contains(&r) && !layer_set.contains(&c)
+            })
         });
         let after: std::collections::HashSet<Ix> = remaining.row_ids().iter().copied().collect();
         // Vertices that existed, weren't colored, and now have no edges.

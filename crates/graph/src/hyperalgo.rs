@@ -32,7 +32,9 @@ pub fn incidence_patterns(h: &Hypergraph) -> IncidencePatterns {
         c.build_dcsr(AnyPair)
     };
     IncidencePatterns {
-        out_t: hypersparse::ops::transpose(&to_u8(&h.e_out())),
+        out_t: hypersparse::with_default_ctx(|ctx| {
+            hypersparse::ops::transpose_ctx(ctx, &to_u8(&h.e_out()))
+        }),
         in_: to_u8(&h.e_in()),
     }
 }
@@ -79,7 +81,7 @@ pub fn hyper_components(h: &Hypergraph) -> Vec<(Ix, Ix)> {
         }
         c.build_dcsr(s)
     };
-    let inc_t = hypersparse::ops::transpose(&inc);
+    let inc_t = hypersparse::with_default_ctx(|ctx| hypersparse::ops::transpose_ctx(ctx, &inc));
 
     // Vertex labels (1-shifted); iterate v→e→v min-label exchange.
     let verts: Vec<Ix> = {

@@ -89,13 +89,17 @@ impl Hypergraph {
 
     /// Out-degrees (counting hyper- and multi-edges once per incidence).
     pub fn out_degrees(&self) -> Vec<(Ix, f64)> {
-        let d = hypersparse::ops::reduce_cols(&self.e_out(), PlusMonoid::<f64>::default());
+        let d = hypersparse::with_default_ctx(|ctx| {
+            hypersparse::ops::reduce_cols_ctx(ctx, &self.e_out(), PlusMonoid::<f64>::default())
+        });
         d.iter().map(|(v, w)| (v, *w)).collect()
     }
 
     /// In-degrees.
     pub fn in_degrees(&self) -> Vec<(Ix, f64)> {
-        let d = hypersparse::ops::reduce_cols(&self.e_in(), PlusMonoid::<f64>::default());
+        let d = hypersparse::with_default_ctx(|ctx| {
+            hypersparse::ops::reduce_cols_ctx(ctx, &self.e_in(), PlusMonoid::<f64>::default())
+        });
         d.iter().map(|(v, w)| (v, *w)).collect()
     }
 }
@@ -107,8 +111,10 @@ pub fn incidence_to_adjacency<S: Semiring<Value = f64>>(
     e_in: &Dcsr<f64>,
     s: S,
 ) -> Dcsr<f64> {
-    let e_out_t = hypersparse::ops::transpose(e_out);
-    hypersparse::ops::mxm(&e_out_t, e_in, s)
+    hypersparse::with_default_ctx(|ctx| {
+        let e_out_t = hypersparse::ops::transpose_ctx(ctx, e_out);
+        hypersparse::ops::mxm_ctx(ctx, &e_out_t, e_in, s)
+    })
 }
 
 /// Direct hash-accumulation baseline for the same projection: pair up

@@ -18,22 +18,24 @@ fn s() -> PlusTimes<f64> {
 /// degree < k until stable. Returns the surviving symmetric pattern.
 pub fn kcore(sym_pat: &Dcsr<f64>, k: usize) -> Dcsr<f64> {
     // Degrees are entry counts: normalize values to 1.0 first.
-    let mut g = hypersparse::ops::apply(sym_pat, semiring::ZeroNorm(s()), s());
-    loop {
-        let deg = hypersparse::ops::reduce_rows(&g, PlusMonoid::<f64>::default());
-        let survivors: std::collections::HashSet<Ix> = deg
-            .iter()
-            .filter(|(_, d)| **d >= k as f64)
-            .map(|(v, _)| v)
-            .collect();
-        let next = hypersparse::ops::select(&g, |r, c, _| {
-            survivors.contains(&r) && survivors.contains(&c)
-        });
-        if next == g {
-            return g;
+    hypersparse::with_default_ctx(|ctx| {
+        let mut g = hypersparse::ops::apply_ctx(ctx, sym_pat, semiring::ZeroNorm(s()), s());
+        loop {
+            let deg = hypersparse::ops::reduce_rows_ctx(ctx, &g, PlusMonoid::<f64>::default());
+            let survivors: std::collections::HashSet<Ix> = deg
+                .iter()
+                .filter(|(_, d)| **d >= k as f64)
+                .map(|(v, _)| v)
+                .collect();
+            let next = hypersparse::ops::select_ctx(ctx, &g, |r, c, _| {
+                survivors.contains(&r) && survivors.contains(&c)
+            });
+            if next == g {
+                return g;
+            }
+            g = next;
         }
-        g = next;
-    }
+    })
 }
 
 /// Core number of every vertex with at least one edge: the largest k

@@ -19,11 +19,14 @@ use semiring::MaxTimes;
 pub fn maximal_independent_set(sym_pat: &Dcsr<f64>, seed: u64) -> Vec<Ix> {
     let s = MaxTimes::<f64>::new();
     // ⊗ must pass priorities through unscaled: force unit edge weights.
-    let sym_pat = &hypersparse::ops::apply(
-        sym_pat,
-        semiring::ZeroNorm(semiring::PlusTimes::<f64>::new()),
-        semiring::PlusTimes::<f64>::new(),
-    );
+    let sym_pat = &hypersparse::with_default_ctx(|ctx| {
+        hypersparse::ops::apply_ctx(
+            ctx,
+            sym_pat,
+            semiring::ZeroNorm(semiring::PlusTimes::<f64>::new()),
+            semiring::PlusTimes::<f64>::new(),
+        )
+    });
     let n = sym_pat.nrows();
     let mut rng = StdRng::seed_from_u64(seed);
 

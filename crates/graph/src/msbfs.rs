@@ -34,18 +34,20 @@ pub fn msbfs_levels(pat: &Dcsr<u8>, sources: &[Ix]) -> Dcsr<u64> {
         .collect();
 
     let mut level = 1u64;
-    while frontier.nnz() > 0 {
-        // One complement-masked SpGEMM advances every source's frontier
-        // at once, skipping per-source visited vertices inside the
-        // accumulator loop instead of select-filtering afterwards.
-        let next = hypersparse::ops::mxm_masked(&frontier, pat, &visited, true, s);
-        for (r, c, _) in next.iter() {
-            levels.push((r, c, level + 1));
+    hypersparse::with_default_ctx(|ctx| {
+        while frontier.nnz() > 0 {
+            // One complement-masked SpGEMM advances every source's frontier
+            // at once, skipping per-source visited vertices inside the
+            // accumulator loop instead of select-filtering afterwards.
+            let next = hypersparse::ops::mxm_masked_ctx(ctx, &frontier, pat, &visited, true, s);
+            for (r, c, _) in next.iter() {
+                levels.push((r, c, level + 1));
+            }
+            visited = hypersparse::ops::ewise_add_ctx(ctx, &visited, &next, s);
+            frontier = next;
+            level += 1;
         }
-        visited = hypersparse::ops::ewise_add(&visited, &next, s);
-        frontier = next;
-        level += 1;
-    }
+    });
 
     let mut c = Coo::new(k, n);
     c.extend(levels);

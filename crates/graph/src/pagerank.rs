@@ -6,7 +6,7 @@
 //! must be compact (`n` is materialized as the rank vector's length).
 
 use hypersparse::ops::mxv::vxm_dense_pull_ctx;
-use hypersparse::ops::{apply, transpose};
+use hypersparse::ops::{apply_ctx, transpose_ctx};
 use hypersparse::{with_default_ctx, Dcsr, Ix};
 use semiring::{PlusTimes, ZeroNorm};
 
@@ -53,7 +53,7 @@ pub fn pagerank(pat: &Dcsr<f64>, opts: PageRankOpts) -> Vec<f64> {
     // in-edges in increasing source order — the exact f64 addition order
     // of the original row-major scatter loop, so results are
     // bit-identical to it at every thread count.
-    let at = transpose(&apply(pat, ZeroNorm(s), s));
+    let at = with_default_ctx(|ctx| transpose_ctx(ctx, &apply_ctx(ctx, pat, ZeroNorm(s), s)));
 
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];

@@ -32,9 +32,11 @@ pub fn pattern_u64<T: Value>(m: &Dcsr<T>) -> Dcsr<u64> {
 
 /// `A ⊕ Aᵀ` — make a digraph pattern undirected (self-loops dropped).
 pub fn symmetrize<T: Value, S: Semiring<Value = T>>(m: &Dcsr<T>, s: S) -> Dcsr<T> {
-    let t = hypersparse::ops::transpose(m);
-    let sym = hypersparse::ops::ewise_add(m, &t, s);
-    hypersparse::ops::select(&sym, |r, c, _| r != c)
+    hypersparse::with_default_ctx(|ctx| {
+        let t = hypersparse::ops::transpose_ctx(ctx, m);
+        let sym = hypersparse::ops::ewise_add_ctx(ctx, m, &t, s);
+        hypersparse::ops::select_ctx(ctx, &sym, |r, c, _| r != c)
+    })
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use semiring::traits::Semiring;
 
 /// Graph union via `A ⊕ B` (weights on shared edges combine with ⊕).
 pub fn graph_union<S: Semiring<Value = f64>>(a: &Dcsr<f64>, b: &Dcsr<f64>, s: S) -> Dcsr<f64> {
-    hypersparse::ops::ewise_add(a, b, s)
+    hypersparse::with_default_ctx(|ctx| hypersparse::ops::ewise_add_ctx(ctx, a, b, s))
 }
 
 /// Graph intersection via `A ⊗ B` (only shared edges survive, weights
@@ -22,7 +22,7 @@ pub fn graph_intersection<S: Semiring<Value = f64>>(
     b: &Dcsr<f64>,
     s: S,
 ) -> Dcsr<f64> {
-    hypersparse::ops::ewise_mul(a, b, s)
+    hypersparse::with_default_ctx(|ctx| hypersparse::ops::ewise_mul_ctx(ctx, a, b, s))
 }
 
 /// Hash-map union baseline on explicit edge sets.

@@ -16,11 +16,14 @@ fn s() -> PlusTimes<f64> {
 /// pattern. Returns a strictly-lower-triangular matrix with `J(i, j)`
 /// values (an edge with no common neighbors gets no entry — its J is 0).
 pub fn jaccard(sym_pat: &Dcsr<f64>) -> Dcsr<f64> {
-    let sym = hypersparse::ops::apply(sym_pat, ZeroNorm(s()), s());
-    let l = hypersparse::ops::select(&sym, |r, c, _| c < r);
-    // common(i, j) = |N(i) ∩ N(j)| on existing edges.
-    let common = hypersparse::ops::mxm_masked(&sym, &sym, &l, false, s());
-    let deg = hypersparse::ops::reduce_rows(&sym, PlusMonoid::<f64>::default());
+    let (common, deg) = hypersparse::with_default_ctx(|ctx| {
+        let sym = hypersparse::ops::apply_ctx(ctx, sym_pat, ZeroNorm(s()), s());
+        let l = hypersparse::ops::select_ctx(ctx, &sym, |r, c, _| c < r);
+        // common(i, j) = |N(i) ∩ N(j)| on existing edges.
+        let common = hypersparse::ops::mxm_masked_ctx(ctx, &sym, &sym, &l, false, s());
+        let deg = hypersparse::ops::reduce_rows_ctx(ctx, &sym, PlusMonoid::<f64>::default());
+        (common, deg)
+    });
     let d = |v: Ix| deg.get(&v).copied().unwrap_or(0.0);
     // J = common / (deg_i + deg_j − common), entry-wise on the mask.
     let mut trips = Vec::with_capacity(common.nnz());
@@ -30,7 +33,7 @@ pub fn jaccard(sym_pat: &Dcsr<f64>) -> Dcsr<f64> {
             trips.push((i, j, c / union));
         }
     }
-    let mut coo = hypersparse::Coo::new(sym.nrows(), sym.ncols());
+    let mut coo = hypersparse::Coo::new(sym_pat.nrows(), sym_pat.ncols());
     coo.extend(trips);
     coo.build_dcsr(s())
 }

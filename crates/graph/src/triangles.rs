@@ -11,29 +11,33 @@ use semiring::{PlusMonoid, PlusTimes};
 
 /// Strictly-lower-triangular part of a pattern.
 pub fn lower_triangle(pat: &Dcsr<f64>) -> Dcsr<f64> {
-    hypersparse::ops::select(pat, |r, c, _| c < r)
+    hypersparse::with_default_ctx(|ctx| hypersparse::ops::select_ctx(ctx, pat, |r, c, _| c < r))
 }
 
 /// Count triangles in an undirected simple graph given as a symmetric
 /// adjacency (weights are ignored — the pattern is normalized first).
 pub fn triangle_count(sym_pat: &Dcsr<f64>) -> u64 {
     let s = PlusTimes::<f64>::new();
-    let sym_pat = hypersparse::ops::apply(sym_pat, semiring::ZeroNorm(s), s);
-    let l = lower_triangle(&sym_pat);
-    let closed = hypersparse::ops::mxm_masked(&l, &l, &l, false, s);
-    hypersparse::ops::reduce_scalar(&closed, PlusMonoid::<f64>::default()) as u64
+    hypersparse::with_default_ctx(|ctx| {
+        let sym_pat = hypersparse::ops::apply_ctx(ctx, sym_pat, semiring::ZeroNorm(s), s);
+        let l = lower_triangle(&sym_pat);
+        let closed = hypersparse::ops::mxm_masked_ctx(ctx, &l, &l, &l, false, s);
+        hypersparse::ops::reduce_scalar_ctx(ctx, &closed, PlusMonoid::<f64>::default()) as u64
+    })
 }
 
 /// Per-edge triangle support (number of triangles through each edge of
 /// the lower triangle) — the building block of k-truss.
 pub fn edge_support(sym_pat: &Dcsr<f64>) -> Dcsr<f64> {
     let s = PlusTimes::<f64>::new();
-    let sym_pat = hypersparse::ops::apply(sym_pat, semiring::ZeroNorm(s), s);
-    let l = lower_triangle(&sym_pat);
-    // support(i,j) = |N(i) ∩ N(j)| restricted to existing edges: use the
-    // full symmetric pattern for wedge endpoints, masked by L. Edges in
-    // no triangle produce no entry (support 0 is the semiring zero).
-    hypersparse::ops::mxm_masked(&sym_pat, &sym_pat, &l, false, s)
+    hypersparse::with_default_ctx(|ctx| {
+        let sym_pat = hypersparse::ops::apply_ctx(ctx, sym_pat, semiring::ZeroNorm(s), s);
+        let l = lower_triangle(&sym_pat);
+        // support(i,j) = |N(i) ∩ N(j)| restricted to existing edges: use the
+        // full symmetric pattern for wedge endpoints, masked by L. Edges in
+        // no triangle produce no entry (support 0 is the semiring zero).
+        hypersparse::ops::mxm_masked_ctx(ctx, &sym_pat, &sym_pat, &l, false, s)
+    })
 }
 
 /// k-truss: the maximal subgraph in which every edge is supported by at
@@ -50,9 +54,13 @@ pub fn ktruss(sym_pat: &Dcsr<f64>, k: u64) -> Dcsr<f64> {
     loop {
         let sup = edge_support(&g);
         // Keep lower-triangle edges with enough support…
-        let keep = hypersparse::ops::select(&sup, |_, _, v| *v >= need);
+        let keep = hypersparse::with_default_ctx(|ctx| {
+            hypersparse::ops::select_ctx(ctx, &sup, |_, _, v| *v >= need)
+        });
         // …and rebuild the symmetric pattern from the survivors.
-        let keep_pat = hypersparse::ops::apply(&keep, semiring::ZeroNorm(s), s);
+        let keep_pat = hypersparse::with_default_ctx(|ctx| {
+            hypersparse::ops::apply_ctx(ctx, &keep, semiring::ZeroNorm(s), s)
+        });
         let next = crate::pattern::symmetrize(&keep_pat, s);
         if next == g {
             return g;

@@ -46,11 +46,13 @@ pub enum Kernel {
     Vxm,
     Mxv,
     StreamMerge,
+    ApplyPrune,
+    DnnLayer,
 }
 
 impl Kernel {
     /// Every tracked kernel, in registry order.
-    pub const ALL: [Kernel; 20] = [
+    pub const ALL: [Kernel; 22] = [
         Kernel::Mxm,
         Kernel::MxmMasked,
         Kernel::EwiseAdd,
@@ -71,6 +73,8 @@ impl Kernel {
         Kernel::Vxm,
         Kernel::Mxv,
         Kernel::StreamMerge,
+        Kernel::ApplyPrune,
+        Kernel::DnnLayer,
     ];
 
     /// Stable display name (`mxm`, `ewise_add`, …).
@@ -96,6 +100,8 @@ impl Kernel {
             Kernel::Vxm => "vxm",
             Kernel::Mxv => "mxv",
             Kernel::StreamMerge => "stream_merge",
+            Kernel::ApplyPrune => "apply_prune",
+            Kernel::DnnLayer => "dnn_layer",
         }
     }
 

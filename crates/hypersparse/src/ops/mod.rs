@@ -23,8 +23,8 @@ pub use ewise::{
     ewise_mul_op, ewise_mul_op_ctx, ewise_union, ewise_union_ctx,
 };
 pub use mxm::{
-    mxm, mxm_ctx, mxm_masked, mxm_masked_ctx, mxm_seq, mxm_seq_ctx, try_mxm_masked,
-    try_mxm_masked_ctx,
+    mxm, mxm_apply_prune, mxm_apply_prune_ctx, mxm_ctx, mxm_masked, mxm_masked_ctx, mxm_seq,
+    mxm_seq_ctx, try_mxm_apply_prune_ctx, try_mxm_masked, try_mxm_masked_ctx,
 };
 pub use mxv::{
     choose_direction, mxv, mxv_ctx, mxv_opt_ctx, try_mxv, try_mxv_ctx, try_vxm, try_vxm_ctx, vxm,
@@ -39,6 +39,6 @@ pub use structure::{
     matrix_power, matrix_power_ctx, tril, triu,
 };
 pub use transform::{
-    apply, apply_ctx, extract, extract_ctx, kron, kron_ctx, select, select_ctx, transpose,
-    transpose_ctx,
+    apply, apply_ctx, apply_prune, apply_prune_ctx, extract, extract_ctx, kron, kron_ctx, select,
+    select_ctx, transpose, transpose_ctx,
 };

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use semiring::traits::{Semiring, Value};
+use semiring::traits::{Semiring, UnaryOp, Value};
 
 use crate::ctx::{par_run, with_default_ctx, MxmScratch, OpCtx};
 use crate::dcsr::Dcsr;
@@ -147,6 +147,113 @@ pub fn mxm<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> 
 /// Sequential reference SpGEMM (same output as [`mxm`]).
 pub fn mxm_seq<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
     with_default_ctx(|ctx| mxm_seq_ctx(ctx, a, b, s))
+}
+
+/// Fused SpGEMM + prune: `C = prune(op(A ⊕.⊗ B))` in one pass, with no
+/// intermediate product ever materialized. The epilogue runs at
+/// accumulator-drain time: each accumulated value that is *not* an `s`
+/// zero (exactly the entries plain [`mxm_ctx`] would store) is mapped
+/// through `op`, and results that are zero under the `drop` semiring
+/// are discarded. That ordering makes the kernel bit-identical to
+/// `apply_prune_ctx(ctx, &mxm_ctx(ctx, a, b, s), op, drop)` — in
+/// particular `op` is never evaluated at absent positions, which is the
+/// invariant the sparse DNN layer `Y W ⊗ b ⊕ 0` relies on (`relu(0+b)`
+/// for `b > 0` must stay absent, not appear).
+///
+/// Sharding, accumulator choice, and metrics ([`crate::metrics::Kernel::Mxm`],
+/// flops = ⊗ count) match [`mxm_ctx`], so the result is identical at
+/// every thread count.
+pub fn mxm_apply_prune_ctx<T, S, SD, O>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    op: O,
+    drop: SD,
+) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    SD: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    try_mxm_apply_prune_ctx(ctx, a, b, s, op, drop).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fused SpGEMM + prune (thread-local default ctx). See
+/// [`mxm_apply_prune_ctx`].
+pub fn mxm_apply_prune<T, S, SD, O>(a: &Dcsr<T>, b: &Dcsr<T>, s: S, op: O, drop: SD) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    SD: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    with_default_ctx(|ctx| mxm_apply_prune_ctx(ctx, a, b, s, op, drop))
+}
+
+/// Fallible [`mxm_apply_prune_ctx`]: non-conforming inner dimensions
+/// become an [`OpError::DimensionMismatch`] instead of a panic.
+pub fn try_mxm_apply_prune_ctx<T, S, SD, O>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    op: O,
+    drop: SD,
+) -> Result<Dcsr<T>, OpError>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+    SD: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    if a.ncols() != b.nrows() {
+        return Err(OpError::DimensionMismatch {
+            op: "mxm_apply_prune",
+            a: (a.nrows(), a.ncols()),
+            b: (b.nrows(), b.ncols()),
+            rule: "inner dimensions differ",
+        });
+    }
+    let _span = ctx.kernel_span(Kernel::Mxm, || mm_detail(a, b));
+    let start = Instant::now();
+    let ep = move |v: T| {
+        let w = op.apply(v);
+        if drop.is_zero(&w) {
+            None
+        } else {
+            Some(w)
+        }
+    };
+    let nrows_ne = a.n_nonempty_rows();
+    let threads = ctx.threads();
+
+    let (c, flops) = if threads == 1 || nrows_ne < 2 * ROWS_PER_SHARD {
+        let mut lease = ctx.lease_mxm_scratch::<T>();
+        let (chunk, flops) = multiply_row_range_ep(a, b, s, 0, nrows_ne, lease.get(), &ep);
+        (assemble(a.nrows(), b.ncols(), [chunk]), flops)
+    } else {
+        let nshards = nrows_ne.div_ceil(ROWS_PER_SHARD);
+        let shard_results = par_run(threads, nshards, |shard| {
+            let lo = shard * ROWS_PER_SHARD;
+            let hi = (lo + ROWS_PER_SHARD).min(nrows_ne);
+            let mut lease = ctx.lease_mxm_scratch::<T>();
+            multiply_row_range_ep(a, b, s, lo, hi, lease.get(), &ep)
+        });
+        let flops = shard_results.iter().map(|(_, f)| f).sum();
+        let chunks: Vec<_> = shard_results.into_iter().map(|(c, _)| c).collect();
+        (assemble(a.nrows(), b.ncols(), chunks), flops)
+    };
+
+    ctx.metrics().record(
+        Kernel::Mxm,
+        start.elapsed(),
+        (a.nnz() + b.nnz()) as u64,
+        c.nnz() as u64,
+        flops,
+    );
+    Ok(c)
 }
 
 /// Masked SpGEMM through an explicit context: `C = (A ⊕.⊗ B) ⊙ mask`
@@ -339,10 +446,27 @@ fn multiply_row_range_ws<T: Value, S: Semiring<Value = T>>(
     end: usize,
     scratch: &mut MxmScratch<T>,
 ) -> (RowsChunk<T>, u64) {
+    multiply_row_range_ep(a, b, s, start, end, scratch, &Some)
+}
+
+/// [`multiply_row_range_ws`] with a drain-time epilogue: every
+/// accumulated value that survives the semiring-zero filter passes
+/// through `ep` before being stored, and `None` results are dropped.
+/// This is what lets `mxm_apply_prune_ctx` fuse a bias+ReLU prune into
+/// the multiply without materializing the intermediate product.
+fn multiply_row_range_ep<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>>(
+    a: &Dcsr<T>,
+    b: &Dcsr<T>,
+    s: S,
+    start: usize,
+    end: usize,
+    scratch: &mut MxmScratch<T>,
+    ep: &E,
+) -> (RowsChunk<T>, u64) {
     if dense_acc_pays_off(a, b, start, end) {
-        multiply_rows_dense_ws(a, b, s, start, end, scratch)
+        multiply_rows_dense_ws(a, b, s, start, end, scratch, ep)
     } else {
-        multiply_rows_hash_ws(a, b, s, start, end, scratch)
+        multiply_rows_hash_ws(a, b, s, start, end, scratch, ep)
     }
 }
 
@@ -373,13 +497,14 @@ fn dense_acc_pays_off<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>, start: usize, end: usi
     false
 }
 
-fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>>(
+fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>>(
     a: &Dcsr<T>,
     b: &Dcsr<T>,
     s: S,
     start: usize,
     end: usize,
     scratch: &mut MxmScratch<T>,
+    ep: &E,
 ) -> (RowsChunk<T>, u64) {
     let acc = &mut scratch.hash;
     let mut out = Vec::new();
@@ -402,7 +527,18 @@ fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>>(
                 }
             }
         }
-        let mut row: Vec<(Ix, T)> = acc.drain().filter(|(_, v)| !s.is_zero(v)).collect();
+        // Order matters: s-zeros are dropped BEFORE the epilogue runs,
+        // so `ep` only ever sees values the two-pass path would store.
+        let mut row: Vec<(Ix, T)> = acc
+            .drain()
+            .filter_map(|(j, v)| {
+                if s.is_zero(&v) {
+                    None
+                } else {
+                    ep(v).map(|w| (j, w))
+                }
+            })
+            .collect();
         if row.is_empty() {
             continue;
         }
@@ -412,13 +548,14 @@ fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>>(
     (out, flops)
 }
 
-fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>>(
+fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>>(
     a: &Dcsr<T>,
     b: &Dcsr<T>,
     s: S,
     start: usize,
     end: usize,
     scratch: &mut MxmScratch<T>,
+    ep: &E,
 ) -> (RowsChunk<T>, u64) {
     let width = b.ncols() as usize;
     scratch.ensure_dense_width(width);
@@ -450,8 +587,12 @@ fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>>(
         let mut row: Vec<(Ix, T)> = Vec::with_capacity(touched.len());
         for &j in touched.iter() {
             if let Some(v) = dense[j as usize].take() {
+                // Same epilogue contract as the hash path: drop s-zeros
+                // first, then let `ep` transform/prune the survivor.
                 if !s.is_zero(&v) {
-                    row.push((j, v));
+                    if let Some(w) = ep(v) {
+                        row.push((j, w));
+                    }
                 }
             }
         }
@@ -473,7 +614,7 @@ pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
     end: usize,
 ) -> RowsChunk<T> {
     let mut scratch = MxmScratch::default();
-    multiply_rows_hash_ws(a, b, s, start, end, &mut scratch).0
+    multiply_rows_hash_ws(a, b, s, start, end, &mut scratch, &Some).0
 }
 
 /// Dense-scratch row multiply — a `Vec<Option<T>>` of width `ncols`,
@@ -488,7 +629,7 @@ pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
     end: usize,
 ) -> RowsChunk<T> {
     let mut scratch = MxmScratch::default();
-    multiply_rows_dense_ws(a, b, s, start, end, &mut scratch).0
+    multiply_rows_dense_ws(a, b, s, start, end, &mut scratch, &Some).0
 }
 
 #[cfg(test)]
@@ -784,6 +925,66 @@ mod tests {
         let _ = mxm_ctx(&ctx, &a, &b, s);
         let mut lease = ctx.lease_mxm_scratch::<f64>();
         assert_eq!(lease.get().dense_capacity(), 128);
+    }
+
+    #[test]
+    fn fused_prune_equals_mxm_then_apply_prune() {
+        use crate::ops::transform::apply_prune_ctx;
+        use semiring::FnOp;
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 300, 31, s);
+        let b = random_dcsr(64, 64, 300, 32, s);
+        let ctx = OpCtx::new().with_threads(1);
+        // Bias + ReLU epilogues, including a positive bias where
+        // op(0) = 5 > 0: the fused kernel must still never materialize
+        // entries at positions the plain product leaves absent.
+        for bias in [-0.5, 0.0, 5.0] {
+            let op = FnOp(move |x: f64| (x + bias).max(0.0));
+            let fused = mxm_apply_prune_ctx(&ctx, &a, &b, s, op, s);
+            let two_pass = apply_prune_ctx(&ctx, &mxm_ctx(&ctx, &a, &b, s), op, s);
+            assert!(fused == two_pass, "bias={bias}");
+        }
+    }
+
+    #[test]
+    fn fused_prune_is_thread_invariant() {
+        use semiring::FnOp;
+        let s = PlusTimes::<f64>::new();
+        // Big enough to trigger the sharded path (>512 non-empty rows).
+        let a = random_dcsr(2000, 2000, 20_000, 33, s);
+        let b = random_dcsr(2000, 2000, 20_000, 34, s);
+        // Product entries are sums of ~1–3 terms from [1,4), so a -3.0
+        // shift prunes a real fraction without emptying the result.
+        let op = FnOp(|x: f64| (x - 3.0).max(0.0));
+        let ctx1 = OpCtx::new().with_threads(1);
+        let reference = mxm_apply_prune_ctx(&ctx1, &a, &b, s, op, s);
+        assert!(reference.nnz() > 0);
+        for threads in [2, 4, 8] {
+            let ctxn = OpCtx::new().with_threads(threads);
+            assert_eq!(mxm_apply_prune_ctx(&ctxn, &a, &b, s, op, s), reference);
+        }
+    }
+
+    #[test]
+    fn try_fused_prune_reports_typed_error() {
+        use semiring::FnOp;
+        let s = PlusTimes::<f64>::new();
+        let a = Dcsr::<f64>::empty(3, 4);
+        let b = Dcsr::<f64>::empty(5, 3);
+        let op = FnOp(|x: f64| x);
+        let ctx = OpCtx::new();
+        let e = try_mxm_apply_prune_ctx(&ctx, &a, &b, s, op, s).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                OpError::DimensionMismatch {
+                    op: "mxm_apply_prune",
+                    rule: "inner dimensions differ",
+                    ..
+                }
+            ),
+            "{e:?}"
+        );
     }
 
     #[test]

@@ -70,7 +70,46 @@ where
     S: Semiring<Value = T>,
     O: UnaryOp<T, T>,
 {
-    let _span = ctx.kernel_span(Kernel::Apply, || {
+    apply_sharded(ctx, a, op, s, Kernel::Apply)
+}
+
+/// Fused **apply + prune** kernel: map every stored value through `op`
+/// and drop results that are zero under the explicit `drop` semiring —
+/// one deterministic row-sharded pass.
+///
+/// Semantically this is [`apply`] with the zero-dropping role named:
+/// `apply`'s semiring argument does no arithmetic, it only decides which
+/// op results vanish from the pattern, and call sites that compute in
+/// one semiring while pruning in another (the two-semiring DNN layer of
+/// the paper's §V.C computes `max(x + b, 0)` in MaxPlus but must prune
+/// `0.0` — the *PlusTimes* zero, not MaxPlus's `−∞`) need that choice
+/// explicit in the signature. Recorded under
+/// [`crate::metrics::Kernel::ApplyPrune`].
+pub fn apply_prune<T: Value, SD, O>(a: &Dcsr<T>, op: O, drop: SD) -> Dcsr<T>
+where
+    SD: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    with_default_ctx(|ctx| apply_prune_ctx(ctx, a, op, drop))
+}
+
+/// [`apply_prune`] through an explicit execution context.
+pub fn apply_prune_ctx<T: Value, SD, O>(ctx: &OpCtx, a: &Dcsr<T>, op: O, drop: SD) -> Dcsr<T>
+where
+    SD: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    apply_sharded(ctx, a, op, drop, Kernel::ApplyPrune)
+}
+
+/// Shared body of [`apply_ctx`] / [`apply_prune_ctx`]: the semiring
+/// argument is used *only* for its zero test on op outputs.
+fn apply_sharded<T: Value, S, O>(ctx: &OpCtx, a: &Dcsr<T>, op: O, s: S, kernel: Kernel) -> Dcsr<T>
+where
+    S: Semiring<Value = T>,
+    O: UnaryOp<T, T>,
+{
+    let _span = ctx.kernel_span(kernel, || {
         format!("{}×{}, {} nnz", a.nrows(), a.ncols(), a.nnz())
     });
     let start = Instant::now();
@@ -122,7 +161,7 @@ where
     }
     let c = Dcsr::from_parts(a.nrows(), a.ncols(), rows, rowptr, colidx, vals);
     ctx.metrics().record(
-        Kernel::Apply,
+        kernel,
         start.elapsed(),
         a.nnz() as u64,
         c.nnz() as u64,
@@ -423,6 +462,60 @@ mod tests {
         assert_eq!(snap.kernel(Kernel::Extract).calls, 1);
         assert_eq!(snap.kernel(Kernel::Kron).calls, 1);
         assert_eq!(snap.kernel(Kernel::Kron).flops, 9); // 3 nnz × 3 nnz
+    }
+
+    #[test]
+    fn apply_prune_drop_semiring_is_explicit() {
+        use semiring::{FnOp, MaxPlus};
+        // op maps -3 → 0.0 and 2 → 3.0. Which of those survive depends
+        // entirely on whose zero the drop semiring contributes.
+        let a = m(4, &[(0, 1, -3.0), (2, 3, 2.0)]);
+        let op = FnOp(|x: f64| (x + 1.0).max(0.0));
+        let ctx = crate::ctx::OpCtx::new();
+        let pruned = apply_prune_ctx(&ctx, &a, op, PlusTimes::<f64>::new());
+        assert_eq!(pruned.nnz(), 1);
+        assert_eq!(pruned.get(2, 3), Some(&3.0));
+        // MaxPlus-zero is −∞, so the computed 0.0 would be *stored* —
+        // the wrong choice for a ReLU prune, and visibly different.
+        let kept = apply_prune_ctx(&ctx, &a, op, MaxPlus::<f64>::new());
+        assert_eq!(kept.nnz(), 2);
+        assert_eq!(kept.get(0, 1), Some(&0.0));
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.kernel(Kernel::ApplyPrune).calls, 2);
+        assert_eq!(snap.kernel(Kernel::Apply).calls, 0);
+    }
+
+    #[test]
+    fn apply_prune_matches_apply_when_semirings_agree() {
+        use semiring::FnOp;
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(200, 200, 900, 41, s);
+        // Values sit in [1,2), so shifting by -1.5 sends roughly half of
+        // them to 0.0 — both spellings must drop exactly those.
+        let op = FnOp(|x: f64| (x - 1.5).max(0.0));
+        let pruned = apply_prune(&a, op, s);
+        assert!(pruned.nnz() > 0 && pruned.nnz() < a.nnz());
+        assert_eq!(pruned, apply(&a, op, s));
+    }
+
+    #[test]
+    fn parallel_apply_prune_is_bit_identical() {
+        use semiring::FnOp;
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(4000, 4000, 20_000, 35, s);
+        let op = FnOp(|x: f64| (x - 1.5).max(0.0));
+        let base = {
+            let ctx = crate::ctx::OpCtx::new().with_threads(1);
+            apply_prune_ctx(&ctx, &a, op, s)
+        };
+        assert!(base.nnz() > 0 && base.nnz() < a.nnz());
+        for threads in [2, 4, 8] {
+            let ctx = crate::ctx::OpCtx::new().with_threads(threads);
+            assert!(
+                apply_prune_ctx(&ctx, &a, op, s) == base,
+                "apply_prune differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

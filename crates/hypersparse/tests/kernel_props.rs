@@ -258,3 +258,60 @@ proptest! {
         }
     }
 }
+
+fn f64_triplets() -> impl Strategy<Value = Vec<(Ix, Ix, f64)>> {
+    proptest::collection::vec((0..N, 0..N, -5i64..10), 0..60)
+        .prop_map(|v| v.into_iter().map(|(r, c, x)| (r, c, x as f64)).collect())
+}
+
+fn build_f64(t: &[(Ix, Ix, f64)]) -> hypersparse::Dcsr<f64> {
+    let mut c = Coo::new(N, N);
+    c.extend(t.iter().copied());
+    c.build_dcsr(PlusTimes::<f64>::new())
+}
+
+proptest! {
+    /// The fused SpGEMM epilogue is ≡ mxm-then-apply_prune under the
+    /// DNN two-semiring layer: multiply in PlusTimes (S₁), bias+ReLU in
+    /// MaxPlus (S₂ — `max(x + b, 0)`), prune with the S₁ zero. Positive
+    /// biases included: `op(0) = b > 0` must never appear at positions
+    /// the product leaves absent.
+    #[test]
+    fn fused_prune_equals_two_pass_plus_times(
+        ta in f64_triplets(), tb in f64_triplets(), bias in -4i64..5,
+    ) {
+        use semiring::{FnOp, MaxPlus};
+        let s1 = PlusTimes::<f64>::new();
+        let s2 = MaxPlus::<f64>::new();
+        let b = bias as f64;
+        let (a, w) = (build_f64(&ta), build_f64(&tb));
+        let op = FnOp(move |x: f64| s2.add(s2.mul(x, b), 0.0));
+        for threads in [1usize, 4] {
+            let ctx = hypersparse::OpCtx::new().with_threads(threads);
+            let fused = hypersparse::ops::mxm_apply_prune_ctx(&ctx, &a, &w, s1, op, s1);
+            let two_pass = hypersparse::ops::apply_prune_ctx(
+                &ctx, &hypersparse::ops::mxm_ctx(&ctx, &a, &w, s1), op, s1);
+            prop_assert_eq!(fused, two_pass, "threads={}", threads);
+        }
+    }
+
+    /// Same fusion law with the multiply itself running in MaxPlus —
+    /// the accumulator s-zero (−∞) and the drop zero (0.0) genuinely
+    /// differ, so any epilogue-ordering mistake shows up here.
+    #[test]
+    fn fused_prune_equals_two_pass_max_plus(
+        ta in f64_triplets(), tb in f64_triplets(), bias in -4i64..1,
+    ) {
+        use semiring::{FnOp, MaxPlus};
+        let s2 = MaxPlus::<f64>::new();
+        let drop = PlusTimes::<f64>::new();
+        let b = bias as f64;
+        let (a, w) = (build_f64(&ta), build_f64(&tb));
+        let op = FnOp(move |x: f64| s2.add(s2.mul(x, b), 0.0));
+        let ctx = hypersparse::OpCtx::new();
+        let fused = hypersparse::ops::mxm_apply_prune_ctx(&ctx, &a, &w, s2, op, drop);
+        let two_pass = hypersparse::ops::apply_prune_ctx(
+            &ctx, &hypersparse::ops::mxm_ctx(&ctx, &a, &w, s2), op, drop);
+        prop_assert_eq!(fused, two_pass);
+    }
+}

@@ -1,6 +1,7 @@
 //! The §V.C / Fig. 8 scenario: sparse DNN inference as a linear system
 //! oscillating between the `+.×` and `max.+` semirings, validated
-//! against a dense baseline and timed.
+//! against a dense baseline and timed — driven through [`dnn::DnnCtx`]
+//! so every layer lands in the kernel metrics/trace registries.
 //!
 //! ```sh
 //! cargo run --release --example sparse_dnn
@@ -8,9 +9,10 @@
 
 use std::time::Instant;
 
-use dnn::infer::{categories, equivalent, infer_dense, infer_fused, infer_two_semiring};
+use dnn::infer::{categories, equivalent, infer_dense};
 use dnn::input::sparse_batch;
 use dnn::radix::{radix_net, RadixNetParams};
+use dnn::DnnCtx;
 use hypersparse::DenseMat;
 use semiring::PlusTimes;
 
@@ -34,15 +36,17 @@ fn main() {
     let y0 = sparse_batch(batch, p.n_neurons, 0.2, 99);
     println!("batch: {} samples, {} active features", batch, y0.nnz());
 
-    // The engineering formulation.
+    // The engineering formulation: one fused mxm+bias+ReLU+prune kernel
+    // per layer, scratch reused across layers by the driver.
+    let driver = DnnCtx::new();
     let t = Instant::now();
-    let fused = infer_fused(&net, &y0);
+    let fused = driver.infer(&net, &y0);
     let t_fused = t.elapsed();
 
     // The paper's S₁/S₂ oscillation, scalar-for-scalar through the
     // semiring objects.
     let t = Instant::now();
-    let pair = infer_two_semiring(&net, &y0);
+    let pair = driver.infer_two_semiring(&net, &y0);
     let t_pair = t.elapsed();
     assert_eq!(
         fused, pair,
@@ -70,6 +74,15 @@ fn main() {
         "sample categories (first 5): {:?}",
         cats.iter().take(5).collect::<Vec<_>>()
     );
+
+    // Per-layer observability: both inferences above ran on this
+    // driver's registries.
+    println!("\nkernel metrics (Prometheus exposition):");
+    for line in driver.render_prometheus().lines() {
+        if line.contains("kernel_calls_total") {
+            println!("  {line}");
+        }
+    }
 
     println!("sparse_dnn OK — all three formulations agree");
 }

@@ -1,0 +1,139 @@
+//! Lint-style guard: every kernel call outside `crates/hypersparse`
+//! must go through a `_ctx` twin (or `with_default_ctx`), so metrics
+//! and trace spans cover the whole stack. Bare `ops::mxm(` /
+//! `ops::apply(` / friends in library sources silently bypass the
+//! observability layer — this test greps them out of existence.
+//!
+//! Bench sources are exempt: ablation benches deliberately time the
+//! bare seed paths against the ctx paths.
+
+use std::path::{Path, PathBuf};
+
+/// Kernel entry points that have `_ctx` twins. A match is a bare call
+/// only when the name is not followed by `_` (which would make it the
+/// `_ctx` spelling or another longer identifier).
+const KERNELS: &[&str] = &[
+    "mxm",
+    "mxm_masked",
+    "mxm_apply_prune",
+    "apply",
+    "apply_prune",
+    "select",
+    "transpose",
+    "ewise_add",
+    "ewise_mul",
+    "reduce_rows",
+    "reduce_cols",
+    "extract",
+    "kron",
+];
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/hyperspace
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Offending `ops::<kernel>(` occurrences in one file.
+fn bare_calls(text: &str) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") || trimmed.starts_with("#!") {
+            continue;
+        }
+        for kernel in KERNELS {
+            let needle = format!("ops::{kernel}(");
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(&needle) {
+                hits.push((
+                    lineno + 1,
+                    format!("ops::{kernel}( — use ops::{kernel}_ctx"),
+                ));
+                from += pos + needle.len();
+            }
+        }
+    }
+    hits
+}
+
+#[test]
+fn no_bare_kernel_calls_outside_hypersparse() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for crate_dir in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let crate_dir = crate_dir.expect("crate entry").path();
+        let name = crate_dir
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        // hypersparse owns the kernels; bench times bare seed paths on
+        // purpose (ablations compare them against the ctx paths).
+        if name == "hypersparse" || name == "bench" {
+            continue;
+        }
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut files);
+        }
+    }
+    // Root-level integration tests and examples must be ctx-clean too.
+    for extra in ["tests", "examples"] {
+        let dir = root.join(extra);
+        if dir.is_dir() {
+            rust_sources(&dir, &mut files);
+        }
+    }
+    assert!(
+        files.len() > 20,
+        "lint walked only {} files — wrong root?",
+        files.len()
+    );
+
+    let mut offenders = Vec::new();
+    for file in &files {
+        // This file carries bare-call fixtures for the self-test below.
+        if file.file_name().is_some_and(|n| n == "ctx_kernel_lint.rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(file).expect("readable source");
+        for (line, what) in bare_calls(&text) {
+            offenders.push(format!("{}:{line}: {what}", file.display()));
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "bare kernel calls bypass ctx metrics/tracing:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn lint_pattern_actually_matches() {
+    // Guard the guard: the detector must flag the bare spelling and
+    // pass the ctx spelling, or the lint above is vacuous.
+    let bad = "let c = hypersparse::ops::mxm(&a, &b, s);";
+    assert_eq!(bare_calls(bad).len(), 1);
+    let good = "let c = hypersparse::ops::mxm_ctx(ctx, &a, &b, s);";
+    assert!(bare_calls(good).is_empty());
+    let comment = "// old: hypersparse::ops::mxm(&a, &b, s)";
+    assert!(bare_calls(comment).is_empty());
+    let masked = "let c = hypersparse::ops::mxm_masked(&a, &b, &m, true, s);";
+    assert_eq!(bare_calls(masked).len(), 1);
+}
