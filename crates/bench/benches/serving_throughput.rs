@@ -1,0 +1,245 @@
+//! Serving throughput: N reader threads answering the typed query mix
+//! against a live writer that keeps ingesting and publishing epochs.
+//!
+//! The serving claim under test: readers pin epochs zero-copy and never
+//! block on publication, so query throughput should scale with reader
+//! count while the writer sustains ingest — and p99 latency (from the
+//! serving layer's own per-class histograms) stays bounded. Medians
+//! land in `BENCH_serving.json` at the repo root, the first entry in
+//! the tracked perf trajectory.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bench::{fmt_dur, BenchRecord};
+use criterion::Criterion;
+use db::Pred;
+use pipeline::{Pipeline, PipelineConfig};
+use semiring::PlusTimes;
+use serve::{QueryClass, QueryRequest, QueryServer, View, ViewSchema};
+
+const HOSTS: u64 = 64;
+const RUN: Duration = Duration::from_millis(250);
+const SNAPSHOT_EVERY: u64 = 4_096;
+const ROUNDS: usize = 3;
+
+/// The serving query mix, cycling through every class.
+fn request(i: u64) -> QueryRequest {
+    let h = i % HOSTS;
+    match i % 5 {
+        0 => QueryRequest::sql(format!("SELECT dst FROM flows WHERE src = 'h{h}'")),
+        1 => QueryRequest::Select {
+            view: View::Assoc,
+            expr: Pred::eq("src", &format!("h{h}"))
+                .or(Pred::eq("dst", &format!("h{}", (h + 1) % HOSTS))),
+        },
+        2 => QueryRequest::Neighbors {
+            view: View::Triple,
+            host: format!("h{h}"),
+        },
+        3 => QueryRequest::GroupCount {
+            view: View::Row,
+            field: "src".into(),
+        },
+        _ => QueryRequest::Point {
+            row: h,
+            col: (h * 7) % HOSTS,
+        },
+    }
+}
+
+struct RunStats {
+    queries_per_sec: f64,
+    writer_events_per_sec: f64,
+    epochs_published: u64,
+    p99_us: [f64; QueryClass::ALL.len()],
+    cache_hit_ratio: f64,
+}
+
+/// One timed run: `readers` query threads vs one live writer.
+fn run_once(readers: usize) -> RunStats {
+    let p = Arc::new(Pipeline::with_config(
+        HOSTS,
+        HOSTS,
+        PlusTimes::<f64>::new(),
+        PipelineConfig::new().with_shards(2),
+    ));
+    let srv = Arc::new(QueryServer::<PlusTimes<f64>>::with_capacity(
+        4,
+        64,
+        ViewSchema::flows(),
+    ));
+    srv.attach(&p);
+
+    // Seed a populated epoch before the clock starts.
+    for i in 0..2_000u64 {
+        p.ingest(i % HOSTS, (i * 13) % HOSTS, 1.0).unwrap();
+    }
+    p.snapshot_shared().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let writer = {
+        let p = Arc::clone(&p);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut k = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                p.ingest(k % HOSTS, (k * 31) % HOSTS, 1.0).unwrap();
+                k += 1;
+                if k.is_multiple_of(SNAPSHOT_EVERY) {
+                    p.snapshot_shared().unwrap();
+                }
+            }
+            k
+        })
+    };
+
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let srv = Arc::clone(&srv);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            thread::spawn(move || {
+                let mut i = r as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    srv.query(&request(i)).unwrap();
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    thread::sleep(RUN);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = writer.join().unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let m = srv.metrics();
+    let p99_us = std::array::from_fn(|i| m.latency[i].quantile(0.99) as f64 / 1e3);
+    let total = queries.load(Ordering::Relaxed);
+    let stats = RunStats {
+        queries_per_sec: total as f64 / elapsed,
+        writer_events_per_sec: events as f64 / elapsed,
+        epochs_published: srv.registry().published(),
+        p99_us,
+        cache_hit_ratio: m.cache_hits as f64 / (m.cache_hits + m.cache_misses).max(1) as f64,
+    };
+    Arc::try_unwrap(p).ok().unwrap().shutdown().unwrap();
+    stats
+}
+
+/// Median-of-`ROUNDS` stats for one reader count.
+fn run_median(readers: usize) -> RunStats {
+    let mut runs: Vec<RunStats> = (0..ROUNDS).map(|_| run_once(readers)).collect();
+    runs.sort_by(|a, b| a.queries_per_sec.total_cmp(&b.queries_per_sec));
+    runs.remove(runs.len() / 2)
+}
+
+fn shape_report() -> BenchRecord {
+    println!("=== Serving throughput: readers vs one live writer ===");
+    println!("({RUN:?} per run, median of {ROUNDS}, snapshot every {SNAPSHOT_EVERY} events)");
+    let mut rec = BenchRecord::new("serving_throughput");
+
+    println!("| readers | queries/s | writer events/s | epochs | hit ratio |");
+    let mut last = None;
+    for readers in [1usize, 2, 4, 8] {
+        let s = run_median(readers);
+        println!(
+            "| {:>7} | {:>8.0}  | {:>14.0}  | {:>6} | {:>8.2}  |",
+            readers,
+            s.queries_per_sec,
+            s.writer_events_per_sec,
+            s.epochs_published,
+            s.cache_hit_ratio,
+        );
+        rec.set(&format!("readers_{readers}_qps"), s.queries_per_sec.round());
+        if readers == 8 {
+            rec.set("writer_events_per_sec", s.writer_events_per_sec.round());
+            rec.set("epochs_published_8r", s.epochs_published as f64);
+            last = Some(s);
+        }
+    }
+
+    let s = last.expect("8-reader run");
+    println!("--- p99 latency by query class (8 readers, live writer) ---");
+    for class in QueryClass::ALL {
+        let us = s.p99_us[QueryClass::ALL.iter().position(|c| *c == class).unwrap()];
+        println!(
+            "| {:>11} | {:>9} |",
+            class.label(),
+            fmt_dur(Duration::from_nanos((us * 1e3) as u64))
+        );
+        rec.set(
+            &format!("p99_{}_us", class.label()),
+            (us * 10.0).round() / 10.0,
+        );
+    }
+    println!("✓ readers scale against a live writer; pinning never blocks publication");
+    rec
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    // Steady-state single-query latency on a pinned epoch (no writer):
+    // the cache-hit and cache-miss paths the histograms above aggregate.
+    let p = Pipeline::new(HOSTS, HOSTS, PlusTimes::<f64>::new());
+    let srv = QueryServer::<PlusTimes<f64>>::new(ViewSchema::flows());
+    for i in 0..2_000u64 {
+        p.ingest(i % HOSTS, (i * 13) % HOSTS, 1.0).unwrap();
+    }
+    srv.refresh(&p).unwrap();
+
+    let mut group = c.benchmark_group("serve/query");
+    group.sample_size(20);
+    group.bench_function("sql_cached", |b| {
+        let req = QueryRequest::sql("SELECT dst FROM flows WHERE src = 'h1'");
+        srv.query(&req).unwrap(); // prime
+        b.iter(|| srv.query(&req).unwrap())
+    });
+    group.bench_function("select_mix_uncached", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            // Distinct predicate each iteration defeats the LRU.
+            i += 1;
+            srv.query(&QueryRequest::Select {
+                view: View::Assoc,
+                expr: Pred::eq("src", &format!("h{}", i % HOSTS))
+                    .and(Pred::eq("dst", &format!("h{}", (i * 13) % HOSTS))),
+            })
+            .unwrap()
+        })
+    });
+    group.bench_function("point", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            srv.query(&QueryRequest::Point {
+                row: i % HOSTS,
+                col: (i * 13) % HOSTS,
+            })
+            .unwrap()
+        })
+    });
+    group.finish();
+    p.shutdown().unwrap();
+}
+
+fn main() {
+    let rec = shape_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    match rec.write(path) {
+        Ok(()) => println!("recorded medians → {path}"),
+        Err(e) => println!("could not record {path}: {e}"),
+    }
+    let mut c = Criterion::default().configure_from_args();
+    criterion_benches(&mut c);
+    c.final_summary();
+}

@@ -11,6 +11,10 @@
 //! iterations, good enough for "who wins and by roughly what factor"
 //! without Criterion's full statistics.
 
+pub mod record;
+
+pub use record::BenchRecord;
+
 use std::time::{Duration, Instant};
 
 /// Median wall time of `iters` runs of `f` (after one warmup run).

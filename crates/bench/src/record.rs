@@ -1,0 +1,115 @@
+//! Tiny machine-readable bench recording: `BENCH_*.json` files at the
+//! repo root, one per tracked benchmark, holding the latest run's
+//! medians so successive PRs can diff the perf trajectory.
+//!
+//! The format is deliberately minimal and deterministic — flat
+//! `metric → number` pairs, sorted by key, no timestamps — so the file
+//! diff *is* the trajectory and reruns with identical numbers are
+//! byte-identical. Written by hand (the workspace is offline; no serde).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// One benchmark's recorded medians.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchRecord {
+    bench: String,
+    metrics: BTreeMap<String, f64>,
+}
+
+impl BenchRecord {
+    /// A record for the named benchmark.
+    pub fn new(bench: &str) -> Self {
+        BenchRecord {
+            bench: bench.to_string(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Set one metric (overwrites on repeated keys). Non-finite values
+    /// are recorded as `0` — JSON has no NaN and a parseable trajectory
+    /// beats a truthful corrupt file.
+    pub fn set(&mut self, key: &str, value: f64) -> &mut Self {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.metrics.insert(key.to_string(), v);
+        self
+    }
+
+    /// Recorded metric count.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The JSON body: keys sorted, one metric per line.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        let _ = writeln!(out, "  \"metrics\": {{");
+        let last = self.metrics.len().saturating_sub(1);
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            // {v:?} keeps a trailing ".0" on integral floats, so the
+            // file round-trips as float everywhere.
+            let _ = writeln!(out, "    \"{k}\": {v:?}{comma}");
+        }
+        let _ = writeln!(out, "  }}");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write the JSON to `path` (atomic enough for a bench artifact:
+    /// single `write` syscall of a small buffer).
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_sorted_and_deterministic() {
+        let mut r = BenchRecord::new("serving_throughput");
+        r.set("z_last", 2.5).set("a_first", 1.0).set("m_mid", 3.0);
+        let json = r.to_json();
+        let a = json.find("a_first").unwrap();
+        let m = json.find("m_mid").unwrap();
+        let z = json.find("z_last").unwrap();
+        assert!(a < m && m < z, "keys must be sorted:\n{json}");
+        assert!(json.contains("\"a_first\": 1.0"));
+        assert!(json.contains("\"bench\": \"serving_throughput\""));
+        assert_eq!(json, r.clone().to_json());
+        // Last metric line has no trailing comma.
+        assert!(json.contains("\"z_last\": 2.5\n"));
+    }
+
+    #[test]
+    fn overwrites_and_sanitizes() {
+        let mut r = BenchRecord::new("x");
+        r.set("k", 1.0).set("k", 2.0).set("bad", f64::NAN);
+        assert_eq!(r.len(), 2);
+        assert!(r.to_json().contains("\"k\": 2.0"));
+        assert!(r.to_json().contains("\"bad\": 0.0"));
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("bench_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let mut r = BenchRecord::new("t");
+        r.set("q", 9.0);
+        r.write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), r.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Typed errors for the SQL front-end.
+//!
+//! Every parse failure carries the byte position it was detected at and
+//! what the parser expected there, so callers (REPLs, the serving layer)
+//! can point at the offending token instead of grepping a string.
+
+use std::error::Error;
+use std::fmt;
+
+/// A SQL parse error: what went wrong, where, and what was expected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlError {
+    /// A character the lexer has no token for.
+    UnexpectedChar {
+        /// Byte offset of the character in the statement.
+        position: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// A `'…` literal with no closing quote.
+    UnterminatedString {
+        /// Byte offset of the opening quote.
+        position: usize,
+    },
+    /// The statement ended while more tokens were required.
+    UnexpectedEnd {
+        /// What the parser was looking for.
+        expected: &'static str,
+    },
+    /// A token that does not fit the grammar at its position.
+    UnexpectedToken {
+        /// Byte offset of the token.
+        position: usize,
+        /// The token found.
+        found: String,
+        /// What the parser was looking for.
+        expected: &'static str,
+    },
+    /// `AND` and `OR` mixed in one `WHERE` clause (unsupported — compose
+    /// queries instead).
+    MixedConnectives {
+        /// Byte offset of the second, conflicting connective.
+        position: usize,
+    },
+    /// Tokens left over after a complete statement.
+    TrailingTokens {
+        /// Byte offset of the first extra token.
+        position: usize,
+        /// The extra tokens, space-joined.
+        found: String,
+    },
+}
+
+impl SqlError {
+    /// Byte offset the error was detected at (`None` for end-of-input).
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            SqlError::UnexpectedChar { position, .. }
+            | SqlError::UnterminatedString { position }
+            | SqlError::UnexpectedToken { position, .. }
+            | SqlError::MixedConnectives { position }
+            | SqlError::TrailingTokens { position, .. } => Some(*position),
+            SqlError::UnexpectedEnd { .. } => None,
+        }
+    }
+
+    /// What the parser expected, when that is well-defined.
+    pub fn expected(&self) -> Option<&'static str> {
+        match self {
+            SqlError::UnexpectedEnd { expected } | SqlError::UnexpectedToken { expected, .. } => {
+                Some(expected)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnexpectedChar { position, found } => {
+                write!(f, "unexpected character {found:?} at byte {position}")
+            }
+            SqlError::UnterminatedString { position } => {
+                write!(f, "unterminated string literal starting at byte {position}")
+            }
+            SqlError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of query: expected {expected}")
+            }
+            SqlError::UnexpectedToken {
+                position,
+                found,
+                expected,
+            } => {
+                write!(f, "expected {expected}, found {found} at byte {position}")
+            }
+            SqlError::MixedConnectives { position } => {
+                write!(
+                    f,
+                    "mixed AND/OR at byte {position} not supported — compose queries"
+                )
+            }
+            SqlError::TrailingTokens { position, found } => {
+                write!(
+                    f,
+                    "trailing tokens after statement at byte {position}: {found}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_and_expectations_surface() {
+        let e = SqlError::UnexpectedToken {
+            position: 7,
+            found: "FROM".into(),
+            expected: "identifier",
+        };
+        assert_eq!(e.position(), Some(7));
+        assert_eq!(e.expected(), Some("identifier"));
+        assert!(e.to_string().contains("byte 7"));
+        assert_eq!(
+            SqlError::UnexpectedEnd { expected: "FROM" }.position(),
+            None
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&SqlError::UnterminatedString { position: 3 });
+    }
+}

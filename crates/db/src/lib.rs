@@ -17,6 +17,11 @@
 //! * the adjacency-array view, reachable from [`AssocTable::adjacency`]
 //!   (`A = E_srcᵀ ⊕.⊗ E_dst`, the Fig. 3 projection applied to tables).
 //!
+//! All three engines answer one predicate language through the
+//! [`Select`] trait ([`Pred`] combinators building a [`PredExpr`] tree),
+//! the SQL front-end returns typed [`SqlError`]s, and every executor
+//! produces an id-sorted [`ResultSet`] so engines compare with `==`.
+//!
 //! [`gen`] generates the synthetic flow records the Fig. 6 harness uses.
 //! Every query result is cross-validated between views in the tests.
 
@@ -24,14 +29,18 @@
 #![warn(missing_docs)]
 
 pub mod assoc_table;
+pub mod error;
 pub mod gen;
 pub mod query;
+pub mod result;
 pub mod rowstore;
 pub mod sql;
 pub mod triplestore;
 
 pub use assoc_table::AssocTable;
-pub use query::Pred;
+pub use error::SqlError;
+pub use query::{Pred, PredExpr, Select};
+pub use result::{ResultSet, Row};
 pub use rowstore::RowTable;
 pub use triplestore::TripleStore;
 

@@ -11,10 +11,16 @@
 //! baseline). One connective kind per `WHERE` clause (all `AND` or all
 //! `OR`), matching the paper's select discussion; compose queries for
 //! anything fancier.
+//!
+//! Parse failures are typed [`SqlError`]s with byte positions and
+//! expected-token detail; both executors return a [`ResultSet`], so the
+//! duality checks compare engines with one `==`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::query::Pred;
+use crate::error::SqlError;
+use crate::query::{Pred, PredExpr, Select};
+use crate::result::ResultSet;
 use crate::{AssocTable, RowTable};
 
 /// A parsed query.
@@ -30,19 +36,36 @@ pub struct Query {
     pub conjunctive: bool,
 }
 
+impl Query {
+    /// The WHERE clause as one [`PredExpr`] tree (`None` when
+    /// unfiltered) — the shape every [`Select`] engine evaluates.
+    pub fn expr(&self) -> Option<PredExpr> {
+        let (first, rest) = self.preds.split_first()?;
+        let mut e = PredExpr::from(first.clone());
+        for p in rest {
+            e = if self.conjunctive {
+                e.and(p.clone())
+            } else {
+                e.or(p.clone())
+            };
+        }
+        Some(e)
+    }
+}
+
 /// Parse one SQL statement.
-pub fn parse(sql: &str) -> Result<Query, String> {
+pub fn parse(sql: &str) -> Result<Query, SqlError> {
     let toks = tokenize(sql)?;
     let mut t = Tokens { toks, pos: 0 };
 
     t.expect_kw("SELECT")?;
     let projection = if t.peek_is("*") {
-        t.next_tok()?;
+        t.next_tok("column list")?;
         None
     } else {
         let mut cols = vec![t.ident()?];
         while t.peek_is(",") {
-            t.next_tok()?;
+            t.next_tok("column")?;
             cols.push(t.ident()?);
         }
         Some(cols)
@@ -54,7 +77,7 @@ pub fn parse(sql: &str) -> Result<Query, String> {
     let mut preds = Vec::new();
     let mut conjunctive = true;
     if t.peek_kw("WHERE") {
-        t.next_tok()?;
+        t.next_tok("WHERE")?;
         preds.push(parse_pred(&mut t)?);
         let mut connective: Option<bool> = None;
         loop {
@@ -63,11 +86,13 @@ pub fn parse(sql: &str) -> Result<Query, String> {
                 match connective {
                     None => connective = Some(is_and),
                     Some(c) if c != is_and => {
-                        return Err("mixed AND/OR not supported — compose queries".into())
+                        return Err(SqlError::MixedConnectives {
+                            position: t.peek_position(),
+                        })
                     }
                     _ => {}
                 }
-                t.next_tok()?;
+                t.next_tok("connective")?;
                 preds.push(parse_pred(&mut t)?);
             } else {
                 break;
@@ -76,10 +101,14 @@ pub fn parse(sql: &str) -> Result<Query, String> {
         conjunctive = connective.unwrap_or(true);
     }
     if t.pos != t.toks.len() {
-        return Err(format!(
-            "trailing tokens after statement: {:?}",
-            &t.toks[t.pos..]
-        ));
+        return Err(SqlError::TrailingTokens {
+            position: t.peek_position(),
+            found: t.toks[t.pos..]
+                .iter()
+                .map(|(_, s)| s.as_str())
+                .collect::<Vec<_>>()
+                .join(" "),
+        });
     }
     Ok(Query {
         projection,
@@ -89,148 +118,224 @@ pub fn parse(sql: &str) -> Result<Query, String> {
     })
 }
 
-fn parse_pred(t: &mut Tokens) -> Result<Pred, String> {
+/// Pre-[`SqlError`] parse entry point, kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `parse`, which returns a typed `SqlError`"
+)]
+pub fn parse_compat(sql: &str) -> Result<Query, String> {
+    parse(sql).map_err(|e| e.to_string())
+}
+
+fn parse_pred(t: &mut Tokens) -> Result<Pred, SqlError> {
     let field = t.ident()?;
     if t.peek_is("=") {
-        t.next_tok()?;
+        t.next_tok("=")?;
         Ok(Pred::Eq(field, t.string()?))
     } else if t.peek_kw("IN") {
-        t.next_tok()?;
+        t.next_tok("IN")?;
         t.expect_tok("(")?;
         let mut vals = vec![t.string()?];
         while t.peek_is(",") {
-            t.next_tok()?;
+            t.next_tok("value")?;
             vals.push(t.string()?);
         }
         t.expect_tok(")")?;
         Ok(Pred::In(field, vals))
     } else {
-        Err(format!("expected '=' or IN after field {field}"))
+        match t.toks.get(t.pos) {
+            Some((position, found)) => Err(SqlError::UnexpectedToken {
+                position: *position,
+                found: found.clone(),
+                expected: "'=' or IN after field",
+            }),
+            None => Err(SqlError::UnexpectedEnd {
+                expected: "'=' or IN after field",
+            }),
+        }
     }
 }
 
-/// Execute against the associative-array table: returns matching record
-/// ids and, per record, the projected `field → value` cells.
-pub fn execute(q: &Query, table: &AssocTable) -> Vec<(String, BTreeMap<String, String>)> {
-    let ids = if q.preds.is_empty() {
-        table.record_ids()
-    } else if q.conjunctive {
-        table.select_and(&q.preds)
-    } else {
-        table.select_or(&q.preds)
+/// The projected columns of `q` over the matched rows: the projection
+/// list itself, or — for `SELECT *` — the sorted union of fields the
+/// matched rows actually populate.
+fn result_columns<'a>(
+    q: &Query,
+    matched: impl Iterator<Item = &'a BTreeMap<String, String>>,
+) -> Vec<String> {
+    match &q.projection {
+        Some(p) => p.clone(),
+        None => {
+            let mut cols = BTreeSet::new();
+            for cells in matched {
+                cols.extend(cells.keys().cloned());
+            }
+            cols.into_iter().collect()
+        }
+    }
+}
+
+fn keep_field(q: &Query, field: &str) -> bool {
+    match &q.projection {
+        None => true,
+        Some(p) => p.iter().any(|f| f == field),
+    }
+}
+
+/// Execute against the associative-array table: the WHERE clause runs as
+/// ⊗/⊕ mask algebra, projection as row extraction.
+pub fn execute(q: &Query, table: &AssocTable) -> ResultSet {
+    let ids = match q.expr() {
+        None => table.all_ids(),
+        Some(e) => table.select(&e),
     };
-    ids.into_iter()
+    let rows: Vec<(String, BTreeMap<String, String>)> = ids
+        .into_iter()
         .map(|id| {
             let mut cells = BTreeMap::new();
             for (col, _) in table.array().row(&id) {
                 let (field, value) = col.split_once('|').unwrap_or((col.as_str(), ""));
-                let wanted = match &q.projection {
-                    None => true,
-                    Some(p) => p.iter().any(|f| f == field),
-                };
-                if wanted {
+                if keep_field(q, field) {
                     cells.insert(field.to_string(), value.to_string());
                 }
             }
             (id, cells)
         })
-        .collect()
+        .collect();
+    let columns = result_columns(q, rows.iter().map(|(_, c)| c));
+    ResultSet::from_rows(columns, rows)
 }
 
-/// Execute by scan against the row-store baseline (same output shape).
-pub fn execute_baseline(q: &Query, table: &RowTable) -> Vec<(String, BTreeMap<String, String>)> {
-    let ids: Vec<String> = if q.preds.is_empty() {
-        table.iter().map(|(id, _)| id.to_string()).collect()
-    } else if q.conjunctive {
-        table.select_and(&q.preds)
-    } else {
-        table.select_or(&q.preds)
+/// Execute by scan against the row-store baseline. Returns the same
+/// [`ResultSet`] shape as [`execute`], so `execute(q, &assoc) ==
+/// execute_baseline(q, &rows)` is the whole duality check.
+pub fn execute_baseline(q: &Query, table: &RowTable) -> ResultSet {
+    let ids = match q.expr() {
+        None => table.all_ids(),
+        Some(e) => table.select(&e),
     };
     let by_id: std::collections::HashMap<&str, _> = table.iter().collect();
-    ids.into_iter()
+    let rows: Vec<(String, BTreeMap<String, String>)> = ids
+        .into_iter()
         .map(|id| {
             let row = &by_id[id.as_str()];
             let cells = row
                 .iter()
-                .filter(|(f, _)| match &q.projection {
-                    None => true,
-                    Some(p) => p.contains(f),
-                })
+                .filter(|(f, _)| keep_field(q, f))
                 .map(|(f, v)| (f.clone(), v.clone()))
                 .collect();
             (id, cells)
         })
-        .collect()
+        .collect();
+    let columns = result_columns(q, rows.iter().map(|(_, c)| c));
+    ResultSet::from_rows(columns, rows)
+}
+
+/// Parse and execute in one step — the serving layer's SQL entry point.
+pub fn try_execute(sql: &str, table: &AssocTable) -> Result<ResultSet, SqlError> {
+    Ok(execute(&parse(sql)?, table))
+}
+
+/// Parse and execute against the row-store baseline in one step.
+pub fn try_execute_baseline(sql: &str, table: &RowTable) -> Result<ResultSet, SqlError> {
+    Ok(execute_baseline(&parse(sql)?, table))
 }
 
 // ---- lexer ----
 
 #[derive(Debug)]
 struct Tokens {
-    toks: Vec<String>,
+    /// `(byte offset, token text)` pairs.
+    toks: Vec<(usize, String)>,
     pos: usize,
 }
 
 impl Tokens {
-    fn next_tok(&mut self) -> Result<&str, String> {
-        let t = self.toks.get(self.pos).ok_or("unexpected end of query")?;
+    fn next_tok(&mut self, expected: &'static str) -> Result<&str, SqlError> {
+        let (_, t) = self
+            .toks
+            .get(self.pos)
+            .ok_or(SqlError::UnexpectedEnd { expected })?;
         self.pos += 1;
         Ok(t)
     }
+    fn peek_position(&self) -> usize {
+        self.toks.get(self.pos).map_or(0, |(p, _)| *p)
+    }
     fn peek_is(&self, sym: &str) -> bool {
-        self.toks.get(self.pos).is_some_and(|t| t == sym)
+        self.toks.get(self.pos).is_some_and(|(_, t)| t == sym)
     }
     fn peek_kw(&self, kw: &str) -> bool {
         self.toks
             .get(self.pos)
-            .is_some_and(|t| t.eq_ignore_ascii_case(kw))
+            .is_some_and(|(_, t)| t.eq_ignore_ascii_case(kw))
     }
-    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
-        let t = self.next_tok()?;
+    fn expect_kw(&mut self, kw: &'static str) -> Result<(), SqlError> {
+        let position = self.peek_position();
+        let t = self.next_tok(kw)?;
         if t.eq_ignore_ascii_case(kw) {
             Ok(())
         } else {
-            Err(format!("expected {kw}, found {t}"))
+            Err(SqlError::UnexpectedToken {
+                position,
+                found: t.to_string(),
+                expected: kw,
+            })
         }
     }
-    fn expect_tok(&mut self, sym: &str) -> Result<(), String> {
-        let t = self.next_tok()?;
+    fn expect_tok(&mut self, sym: &'static str) -> Result<(), SqlError> {
+        let position = self.peek_position();
+        let t = self.next_tok(sym)?;
         if t == sym {
             Ok(())
         } else {
-            Err(format!("expected {sym}, found {t}"))
+            Err(SqlError::UnexpectedToken {
+                position,
+                found: t.to_string(),
+                expected: sym,
+            })
         }
     }
-    fn ident(&mut self) -> Result<String, String> {
-        let t = self.next_tok()?;
+    fn ident(&mut self) -> Result<String, SqlError> {
+        let position = self.peek_position();
+        let t = self.next_tok("identifier")?;
         if t.chars()
             .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
             && !t.is_empty()
         {
             Ok(t.to_string())
         } else {
-            Err(format!("expected identifier, found {t}"))
+            Err(SqlError::UnexpectedToken {
+                position,
+                found: t.to_string(),
+                expected: "identifier",
+            })
         }
     }
-    fn string(&mut self) -> Result<String, String> {
-        let t = self.next_tok()?;
+    fn string(&mut self) -> Result<String, SqlError> {
+        let position = self.peek_position();
+        let t = self.next_tok("'string literal'")?;
         t.strip_prefix('\'')
             .and_then(|x| x.strip_suffix('\''))
             .map(String::from)
-            .ok_or_else(|| format!("expected 'string literal', found {t}"))
+            .ok_or_else(|| SqlError::UnexpectedToken {
+                position,
+                found: t.to_string(),
+                expected: "'string literal'",
+            })
     }
 }
 
-fn tokenize(sql: &str) -> Result<Vec<String>, String> {
+fn tokenize(sql: &str) -> Result<Vec<(usize, String)>, SqlError> {
     let mut out = Vec::new();
-    let mut chars = sql.chars().peekable();
-    while let Some(&ch) = chars.peek() {
+    let mut chars = sql.char_indices().peekable();
+    while let Some(&(at, ch)) = chars.peek() {
         match ch {
             c if c.is_whitespace() => {
                 chars.next();
             }
             ',' | '(' | ')' | '=' | '*' => {
-                out.push(ch.to_string());
+                out.push((at, ch.to_string()));
                 chars.next();
             }
             '\'' => {
@@ -238,19 +343,19 @@ fn tokenize(sql: &str) -> Result<Vec<String>, String> {
                 let mut lit = String::from("'");
                 loop {
                     match chars.next() {
-                        Some('\'') => {
+                        Some((_, '\'')) => {
                             lit.push('\'');
                             break;
                         }
-                        Some(c) => lit.push(c),
-                        None => return Err("unterminated string literal".into()),
+                        Some((_, c)) => lit.push(c),
+                        None => return Err(SqlError::UnterminatedString { position: at }),
                     }
                 }
-                out.push(lit);
+                out.push((at, lit));
             }
             c if c.is_alphanumeric() || c == '_' || c == '.' => {
                 let mut ident = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(&(_, c)) = chars.peek() {
                     if c.is_alphanumeric() || c == '_' || c == '.' {
                         ident.push(c);
                         chars.next();
@@ -258,9 +363,14 @@ fn tokenize(sql: &str) -> Result<Vec<String>, String> {
                         break;
                     }
                 }
-                out.push(ident);
+                out.push((at, ident));
             }
-            other => return Err(format!("unexpected character {other:?}")),
+            other => {
+                return Err(SqlError::UnexpectedChar {
+                    position: at,
+                    found: other,
+                })
+            }
         }
     }
     Ok(out)
@@ -311,12 +421,47 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors() {
-        assert!(parse("SELECT").is_err());
-        assert!(parse("SELECT * FROM t WHERE a = 'x' OR b = 'y' AND c = 'z'").is_err());
-        assert!(parse("SELECT * FROM t WHERE a = unquoted").is_err());
-        assert!(parse("SELECT * FROM t extra").is_err());
-        assert!(parse("SELECT * FROM t WHERE a = 'unterminated").is_err());
+    fn parse_errors_are_typed_and_positioned() {
+        assert_eq!(
+            parse("SELECT"),
+            Err(SqlError::UnexpectedEnd {
+                expected: "identifier"
+            })
+        );
+        let mixed = parse("SELECT * FROM t WHERE a = 'x' OR b = 'y' AND c = 'z'").unwrap_err();
+        assert_eq!(mixed, SqlError::MixedConnectives { position: 41 });
+        let unquoted = parse("SELECT * FROM t WHERE a = unquoted").unwrap_err();
+        assert_eq!(
+            unquoted,
+            SqlError::UnexpectedToken {
+                position: 26,
+                found: "unquoted".into(),
+                expected: "'string literal'",
+            }
+        );
+        let trailing = parse("SELECT * FROM t extra").unwrap_err();
+        assert!(matches!(
+            trailing,
+            SqlError::TrailingTokens { position: 16, .. }
+        ));
+        let unterminated = parse("SELECT * FROM t WHERE a = 'oops").unwrap_err();
+        assert_eq!(unterminated, SqlError::UnterminatedString { position: 26 });
+        let bad_char = parse("SELECT * FROM t WHERE a = 'x' ; drop").unwrap_err();
+        assert_eq!(
+            bad_char,
+            SqlError::UnexpectedChar {
+                position: 30,
+                found: ';'
+            }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn compat_shim_stringifies_errors() {
+        assert!(parse_compat("SELECT * FROM flows").is_ok());
+        let err = parse_compat("SELECT * FROM t WHERE a = unquoted").unwrap_err();
+        assert!(err.contains("'string literal'"), "{err}");
     }
 
     #[test]
@@ -330,12 +475,23 @@ mod tests {
             "SELECT * FROM flows",
         ] {
             let q = parse(sql).unwrap();
-            let mut got = execute(&q, &a);
-            let mut want = execute_baseline(&q, &r);
-            got.sort();
-            want.sort();
-            assert_eq!(got, want, "{sql}");
+            // ResultSets are id-sorted, so the duality check is one ==.
+            assert_eq!(execute(&q, &a), execute_baseline(&q, &r), "{sql}");
         }
+    }
+
+    #[test]
+    fn try_execute_threads_parse_errors() {
+        let (a, r) = tables();
+        assert!(try_execute("SELECT * FROM flows", &a).is_ok());
+        assert!(matches!(
+            try_execute("SELECT *", &a),
+            Err(SqlError::UnexpectedEnd { .. })
+        ));
+        assert!(matches!(
+            try_execute_baseline("SELECT *", &r),
+            Err(SqlError::UnexpectedEnd { .. })
+        ));
     }
 
     #[test]
@@ -344,10 +500,23 @@ mod tests {
         let q = parse("SELECT dst FROM flows WHERE src = '1.1.1.1'").unwrap();
         let rows = execute(&q, &a);
         assert!(!rows.is_empty());
-        for (_, cells) in rows {
-            assert!(cells.keys().all(|k| k == "dst"));
-            assert_eq!(cells.len(), 1);
+        assert_eq!(rows.columns(), ["dst".to_string()]);
+        for row in &rows {
+            assert!(row.cells().all(|(c, _)| c == "dst"));
+            assert_eq!(row.len(), 1);
         }
+        assert!(rows.column("dst").iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn star_columns_are_union_of_fields() {
+        let (a, _) = tables();
+        let q = parse("SELECT * FROM flows WHERE src = '1.1.1.1'").unwrap();
+        let rows = execute(&q, &a);
+        assert_eq!(
+            rows.columns(),
+            ["bytes", "dst", "port", "src"].map(String::from)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use crate::query::{Pred, Select};
 use crate::Record;
 
 /// A doubly-indexed triple store.
@@ -101,6 +102,35 @@ impl TripleStore {
             .get(predicate)
             .map(|m| m.iter().map(|(o, s)| (o.clone(), s.len())).collect())
             .unwrap_or_default()
+    }
+
+    /// Every subject id, sorted.
+    pub fn subject_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.spo.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+}
+
+/// The NoSQL engine answers the shared predicate language by index
+/// probes: an `Eq` leaf is one `pov` hop, an `In` leaf a union of hops;
+/// compound expressions use the trait's sorted-id set algebra.
+impl Select for TripleStore {
+    fn ids_matching(&self, p: &Pred) -> Vec<String> {
+        match p {
+            Pred::Eq(f, v) => self.subjects(f, v).into_iter().collect(),
+            Pred::In(f, vs) => {
+                let mut out = BTreeSet::new();
+                for v in vs {
+                    out.extend(self.subjects(f, v));
+                }
+                out.into_iter().collect()
+            }
+        }
+    }
+
+    fn all_ids(&self) -> Vec<String> {
+        self.subject_ids()
     }
 }
 

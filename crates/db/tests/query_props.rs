@@ -2,8 +2,9 @@
 //! scans over randomized tables, plus De Morgan-ish interactions of
 //! AND/OR/NOT on real data.
 
-use db::query::Pred;
-use db::{AssocTable, Record, RowTable};
+use db::query::{Pred, PredExpr};
+use db::Select;
+use db::{AssocTable, Record, RowTable, TripleStore};
 use proptest::prelude::*;
 
 fn record() -> impl Strategy<Value = Record> {
@@ -44,6 +45,22 @@ fn pred() -> impl Strategy<Value = Pred> {
             )
         }),
     ]
+}
+
+/// Random three-level combinator trees over the shared [`Pred`] leaves.
+fn expr() -> impl Strategy<Value = PredExpr> {
+    (pred(), pred(), pred(), 0u8..3, 0u8..3).prop_map(|(p1, p2, p3, outer, inner)| {
+        let leaf = match inner {
+            0 => p2.and(p3),
+            1 => p2.or(p3),
+            _ => p2.and_not(p3),
+        };
+        match outer {
+            0 => p1.and(leaf),
+            1 => p1.or(leaf),
+            _ => p1.and_not(leaf),
+        }
+    })
 }
 
 proptest! {
@@ -93,5 +110,19 @@ proptest! {
         let a = AssocTable::from_records(recs);
         let total: usize = a.group_count("port").into_iter().map(|(_, c)| c).sum();
         prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn expr_trees_agree_across_all_three_engines(recs in records(), e in expr()) {
+        let a = AssocTable::from_records(recs.clone());
+        let r = RowTable::from_records(recs.clone());
+        let t = TripleStore::from_records(recs);
+        let via_masks = a.select(&e);
+        prop_assert_eq!(&via_masks, &r.select(&e), "assoc vs rowstore on {:?}", &e);
+        prop_assert_eq!(&via_masks, &t.select(&e), "assoc vs triplestore on {:?}", &e);
+        let mut sorted = via_masks.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(via_masks, sorted, "ids are sorted and unique");
     }
 }

@@ -12,7 +12,11 @@
 //! * [`dnn`] — two-semiring sparse DNN inference (Figs. 7–8);
 //! * [`pipeline`] — sharded streaming ingest/query service with snapshot
 //!   isolation, backpressure, and checkpoint/restore (the paper's
-//!   "75 billion inserts/second" streaming story, §II).
+//!   "75 billion inserts/second" streaming story, §II);
+//! * [`serve`] — snapshot query-serving front-end: epoch registry with
+//!   zero-copy pinning, the typed [`serve::QueryRequest`] API over all
+//!   three database views plus SQL, LRU sub-view caching, and
+//!   per-query-class latency histograms.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -25,21 +29,29 @@ pub use graph;
 pub use hypersparse;
 pub use pipeline;
 pub use semiring;
+pub use serve;
 
 /// The paper's primary contribution: associative arrays and semilinks.
 pub use hyperspace_core as core;
 
 /// Commonly used items, one `use` away.
 pub mod prelude {
+    pub use db::{Pred, PredExpr, ResultSet, Row, Select, SqlError};
     pub use hyperspace_core::{Assoc, Key};
     pub use hypersparse::{
         Coo, Dcsr, Format, Matrix, MetricsSnapshot, OpCtx, OpError, SparseVec, StreamConfig,
         StreamingMatrix, TraceMode, TraceRegistry,
     };
-    pub use pipeline::{EpochSnapshot, Pipeline, PipelineConfig, PipelineError, Stage};
+    pub use pipeline::{
+        EpochSnapshot, Pipeline, PipelineConfig, PipelineError, SnapshotSink, Stage,
+    };
     pub use semiring::{
         AnyPair, LorLand, MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, Monoid, PSet,
         PlusTimes, Semilink, Semiring, UnionIntersect,
+    };
+    pub use serve::{
+        QueryRequest, QueryResponse, QueryServer, ResponseBody, ServeError, SnapshotRegistry, View,
+        ViewSchema,
     };
 }
 

@@ -61,6 +61,7 @@ pub mod error;
 pub mod metrics;
 pub mod router;
 pub(crate) mod shard;
+pub mod sink;
 pub mod snapshot;
 pub mod value;
 
@@ -69,5 +70,6 @@ pub use config::{shard_of, PipelineConfig};
 pub use error::PipelineError;
 pub use metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot, Stage};
 pub use router::Pipeline;
+pub use sink::SnapshotSink;
 pub use snapshot::EpochSnapshot;
 pub use value::PodValue;

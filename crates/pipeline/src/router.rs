@@ -3,7 +3,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hypersparse::{Ix, MetricsSnapshot, OpCtx, StreamingMatrix, TraceMode};
@@ -16,6 +16,7 @@ use crate::config::{shard_of, PipelineConfig};
 use crate::error::PipelineError;
 use crate::metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot, Stage};
 use crate::shard::{Command, Shard};
+use crate::sink::SnapshotSink;
 use crate::snapshot::EpochSnapshot;
 use crate::value::PodValue;
 
@@ -50,6 +51,8 @@ where
     metrics: Arc<PipelineMetrics>,
     /// Context for snapshot assembly (the cross-shard ⊕-fold).
     assemble_ctx: OpCtx,
+    /// Subscribers to [`Pipeline::snapshot_shared`] publication.
+    sinks: Mutex<Vec<Arc<dyn SnapshotSink<S>>>>,
 }
 
 impl<S: Semiring> Pipeline<S>
@@ -96,6 +99,7 @@ where
             epoch: AtomicU64::new(epoch),
             metrics,
             assemble_ctx: OpCtx::new().with_threads(config.merge_threads),
+            sinks: Mutex::new(Vec::new()),
         }
     }
 
@@ -230,6 +234,31 @@ where
         let snap = EpochSnapshot::assemble(epoch, events, &self.assemble_ctx, parts, self.s);
         self.metrics.record_snapshot(t.elapsed());
         self.metrics.record_stage(Stage::Snapshot, t.elapsed());
+        Ok(snap)
+    }
+
+    /// Subscribe a [`SnapshotSink`] to snapshot publication. Every
+    /// subsequent [`Pipeline::snapshot_shared`] call hands the sink an
+    /// `Arc` of the new epoch — the sink shares the assembled matrix,
+    /// it never copies it.
+    pub fn add_snapshot_sink(&self, sink: Arc<dyn SnapshotSink<S>>) {
+        self.sinks
+            .lock()
+            .expect("sink registry poisoned")
+            .push(sink);
+    }
+
+    /// Take a snapshot (exactly like [`Pipeline::snapshot`]), wrap it in
+    /// an `Arc`, publish the handle to every registered sink, and return
+    /// it. Publication is zero-copy: sinks and the caller all share one
+    /// assembled epoch, so long-lived registries never block or copy for
+    /// concurrent readers.
+    pub fn snapshot_shared(&self) -> Result<Arc<EpochSnapshot<S>>, PipelineError> {
+        let snap = Arc::new(self.snapshot()?);
+        let sinks = self.sinks.lock().expect("sink registry poisoned");
+        for sink in sinks.iter() {
+            sink.publish(&snap);
+        }
         Ok(snap)
     }
 
@@ -606,6 +635,39 @@ mod tests {
         assert_eq!(a.snapshot().unwrap().dcsr(), b.snapshot().unwrap().dcsr());
         a.shutdown().unwrap();
         b.shutdown().unwrap();
+    }
+
+    type SeenSnapshots = Arc<Mutex<Vec<Arc<EpochSnapshot<PlusTimes<f64>>>>>>;
+
+    #[test]
+    fn snapshot_shared_publishes_to_sinks_zero_copy() {
+        let p = Pipeline::new(64, 64, PlusTimes::<f64>::new());
+        let seen: SeenSnapshots = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let seen = Arc::clone(&seen);
+            move |snap: &Arc<EpochSnapshot<PlusTimes<f64>>>| {
+                seen.lock().unwrap().push(Arc::clone(snap));
+            }
+        };
+        p.add_snapshot_sink(Arc::new(sink));
+
+        p.ingest(1, 2, 3.0).unwrap();
+        let first = p.snapshot_shared().unwrap();
+        p.ingest(4, 5, 6.0).unwrap();
+        let second = p.snapshot_shared().unwrap();
+
+        let held = seen.lock().unwrap();
+        assert_eq!(held.len(), 2);
+        // Zero-copy: the sink holds the *same* allocation the caller got.
+        assert!(Arc::ptr_eq(&held[0], &first));
+        assert!(Arc::ptr_eq(&held[1], &second));
+        assert_eq!(held[0].epoch(), 1);
+        assert_eq!(held[1].epoch(), 2);
+        // The first epoch's contents are immutable behind the Arc even
+        // though ingest continued: it still sees exactly one event.
+        assert_eq!(held[0].nnz(), 1);
+        assert_eq!(held[1].nnz(), 2);
+        p.shutdown().unwrap();
     }
 
     #[test]

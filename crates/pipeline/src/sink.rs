@@ -1,0 +1,35 @@
+//! Snapshot publication: push freshly assembled epochs to subscribers.
+//!
+//! A serving layer (or any other consumer of consistent views) registers
+//! a [`SnapshotSink`] on the pipeline; every
+//! [`crate::Pipeline::snapshot_shared`] call then hands the sink an
+//! `Arc` of the new [`EpochSnapshot`] — zero-copy, so a registry can
+//! retain the last N epochs without ever cloning matrix data, and
+//! readers holding an older epoch are never blocked by publication.
+
+use std::sync::Arc;
+
+use semiring::traits::Semiring;
+
+use crate::snapshot::EpochSnapshot;
+
+/// A subscriber to snapshot publication.
+///
+/// `publish` runs on the thread that called
+/// [`crate::Pipeline::snapshot_shared`], after the epoch is fully
+/// assembled; implementations should be quick (store the `Arc`, rotate a
+/// buffer) and must not call back into the pipeline's snapshot paths.
+pub trait SnapshotSink<S: Semiring>: Send + Sync {
+    /// Receive one freshly assembled epoch.
+    fn publish(&self, snapshot: &Arc<EpochSnapshot<S>>);
+}
+
+/// Blanket impl so plain closures (and `Arc<F>`) can subscribe.
+impl<S: Semiring, F> SnapshotSink<S> for F
+where
+    F: Fn(&Arc<EpochSnapshot<S>>) + Send + Sync,
+{
+    fn publish(&self, snapshot: &Arc<EpochSnapshot<S>>) {
+        self(snapshot)
+    }
+}

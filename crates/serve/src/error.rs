@@ -1,0 +1,99 @@
+//! Typed serving errors.
+
+use std::error::Error;
+use std::fmt;
+
+use db::SqlError;
+use pipeline::PipelineError;
+
+/// Everything that can go wrong answering a query.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The SQL front-end rejected the query text.
+    Sql(SqlError),
+    /// The pipeline failed while producing a snapshot.
+    Pipeline(PipelineError),
+    /// No epoch has been published yet — nothing to serve.
+    NoSnapshot,
+    /// The requested epoch was published but has since rotated out of
+    /// the registry's retention window.
+    EpochEvicted {
+        /// The epoch the caller asked for.
+        epoch: u64,
+        /// The oldest epoch still pinned in the registry.
+        oldest_retained: u64,
+    },
+    /// The requested epoch has never been published (it is newer than
+    /// anything the registry has seen).
+    UnknownEpoch {
+        /// The epoch the caller asked for.
+        epoch: u64,
+        /// The newest epoch the registry holds.
+        newest: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sql(e) => write!(f, "SQL error: {e}"),
+            ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            ServeError::NoSnapshot => write!(f, "no snapshot published yet"),
+            ServeError::EpochEvicted {
+                epoch,
+                oldest_retained,
+            } => write!(
+                f,
+                "epoch {epoch} evicted from the registry (oldest retained: {oldest_retained})"
+            ),
+            ServeError::UnknownEpoch { epoch, newest } => {
+                write!(f, "epoch {epoch} has not been published (newest: {newest})")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Sql(e) => Some(e),
+            ServeError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SqlError> for ServeError {
+    fn from(e: SqlError) -> Self {
+        ServeError::Sql(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_detail() {
+        let e = ServeError::EpochEvicted {
+            epoch: 3,
+            oldest_retained: 7,
+        };
+        assert!(e.to_string().contains("epoch 3"));
+        assert!(e.to_string().contains("oldest retained: 7"));
+        assert!(ServeError::NoSnapshot.to_string().contains("no snapshot"));
+    }
+
+    #[test]
+    fn sql_errors_chain_as_source() {
+        let sql = db::sql::parse("SELEC x").unwrap_err();
+        let e = ServeError::from(sql);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,65 @@
+//! Snapshot query-serving front-end — the paper's hyperspace as a
+//! *service*.
+//!
+//! *Mathematics of Digital Hyperspace* closes the loop between
+//! streaming ingest (§III's hierarchical hypersparse matrices) and the
+//! polystore query surface of §V.B: one dataset answering SQL, NoSQL,
+//! and associative-array queries simultaneously. This crate is that
+//! loop, deployed:
+//!
+//! * [`SnapshotRegistry`] retains the latest N epoch-stamped
+//!   [`pipeline::EpochSnapshot`]s behind `Arc` handles — readers **pin**
+//!   an epoch with one `Arc` clone and keep answering against it while
+//!   writers publish new epochs; publication never blocks or invalidates
+//!   a pinned reader, and the matrix data is never copied.
+//! * [`EpochView`] lazily explodes a pinned snapshot into the three
+//!   `db` engines (associative array, triple store, row store) under a
+//!   caller-supplied [`ViewSchema`] — built once per epoch, shared by
+//!   every query.
+//! * [`QueryRequest`]/[`QueryResponse`] form the typed API: SQL text,
+//!   [`db::Pred`] combinator trees, Fig. 6 neighbor queries, group-by
+//!   counts, and raw point lookups, each answering with the epoch it
+//!   ran at.
+//! * [`ViewCache`] memoizes materialized sub-views under
+//!   `(epoch, query)` keys — rotation can evict, never staleness.
+//! * [`ServeMetrics`] keeps per-query-class latency histograms and
+//!   renders a Prometheus exposition that concatenates with
+//!   [`pipeline::Pipeline::render_prometheus`] into one scrape body;
+//!   every query runs under a `serve_query` trace span.
+//!
+//! ```
+//! use pipeline::Pipeline;
+//! use semiring::PlusTimes;
+//! use serve::{QueryRequest, QueryServer, ViewSchema};
+//!
+//! let p = Pipeline::new(1 << 20, 1 << 20, PlusTimes::<f64>::new());
+//! let srv = QueryServer::new(ViewSchema::flows());
+//! srv.attach(&p);                       // registry receives every epoch
+//! p.ingest(1, 2, 1.0).unwrap();
+//! p.snapshot_shared().unwrap();         // publish epoch 1
+//! let r = srv
+//!     .query(&QueryRequest::sql("SELECT dst FROM flows WHERE src = 'h1'"))
+//!     .unwrap();
+//! assert_eq!(r.epoch, 1);
+//! assert_eq!(r.body.as_table().unwrap().rows()[0].get("dst"), Some("h2"));
+//! p.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod view;
+
+pub use api::{QueryClass, QueryRequest, QueryResponse, ResponseBody, View};
+pub use cache::ViewCache;
+pub use error::ServeError;
+pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
+pub use registry::SnapshotRegistry;
+pub use server::{QueryServer, DEFAULT_CACHE_ENTRIES, DEFAULT_EPOCHS};
+pub use view::{EpochView, Tables, ViewSchema};

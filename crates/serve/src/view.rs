@@ -1,0 +1,213 @@
+//! One pinned epoch, wearing the three database costumes.
+//!
+//! An [`EpochView`] wraps an `Arc`-shared [`EpochSnapshot`] together
+//! with a [`ViewSchema`] that explains each stored entry as a record.
+//! The three table engines ([`AssocTable`], [`TripleStore`],
+//! [`RowTable`]) are built **lazily, once per epoch** behind a
+//! `OnceLock`: pinning an epoch is an `Arc` clone, and the first query
+//! that needs a table pays for construction exactly once — every later
+//! query on any thread shares the same tables.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use db::{AssocTable, Record, RowTable, TripleStore};
+use hypersparse::Ix;
+use pipeline::{EpochSnapshot, PodValue};
+use semiring::traits::Semiring;
+
+/// The entry→record closure a [`ViewSchema`] wraps.
+type RecordFn<V> = dyn Fn(Ix, Ix, &V) -> (String, Record) + Send + Sync;
+
+/// How a stored `(row, col, value)` entry reads as a database record.
+///
+/// The serving layer is schema-agnostic: callers supply the closure that
+/// names records and fields; [`ViewSchema::flows`] is the network-flow
+/// default matching the repo's Fig. 6 harness (`src`/`dst`/`weight`).
+pub struct ViewSchema<V> {
+    to_record: Arc<RecordFn<V>>,
+}
+
+impl<V> Clone for ViewSchema<V> {
+    fn clone(&self) -> Self {
+        ViewSchema {
+            to_record: Arc::clone(&self.to_record),
+        }
+    }
+}
+
+impl<V> fmt::Debug for ViewSchema<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ViewSchema")
+    }
+}
+
+impl<V> ViewSchema<V> {
+    /// A schema from an arbitrary entry→record closure. The returned id
+    /// must be unique per entry (record ids key every table engine).
+    pub fn new(f: impl Fn(Ix, Ix, &V) -> (String, Record) + Send + Sync + 'static) -> Self {
+        ViewSchema {
+            to_record: Arc::new(f),
+        }
+    }
+
+    /// Read one entry as a record.
+    pub fn record(&self, row: Ix, col: Ix, val: &V) -> (String, Record) {
+        (self.to_record)(row, col, val)
+    }
+}
+
+impl<V: fmt::Display> ViewSchema<V> {
+    /// The network-flow default: entry `(r, c, v)` becomes record
+    /// `e<r>-<c>` with fields `src = h<r>`, `dst = h<c>`,
+    /// `weight = <v>` — the exploded schema the Fig. 6 queries expect.
+    pub fn flows() -> Self {
+        ViewSchema::new(|r, c, v| {
+            (
+                format!("e{r:08}-{c:08}"),
+                vec![
+                    ("src".into(), format!("h{r}")),
+                    ("dst".into(), format!("h{c}")),
+                    ("weight".into(), format!("{v}")),
+                ],
+            )
+        })
+    }
+}
+
+/// The three table engines built from one epoch.
+#[derive(Debug)]
+pub struct Tables {
+    /// The D4M exploded-schema associative array (mask-algebra selects).
+    pub assoc: AssocTable,
+    /// The NoSQL triple store (hash indexes both directions).
+    pub triples: TripleStore,
+    /// The SQL-flavoured row store (full-scan baseline).
+    pub rows: RowTable,
+}
+
+/// A pinned, immutable epoch plus its lazily-built database views.
+///
+/// Cloning the `Arc<EpochView>` handed out by the registry is the *only*
+/// cost of pinning: the snapshot matrix is shared, never copied, and
+/// concurrent publication of newer epochs cannot disturb it.
+#[derive(Debug)]
+pub struct EpochView<S: Semiring>
+where
+    S::Value: PodValue,
+{
+    snap: Arc<EpochSnapshot<S>>,
+    schema: ViewSchema<S::Value>,
+    tables: OnceLock<Tables>,
+}
+
+impl<S: Semiring> EpochView<S>
+where
+    S::Value: PodValue,
+{
+    /// Wrap a shared snapshot under a schema. Zero-copy: the snapshot
+    /// `Arc` is stored as-is.
+    pub fn new(snap: Arc<EpochSnapshot<S>>, schema: ViewSchema<S::Value>) -> Self {
+        EpochView {
+            snap,
+            schema,
+            tables: OnceLock::new(),
+        }
+    }
+
+    /// The epoch this view serves.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    /// The underlying snapshot (shared, not copied).
+    pub fn snapshot(&self) -> &Arc<EpochSnapshot<S>> {
+        &self.snap
+    }
+
+    /// Entries in the pinned snapshot.
+    pub fn nnz(&self) -> usize {
+        self.snap.nnz()
+    }
+
+    /// The epoch's records under this view's schema (rebuilt on each
+    /// call; the cached [`Tables`] are what queries use).
+    pub fn records(&self) -> Vec<(String, Record)> {
+        self.snap
+            .dcsr()
+            .iter()
+            .map(|(r, c, v)| self.schema.record(r, c, v))
+            .collect()
+    }
+
+    /// The three table engines, built on first use and shared by every
+    /// later query against this epoch (any thread).
+    pub fn tables(&self) -> &Tables {
+        self.tables.get_or_init(|| {
+            let records = self.records();
+            Tables {
+                assoc: AssocTable::from_records(records.clone()),
+                triples: TripleStore::from_records(records.clone()),
+                rows: RowTable::from_records(records),
+            }
+        })
+    }
+
+    /// Whether the tables have been materialized yet (tests and
+    /// capacity planning; queries just call [`EpochView::tables`]).
+    pub fn tables_built(&self) -> bool {
+        self.tables.get().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::Pipeline;
+    use semiring::PlusTimes;
+
+    fn one_epoch() -> Arc<EpochSnapshot<PlusTimes<f64>>> {
+        let p = Pipeline::new(64, 64, PlusTimes::<f64>::new());
+        p.ingest(1, 2, 1.0).unwrap();
+        p.ingest(1, 3, 1.0).unwrap();
+        p.ingest(2, 1, 1.0).unwrap();
+        let snap = p.snapshot_shared().unwrap();
+        p.shutdown().unwrap();
+        snap
+    }
+
+    #[test]
+    fn flows_schema_explodes_entries() {
+        let view = EpochView::new(one_epoch(), ViewSchema::flows());
+        assert_eq!(view.epoch(), 1);
+        let t = view.tables();
+        assert_eq!(t.rows.len(), 3);
+        // Fig. 6 agreement: all three engines see h1's neighbors.
+        let expected: Vec<String> = vec!["h2".into(), "h3".into()];
+        let got: Vec<String> = t.assoc.neighbors("h1").into_iter().collect();
+        assert_eq!(got, expected);
+        let got: Vec<String> = t.triples.neighbors("h1").into_iter().collect();
+        assert_eq!(got, expected);
+        let got: Vec<String> = t.rows.neighbors("h1").into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tables_build_once_lazily() {
+        let view = EpochView::new(one_epoch(), ViewSchema::flows());
+        assert!(!view.tables_built());
+        let first = view.tables() as *const Tables;
+        assert!(view.tables_built());
+        let second = view.tables() as *const Tables;
+        assert_eq!(first, second, "tables are built exactly once");
+    }
+
+    #[test]
+    fn custom_schema_controls_naming() {
+        use db::Select;
+        let schema: ViewSchema<f64> =
+            ViewSchema::new(|r, c, v| (format!("{r}:{c}"), vec![("w".into(), format!("{v}"))]));
+        let view = EpochView::new(one_epoch(), schema);
+        assert_eq!(view.tables().rows.all_ids(), ["1:2", "1:3", "2:1"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property: answers through the serving layer are identical to direct
+//! computation on tables built from the same records — the front-end
+//! adds pinning, caching, and metrics, never different answers.
+
+use db::query::{Pred, PredExpr};
+use db::sql::try_execute_baseline;
+use db::{AssocTable, RowTable, Select, TripleStore};
+use pipeline::Pipeline;
+use proptest::prelude::*;
+use semiring::PlusTimes;
+use serve::{QueryRequest, QueryServer, View, ViewSchema};
+
+/// Random sparse event sets over a small host world (collision-prone on
+/// purpose: ⊕-accumulation and every-view agreement both get exercised).
+fn events() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..8, 0u64..8), 1..30)
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        (0u8..2, 0u64..8).prop_map(|(f, v)| Pred::eq(["src", "dst"][f as usize], &format!("h{v}"))),
+        (0u8..2, proptest::collection::vec(0u64..8, 1..3)).prop_map(|(f, vs)| {
+            Pred::is_in(
+                ["src", "dst"][f as usize],
+                vs.into_iter().map(|v| format!("h{v}")),
+            )
+        }),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = PredExpr> {
+    (pred(), pred(), 0u8..3).prop_map(|(a, b, op)| match op {
+        0 => a.and(b),
+        1 => a.or(b),
+        _ => a.and_not(b),
+    })
+}
+
+type Served = (
+    Pipeline<PlusTimes<f64>>,
+    QueryServer<PlusTimes<f64>>,
+    Vec<(String, db::Record)>,
+);
+
+/// Serve the events and also hand back the ground-truth records the
+/// flows schema implies.
+fn serve(events: &[(u64, u64)]) -> Served {
+    let p = Pipeline::new(64, 64, PlusTimes::<f64>::new());
+    let srv = QueryServer::new(ViewSchema::flows());
+    for &(r, c) in events {
+        p.ingest(r, c, 1.0).unwrap();
+    }
+    srv.refresh(&p).unwrap();
+    let records = srv.pin_latest().unwrap().records();
+    (p, srv, records)
+}
+
+proptest! {
+    #[test]
+    fn served_selects_equal_direct_tables(evs in events(), e in expr()) {
+        let (p, srv, records) = serve(&evs);
+        let assoc = AssocTable::from_records(records.clone());
+        let triples = TripleStore::from_records(records.clone());
+        let rows = RowTable::from_records(records);
+        for (view, want) in [
+            (View::Assoc, assoc.select(&e)),
+            (View::Triple, triples.select(&e)),
+            (View::Row, rows.select(&e)),
+        ] {
+            let got = srv
+                .query(&QueryRequest::Select { view, expr: e.clone() })
+                .unwrap();
+            prop_assert_eq!(got.body.as_ids().unwrap(), want.as_slice());
+            prop_assert_eq!(got.epoch, 1);
+        }
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn served_sql_equals_row_store_baseline(evs in events(), h in 0u64..8) {
+        let (p, srv, records) = serve(&evs);
+        let rows = RowTable::from_records(records);
+        let sql = format!("SELECT dst FROM flows WHERE src = 'h{h}'");
+        let want = try_execute_baseline(&sql, &rows).unwrap();
+        let got = srv.query(&QueryRequest::sql(&sql)).unwrap();
+        prop_assert_eq!(got.body.as_table().unwrap(), &want);
+        // And the cached second answer is the same object.
+        let again = srv.query(&QueryRequest::sql(&sql)).unwrap();
+        prop_assert!(again.cached);
+        prop_assert_eq!(again.body.as_table().unwrap(), &want);
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn served_point_lookups_equal_snapshot_gets(evs in events()) {
+        let (p, srv, _) = serve(&evs);
+        let pinned = srv.pin_latest().unwrap();
+        for &(r, c) in evs.iter().take(5) {
+            let got = srv
+                .query(&QueryRequest::Point { row: r, col: c })
+                .unwrap();
+            let want = pinned.snapshot().get(r, c).map(|v| format!("{v}"));
+            prop_assert_eq!(got.body.as_cell().unwrap().map(str::to_string), want);
+        }
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn served_group_counts_total_to_nnz(evs in events()) {
+        let (p, srv, _) = serve(&evs);
+        let nnz = srv.pin_latest().unwrap().nnz();
+        for view in [View::Assoc, View::Triple, View::Row] {
+            let got = srv
+                .query(&QueryRequest::GroupCount { view, field: "src".into() })
+                .unwrap();
+            let total: usize = got.body.as_counts().unwrap().iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(total, nnz, "{:?}", view);
+        }
+        p.shutdown().unwrap();
+    }
+}

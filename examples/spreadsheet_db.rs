@@ -66,10 +66,12 @@ gizmos,,40,55,
 
     let q = parse("SELECT q1, q4 FROM sales WHERE q1 = '120'").unwrap();
     let hits = execute(&q, &table);
+    // ResultSets are id-sorted: both engines' answers compare with ==.
     assert_eq!(hits, execute_baseline(&q, &baseline));
-    println!("SQL query result: {hits:?}");
+    println!("SQL query result:\n{hits}");
     assert_eq!(hits.len(), 1);
-    assert_eq!(hits[0].0, "widgets");
+    assert_eq!(hits.rows()[0].id(), "widgets");
+    assert_eq!(hits.rows()[0].get("q1"), Some("120"));
 
     // ---- 4. And back out as CSV, both shapes ----
     let round = from_csv_spreadsheet(&to_csv_spreadsheet(&merged), s).unwrap();
