@@ -1,0 +1,57 @@
+//! CI entry point for the perf-regression gate.
+//!
+//! ```text
+//! cargo run -p bench --bin perf_gate -- <baseline.json> <current.json> [tolerance]
+//! ```
+//!
+//! Exits 0 when every pinned median in the baseline is matched by the
+//! current run within `tolerance` (default 10%), 1 otherwise — wired
+//! after `kernel_hotpaths` regenerates `BENCH_kernels.json` so a >10%
+//! median regression fails the build.
+
+use bench::gate::{compare, DEFAULT_TOLERANCE};
+use bench::BenchRecord;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, current_path) = match (args.get(1), args.get(2)) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            return Err(format!(
+                "usage: {} <baseline.json> <current.json> [tolerance]",
+                args.first().map(String::as_str).unwrap_or("perf_gate")
+            ))
+        }
+    };
+    let tolerance = match args.get(3) {
+        Some(t) => t
+            .parse::<f64>()
+            .map_err(|e| format!("bad tolerance {t:?}: {e}"))?,
+        None => DEFAULT_TOLERANCE,
+    };
+    let baseline = BenchRecord::read(baseline_path).map_err(|e| e.to_string())?;
+    let current = BenchRecord::read(current_path).map_err(|e| e.to_string())?;
+    let report = compare(&baseline, &current, tolerance);
+    print!("{}", report.render());
+    if report.failed() {
+        eprintln!(
+            "perf gate FAILED: {} metric(s) regressed past {:.0}% or went missing",
+            report.failures().count(),
+            tolerance * 100.0
+        );
+    } else {
+        println!("perf gate passed");
+    }
+    Ok(report.failed())
+}
+
+fn main() {
+    match run() {
+        Ok(false) => {}
+        Ok(true) => std::process::exit(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

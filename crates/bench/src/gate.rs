@@ -1,0 +1,203 @@
+//! CI perf-regression gate over `BENCH_*.json` medians.
+//!
+//! [`compare`] diffs a committed baseline record against a fresh run:
+//! every baseline metric is a pinned median in nanoseconds (or another
+//! lower-is-better unit), and a current value more than `tolerance`
+//! above its baseline is a regression. A baseline metric the new run
+//! did not produce also fails — silently dropping a tracked kernel is
+//! exactly the kind of "regression" a trajectory gate exists to catch.
+//! Metrics only the current run has are reported informationally and
+//! pass (that is how new kernels enter the baseline).
+//!
+//! The gate is driven by the `perf_gate` binary
+//! (`cargo run -p bench --bin perf_gate -- <baseline> <current> [tol]`),
+//! which CI wires after rerunning the `kernel_hotpaths` bench.
+
+use crate::BenchRecord;
+
+/// Default headroom before a slower median fails the gate: 10%.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Outcome for one metric key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or faster) — fine.
+    Pass,
+    /// Slower than `baseline × (1 + tolerance)`.
+    Regressed,
+    /// Pinned in the baseline but absent from the current run.
+    Missing,
+    /// New in the current run; informational, never fails.
+    New,
+}
+
+/// One metric's comparison row.
+#[derive(Clone, Debug)]
+pub struct MetricCheck {
+    pub key: String,
+    pub baseline: Option<f64>,
+    pub current: Option<f64>,
+    pub verdict: Verdict,
+}
+
+impl MetricCheck {
+    /// `current / baseline` when both sides exist and the baseline is
+    /// positive (1.0 = unchanged, 1.25 = 25% slower).
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+/// The full gate comparison: one row per metric key, sorted.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    pub tolerance: f64,
+    pub checks: Vec<MetricCheck>,
+}
+
+impl GateReport {
+    /// True when any pinned metric regressed or went missing.
+    pub fn failed(&self) -> bool {
+        self.checks
+            .iter()
+            .any(|c| matches!(c.verdict, Verdict::Regressed | Verdict::Missing))
+    }
+
+    /// The failing rows.
+    pub fn failures(&self) -> impl Iterator<Item = &MetricCheck> {
+        self.checks
+            .iter()
+            .filter(|c| matches!(c.verdict, Verdict::Regressed | Verdict::Missing))
+    }
+
+    /// Human-readable table for CI logs.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf gate (tolerance {:.0}%): {} metrics",
+            self.tolerance * 100.0,
+            self.checks.len()
+        );
+        for c in &self.checks {
+            let ratio = c
+                .ratio()
+                .map(|r| format!("{:>6.2}x", r))
+                .unwrap_or_else(|| "     -".into());
+            let (mark, note) = match c.verdict {
+                Verdict::Pass => ("ok  ", ""),
+                Verdict::Regressed => ("FAIL", " regression"),
+                Verdict::Missing => ("FAIL", " missing from current run"),
+                Verdict::New => ("new ", ""),
+            };
+            let _ = writeln!(
+                out,
+                "  {mark} {:<34} base {:>12}  now {:>12}  {ratio}{note}",
+                c.key,
+                c.baseline.map(|v| format!("{v:.0}")).unwrap_or_default(),
+                c.current.map(|v| format!("{v:.0}")).unwrap_or_default(),
+            );
+        }
+        out
+    }
+}
+
+/// Compare a fresh run against the pinned baseline. All metrics are
+/// lower-is-better medians; `tolerance` is the fractional slowdown
+/// allowed before a metric fails (0.10 ⇒ >10% slower fails).
+pub fn compare(baseline: &BenchRecord, current: &BenchRecord, tolerance: f64) -> GateReport {
+    let mut checks = Vec::new();
+    for (key, base) in baseline.metrics() {
+        let (current, verdict) = match current.get(key) {
+            Some(now) if base > 0.0 && now > base * (1.0 + tolerance) => {
+                (Some(now), Verdict::Regressed)
+            }
+            Some(now) => (Some(now), Verdict::Pass),
+            None => (None, Verdict::Missing),
+        };
+        checks.push(MetricCheck {
+            key: key.to_string(),
+            baseline: Some(base),
+            current,
+            verdict,
+        });
+    }
+    for (key, now) in current.metrics() {
+        if baseline.get(key).is_none() {
+            checks.push(MetricCheck {
+                key: key.to_string(),
+                baseline: None,
+                current: Some(now),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    checks.sort_by(|a, b| a.key.cmp(&b.key));
+    GateReport { tolerance, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pairs: &[(&str, f64)]) -> BenchRecord {
+        let mut r = BenchRecord::new("kernel_hotpaths");
+        for &(k, v) in pairs {
+            r.set(k, v);
+        }
+        r
+    }
+
+    #[test]
+    fn injected_slowdown_over_tolerance_fails() {
+        // The acceptance-criterion case: a 20% slowdown on a pinned
+        // median must fail the 10% gate.
+        let base = rec(&[("mxm_u32_ns", 1000.0), ("vxm_mono_ns", 500.0)]);
+        let slow = rec(&[("mxm_u32_ns", 1200.0), ("vxm_mono_ns", 500.0)]);
+        let report = compare(&base, &slow, DEFAULT_TOLERANCE);
+        assert!(report.failed());
+        let fails: Vec<_> = report.failures().map(|c| c.key.as_str()).collect();
+        assert_eq!(fails, vec!["mxm_u32_ns"]);
+        assert_eq!(report.checks[0].verdict, Verdict::Regressed);
+        assert!((report.checks[0].ratio().unwrap() - 1.2).abs() < 1e-12);
+        assert!(report.render().contains("FAIL mxm_u32_ns"));
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let base = rec(&[("mxm_u32_ns", 1000.0)]);
+        let close = rec(&[("mxm_u32_ns", 1050.0)]);
+        assert!(!compare(&base, &close, DEFAULT_TOLERANCE).failed());
+        // Exactly at the boundary is still within tolerance.
+        let edge = rec(&[("mxm_u32_ns", 1100.0)]);
+        assert!(!compare(&base, &edge, DEFAULT_TOLERANCE).failed());
+    }
+
+    #[test]
+    fn improvements_and_new_metrics_pass() {
+        let base = rec(&[("mxm_u32_ns", 1000.0)]);
+        let now = rec(&[("mxm_u32_ns", 400.0), ("ewise_word_ns", 77.0)]);
+        let report = compare(&base, &now, DEFAULT_TOLERANCE);
+        assert!(!report.failed());
+        let new = report
+            .checks
+            .iter()
+            .find(|c| c.key == "ewise_word_ns")
+            .unwrap();
+        assert_eq!(new.verdict, Verdict::New);
+    }
+
+    #[test]
+    fn dropped_pinned_metric_fails() {
+        let base = rec(&[("mxm_u32_ns", 1000.0), ("vxm_mono_ns", 500.0)]);
+        let now = rec(&[("mxm_u32_ns", 1000.0)]);
+        let report = compare(&base, &now, DEFAULT_TOLERANCE);
+        assert!(report.failed());
+        assert_eq!(report.failures().count(), 1);
+        assert_eq!(report.failures().next().unwrap().verdict, Verdict::Missing);
+    }
+}

@@ -11,6 +11,7 @@
 //! iterations, good enough for "who wins and by roughly what factor"
 //! without Criterion's full statistics.
 
+pub mod gate;
 pub mod record;
 
 pub use record::BenchRecord;

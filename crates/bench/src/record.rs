@@ -36,6 +36,60 @@ impl BenchRecord {
         self
     }
 
+    /// Parse a record back from the JSON [`Self::to_json`] writes. Only
+    /// that shape is understood (one `"key": value` pair per line) —
+    /// this reads our own artifacts, not arbitrary JSON. `None` when no
+    /// `"bench"` name is present.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut bench = None;
+        let mut metrics = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some((k, v)) = line.split_once(':') else {
+                continue;
+            };
+            let Some(k) = k.trim().strip_prefix('"').and_then(|k| k.strip_suffix('"')) else {
+                continue;
+            };
+            let v = v.trim();
+            if k == "bench" {
+                bench = Some(v.trim_matches('"').to_string());
+            } else if let Ok(x) = v.parse::<f64>() {
+                metrics.insert(k.to_string(), x);
+            }
+        }
+        Some(BenchRecord {
+            bench: bench?,
+            metrics,
+        })
+    }
+
+    /// Read and parse a `BENCH_*.json` file.
+    pub fn read(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(&path)?;
+        Self::parse(&text).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: not a BenchRecord", path.as_ref().display()),
+            )
+        })
+    }
+
+    /// The benchmark name this record belongs to.
+    pub fn bench(&self) -> &str {
+        &self.bench
+    }
+
+    /// Look up one recorded metric.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.metrics.get(key).copied()
+    }
+
+    /// All metrics, sorted by key.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// Recorded metric count.
     pub fn len(&self) -> usize {
         self.metrics.len()
@@ -99,6 +153,19 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(r.to_json().contains("\"k\": 2.0"));
         assert!(r.to_json().contains("\"bad\": 0.0"));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let mut r = BenchRecord::new("kernel_hotpaths");
+        r.set("mxm_u64_ns", 123456.0).set("vxm_mono_ns", 42.5);
+        let back = BenchRecord::parse(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.bench(), "kernel_hotpaths");
+        assert_eq!(back.get("vxm_mono_ns"), Some(42.5));
+        assert_eq!(back.get("absent"), None);
+        assert_eq!(back.metrics().count(), 2);
+        assert!(BenchRecord::parse("{}").is_none(), "no bench name");
     }
 
     #[test]

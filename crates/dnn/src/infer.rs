@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use hypersparse::{ops, with_default_ctx, Dcsr, DenseMat, Kernel, OpCtx, OpError};
+use hypersparse::{ops, with_default_ctx, Dcsr, DenseMat, IndexType, Kernel, OpCtx, OpError};
 use semiring::semilink::DnnSemiringPair;
 use semiring::{FnOp, MaxPlus, PlusTimes, Semiring};
 
@@ -72,22 +72,57 @@ pub fn try_infer_fused_ctx(
     y0: &Dcsr<f64>,
 ) -> Result<Dcsr<f64>, OpError> {
     check_batch("dnn_infer_fused", net, y0)?;
-    let s1 = S1::new();
+    // Narrow-index auto-selection (DESIGN.md §13): when the batch key
+    // space fits 32-bit column ids — and therefore the square weight
+    // layers do too — re-store activations once and each layer's weights
+    // on the fly, and run the whole fused loop over `u32` ids. The
+    // O(nnz) re-stores are linear passes; the SpGEMM inner loops they
+    // feed stream half the index bytes per multiply.
+    if let Some(mut y) = y0.to_index_width::<u32>() {
+        for (k, (w, &b)) in net.layers.iter().zip(&net.biases).enumerate() {
+            let w32 = w
+                .to_index_width::<u32>()
+                .expect("layer dims equal checked batch dims");
+            y = fused_layer(ctx, k, y, &w32, b);
+        }
+        return Ok(y.to_index_width().expect("widening always fits"));
+    }
     let mut y = y0.clone();
     for (k, (w, &b)) in net.layers.iter().zip(&net.biases).enumerate() {
-        let _span = ctx.kernel_span(Kernel::DnnLayer, || {
-            format!("layer {k}: {} act · {} wt", y.nnz(), w.nnz())
-        });
-        let start = Instant::now();
-        let nnz_in = (y.nnz() + w.nnz()) as u64;
-        // One pass: Z = Y W in S₁ with the bias+ReLU epilogue applied as
-        // each accumulator drains; entries pruned to the S₁ zero never
-        // reach the output. (⊗ counts land on the Mxm row.)
-        y = ops::mxm_apply_prune_ctx(ctx, &y, w, s1, FnOp(move |x: f64| (x + b).max(0.0)), s1);
-        ctx.metrics()
-            .record(Kernel::DnnLayer, start.elapsed(), nnz_in, y.nnz() as u64, 0);
+        y = fused_layer(ctx, k, y, w, b);
     }
     Ok(y)
+}
+
+/// One fused layer step `relu(Y W + b)`, generic over the physical
+/// index width so the narrow and wide inference loops share one body.
+fn fused_layer<I: IndexType>(
+    ctx: &OpCtx,
+    k: usize,
+    y: Dcsr<f64, I>,
+    w: &Dcsr<f64, I>,
+    b: f64,
+) -> Dcsr<f64, I> {
+    let _span = ctx.kernel_span(Kernel::DnnLayer, || {
+        format!("layer {k}: {} act · {} wt", y.nnz(), w.nnz())
+    });
+    let start = Instant::now();
+    let nnz_in = (y.nnz() + w.nnz()) as u64;
+    // One pass: Z = Y W in S₁ with the bias+ReLU epilogue applied as
+    // each accumulator drains; entries pruned to the S₁ zero never
+    // reach the output. (⊗ counts land on the Mxm row.)
+    let s1 = S1::new();
+    let y = ops::mxm_apply_prune_ctx(ctx, &y, w, s1, FnOp(move |x: f64| (x + b).max(0.0)), s1);
+    let bytes = (y.bytes() + w.bytes()) as u64;
+    ctx.metrics().record(
+        Kernel::DnnLayer,
+        start.elapsed(),
+        nnz_in,
+        y.nnz() as u64,
+        0,
+        bytes,
+    );
+    y
 }
 
 /// The literal two-semiring oscillation of §V.C (thread-local default
@@ -144,8 +179,15 @@ pub fn try_infer_two_semiring_ctx(
             FnOp(move |x: f64| s2.add(s2.mul(x, b), 0.0)),
             pair.correlate,
         );
-        ctx.metrics()
-            .record(Kernel::DnnLayer, start.elapsed(), nnz_in, y.nnz() as u64, 0);
+        let bytes = (y.bytes() + w.bytes()) as u64;
+        ctx.metrics().record(
+            Kernel::DnnLayer,
+            start.elapsed(),
+            nnz_in,
+            y.nnz() as u64,
+            0,
+            bytes,
+        );
     }
     Ok(y)
 }
@@ -341,6 +383,23 @@ mod tests {
         let a = infer_fused(&net, &y0);
         let b = infer_two_semiring(&net, &y0);
         assert_eq!(a, b, "S1/S2 oscillation must equal the fused kernel");
+    }
+
+    #[test]
+    fn narrow_auto_selection_matches_wide_loop() {
+        // 64 neurons < 2³², so the public entry takes the u32 loop;
+        // drive the shared layer body at wide indices and compare.
+        let net = small_net();
+        let y0 = sparse_batch(8, 64, 0.2, 99);
+        let auto = infer_fused(&net, &y0);
+        let wide = with_default_ctx(|ctx| {
+            let mut y = y0.clone();
+            for (k, (w, &b)) in net.layers.iter().zip(&net.biases).enumerate() {
+                y = fused_layer(ctx, k, y, w, b);
+            }
+            y
+        });
+        assert_eq!(auto, wide, "u32 layer loop must be bit-identical to wide");
     }
 
     #[test]

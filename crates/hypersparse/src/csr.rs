@@ -7,20 +7,22 @@
 use semiring::traits::Value;
 
 use crate::dcsr::Dcsr;
+use crate::index::IndexType;
 use crate::Ix;
 
 /// CSR matrix. Requires the row dimension to be materializable
-/// (`nrows ≤ usize::MAX`, practically far smaller).
+/// (`nrows ≤ usize::MAX`, practically far smaller). `I` is the physical
+/// column-id width (defaults to the global [`Ix`]; see DESIGN.md §13).
 #[derive(Clone, Debug, PartialEq)]
-pub struct Csr<T> {
+pub struct Csr<T, I: IndexType = Ix> {
     nrows: Ix,
     ncols: Ix,
     rowptr: Vec<usize>, // len nrows + 1
-    colidx: Vec<Ix>,
+    colidx: Vec<I>,
     vals: Vec<T>,
 }
 
-impl<T: Value> Csr<T> {
+impl<T: Value, I: IndexType> Csr<T, I> {
     /// An empty `nrows × ncols` matrix.
     pub fn empty(nrows: Ix, ncols: Ix) -> Self {
         let n = usize::try_from(nrows).expect("CSR row dimension must fit in memory");
@@ -35,7 +37,7 @@ impl<T: Value> Csr<T> {
 
     /// Convert from hypersparse by materializing the full row-pointer
     /// array. Panics if `nrows` cannot be materialized.
-    pub fn from_dcsr(m: &Dcsr<T>) -> Self {
+    pub fn from_dcsr(m: &Dcsr<T, I>) -> Self {
         let n = usize::try_from(m.nrows()).expect("CSR row dimension must fit in memory");
         let mut rowptr = vec![0usize; n + 1];
         let mut colidx = Vec::with_capacity(m.nnz());
@@ -65,7 +67,7 @@ impl<T: Value> Csr<T> {
     }
 
     /// Convert to the hypersparse compute format.
-    pub fn to_dcsr(&self) -> Dcsr<T> {
+    pub fn to_dcsr(&self) -> Dcsr<T, I> {
         let mut rows = Vec::new();
         let mut rowptr = vec![0usize];
         let mut colidx = Vec::with_capacity(self.nnz());
@@ -99,7 +101,7 @@ impl<T: Value> Csr<T> {
     }
 
     /// Columns and values of `row`.
-    pub fn row(&self, row: Ix) -> (&[Ix], &[T]) {
+    pub fn row(&self, row: Ix) -> (&[I], &[T]) {
         let r = row as usize;
         let (lo, hi) = (self.rowptr[r], self.rowptr[r + 1]);
         (&self.colidx[lo..hi], &self.vals[lo..hi])
@@ -107,15 +109,18 @@ impl<T: Value> Csr<T> {
 
     /// Point lookup.
     pub fn get(&self, row: Ix, col: Ix) -> Option<&T> {
+        let c = I::try_from_ix(col)?;
         let (cols, vals) = self.row(row);
-        cols.binary_search(&col).ok().map(|i| &vals[i])
+        cols.binary_search(&c).ok().map(|i| &vals[i])
     }
 
     /// Iterate all entries in `(row, col)` order.
     pub fn iter(&self) -> impl Iterator<Item = (Ix, Ix, &T)> + '_ {
         (0..self.nrows as usize).flat_map(move |r| {
             let (cols, vals) = self.row(r as Ix);
-            cols.iter().zip(vals).map(move |(&c, v)| (r as Ix, c, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, v)| (r as Ix, c.to_ix(), v))
         })
     }
 
@@ -123,7 +128,7 @@ impl<T: Value> Csr<T> {
     /// hypersparse regime cannot afford.
     pub fn bytes(&self) -> usize {
         self.rowptr.len() * std::mem::size_of::<usize>()
-            + self.colidx.len() * std::mem::size_of::<Ix>()
+            + self.colidx.len() * std::mem::size_of::<I>()
             + self.vals.len() * std::mem::size_of::<T>()
     }
 }
@@ -173,6 +178,16 @@ mod tests {
         big_coo.extend([(0, 1, 1.0), (0, 3, 2.0), (3, 0, 3.0), (7, 7, 4.0)]);
         let big = Csr::from_dcsr(&big_coo.build_dcsr(PlusTimes::<f64>::new()));
         assert!(big.bytes() > small.bytes() * 1000);
+    }
+
+    #[test]
+    fn narrow_csr_round_trips_through_dcsr() {
+        let d = sample_dcsr();
+        let narrow: Dcsr<f64, u32> = d.to_index_width().unwrap();
+        let c = Csr::from_dcsr(&narrow);
+        assert_eq!(c.get(0, 3), Some(&2.0));
+        assert_eq!(c.to_dcsr(), narrow);
+        assert!(c.bytes() < Csr::from_dcsr(&d).bytes());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use semiring::traits::Value;
@@ -48,6 +48,15 @@ pub struct MxmScratch<T> {
     pub touched: Vec<Ix>,
     /// Hash accumulator for hypersparse column spaces.
     pub hash: HashMap<Ix, T>,
+    /// Flat branch-free accumulator for the monomorphic fast paths
+    /// (DESIGN.md §13). **Invariant:** every slot is the semiring zero
+    /// between kernel calls — the word-at-a-time drain restores zeros as
+    /// it consumes entries, so no per-call clear is needed.
+    pub flat: Vec<T>,
+    /// Occupancy / mask bitmap, one bit per column, operated on a word
+    /// at a time. **Invariant:** all-zero between kernel calls (checked
+    /// in debug builds at lease time).
+    pub words: Vec<u64>,
 }
 
 impl<T> Default for MxmScratch<T> {
@@ -56,6 +65,8 @@ impl<T> Default for MxmScratch<T> {
             dense: Vec::new(),
             touched: Vec::new(),
             hash: HashMap::new(),
+            flat: Vec::new(),
+            words: Vec::new(),
         }
     }
 }
@@ -72,6 +83,27 @@ impl<T: Clone> MxmScratch<T> {
     /// Current heap footprint of the dense accumulator, in slots.
     pub fn dense_capacity(&self) -> usize {
         self.dense.len()
+    }
+
+    /// Grow the flat accumulator to at least `width` slots, filling new
+    /// slots with `zero` (existing slots are already zero per the
+    /// invariant above).
+    pub fn ensure_flat_width(&mut self, width: usize, zero: T) {
+        if self.flat.len() < width {
+            self.flat.resize(width, zero);
+        }
+    }
+
+    /// Current heap footprint of the flat accumulator, in slots.
+    pub fn flat_capacity(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Grow the bitmap to at least `nwords` zeroed words.
+    pub fn ensure_words(&mut self, nwords: usize) {
+        if self.words.len() < nwords {
+            self.words.resize(nwords, 0);
+        }
     }
 }
 
@@ -114,6 +146,10 @@ impl<T: Value> Drop for ScratchLease<'_, T> {
 pub struct OpCtx {
     /// Requested thread cap; `0` means "auto" (available parallelism).
     threads: AtomicUsize,
+    /// Inverted so the derived `Default` (false) means fast paths *on*.
+    fast_paths_off: AtomicBool,
+    /// Inverted so the derived `Default` (false) means balancing *on*.
+    shard_balancing_off: AtomicBool,
     workspace: Mutex<Workspace>,
     metrics: MetricsRegistry,
     trace: TraceRegistry,
@@ -147,6 +183,31 @@ impl OpCtx {
                 .unwrap_or(1),
             n => n,
         }
+    }
+
+    /// Enable/disable the monomorphic semiring fast paths (on by
+    /// default). Proptests and bench ablations switch them off to pin
+    /// the generic kernels; outputs are bit-identical either way
+    /// (DESIGN.md §13).
+    pub fn set_fast_paths(&self, on: bool) {
+        self.fast_paths_off.store(!on, Ordering::Relaxed);
+    }
+
+    /// Whether monomorphic fast paths are engaged.
+    pub fn fast_paths(&self) -> bool {
+        !self.fast_paths_off.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable nnz-weighted (merge-path) shard balancing (on by
+    /// default). Off restores the legacy fixed rows-per-shard split;
+    /// outputs are bit-identical either way.
+    pub fn set_shard_balancing(&self, on: bool) {
+        self.shard_balancing_off.store(!on, Ordering::Relaxed);
+    }
+
+    /// Whether nnz-weighted shard balancing is engaged.
+    pub fn shard_balancing(&self) -> bool {
+        !self.shard_balancing_off.load(Ordering::Relaxed)
     }
 
     /// The context's metrics registry.
@@ -193,6 +254,10 @@ impl OpCtx {
                 self.metrics.record_ws_hit();
                 scratch.touched.clear();
                 scratch.hash.clear();
+                debug_assert!(
+                    scratch.words.iter().all(|&w| w == 0),
+                    "bitmap scratch returned dirty"
+                );
                 ScratchLease {
                     ctx: self,
                     scratch: Some(scratch),
@@ -233,6 +298,60 @@ thread_local! {
 /// metrics accumulate across all ctx-free calls on the thread.
 pub fn with_default_ctx<R>(f: impl FnOnce(&OpCtx) -> R) -> R {
     DEFAULT_CTX.with(f)
+}
+
+/// Merge-path row sharding: split `rows` work items into at most
+/// `target` contiguous shards whose *weights* (per-row nnz plus one, so
+/// empty-weight rows still advance the path) are as equal as the
+/// row-granular snapping allows.
+///
+/// This is the merge-path decomposition of the `(rows, nnz)` merge
+/// curve: shard boundaries sit where the cumulative path length
+/// `Σ (wᵢ + 1)` crosses successive `total/target` diagonals. A single
+/// pathological RMAT row can no longer serialize its 255 fixed-shard
+/// neighbours behind it.
+///
+/// Determinism: boundaries depend only on `(rows, target, weights)` —
+/// never on scheduling — and every output row is computed wholly inside
+/// one shard, so any boundary choice yields bit-identical results after
+/// the in-order concat (DESIGN.md §13).
+pub(crate) fn plan_weighted_shards(
+    rows: usize,
+    target: usize,
+    weight: impl Fn(usize) -> u64,
+) -> Vec<(usize, usize)> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let target = target.clamp(1, rows) as u128;
+    if target == 1 {
+        return vec![(0, rows)];
+    }
+    let total: u128 = (0..rows).map(|k| u128::from(weight(k)) + 1).sum();
+    let mut shards = Vec::with_capacity(target as usize);
+    let mut start = 0usize;
+    let mut acc: u128 = 0;
+    let mut boundary: u128 = 1;
+    for k in 0..rows {
+        acc += u128::from(weight(k)) + 1;
+        while boundary < target && acc * target >= boundary * total {
+            if k + 1 > start && k + 1 < rows {
+                shards.push((start, k + 1));
+                start = k + 1;
+            }
+            boundary += 1;
+        }
+    }
+    shards.push((start, rows));
+    shards
+}
+
+/// Legacy fixed-size sharding (`shard_size` rows each) — kept as the
+/// `shard_balancing(false)` ablation baseline for the weighted planner.
+pub(crate) fn fixed_shards(rows: usize, shard_size: usize) -> Vec<(usize, usize)> {
+    (0..rows.div_ceil(shard_size))
+        .map(|s| (s * shard_size, ((s + 1) * shard_size).min(rows)))
+        .collect()
 }
 
 /// Deterministic fan-out: run `jobs` closures on up to `threads` OS
@@ -328,6 +447,65 @@ mod tests {
             assert_eq!(par_run(threads, 64, |i| i * i), sequential);
         }
         assert_eq!(par_run(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn fast_path_and_balancing_flags_default_on() {
+        let ctx = OpCtx::new();
+        assert!(ctx.fast_paths());
+        assert!(ctx.shard_balancing());
+        ctx.set_fast_paths(false);
+        ctx.set_shard_balancing(false);
+        assert!(!ctx.fast_paths());
+        assert!(!ctx.shard_balancing());
+        ctx.set_fast_paths(true);
+        assert!(ctx.fast_paths());
+    }
+
+    #[test]
+    fn flat_scratch_pools_like_dense() {
+        let ctx = OpCtx::new();
+        {
+            let mut lease = ctx.lease_mxm_scratch::<f64>();
+            lease.get().ensure_flat_width(256, 0.0);
+            lease.get().ensure_words(4);
+        }
+        {
+            let mut lease = ctx.lease_mxm_scratch::<f64>();
+            assert_eq!(lease.get().flat_capacity(), 256);
+            assert_eq!(lease.get().words.len(), 4);
+            assert!(lease.get().flat.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn weighted_shards_cover_and_balance() {
+        // Skewed: one huge row then uniform tail.
+        let w = |k: usize| if k == 0 { 1000 } else { 1 };
+        let shards = plan_weighted_shards(100, 4, w);
+        assert!(shards.len() <= 4);
+        assert_eq!(shards[0].0, 0);
+        assert_eq!(shards.last().unwrap().1, 100);
+        for win in shards.windows(2) {
+            assert_eq!(win[0].1, win[1].0, "shards must be contiguous");
+        }
+        assert!(shards.iter().all(|&(lo, hi)| lo < hi));
+        // The heavy row gets a shard of its own (or nearly): the first
+        // shard must not also swallow most of the tail.
+        assert!(shards[0].1 <= 2, "heavy row should terminate its shard");
+        // Deterministic.
+        assert_eq!(shards, plan_weighted_shards(100, 4, w));
+    }
+
+    #[test]
+    fn weighted_shards_edge_cases() {
+        assert!(plan_weighted_shards(0, 4, |_| 1).is_empty());
+        assert_eq!(plan_weighted_shards(5, 1, |_| 1), vec![(0, 5)]);
+        assert_eq!(plan_weighted_shards(3, 10, |_| 0).len(), 3);
+        // All-zero weights still make progress via the +1 path term.
+        let shards = plan_weighted_shards(64, 8, |_| 0);
+        assert_eq!(shards.last().unwrap().1, 64);
+        assert_eq!(shards.len(), 8);
     }
 
     #[test]

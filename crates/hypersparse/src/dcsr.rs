@@ -15,25 +15,39 @@
 //! * column ids strictly increasing within each row;
 //! * no stored value is the semiring zero (enforced at construction by
 //!   builders — the struct itself is semiring-agnostic).
+//!
+//! The second type parameter `I` selects the *physical* column-id width
+//! (DESIGN.md §13): `Dcsr<T>` stores wide [`Ix`] ids; `Dcsr<T, u32>`
+//! (from [`Dcsr::to_index_width`], legal when both dims fit
+//! [`IndexType::MAX_DIM`]) halves column-index bandwidth on every kernel
+//! inner loop. Row ids and row pointers stay wide — they are touched
+//! once per *row*, not once per *entry*, so narrowing them buys nothing.
 
 use semiring::traits::Value;
 
+use crate::index::{dims_fit, IndexType};
 use crate::Ix;
 
-/// Hypersparse matrix: only non-empty rows are represented.
+/// Hypersparse matrix: only non-empty rows are represented. `I` is the
+/// physical column-id width (defaults to the global [`Ix`]).
 #[derive(Clone, Debug, PartialEq)]
-pub struct Dcsr<T> {
+pub struct Dcsr<T, I: IndexType = Ix> {
     nrows: Ix,
     ncols: Ix,
     rows: Vec<Ix>,
     rowptr: Vec<usize>,
-    colidx: Vec<Ix>,
+    colidx: Vec<I>,
     vals: Vec<T>,
 }
 
-impl<T: Value> Dcsr<T> {
+impl<T: Value, I: IndexType> Dcsr<T, I> {
     /// An empty `nrows × ncols` matrix.
     pub fn empty(nrows: Ix, ncols: Ix) -> Self {
+        debug_assert!(
+            dims_fit::<I>(nrows, ncols),
+            "key space {nrows}×{ncols} exceeds a {} bit index",
+            I::BITS
+        );
         Dcsr {
             nrows,
             ncols,
@@ -50,9 +64,10 @@ impl<T: Value> Dcsr<T> {
         ncols: Ix,
         rows: Vec<Ix>,
         rowptr: Vec<usize>,
-        colidx: Vec<Ix>,
+        colidx: Vec<I>,
         vals: Vec<T>,
     ) -> Self {
+        debug_assert!(dims_fit::<I>(nrows, ncols));
         debug_assert_eq!(rowptr.len(), rows.len() + 1);
         debug_assert_eq!(colidx.len(), vals.len());
         debug_assert_eq!(*rowptr.last().unwrap_or(&0), colidx.len());
@@ -68,7 +83,7 @@ impl<T: Value> Dcsr<T> {
                 .all(|w| w[0] < w[1])),
             "column ids not strictly increasing within a row"
         );
-        debug_assert!(colidx.iter().all(|&c| c < ncols));
+        debug_assert!(colidx.iter().all(|&c| c.to_ix() < ncols));
         Dcsr {
             nrows,
             ncols,
@@ -109,14 +124,20 @@ impl<T: Value> Dcsr<T> {
         self.rows.binary_search(&row).ok()
     }
 
+    /// Stored entries of the `k`-th non-empty row (its A-row nnz) — the
+    /// per-row weight the load-balanced shard planner works from.
+    pub fn row_len_at(&self, k: usize) -> usize {
+        self.rowptr[k + 1] - self.rowptr[k]
+    }
+
     /// The `k`-th non-empty row as `(row_id, cols, vals)`.
-    pub fn row_at(&self, k: usize) -> (Ix, &[Ix], &[T]) {
+    pub fn row_at(&self, k: usize) -> (Ix, &[I], &[T]) {
         let (lo, hi) = (self.rowptr[k], self.rowptr[k + 1]);
         (self.rows[k], &self.colidx[lo..hi], &self.vals[lo..hi])
     }
 
     /// Columns and values of `row`, or empty slices if the row is empty.
-    pub fn row(&self, row: Ix) -> (&[Ix], &[T]) {
+    pub fn row(&self, row: Ix) -> (&[I], &[T]) {
         match self.find_row(row) {
             Some(k) => {
                 let (_, c, v) = self.row_at(k);
@@ -128,20 +149,21 @@ impl<T: Value> Dcsr<T> {
 
     /// Point lookup.
     pub fn get(&self, row: Ix, col: Ix) -> Option<&T> {
+        let c = I::try_from_ix(col)?;
         let (cols, vals) = self.row(row);
-        cols.binary_search(&col).ok().map(|i| &vals[i])
+        cols.binary_search(&c).ok().map(|i| &vals[i])
     }
 
     /// Iterate all entries in `(row, col)` order.
     pub fn iter(&self) -> impl Iterator<Item = (Ix, Ix, &T)> + '_ {
         (0..self.rows.len()).flat_map(move |k| {
             let (r, cols, vals) = self.row_at(k);
-            cols.iter().zip(vals).map(move |(&c, v)| (r, c, v))
+            cols.iter().zip(vals).map(move |(&c, v)| (r, c.to_ix(), v))
         })
     }
 
     /// Iterate non-empty rows as `(row_id, cols, vals)`.
-    pub fn iter_rows(&self) -> impl Iterator<Item = (Ix, &[Ix], &[T])> + '_ {
+    pub fn iter_rows(&self) -> impl Iterator<Item = (Ix, &[I], &[T])> + '_ {
         (0..self.rows.len()).map(move |k| self.row_at(k))
     }
 
@@ -155,22 +177,51 @@ impl<T: Value> Dcsr<T> {
     pub fn bytes(&self) -> usize {
         self.rows.len() * std::mem::size_of::<Ix>()
             + self.rowptr.len() * std::mem::size_of::<usize>()
-            + self.colidx.len() * std::mem::size_of::<Ix>()
+            + self.colidx.len() * std::mem::size_of::<I>()
             + self.vals.len() * std::mem::size_of::<T>()
     }
 
     /// Re-dimension the key space (e.g. after key-dictionary growth in the
     /// associative-array layer). Panics if any stored entry would fall
-    /// outside the new bounds.
+    /// outside the new bounds or the new bounds exceed the index width.
     pub fn resize(&mut self, nrows: Ix, ncols: Ix) {
+        assert!(
+            dims_fit::<I>(nrows, ncols),
+            "resize target exceeds a {} bit index — widen first",
+            I::BITS
+        );
         assert!(self.rows.last().is_none_or(|&r| r < nrows));
-        assert!(self.colidx.iter().all(|&c| c < ncols));
+        assert!(self.colidx.iter().all(|&c| c.to_ix() < ncols));
         self.nrows = nrows;
         self.ncols = ncols;
     }
 
+    /// True when this matrix's key space fits index width `J`, i.e.
+    /// [`Dcsr::to_index_width`] would succeed.
+    pub fn fits_index_width<J: IndexType>(&self) -> bool {
+        dims_fit::<J>(self.nrows, self.ncols)
+    }
+
+    /// Re-store with column-id width `J` (e.g. `u32` when both dims are
+    /// `< 2³²` — the narrow-index fast path). `None` when the key space
+    /// does not fit. `O(nnz)`; topology and values are unchanged.
+    pub fn to_index_width<J: IndexType>(&self) -> Option<Dcsr<T, J>> {
+        if !self.fits_index_width::<J>() {
+            return None;
+        }
+        Some(Dcsr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rows: self.rows.clone(),
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.iter().map(|&c| J::from_ix(c.to_ix())).collect(),
+            vals: self.vals.clone(),
+        })
+    }
+
     /// Decompose into raw parts `(nrows, ncols, rows, rowptr, colidx, vals)`.
-    pub fn into_parts(self) -> (Ix, Ix, Vec<Ix>, Vec<usize>, Vec<Ix>, Vec<T>) {
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (Ix, Ix, Vec<Ix>, Vec<usize>, Vec<I>, Vec<T>) {
         (
             self.nrows,
             self.ncols,
@@ -204,6 +255,8 @@ mod tests {
         assert_eq!(m.row(6), (&[][..], &[][..]));
         assert_eq!(m.get(50, 0), Some(&3.0));
         assert_eq!(m.get(50, 1), None);
+        assert_eq!(m.row_len_at(0), 2);
+        assert_eq!(m.row_len_at(1), 1);
     }
 
     #[test]
@@ -251,5 +304,43 @@ mod tests {
     fn resize_cannot_orphan_entries() {
         let mut m = sample();
         m.resize(10, 10); // row 50 and 99 out of bounds
+    }
+
+    #[test]
+    fn narrow_round_trip_preserves_everything() {
+        let m = sample();
+        let narrow: Dcsr<f64, u32> = m.to_index_width().unwrap();
+        assert_eq!(narrow.nnz(), m.nnz());
+        assert_eq!(narrow.to_triplets(), m.to_triplets());
+        assert_eq!(narrow.get(5, 7), Some(&2.0));
+        let wide_again: Dcsr<f64> = narrow.to_index_width().unwrap();
+        assert_eq!(wide_again, m);
+    }
+
+    #[test]
+    fn narrow_refused_when_dims_exceed_width() {
+        let mut c = Coo::new(1 << 40, 1 << 40);
+        c.push(1, 1, 1.0);
+        let m = c.build_dcsr(PlusTimes::<f64>::new());
+        assert!(!m.fits_index_width::<u32>());
+        assert!(m.to_index_width::<u32>().is_none());
+        assert!(m.to_index_width::<u64>().is_some());
+    }
+
+    #[test]
+    fn narrow_colidx_shrinks_bytes() {
+        let m = sample();
+        let narrow: Dcsr<f64, u32> = m.to_index_width().unwrap();
+        assert!(narrow.bytes() < m.bytes());
+        let saved = m.nnz() * (std::mem::size_of::<Ix>() - std::mem::size_of::<u32>());
+        assert_eq!(m.bytes() - narrow.bytes(), saved);
+    }
+
+    #[test]
+    #[should_panic]
+    fn narrow_resize_beyond_width_panics() {
+        let narrow: Dcsr<f64, u32> = sample().to_index_width().unwrap();
+        let mut narrow = narrow;
+        narrow.resize(1 << 40, 1 << 40);
     }
 }

@@ -1,0 +1,178 @@
+//! Narrow-index storage: the `IndexType` abstraction behind
+//! `Dcsr<T, I>` / `Csr<T, I>` / `SparseVec<T, I>`.
+//!
+//! Column ids dominate the index bandwidth of every SpGEMM / mxv inner
+//! loop — one id per stored entry, streamed on every multiply. When a
+//! matrix's key space fits in 32 bits the ids can be stored as `u32`,
+//! halving that traffic (DESIGN.md §13). The global key space stays
+//! [`Ix`] (`u64`): narrow storage is a *representation* choice, made per
+//! container via [`crate::Dcsr::to_index_width`] and checked against
+//! [`IndexType::MAX_DIM`]. All kernels are generic over `I` and default
+//! to `Ix`, so existing wide call sites compile unchanged.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::Ix;
+
+/// A physical storage type for row/column indices.
+///
+/// Implementations are plain unsigned integers (`u32`, `u64`, `usize`).
+/// The contract: every index `< MAX_DIM` round-trips losslessly through
+/// [`from_ix`](IndexType::from_ix) / [`to_ix`](IndexType::to_ix), and
+/// `Ord` on the narrow type agrees with `Ord` on [`Ix`].
+pub trait IndexType: Copy + Ord + Eq + Hash + Debug + Default + Send + Sync + 'static {
+    /// Largest key-space dimension this width can index: every valid
+    /// index of a `dim ≤ MAX_DIM` container fits losslessly.
+    const MAX_DIM: Ix;
+
+    /// Bit width of the stored representation (for docs / reports).
+    const BITS: u32;
+
+    /// Narrow a global index. Debug-asserts that it fits.
+    fn from_ix(i: Ix) -> Self;
+
+    /// Narrow a global index, `None` if it does not fit.
+    fn try_from_ix(i: Ix) -> Option<Self>;
+
+    /// Narrow a `usize` position (e.g. a bitmap slot). Debug-asserts fit.
+    fn from_usize(i: usize) -> Self;
+
+    /// Widen back to the global key space.
+    fn to_ix(self) -> Ix;
+
+    /// The index as a memory offset.
+    fn as_usize(self) -> usize;
+}
+
+impl IndexType for u32 {
+    const MAX_DIM: Ix = 1 << 32;
+    const BITS: u32 = 32;
+
+    #[inline(always)]
+    fn from_ix(i: Ix) -> Self {
+        debug_assert!(i < Self::MAX_DIM, "index {i} does not fit in u32");
+        i as u32
+    }
+
+    #[inline(always)]
+    fn try_from_ix(i: Ix) -> Option<Self> {
+        u32::try_from(i).ok()
+    }
+
+    #[inline(always)]
+    fn from_usize(i: usize) -> Self {
+        debug_assert!((i as u64) < Self::MAX_DIM);
+        i as u32
+    }
+
+    #[inline(always)]
+    fn to_ix(self) -> Ix {
+        self as Ix
+    }
+
+    #[inline(always)]
+    fn as_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl IndexType for u64 {
+    const MAX_DIM: Ix = u64::MAX;
+    const BITS: u32 = 64;
+
+    #[inline(always)]
+    fn from_ix(i: Ix) -> Self {
+        i
+    }
+
+    #[inline(always)]
+    fn try_from_ix(i: Ix) -> Option<Self> {
+        Some(i)
+    }
+
+    #[inline(always)]
+    fn from_usize(i: usize) -> Self {
+        i as u64
+    }
+
+    #[inline(always)]
+    fn to_ix(self) -> Ix {
+        self
+    }
+
+    #[inline(always)]
+    fn as_usize(self) -> usize {
+        usize::try_from(self).expect("index exceeds the address space")
+    }
+}
+
+impl IndexType for usize {
+    const MAX_DIM: Ix = usize::MAX as Ix;
+    const BITS: u32 = usize::BITS;
+
+    #[inline(always)]
+    fn from_ix(i: Ix) -> Self {
+        // Vacuous on 64-bit targets, a real bound on 32-bit ones.
+        #[allow(clippy::absurd_extreme_comparisons)]
+        {
+            debug_assert!(i <= Self::MAX_DIM, "index {i} does not fit in usize");
+        }
+        i as usize
+    }
+
+    #[inline(always)]
+    fn try_from_ix(i: Ix) -> Option<Self> {
+        usize::try_from(i).ok()
+    }
+
+    #[inline(always)]
+    fn from_usize(i: usize) -> Self {
+        i
+    }
+
+    #[inline(always)]
+    fn to_ix(self) -> Ix {
+        self as Ix
+    }
+
+    #[inline(always)]
+    fn as_usize(self) -> usize {
+        self
+    }
+}
+
+/// True when a `nrows × ncols` key space fits index width `I`.
+pub fn dims_fit<I: IndexType>(nrows: Ix, ncols: Ix) -> bool {
+    nrows <= I::MAX_DIM && ncols <= I::MAX_DIM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_round_trip_and_bounds() {
+        assert_eq!(u32::from_ix(42).to_ix(), 42);
+        assert_eq!(u32::try_from_ix(u32::MAX as Ix), Some(u32::MAX));
+        assert_eq!(u32::try_from_ix(1 << 32), None);
+        assert!(dims_fit::<u32>(1 << 32, 1 << 32));
+        assert!(!dims_fit::<u32>((1 << 32) + 1, 4));
+    }
+
+    #[test]
+    fn wide_types_accept_everything() {
+        assert_eq!(u64::from_ix(u64::MAX).to_ix(), u64::MAX);
+        assert!(dims_fit::<u64>(u64::MAX, u64::MAX));
+        assert_eq!(usize::from_ix(7).as_usize(), 7);
+        assert_eq!(usize::try_from_ix(9), Some(9));
+    }
+
+    #[test]
+    fn ord_agrees_with_ix() {
+        let a = u32::from_ix(3);
+        let b = u32::from_ix(900);
+        assert!(a < b);
+        assert_eq!(a.cmp(&b), a.to_ix().cmp(&b.to_ix()));
+    }
+}

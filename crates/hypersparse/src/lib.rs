@@ -37,7 +37,10 @@
 //!
 //! Index space is `u64` throughout — dimensions are *key-space sizes*,
 //! not allocation sizes; only materialized formats (dense, bitmap, CSR)
-//! constrain them.
+//! constrain them. The *physical* column-id width is a per-container
+//! choice ([`IndexType`]): `Dcsr<T, u32>` (via
+//! [`Dcsr::to_index_width`]) halves index bandwidth on kernel inner
+//! loops when both dims fit in 32 bits — see DESIGN.md §13.
 //!
 //! ```
 //! use hypersparse::{Matrix, SparseVec};
@@ -69,6 +72,7 @@ pub mod dcsr;
 pub mod dense;
 pub mod error;
 pub mod gen;
+pub mod index;
 pub mod matrix;
 pub mod metrics;
 pub mod ops;
@@ -83,6 +87,7 @@ pub use ctx::{with_default_ctx, OpCtx};
 pub use dcsr::Dcsr;
 pub use dense::DenseMat;
 pub use error::{Axis, OpError};
+pub use index::IndexType;
 pub use matrix::{Format, FormatPolicy, Matrix};
 pub use metrics::{Direction, Kernel, KernelSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use stream::{StreamConfig, StreamingMatrix};

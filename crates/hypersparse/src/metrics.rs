@@ -5,9 +5,11 @@
 //! This module is that layer for the hypersparse engine. Every
 //! computational kernel routed through an [`crate::ctx::OpCtx`] records a
 //! [`Kernel`]-keyed row of counters — calls, input/output nnz, flops
-//! (semiring ⊗ applications, or combiner applications for merges), and
-//! elapsed wall time — plus engine-wide counters for storage-format
-//! switches and workspace-arena hits/misses.
+//! (semiring ⊗ applications, or combiner applications for merges),
+//! bytes touched (operand + result heap footprint, the bandwidth the
+//! narrow-index formats halve), and elapsed wall time — plus
+//! engine-wide counters for storage-format switches and workspace-arena
+//! hits/misses.
 //!
 //! All counters are relaxed atomics: recording from parallel shards is
 //! race-free, and reading while kernels run yields a consistent-enough
@@ -140,18 +142,22 @@ pub struct KernelStats {
     nnz_in: AtomicU64,
     nnz_out: AtomicU64,
     flops: AtomicU64,
+    bytes_touched: AtomicU64,
     latency: Histogram,
 }
 
 impl KernelStats {
-    /// Fold one completed kernel invocation into the counters.
-    pub fn record(&self, elapsed: Duration, nnz_in: u64, nnz_out: u64, flops: u64) {
+    /// Fold one completed kernel invocation into the counters. `bytes`
+    /// is the heap footprint of operands plus result — the bandwidth
+    /// proxy narrow indices shrink.
+    pub fn record(&self, elapsed: Duration, nnz_in: u64, nnz_out: u64, flops: u64, bytes: u64) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.elapsed_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.nnz_in.fetch_add(nnz_in, Ordering::Relaxed);
         self.nnz_out.fetch_add(nnz_out, Ordering::Relaxed);
         self.flops.fetch_add(flops, Ordering::Relaxed);
+        self.bytes_touched.fetch_add(bytes, Ordering::Relaxed);
         self.latency.record(elapsed);
     }
 
@@ -163,6 +169,7 @@ impl KernelStats {
             nnz_in: self.nnz_in.load(Ordering::Relaxed),
             nnz_out: self.nnz_out.load(Ordering::Relaxed),
             flops: self.flops.load(Ordering::Relaxed),
+            bytes_touched: self.bytes_touched.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
         }
     }
@@ -173,6 +180,7 @@ impl KernelStats {
         self.nnz_in.store(0, Ordering::Relaxed);
         self.nnz_out.store(0, Ordering::Relaxed);
         self.flops.store(0, Ordering::Relaxed);
+        self.bytes_touched.store(0, Ordering::Relaxed);
         self.latency.reset();
     }
 }
@@ -193,6 +201,9 @@ pub struct KernelSnapshot {
     /// Total useful algebraic work: ⊗ applications for multiplies,
     /// combiner applications for merges and reductions.
     pub flops: u64,
+    /// Heap bytes of operands + results across invocations — the
+    /// bandwidth proxy that makes narrow-index savings observable.
+    pub bytes_touched: u64,
     /// Per-invocation latency distribution (log₂ buckets; p50/p95/p99
     /// via [`HistogramSnapshot::quantile`]).
     pub latency: HistogramSnapshot,
@@ -218,9 +229,20 @@ impl MetricsRegistry {
         &self.stats[kernel.index()]
     }
 
-    /// Record one completed invocation of `kernel`.
-    pub fn record(&self, kernel: Kernel, elapsed: Duration, nnz_in: u64, nnz_out: u64, flops: u64) {
-        self.kernel(kernel).record(elapsed, nnz_in, nnz_out, flops);
+    /// Record one completed invocation of `kernel`. `bytes` is the heap
+    /// footprint of operands plus result (see [`KernelStats::record`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        kernel: Kernel,
+        elapsed: Duration,
+        nnz_in: u64,
+        nnz_out: u64,
+        flops: u64,
+        bytes: u64,
+    ) {
+        self.kernel(kernel)
+            .record(elapsed, nnz_in, nnz_out, flops, bytes);
     }
 
     /// Count one automatic storage-format change on a result matrix.
@@ -336,8 +358,8 @@ impl MetricsSnapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12}",
-            "kernel", "calls", "nnz_in", "nnz_out", "flops", "elapsed"
+            "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "kernel", "calls", "nnz_in", "nnz_out", "flops", "bytes", "elapsed"
         );
         for k in &self.kernels {
             if k.calls == 0 {
@@ -345,12 +367,13 @@ impl MetricsSnapshot {
             }
             let _ = writeln!(
                 out,
-                "{:<14} {:>8} {:>12} {:>12} {:>12} {:>9.3} ms",
+                "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9.3} ms",
                 k.kernel.name(),
                 k.calls,
                 k.nnz_in,
                 k.nnz_out,
                 k.flops,
+                k.bytes_touched,
                 k.elapsed_ns as f64 / 1e6
             );
         }
@@ -412,6 +435,11 @@ impl MetricsSnapshot {
                 "hypersparse_kernel_flops_total",
                 "Semiring operator applications.",
                 |k| k.flops,
+            ),
+            (
+                "hypersparse_kernel_bytes_touched_total",
+                "Heap bytes of kernel operands and results.",
+                |k| k.bytes_touched,
             ),
         ] {
             write_prometheus_header(&mut out, name, "counter", help);
@@ -507,9 +535,9 @@ mod tests {
     #[test]
     fn record_and_snapshot_round_trip() {
         let reg = MetricsRegistry::default();
-        reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30);
-        reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30);
-        reg.record(Kernel::EwiseAdd, Duration::from_nanos(100), 7, 7, 3);
+        reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30, 200);
+        reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30, 200);
+        reg.record(Kernel::EwiseAdd, Duration::from_nanos(100), 7, 7, 3, 50);
         reg.record_format_switch();
         let snap = reg.snapshot();
         let m = snap.kernel(Kernel::Mxm);
@@ -517,6 +545,7 @@ mod tests {
         assert_eq!(m.nnz_in, 20);
         assert_eq!(m.nnz_out, 8);
         assert_eq!(m.flops, 60);
+        assert_eq!(m.bytes_touched, 400);
         assert_eq!(m.elapsed_ns, 10_000);
         assert_eq!(snap.kernel(Kernel::EwiseAdd).calls, 1);
         assert_eq!(snap.kernel(Kernel::Kron).calls, 0);
@@ -531,7 +560,7 @@ mod tests {
     #[test]
     fn reset_zeroes_everything() {
         let reg = MetricsRegistry::default();
-        reg.record(Kernel::Transpose, Duration::from_micros(1), 5, 5, 5);
+        reg.record(Kernel::Transpose, Duration::from_micros(1), 5, 5, 5, 5);
         reg.record_ws_miss();
         reg.reset();
         let snap = reg.snapshot();

@@ -11,13 +11,26 @@
 //! API plugging in the semiring's own ⊕/⊗. Every kernel has a `*_ctx`
 //! variant recording into an [`OpCtx`]'s metrics; the ctx-free names use
 //! the thread-local default context.
+//!
+//! **Boolean word path** (DESIGN.md §13): when the combiner is the
+//! `LorLand` semiring's own ⊕/⊗, colliding row pairs that are dense
+//! relative to the column space merge **word-at-a-time** — each row
+//! becomes a presence bitmap plus a truth bitmap, the union/intersection
+//! is a handful of bitwise ops per 64 columns, and survivors drain with
+//! `trailing_zeros` in ascending order. Output and flop counts are
+//! identical to the two-pointer merge ([`OpCtx::set_fast_paths`] ablates
+//! the path off); rows too sparse for the bitmaps to pay off
+//! (`words > nnz(a_row) + nnz(b_row)`) fall back per pair.
 
+use std::any::{Any, TypeId};
 use std::time::Instant;
 
 use semiring::traits::{BinaryOp, Semiring, Value};
+use semiring::LorLand;
 
 use crate::ctx::{with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
+use crate::index::IndexType;
 use crate::metrics::Kernel;
 use crate::Ix;
 
@@ -44,34 +57,42 @@ impl<T: Value, S: Semiring<Value = T>> BinaryOp<T, T, T> for MulOf<S> {
 /// `C = A ⊕ B`: union of sparsity patterns, collisions combined with ⊕.
 /// An entry present in only one operand passes through unchanged —
 /// exactly the `A ⊕ 0 = A` behaviour of Table II.
-pub fn ewise_add<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+pub fn ewise_add<T: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    s: S,
+) -> Dcsr<T, I> {
     with_default_ctx(|ctx| ewise_add_ctx(ctx, a, b, s))
 }
 
 /// [`ewise_add`] through an explicit execution context.
-pub fn ewise_add_ctx<T: Value, S: Semiring<Value = T>>(
+pub fn ewise_add_ctx<T: Value, I: IndexType, S: Semiring<Value = T>>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
-) -> Dcsr<T> {
+) -> Dcsr<T, I> {
     ewise_add_op_ctx(ctx, a, b, AddOf(s), s)
 }
 
 /// `C = A ⊗ B`: intersection of sparsity patterns, survivors combined
 /// with ⊗. Entries present in only one operand meet an implicit `0`,
 /// which annihilates — so they vanish (Table II's `A ⊗ 𝟙 = A` dual).
-pub fn ewise_mul<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+pub fn ewise_mul<T: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    s: S,
+) -> Dcsr<T, I> {
     with_default_ctx(|ctx| ewise_mul_ctx(ctx, a, b, s))
 }
 
 /// [`ewise_mul`] through an explicit execution context.
-pub fn ewise_mul_ctx<T: Value, S: Semiring<Value = T>>(
+pub fn ewise_mul_ctx<T: Value, I: IndexType, S: Semiring<Value = T>>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
-) -> Dcsr<T> {
+) -> Dcsr<T, I> {
     ewise_mul_op_ctx(ctx, a, b, MulOf(s), s)
 }
 
@@ -80,30 +101,44 @@ pub fn ewise_mul_ctx<T: Value, S: Semiring<Value = T>>(
 /// colliding entries combine with `op`, results equal to the semiring
 /// zero drop. Used where the combining operation is not the semiring's ⊕
 /// (e.g. `second` for "overwrite" merges, `-` for diffs).
-pub fn ewise_add_op<T, S, O>(a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+pub fn ewise_add_op<T, I, S, O>(a: &Dcsr<T, I>, b: &Dcsr<T, I>, op: O, s: S) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
-    O: BinaryOp<T, T, T>,
+    O: BinaryOp<T, T, T> + 'static,
 {
     with_default_ctx(|ctx| ewise_add_op_ctx(ctx, a, b, op, s))
 }
 
 /// [`ewise_add_op`] through an explicit execution context. This is *the*
 /// union merge loop: [`ewise_add`] and [`ewise_add_op`] both land here.
-pub fn ewise_add_op_ctx<T, S, O>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+pub fn ewise_add_op_ctx<T, I, S, O>(
+    ctx: &OpCtx,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    op: O,
+    s: S,
+) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
-    O: BinaryOp<T, T, T>,
+    O: BinaryOp<T, T, T> + 'static,
 {
     assert_dims(a, b);
     let _span = ctx.kernel_span(Kernel::EwiseAdd, || {
         format!("{}×{}, {}+{} nnz", a.nrows(), a.ncols(), a.nnz(), b.nnz())
     });
     let start = Instant::now();
+    if ctx.fast_paths() && TypeId::of::<O>() == TypeId::of::<AddOf<LorLand>>() {
+        if let Some((c, flops)) = try_bool_union(a, b) {
+            record_ewise(ctx, Kernel::EwiseAdd, start, a, b, &c, flops);
+            return c;
+        }
+    }
     let mut flops = 0u64;
-    let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut trips: Vec<(Ix, I, T)> = Vec::with_capacity(a.nnz() + b.nnz());
     let (ra, rb) = (a.row_ids(), b.row_ids());
     let (mut i, mut j) = (0usize, 0usize);
     while i < ra.len() || j < rb.len() {
@@ -141,23 +176,18 @@ where
         }
     }
     let c = from_sorted_trips(a.nrows(), a.ncols(), trips);
-    ctx.metrics().record(
-        Kernel::EwiseAdd,
-        start.elapsed(),
-        (a.nnz() + b.nnz()) as u64,
-        c.nnz() as u64,
-        flops,
-    );
+    record_ewise(ctx, Kernel::EwiseAdd, start, a, b, &c, flops);
     c
 }
 
 /// `C = A ⊗' B` with an arbitrary combiner at intersections (GraphBLAS
 /// `eWiseMult` with a user binary op).
-pub fn ewise_mul_op<T, S, O>(a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+pub fn ewise_mul_op<T, I, S, O>(a: &Dcsr<T, I>, b: &Dcsr<T, I>, op: O, s: S) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
-    O: BinaryOp<T, T, T>,
+    O: BinaryOp<T, T, T> + 'static,
 {
     with_default_ctx(|ctx| ewise_mul_op_ctx(ctx, a, b, op, s))
 }
@@ -165,19 +195,32 @@ where
 /// [`ewise_mul_op`] through an explicit execution context. This is *the*
 /// intersection merge loop: [`ewise_mul`] and [`ewise_mul_op`] both land
 /// here.
-pub fn ewise_mul_op_ctx<T, S, O>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>, op: O, s: S) -> Dcsr<T>
+pub fn ewise_mul_op_ctx<T, I, S, O>(
+    ctx: &OpCtx,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    op: O,
+    s: S,
+) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
-    O: BinaryOp<T, T, T>,
+    O: BinaryOp<T, T, T> + 'static,
 {
     assert_dims(a, b);
     let _span = ctx.kernel_span(Kernel::EwiseMul, || {
         format!("{}×{}, {}+{} nnz", a.nrows(), a.ncols(), a.nnz(), b.nnz())
     });
     let start = Instant::now();
+    if ctx.fast_paths() && TypeId::of::<O>() == TypeId::of::<MulOf<LorLand>>() {
+        if let Some((c, flops)) = try_bool_intersect(a, b) {
+            record_ewise(ctx, Kernel::EwiseMul, start, a, b, &c, flops);
+            return c;
+        }
+    }
     let mut flops = 0u64;
-    let mut trips: Vec<(Ix, Ix, T)> = Vec::new();
+    let mut trips: Vec<(Ix, I, T)> = Vec::new();
     let (ra, rb) = (a.row_ids(), b.row_ids());
     let (mut i, mut j) = (0usize, 0usize);
     while i < ra.len() && j < rb.len() {
@@ -209,13 +252,7 @@ where
         }
     }
     let c = from_sorted_trips(a.nrows(), a.ncols(), trips);
-    ctx.metrics().record(
-        Kernel::EwiseMul,
-        start.elapsed(),
-        (a.nnz() + b.nnz()) as u64,
-        c.nnz() as u64,
-        flops,
-    );
+    record_ewise(ctx, Kernel::EwiseMul, start, a, b, &c, flops);
     c
 }
 
@@ -224,16 +261,17 @@ where
 /// operand's default value* — so `op` need not treat "absent" as an
 /// identity. E.g. `ewise_union(a, b, minus, 0.0, 0.0, s)` is a true
 /// element-wise subtraction `A − B` including `0 − b` cells.
-pub fn ewise_union<T, S, O>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+pub fn ewise_union<T, I, S, O>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     op: O,
     a_default: T,
     b_default: T,
     s: S,
-) -> Dcsr<T>
+) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
     O: BinaryOp<T, T, T>,
 {
@@ -241,17 +279,18 @@ where
 }
 
 /// [`ewise_union`] through an explicit execution context.
-pub fn ewise_union_ctx<T, S, O>(
+pub fn ewise_union_ctx<T, I, S, O>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     op: O,
     a_default: T,
     b_default: T,
     s: S,
-) -> Dcsr<T>
+) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
     O: BinaryOp<T, T, T>,
 {
@@ -261,8 +300,8 @@ where
     });
     let start = Instant::now();
     let mut flops = 0u64;
-    let mut trips: Vec<(Ix, Ix, T)> = Vec::with_capacity(a.nnz() + b.nnz());
-    let mut push = |r: Ix, c: Ix, v: T, flops: &mut u64| {
+    let mut trips: Vec<(Ix, I, T)> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut push = |r: Ix, c: I, v: T, flops: &mut u64| {
         *flops += 1;
         if !s.is_zero(&v) {
             trips.push((r, c, v));
@@ -320,17 +359,232 @@ where
         }
     }
     let c = from_sorted_trips(a.nrows(), a.ncols(), trips);
+    record_ewise(ctx, Kernel::EwiseUnion, start, a, b, &c, flops);
+    c
+}
+
+fn record_ewise<T: Value, I: IndexType>(
+    ctx: &OpCtx,
+    kernel: Kernel,
+    start: Instant,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    c: &Dcsr<T, I>,
+    flops: u64,
+) {
     ctx.metrics().record(
-        Kernel::EwiseUnion,
+        kernel,
         start.elapsed(),
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         flops,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
-    c
 }
 
-fn from_sorted_trips<T: Value>(nrows: Ix, ncols: Ix, trips: Vec<(Ix, Ix, T)>) -> Dcsr<T> {
+// ---- boolean word-at-a-time fast paths ----
+
+/// Per-pair bitmaps for the word merges: presence and truth words for
+/// each operand row, kept all-zero between pairs (the drain and the
+/// `fill(0)` below restore the invariant).
+#[derive(Default)]
+struct BoolWords {
+    pa: Vec<u64>,
+    ta: Vec<u64>,
+    pb: Vec<u64>,
+    tb: Vec<u64>,
+}
+
+impl BoolWords {
+    fn ensure(&mut self, nw: usize) {
+        if self.pa.len() < nw {
+            self.pa.resize(nw, 0);
+            self.ta.resize(nw, 0);
+            self.pb.resize(nw, 0);
+            self.tb.resize(nw, 0);
+        }
+    }
+
+    fn load<I: IndexType>(&mut self, acols: &[I], avals: &[bool], bcols: &[I], bvals: &[bool]) {
+        for (&c, &v) in acols.iter().zip(avals) {
+            let cz = c.as_usize();
+            self.pa[cz >> 6] |= 1u64 << (cz & 63);
+            self.ta[cz >> 6] |= (v as u64) << (cz & 63);
+        }
+        for (&c, &v) in bcols.iter().zip(bvals) {
+            let cz = c.as_usize();
+            self.pb[cz >> 6] |= 1u64 << (cz & 63);
+            self.tb[cz >> 6] |= (v as u64) << (cz & 63);
+        }
+    }
+
+    fn clear(&mut self, nw: usize) {
+        self.pa[..nw].fill(0);
+        self.ta[..nw].fill(0);
+        self.pb[..nw].fill(0);
+        self.tb[..nw].fill(0);
+    }
+}
+
+/// Columns per colliding row pair must satisfy
+/// `words ≤ nnz(a_row) + nnz(b_row)` for the bitmaps to pay off.
+fn word_merge_pays_off(nw: usize, na: usize, nb: usize) -> bool {
+    nw <= na + nb
+}
+
+/// Downcast to the concrete boolean matrices and run the monomorphic
+/// union; `None` when `T` is not `bool` (the generic loop handles it).
+fn try_bool_union<T: Value, I: IndexType>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+) -> Option<(Dcsr<T, I>, u64)> {
+    let ab = (a as &dyn Any).downcast_ref::<Dcsr<bool, I>>()?;
+    let bb = (b as &dyn Any).downcast_ref::<Dcsr<bool, I>>()?;
+    let (c, flops) = bool_union(ab, bb);
+    let boxed: Box<dyn Any> = Box::new(c);
+    Some((*boxed.downcast::<Dcsr<T, I>>().ok()?, flops))
+}
+
+/// Monomorphic `LorLand` union. Pass-through entries (rows or columns in
+/// one operand only) keep their stored value — even an explicit `false`
+/// — exactly like the generic loop; collisions OR and drop `false`.
+fn bool_union<I: IndexType>(a: &Dcsr<bool, I>, b: &Dcsr<bool, I>) -> (Dcsr<bool, I>, u64) {
+    let nw_full = (a.ncols() as usize).div_ceil(64);
+    let mut words = BoolWords::default();
+    let mut flops = 0u64;
+    let mut trips: Vec<(Ix, I, bool)> = Vec::with_capacity(a.nnz() + b.nnz());
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() || j < rb.len() {
+        if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
+            let (r, cols, vs) = a.row_at(i);
+            trips.extend(cols.iter().zip(vs).map(|(&c, &v)| (r, c, v)));
+            i += 1;
+        } else if i >= ra.len() || rb[j] < ra[i] {
+            let (r, cols, vs) = b.row_at(j);
+            trips.extend(cols.iter().zip(vs).map(|(&c, &v)| (r, c, v)));
+            j += 1;
+        } else {
+            let (r, acols, avals) = a.row_at(i);
+            let (_, bcols, bvals) = b.row_at(j);
+            if word_merge_pays_off(nw_full, acols.len(), bcols.len()) {
+                words.ensure(nw_full);
+                words.load(acols, avals, bcols, bvals);
+                for w in 0..nw_full {
+                    let (pa, ta) = (words.pa[w], words.ta[w]);
+                    let (pb, tb) = (words.pb[w], words.tb[w]);
+                    let coll = pa & pb;
+                    flops += u64::from(coll.count_ones());
+                    let truth = ta | tb;
+                    // A collision where both sides are false ORs to the
+                    // semiring zero and drops; everything else survives.
+                    let mut out = (pa | pb) & !(coll & !truth);
+                    while out != 0 {
+                        let cz = (w << 6) | out.trailing_zeros() as usize;
+                        out &= out - 1;
+                        trips.push((r, I::from_usize(cz), (truth >> (cz & 63)) & 1 == 1));
+                    }
+                }
+                words.clear(nw_full);
+            } else {
+                let (mut p, mut q) = (0usize, 0usize);
+                while p < acols.len() || q < bcols.len() {
+                    if q >= bcols.len() || (p < acols.len() && acols[p] < bcols[q]) {
+                        trips.push((r, acols[p], avals[p]));
+                        p += 1;
+                    } else if p >= acols.len() || bcols[q] < acols[p] {
+                        trips.push((r, bcols[q], bvals[q]));
+                        q += 1;
+                    } else {
+                        flops += 1;
+                        if avals[p] | bvals[q] {
+                            trips.push((r, acols[p], true));
+                        }
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    (from_sorted_trips(a.nrows(), a.ncols(), trips), flops)
+}
+
+/// Downcast to the concrete boolean matrices and run the monomorphic
+/// intersection; `None` when `T` is not `bool`.
+fn try_bool_intersect<T: Value, I: IndexType>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+) -> Option<(Dcsr<T, I>, u64)> {
+    let ab = (a as &dyn Any).downcast_ref::<Dcsr<bool, I>>()?;
+    let bb = (b as &dyn Any).downcast_ref::<Dcsr<bool, I>>()?;
+    let (c, flops) = bool_intersect(ab, bb);
+    let boxed: Box<dyn Any> = Box::new(c);
+    Some((*boxed.downcast::<Dcsr<T, I>>().ok()?, flops))
+}
+
+/// Monomorphic `LorLand` intersection: survivors are exactly the columns
+/// present *and true* on both sides (`false ⊗ x` is the semiring zero).
+fn bool_intersect<I: IndexType>(a: &Dcsr<bool, I>, b: &Dcsr<bool, I>) -> (Dcsr<bool, I>, u64) {
+    let nw_full = (a.ncols() as usize).div_ceil(64);
+    let mut words = BoolWords::default();
+    let mut flops = 0u64;
+    let mut trips: Vec<(Ix, I, bool)> = Vec::new();
+    let (ra, rb) = (a.row_ids(), b.row_ids());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() && j < rb.len() {
+        match ra[i].cmp(&rb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (r, acols, avals) = a.row_at(i);
+                let (_, bcols, bvals) = b.row_at(j);
+                if word_merge_pays_off(nw_full, acols.len(), bcols.len()) {
+                    words.ensure(nw_full);
+                    words.load(acols, avals, bcols, bvals);
+                    for w in 0..nw_full {
+                        let coll = words.pa[w] & words.pb[w];
+                        flops += u64::from(coll.count_ones());
+                        let mut out = coll & words.ta[w] & words.tb[w];
+                        while out != 0 {
+                            let cz = (w << 6) | out.trailing_zeros() as usize;
+                            out &= out - 1;
+                            trips.push((r, I::from_usize(cz), true));
+                        }
+                    }
+                    words.clear(nw_full);
+                } else {
+                    let (mut p, mut q) = (0usize, 0usize);
+                    while p < acols.len() && q < bcols.len() {
+                        match acols[p].cmp(&bcols[q]) {
+                            std::cmp::Ordering::Less => p += 1,
+                            std::cmp::Ordering::Greater => q += 1,
+                            std::cmp::Ordering::Equal => {
+                                flops += 1;
+                                if avals[p] && bvals[q] {
+                                    trips.push((r, acols[p], true));
+                                }
+                                p += 1;
+                                q += 1;
+                            }
+                        }
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (from_sorted_trips(a.nrows(), a.ncols(), trips), flops)
+}
+
+fn from_sorted_trips<T: Value, I: IndexType>(
+    nrows: Ix,
+    ncols: Ix,
+    trips: Vec<(Ix, I, T)>,
+) -> Dcsr<T, I> {
     let mut rows = Vec::new();
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::with_capacity(trips.len());
@@ -347,7 +601,7 @@ fn from_sorted_trips<T: Value>(nrows: Ix, ncols: Ix, trips: Vec<(Ix, Ix, T)>) ->
     Dcsr::from_parts(nrows, ncols, rows, rowptr, colidx, vals)
 }
 
-fn assert_dims<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>) {
+fn assert_dims<T: Value, I: IndexType>(a: &Dcsr<T, I>, b: &Dcsr<T, I>) {
     assert_eq!(
         (a.nrows(), a.ncols()),
         (b.nrows(), b.ncols()),
@@ -451,6 +705,64 @@ mod tests {
         let b = random_dcsr(64, 64, 300, 45, s);
         assert_eq!(ewise_add(&a, &b, s), ewise_add(&b, &a, s));
         assert_eq!(ewise_mul(&a, &b, s), ewise_mul(&b, &a, s));
+    }
+
+    /// A boolean matrix with the given pattern seed; every third stored
+    /// value is an explicit `false` (legal when a matrix was built under
+    /// another semiring) to exercise the truth-vs-presence distinction.
+    fn bool_mat(n: Ix, nnz: usize, seed: u64) -> Dcsr<bool> {
+        let pat = random_dcsr(n, n, nnz, seed, PlusTimes::<f64>::new());
+        let mut c = Coo::new(n, n);
+        for (i, j, _) in pat.iter() {
+            c.push(i, j, true);
+        }
+        let (nr, nc, rows, rowptr, colidx, mut vals) = c.build_dcsr(LorLand).into_parts();
+        for v in vals.iter_mut().step_by(3) {
+            *v = false;
+        }
+        Dcsr::from_parts(nr, nc, rows, rowptr, colidx, vals)
+    }
+
+    #[test]
+    fn bool_word_merge_matches_generic() {
+        let s = LorLand;
+        // Dense rows in a compact space: the word path engages.
+        let a = bool_mat(96, 1400, 70);
+        let b = bool_mat(96, 1400, 71);
+        // Sparse rows in a wide space: per-pair gate falls back.
+        let aw = bool_mat(5000, 900, 72);
+        let bw = bool_mat(5000, 900, 73);
+        let fast = OpCtx::new();
+        let slow = OpCtx::new();
+        slow.set_fast_paths(false);
+        for (x, y) in [(&a, &b), (&aw, &bw)] {
+            assert_eq!(ewise_add_ctx(&fast, x, y, s), ewise_add_ctx(&slow, x, y, s));
+            assert_eq!(ewise_mul_ctx(&fast, x, y, s), ewise_mul_ctx(&slow, x, y, s));
+        }
+        // Flop parity too: the ablation must agree on the metric.
+        let f2 = OpCtx::new();
+        let s2 = OpCtx::new();
+        s2.set_fast_paths(false);
+        let _ = ewise_add_ctx(&f2, &a, &b, s);
+        let _ = ewise_add_ctx(&s2, &a, &b, s);
+        assert_eq!(
+            f2.metrics().snapshot().kernel(Kernel::EwiseAdd).flops,
+            s2.metrics().snapshot().kernel(Kernel::EwiseAdd).flops
+        );
+    }
+
+    #[test]
+    fn narrow_index_ewise_matches_wide() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(80, 80, 400, 46, s);
+        let b = random_dcsr(80, 80, 400, 47, s);
+        let an: Dcsr<f64, u32> = a.to_index_width().unwrap();
+        let bn: Dcsr<f64, u32> = b.to_index_width().unwrap();
+        let wide = ewise_add(&a, &b, s);
+        let narrow = ewise_add(&an, &bn, s);
+        let wt: Vec<_> = wide.iter().collect();
+        let nt: Vec<_> = narrow.iter().collect();
+        assert_eq!(wt, nt);
     }
 
     #[test]
@@ -563,6 +875,7 @@ mod tests {
         assert_eq!(snap.kernel(Kernel::EwiseAdd).nnz_out, c.nnz() as u64);
         assert_eq!(snap.kernel(Kernel::EwiseAdd).flops, 1); // one collision
         assert_eq!(snap.kernel(Kernel::EwiseMul).calls, 1);
+        assert!(snap.kernel(Kernel::EwiseAdd).bytes_touched > 0);
     }
 
     #[test]

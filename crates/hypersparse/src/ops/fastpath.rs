@@ -1,0 +1,265 @@
+//! Monomorphic semiring fast paths (DESIGN.md §13).
+//!
+//! The generic Gustavson kernels pay for their generality in the inner
+//! loop: an `Option<T>` dense slot costs a discriminant branch per
+//! product, and the epilogue machinery walks a sorted touched list. For
+//! the two semirings that dominate this workspace's workloads —
+//! arithmetic `PlusTimes/f64` and boolean `LorLand` — this module
+//! provides branch-free replacements:
+//!
+//! * a **flat accumulator** (`Vec<f64>` / `Vec<bool>`) written
+//!   unconditionally (`acc[j] += a*b`, `acc[j] |= a&&b`) — no `Option`
+//!   discriminant, no per-product branch;
+//! * an **occupancy bitmap** (`Vec<u64>`, one bit per column) that is
+//!   OR-updated per product and drained **word-at-a-time** with
+//!   `trailing_zeros`, yielding columns in ascending order without a
+//!   sort. The drain zeroes each word and slot as it consumes them, so
+//!   the pooled scratch returns clean (the invariant
+//!   [`MxmScratch`] documents).
+//!
+//! Dispatch is by `TypeId`: the semiring operator structs are zero-sized
+//! `Copy` types, so type identity *is* behavioral identity, and the
+//! downcasts go through `&dyn Any` (this crate forbids `unsafe`).
+//!
+//! **Equivalence contract** (proven by `tests/hotpath_props.rs`): the
+//! fast kernels are bit-identical to the generic dense-accumulator
+//! path. Products are folded in the same visitation order; columns are
+//! emitted ascending; semiring zeros are dropped before the epilogue
+//! exactly as the generic drain does. The only internal divergence is
+//! the `f64` accumulator seed (`0.0 + p` versus storing `p` directly),
+//! which can differ solely when every addend is a signed zero — and
+//! such sums are semiring zeros, dropped by both paths.
+
+use std::any::{Any, TypeId};
+
+use semiring::traits::{Semiring, Value};
+use semiring::{LorLand, PlusTimes};
+
+use crate::ctx::MxmScratch;
+use crate::dcsr::Dcsr;
+use crate::index::IndexType;
+use crate::ops::mxm::RowsChunk;
+
+/// `true` when semiring `S` (with value type `T`) has a monomorphic
+/// SpGEMM fast path.
+pub(crate) fn has_mono_semiring<T: Value, S: Semiring<Value = T>>() -> bool {
+    TypeId::of::<S>() == TypeId::of::<PlusTimes<f64>>()
+        || TypeId::of::<S>() == TypeId::of::<LorLand>()
+}
+
+/// Try the monomorphic SpGEMM row-range kernel. Returns `None` when `S`
+/// has no fast path (caller falls back to the generic accumulators).
+/// The caller has already decided the flat accumulator pays off
+/// (`dense_acc_pays_off`), applies `ep` semantics via `ep_identity`:
+/// when `false`, each surviving value passes through `ep` and `None`
+/// results are dropped (the fused-prune contract).
+#[allow(clippy::type_complexity)]
+pub(crate) fn try_mono_mxm_rows<T, I, S, E>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    start: usize,
+    end: usize,
+    scratch: &mut MxmScratch<T>,
+    ep_identity: bool,
+    ep: &E,
+) -> Option<(RowsChunk<T, I>, u64)>
+where
+    T: Value,
+    I: IndexType,
+    S: Semiring<Value = T>,
+    E: Fn(T) -> Option<T>,
+{
+    let (chunk, flops) = if TypeId::of::<S>() == TypeId::of::<PlusTimes<f64>>() {
+        let a64 = (a as &dyn Any).downcast_ref::<Dcsr<f64, I>>()?;
+        let b64 = (b as &dyn Any).downcast_ref::<Dcsr<f64, I>>()?;
+        let ws64 = (scratch as &mut dyn Any).downcast_mut::<MxmScratch<f64>>()?;
+        let (chunk, flops) = mono_rows_f64(a64, b64, start, end, ws64);
+        (rechunk::<f64, T, I>(chunk)?, flops)
+    } else if TypeId::of::<S>() == TypeId::of::<LorLand>() {
+        let ab = (a as &dyn Any).downcast_ref::<Dcsr<bool, I>>()?;
+        let bb = (b as &dyn Any).downcast_ref::<Dcsr<bool, I>>()?;
+        let wsb = (scratch as &mut dyn Any).downcast_mut::<MxmScratch<bool>>()?;
+        let (chunk, flops) = mono_rows_bool(ab, bb, start, end, wsb);
+        (rechunk::<bool, T, I>(chunk)?, flops)
+    } else {
+        return None;
+    };
+    Some((apply_epilogue(chunk, ep_identity, ep), flops))
+}
+
+/// Convert a concretely-typed chunk back to the caller's generic `T`
+/// (which type identity has already proven equal) — one boxed downcast
+/// for the whole chunk, nothing per element.
+fn rechunk<C: Value, T: Value, I: IndexType>(chunk: RowsChunk<C, I>) -> Option<RowsChunk<T, I>> {
+    let boxed: Box<dyn Any> = Box::new(chunk);
+    boxed.downcast::<RowsChunk<T, I>>().ok().map(|b| *b)
+}
+
+/// Run the drain-time epilogue over a finished chunk. The mono kernels
+/// have already dropped semiring zeros, so `ep` sees exactly the values
+/// the generic drain would hand it, in the same (ascending-column)
+/// order.
+fn apply_epilogue<T, I, E>(mut chunk: RowsChunk<T, I>, ep_identity: bool, ep: &E) -> RowsChunk<T, I>
+where
+    T: Value,
+    I: IndexType,
+    E: Fn(T) -> Option<T>,
+{
+    if ep_identity {
+        return chunk;
+    }
+    for (_, row) in chunk.iter_mut() {
+        row.retain_mut(|(_, v)| match ep(v.clone()) {
+            Some(w) => {
+                *v = w;
+                true
+            }
+            None => false,
+        });
+    }
+    chunk.retain(|(_, row)| !row.is_empty());
+    chunk
+}
+
+/// Branch-free `PlusTimes/f64` row range: flat `f64` accumulator +
+/// occupancy bitmap, drained word-at-a-time in ascending column order.
+fn mono_rows_f64<I: IndexType>(
+    a: &Dcsr<f64, I>,
+    b: &Dcsr<f64, I>,
+    start: usize,
+    end: usize,
+    ws: &mut MxmScratch<f64>,
+) -> (RowsChunk<f64, I>, u64) {
+    let width = b.ncols() as usize;
+    ws.ensure_flat_width(width, 0.0);
+    ws.ensure_words(width.div_ceil(64));
+    let flat = &mut ws.flat;
+    let occ = &mut ws.words;
+    let mut out: RowsChunk<f64, I> = Vec::new();
+    let mut flops = 0u64;
+    for k_row in start..end {
+        let (i, acols, avals) = a.row_at(k_row);
+        let (mut lo_w, mut hi_w) = (usize::MAX, 0usize);
+        for (&k, &aik) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k.to_ix());
+            flops += bcols.len() as u64;
+            for (&j, &bkj) in bcols.iter().zip(bvals) {
+                let jz = j.as_usize();
+                flat[jz] += aik * bkj;
+                let w = jz >> 6;
+                occ[w] |= 1u64 << (jz & 63);
+                lo_w = lo_w.min(w);
+                hi_w = hi_w.max(w);
+            }
+        }
+        if lo_w > hi_w {
+            continue;
+        }
+        let mut row: Vec<(I, f64)> = Vec::new();
+        for (w, word) in occ.iter_mut().enumerate().take(hi_w + 1).skip(lo_w) {
+            let mut bits = std::mem::take(word);
+            while bits != 0 {
+                let jz = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = std::mem::take(&mut flat[jz]);
+                if v != 0.0 {
+                    row.push((I::from_usize(jz), v));
+                }
+            }
+        }
+        if !row.is_empty() {
+            out.push((i, row));
+        }
+    }
+    (out, flops)
+}
+
+/// Bitwise `LorLand` row range: flat `bool` accumulator OR-updated per
+/// product (a stored `false` — legal if a matrix was built under a
+/// different semiring — still only contributes `false`), occupancy
+/// bitmap drained word-at-a-time.
+fn mono_rows_bool<I: IndexType>(
+    a: &Dcsr<bool, I>,
+    b: &Dcsr<bool, I>,
+    start: usize,
+    end: usize,
+    ws: &mut MxmScratch<bool>,
+) -> (RowsChunk<bool, I>, u64) {
+    let width = b.ncols() as usize;
+    ws.ensure_flat_width(width, false);
+    ws.ensure_words(width.div_ceil(64));
+    let flat = &mut ws.flat;
+    let occ = &mut ws.words;
+    let mut out: RowsChunk<bool, I> = Vec::new();
+    let mut flops = 0u64;
+    for k_row in start..end {
+        let (i, acols, avals) = a.row_at(k_row);
+        let (mut lo_w, mut hi_w) = (usize::MAX, 0usize);
+        for (&k, &aik) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k.to_ix());
+            flops += bcols.len() as u64;
+            for (&j, &bkj) in bcols.iter().zip(bvals) {
+                let jz = j.as_usize();
+                flat[jz] |= aik && bkj;
+                let w = jz >> 6;
+                occ[w] |= 1u64 << (jz & 63);
+                lo_w = lo_w.min(w);
+                hi_w = hi_w.max(w);
+            }
+        }
+        if lo_w > hi_w {
+            continue;
+        }
+        let mut row: Vec<(I, bool)> = Vec::new();
+        for (w, word) in occ.iter_mut().enumerate().take(hi_w + 1).skip(lo_w) {
+            let mut bits = std::mem::take(word);
+            while bits != 0 {
+                let jz = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = std::mem::take(&mut flat[jz]);
+                if v {
+                    row.push((I::from_usize(jz), v));
+                }
+            }
+        }
+        if !row.is_empty() {
+            out.push((i, row));
+        }
+    }
+    (out, flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::MinPlus;
+
+    #[test]
+    fn mono_detection_is_exact() {
+        assert!(has_mono_semiring::<f64, PlusTimes<f64>>());
+        assert!(has_mono_semiring::<bool, LorLand>());
+        assert!(!has_mono_semiring::<f64, MinPlus<f64>>());
+        assert!(!has_mono_semiring::<f32, PlusTimes<f32>>());
+    }
+
+    #[test]
+    fn mono_leaves_scratch_clean() {
+        use crate::gen::random_dcsr;
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 400, 41, s);
+        let b = random_dcsr(64, 64, 400, 42, s);
+        let mut ws = MxmScratch::<f64>::default();
+        let got = try_mono_mxm_rows::<f64, u64, PlusTimes<f64>, _>(
+            &a,
+            &b,
+            0,
+            a.n_nonempty_rows(),
+            &mut ws,
+            true,
+            &Some,
+        );
+        assert!(got.is_some());
+        assert!(ws.words.iter().all(|&w| w == 0), "bitmap left dirty");
+        assert!(ws.flat.iter().all(|&v| v == 0.0), "flat acc left dirty");
+    }
+}

@@ -12,6 +12,7 @@
 //! the thread-local default context.
 
 pub mod ewise;
+pub(crate) mod fastpath;
 pub mod mxm;
 pub mod mxv;
 pub mod reduce;

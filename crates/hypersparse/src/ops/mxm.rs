@@ -1,31 +1,47 @@
 //! Sparse matrix–matrix multiply (SpGEMM) — the array ⊕.⊗ of Table II.
 //!
 //! Gustavson's row-wise algorithm: for each non-empty row *i* of `A`,
-//! accumulate `⊕_k A(i,k) ⊗ B(k,:)`. Two accumulator strategies:
+//! accumulate `⊕_k A(i,k) ⊗ B(k,:)`. Three accumulator strategies:
 //!
 //! * **hash** — a `HashMap<col, T>` per row: `O(flops)` regardless of the
 //!   column dimension; the only choice in hypersparse column spaces.
 //! * **dense scratch** — a reusable `Vec<Option<T>>` of width `ncols`:
 //!   faster constants when the column space is compact.
+//! * **monomorphic flat scratch** (the private `ops::fastpath`) — for
+//!   `PlusTimes/f64` and `LorLand` the dense path is replaced by a
+//!   branch-free flat accumulator plus an occupancy bitmap drained
+//!   word-at-a-time; bit-identical to the generic dense path and
+//!   toggleable via [`OpCtx::set_fast_paths`] for ablation.
 //!
 //! [`mxm_ctx`] picks automatically (and the `ablation_accumulator` bench
 //! measures the crossover). Accumulator scratch is **leased from the
 //! context's workspace arena** ([`OpCtx::lease_mxm_scratch`]) so repeated
 //! multiplies on a hot path stop allocating per call, and parallelism is
-//! governed by the context's thread cap: rows of `A` are sharded across
-//! `ctx.threads()` OS threads and per-shard outputs concatenate in row
-//! order, so the result is bit-for-bit identical at every thread count.
-//! The ctx-free [`mxm`]/[`mxm_seq`] signatures wrap the thread-local
-//! default context.
+//! governed by the context's thread cap: rows of `A` are sharded by
+//! **merge-path weighted planning** (`plan_weighted_shards` — shard
+//! boundaries equalize nnz, not row count, so one heavy RMAT row no
+//! longer serializes a fixed-size shard) and per-shard outputs
+//! concatenate in row order, so the result is bit-for-bit identical at
+//! every thread count and under either sharding policy
+//! ([`OpCtx::set_shard_balancing`]). The ctx-free [`mxm`]/[`mxm_seq`]
+//! signatures wrap the thread-local default context.
+//!
+//! All entry points are generic over the physical column-id width
+//! [`IndexType`]: `Dcsr<f64, u32>` operands run the same kernels with
+//! half the index bandwidth (DESIGN.md §13).
 
 use std::time::Instant;
 
 use semiring::traits::{Semiring, UnaryOp, Value};
 
-use crate::ctx::{par_run, with_default_ctx, MxmScratch, OpCtx};
+use crate::ctx::{
+    fixed_shards, par_run, plan_weighted_shards, with_default_ctx, MxmScratch, OpCtx,
+};
 use crate::dcsr::Dcsr;
 use crate::error::OpError;
+use crate::index::IndexType;
 use crate::metrics::Kernel;
+use crate::ops::fastpath;
 use crate::Ix;
 
 /// Column spaces at most this wide *may* use the dense scratch
@@ -39,11 +55,28 @@ const DENSE_ACC_MAX: u64 = 1 << 22;
 /// nearly-empty column space fails this and stays on the hash path.
 const DENSE_ACC_FLOP_RATIO: u64 = 8;
 
-/// Rows of `A` per parallel shard.
+/// Output-density guard on the dense accumulator: besides the total-work
+/// floor above, each row in the range must *on average* justify walking
+/// `width / 64` occupancy words (or a touched list) — require `est ≥
+/// rows · width / DENSE_ACC_ROW_RATIO`. Tall-skinny products (many rows,
+/// each producing a handful of entries in a wide-but-compact column
+/// space) used to sneak past the total-work floor and then pay a
+/// width-proportional drain per row; they now stay on the hash path.
+const DENSE_ACC_ROW_RATIO: u64 = 4096;
+
+/// Rows of `A` per shard under the legacy fixed plan, and (×2) the
+/// sequential cutoff below which sharding is never worth it.
 const ROWS_PER_SHARD: usize = 256;
 
+/// Weighted shards per thread: oversubscribe the merge-path plan so the
+/// atomic job queue can still balance residual skew between shards.
+const SHARD_FACTOR: usize = 4;
+
 /// Shape detail for span/slow-op records: `r×c·r×c nnz a+b`.
-fn mm_detail<T: Value, U: Value>(a: &Dcsr<T>, b: &Dcsr<U>) -> String {
+fn mm_detail<T: Value, U: Value, I: IndexType, J: IndexType>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<U, J>,
+) -> String {
     format!(
         "{}×{} · {}×{} nnz {}+{}",
         a.nrows(),
@@ -55,15 +88,33 @@ fn mm_detail<T: Value, U: Value>(a: &Dcsr<T>, b: &Dcsr<U>) -> String {
     )
 }
 
+/// Row-range plan for `nrows_ne` non-empty rows of `a`: merge-path
+/// weighted when the context enables balancing, legacy fixed-256
+/// otherwise. Either plan yields bit-identical results (rows never
+/// split; concat is in row order).
+fn shard_plan<T: Value, I: IndexType>(
+    ctx: &OpCtx,
+    a: &Dcsr<T, I>,
+    nrows_ne: usize,
+) -> Vec<(usize, usize)> {
+    if ctx.shard_balancing() {
+        plan_weighted_shards(nrows_ne, ctx.threads() * SHARD_FACTOR, |k| {
+            a.row_len_at(k) as u64
+        })
+    } else {
+        fixed_shards(nrows_ne, ROWS_PER_SHARD)
+    }
+}
+
 /// `C = A ⊕.⊗ B` through an explicit execution context: scratch comes
 /// from `ctx`'s workspace arena, parallelism follows `ctx.threads()`,
 /// and the invocation is recorded in `ctx.metrics()`.
-pub fn mxm_ctx<T: Value, S: Semiring<Value = T>>(
+pub fn mxm_ctx<T: Value, I: IndexType, S: Semiring<Value = T>>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
-) -> Dcsr<T> {
+) -> Dcsr<T, I> {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -77,18 +128,18 @@ pub fn mxm_ctx<T: Value, S: Semiring<Value = T>>(
     let start = Instant::now();
     let nrows_ne = a.n_nonempty_rows();
     let threads = ctx.threads();
+    let fast = ctx.fast_paths();
 
     let (c, flops) = if threads == 1 || nrows_ne < 2 * ROWS_PER_SHARD {
         let mut lease = ctx.lease_mxm_scratch::<T>();
-        let (chunk, flops) = multiply_row_range_ws(a, b, s, 0, nrows_ne, lease.get());
+        let (chunk, flops) = multiply_row_range_ws(a, b, s, 0, nrows_ne, lease.get(), fast);
         (assemble(a.nrows(), b.ncols(), [chunk]), flops)
     } else {
-        let nshards = nrows_ne.div_ceil(ROWS_PER_SHARD);
-        let shard_results = par_run(threads, nshards, |shard| {
-            let lo = shard * ROWS_PER_SHARD;
-            let hi = (lo + ROWS_PER_SHARD).min(nrows_ne);
+        let shards = shard_plan(ctx, a, nrows_ne);
+        let shard_results = par_run(threads, shards.len(), |shard| {
+            let (lo, hi) = shards[shard];
             let mut lease = ctx.lease_mxm_scratch::<T>();
-            multiply_row_range_ws(a, b, s, lo, hi, lease.get())
+            multiply_row_range_ws(a, b, s, lo, hi, lease.get(), fast)
         });
         let flops = shard_results.iter().map(|(_, f)| f).sum();
         let chunks: Vec<_> = shard_results.into_iter().map(|(c, _)| c).collect();
@@ -101,6 +152,7 @@ pub fn mxm_ctx<T: Value, S: Semiring<Value = T>>(
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         flops,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -108,12 +160,12 @@ pub fn mxm_ctx<T: Value, S: Semiring<Value = T>>(
 /// Sequential SpGEMM through an explicit context — [`mxm_ctx`] with the
 /// thread cap overridden to 1 for this call (the workspace arena and
 /// metrics still come from `ctx`).
-pub fn mxm_seq_ctx<T: Value, S: Semiring<Value = T>>(
+pub fn mxm_seq_ctx<T: Value, I: IndexType, S: Semiring<Value = T>>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
-) -> Dcsr<T> {
+) -> Dcsr<T, I> {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -125,8 +177,9 @@ pub fn mxm_seq_ctx<T: Value, S: Semiring<Value = T>>(
     );
     let _span = ctx.kernel_span(Kernel::Mxm, || mm_detail(a, b));
     let start = Instant::now();
+    let fast = ctx.fast_paths();
     let mut lease = ctx.lease_mxm_scratch::<T>();
-    let (chunk, flops) = multiply_row_range_ws(a, b, s, 0, a.n_nonempty_rows(), lease.get());
+    let (chunk, flops) = multiply_row_range_ws(a, b, s, 0, a.n_nonempty_rows(), lease.get(), fast);
     drop(lease);
     let c = assemble(a.nrows(), b.ncols(), [chunk]);
     ctx.metrics().record(
@@ -135,17 +188,26 @@ pub fn mxm_seq_ctx<T: Value, S: Semiring<Value = T>>(
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         flops,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
     c
 }
 
 /// `C = A ⊕.⊗ B`, parallel and deterministic (thread-local default ctx).
-pub fn mxm<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+pub fn mxm<T: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    s: S,
+) -> Dcsr<T, I> {
     with_default_ctx(|ctx| mxm_ctx(ctx, a, b, s))
 }
 
 /// Sequential reference SpGEMM (same output as [`mxm`]).
-pub fn mxm_seq<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S) -> Dcsr<T> {
+pub fn mxm_seq<T: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    s: S,
+) -> Dcsr<T, I> {
     with_default_ctx(|ctx| mxm_seq_ctx(ctx, a, b, s))
 }
 
@@ -163,16 +225,17 @@ pub fn mxm_seq<T: Value, S: Semiring<Value = T>>(a: &Dcsr<T>, b: &Dcsr<T>, s: S)
 /// Sharding, accumulator choice, and metrics ([`crate::metrics::Kernel::Mxm`],
 /// flops = ⊗ count) match [`mxm_ctx`], so the result is identical at
 /// every thread count.
-pub fn mxm_apply_prune_ctx<T, S, SD, O>(
+pub fn mxm_apply_prune_ctx<T, I, S, SD, O>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     op: O,
     drop: SD,
-) -> Dcsr<T>
+) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
     SD: Semiring<Value = T>,
     O: UnaryOp<T, T>,
@@ -182,9 +245,16 @@ where
 
 /// Fused SpGEMM + prune (thread-local default ctx). See
 /// [`mxm_apply_prune_ctx`].
-pub fn mxm_apply_prune<T, S, SD, O>(a: &Dcsr<T>, b: &Dcsr<T>, s: S, op: O, drop: SD) -> Dcsr<T>
+pub fn mxm_apply_prune<T, I, S, SD, O>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    s: S,
+    op: O,
+    drop: SD,
+) -> Dcsr<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
     SD: Semiring<Value = T>,
     O: UnaryOp<T, T>,
@@ -194,16 +264,17 @@ where
 
 /// Fallible [`mxm_apply_prune_ctx`]: non-conforming inner dimensions
 /// become an [`OpError::DimensionMismatch`] instead of a panic.
-pub fn try_mxm_apply_prune_ctx<T, S, SD, O>(
+pub fn try_mxm_apply_prune_ctx<T, I, S, SD, O>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     op: O,
     drop: SD,
-) -> Result<Dcsr<T>, OpError>
+) -> Result<Dcsr<T, I>, OpError>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
     SD: Semiring<Value = T>,
     O: UnaryOp<T, T>,
@@ -228,18 +299,19 @@ where
     };
     let nrows_ne = a.n_nonempty_rows();
     let threads = ctx.threads();
+    let fast = ctx.fast_paths();
 
     let (c, flops) = if threads == 1 || nrows_ne < 2 * ROWS_PER_SHARD {
         let mut lease = ctx.lease_mxm_scratch::<T>();
-        let (chunk, flops) = multiply_row_range_ep(a, b, s, 0, nrows_ne, lease.get(), &ep);
+        let (chunk, flops) =
+            multiply_row_range_ep(a, b, s, 0, nrows_ne, lease.get(), fast, false, &ep);
         (assemble(a.nrows(), b.ncols(), [chunk]), flops)
     } else {
-        let nshards = nrows_ne.div_ceil(ROWS_PER_SHARD);
-        let shard_results = par_run(threads, nshards, |shard| {
-            let lo = shard * ROWS_PER_SHARD;
-            let hi = (lo + ROWS_PER_SHARD).min(nrows_ne);
+        let shards = shard_plan(ctx, a, nrows_ne);
+        let shard_results = par_run(threads, shards.len(), |shard| {
+            let (lo, hi) = shards[shard];
             let mut lease = ctx.lease_mxm_scratch::<T>();
-            multiply_row_range_ep(a, b, s, lo, hi, lease.get(), &ep)
+            multiply_row_range_ep(a, b, s, lo, hi, lease.get(), fast, false, &ep)
         });
         let flops = shard_results.iter().map(|(_, f)| f).sum();
         let chunks: Vec<_> = shard_results.into_iter().map(|(c, _)| c).collect();
@@ -252,6 +324,7 @@ where
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         flops,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
     Ok(c)
 }
@@ -261,39 +334,39 @@ where
 /// computed/kept; `complement` inverts the selection). Fusing the mask
 /// into the accumulator loop is what makes masked triangle counting
 /// `O(flops into the mask)` instead of `O(all flops)`.
-pub fn mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
+pub fn mxm_masked_ctx<T: Value, M: Value, I: IndexType, S: Semiring<Value = T>>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
-    mask: &Dcsr<M>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    mask: &Dcsr<M, I>,
     complement: bool,
     s: S,
-) -> Dcsr<T> {
+) -> Dcsr<T, I> {
     try_mxm_masked_ctx(ctx, a, b, mask, complement, s).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Masked SpGEMM (thread-local default ctx). See [`mxm_masked_ctx`].
-pub fn mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
-    mask: &Dcsr<M>,
+pub fn mxm_masked<T: Value, M: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    mask: &Dcsr<M, I>,
     complement: bool,
     s: S,
-) -> Dcsr<T> {
+) -> Dcsr<T, I> {
     with_default_ctx(|ctx| mxm_masked_ctx(ctx, a, b, mask, complement, s))
 }
 
 /// Fallible [`mxm_masked_ctx`]: non-conforming inner dimensions or a
 /// mask that doesn't share the result's key space become an
 /// [`OpError::DimensionMismatch`] instead of a panic.
-pub fn try_mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
+pub fn try_mxm_masked_ctx<T: Value, M: Value, I: IndexType, S: Semiring<Value = T>>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
-    mask: &Dcsr<M>,
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    mask: &Dcsr<M, I>,
     complement: bool,
     s: S,
-) -> Result<Dcsr<T>, OpError> {
+) -> Result<Dcsr<T, I>, OpError> {
     if a.ncols() != b.nrows() {
         return Err(OpError::DimensionMismatch {
             op: "mxm_masked",
@@ -314,23 +387,24 @@ pub fn try_mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
     let start = Instant::now();
     let nrows_ne = a.n_nonempty_rows();
     let threads = ctx.threads();
+    let fast = ctx.fast_paths();
 
     // Same deterministic sharding as the unmasked kernel: rows of `A`
-    // split into fixed ROWS_PER_SHARD shards whose outputs concatenate
-    // in row order, so thread count never changes a bit of the result.
+    // split into shards whose outputs concatenate in row order, so
+    // neither thread count nor the sharding policy changes a bit of the
+    // result.
     let (c, flops) = if threads == 1 || nrows_ne < 2 * ROWS_PER_SHARD {
         let mut lease = ctx.lease_mxm_scratch::<T>();
         let (chunk, flops) =
-            multiply_masked_row_range_ws(a, b, mask, complement, s, 0, nrows_ne, lease.get());
+            multiply_masked_row_range_ws(a, b, mask, complement, s, 0, nrows_ne, lease.get(), fast);
         drop(lease);
         (assemble(a.nrows(), b.ncols(), [chunk]), flops)
     } else {
-        let nshards = nrows_ne.div_ceil(ROWS_PER_SHARD);
-        let shard_results = par_run(threads, nshards, |shard| {
-            let lo = shard * ROWS_PER_SHARD;
-            let hi = (lo + ROWS_PER_SHARD).min(nrows_ne);
+        let shards = shard_plan(ctx, a, nrows_ne);
+        let shard_results = par_run(threads, shards.len(), |shard| {
+            let (lo, hi) = shards[shard];
             let mut lease = ctx.lease_mxm_scratch::<T>();
-            multiply_masked_row_range_ws(a, b, mask, complement, s, lo, hi, lease.get())
+            multiply_masked_row_range_ws(a, b, mask, complement, s, lo, hi, lease.get(), fast)
         });
         let flops = shard_results.iter().map(|(_, f)| f).sum();
         let chunks: Vec<_> = shard_results.into_iter().map(|(c, _)| c).collect();
@@ -343,35 +417,53 @@ pub fn try_mxm_masked_ctx<T: Value, M: Value, S: Semiring<Value = T>>(
         (a.nnz() + b.nnz() + mask.nnz()) as u64,
         c.nnz() as u64,
         flops,
+        (a.bytes() + b.bytes() + mask.bytes() + c.bytes()) as u64,
     );
     Ok(c)
 }
 
 /// Fallible [`mxm_masked`] (thread-local default ctx).
-pub fn try_mxm_masked<T: Value, M: Value, S: Semiring<Value = T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
-    mask: &Dcsr<M>,
+pub fn try_mxm_masked<T: Value, M: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    mask: &Dcsr<M, I>,
     complement: bool,
     s: S,
-) -> Result<Dcsr<T>, OpError> {
+) -> Result<Dcsr<T, I>, OpError> {
     with_default_ctx(|ctx| try_mxm_masked_ctx(ctx, a, b, mask, complement, s))
 }
 
 /// Masked multiply of rows `start..end` of `A` (hash accumulator — the
 /// mask filter keeps per-row fill small regardless of the column space).
+///
+/// In compact column spaces (and unless fast paths are ablated off) the
+/// per-product mask probe is a **word-bitmap test** on pooled scratch:
+/// the mask row's bits are set once, each probe is a shift+AND instead
+/// of a `binary_search` over the mask row, and the touched words are
+/// cleared on the way out. The probe is structural either way, so the
+/// output is identical.
 #[allow(clippy::too_many_arguments)]
-fn multiply_masked_row_range_ws<T: Value, M: Value, S: Semiring<Value = T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
-    mask: &Dcsr<M>,
+fn multiply_masked_row_range_ws<T: Value, M: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    mask: &Dcsr<M, I>,
     complement: bool,
     s: S,
     start: usize,
     end: usize,
     scratch: &mut MxmScratch<T>,
-) -> (RowsChunk<T>, u64) {
-    let acc = &mut scratch.hash;
+    fast: bool,
+) -> (RowsChunk<T, I>, u64) {
+    let width = b.ncols();
+    let mask_bitmap = fast && width <= DENSE_ACC_MAX;
+    if mask_bitmap {
+        scratch.ensure_words((width as usize).div_ceil(64));
+    }
+    let MxmScratch {
+        hash: acc,
+        words: occ,
+        ..
+    } = scratch;
     let mut out = Vec::new();
     let mut flops = 0u64;
     for k_row in start..end {
@@ -380,17 +472,29 @@ fn multiply_masked_row_range_ws<T: Value, M: Value, S: Semiring<Value = T>>(
         if mcols.is_empty() && !complement {
             continue; // nothing of this row can survive the mask
         }
+        let row_bitmap = mask_bitmap && !mcols.is_empty();
+        if row_bitmap {
+            for &m in mcols {
+                let mz = m.as_usize();
+                occ[mz >> 6] |= 1u64 << (mz & 63);
+            }
+        }
         acc.clear();
         for (&k, aik) in acols.iter().zip(avals) {
-            let (bcols, bvals) = b.row(k);
+            let (bcols, bvals) = b.row(k.to_ix());
             for (&j, bkj) in bcols.iter().zip(bvals) {
-                let in_mask = mcols.binary_search(&j).is_ok();
+                let in_mask = if row_bitmap {
+                    let jz = j.as_usize();
+                    (occ[jz >> 6] >> (jz & 63)) & 1 == 1
+                } else {
+                    mcols.binary_search(&j).is_ok()
+                };
                 if in_mask == complement {
                     continue;
                 }
                 let p = s.mul(aik.clone(), bkj.clone());
                 flops += 1;
-                match acc.entry(j) {
+                match acc.entry(j.to_ix()) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         s.add_assign(e.get_mut(), p)
                     }
@@ -400,7 +504,16 @@ fn multiply_masked_row_range_ws<T: Value, M: Value, S: Semiring<Value = T>>(
                 }
             }
         }
-        let mut row: Vec<(Ix, T)> = acc.drain().filter(|(_, v)| !s.is_zero(v)).collect();
+        if row_bitmap {
+            for &m in mcols {
+                occ[m.as_usize() >> 6] = 0;
+            }
+        }
+        let mut row: Vec<(I, T)> = acc
+            .drain()
+            .filter(|(_, v)| !s.is_zero(v))
+            .map(|(j, v)| (I::from_ix(j), v))
+            .collect();
         if row.is_empty() {
             continue;
         }
@@ -410,15 +523,16 @@ fn multiply_masked_row_range_ws<T: Value, M: Value, S: Semiring<Value = T>>(
     (out, flops)
 }
 
-/// Per-shard result: `(row id, sorted (col, val) entries)` pairs.
-pub type RowsChunk<T> = Vec<(Ix, Vec<(Ix, T)>)>;
+/// Per-shard result: `(row id, sorted (col, val) entries)` pairs. The
+/// column ids carry the operands' physical index width `I`.
+pub type RowsChunk<T, I = Ix> = Vec<(Ix, Vec<(I, T)>)>;
 
 /// Concatenate row chunks (already in global row order) into a DCSR.
-fn assemble<T: Value>(
+fn assemble<T: Value, I: IndexType>(
     nrows: Ix,
     ncols: Ix,
-    chunks: impl IntoIterator<Item = RowsChunk<T>>,
-) -> Dcsr<T> {
+    chunks: impl IntoIterator<Item = RowsChunk<T, I>>,
+) -> Dcsr<T, I> {
     let mut rows = Vec::new();
     let mut rowptr = vec![0usize];
     let mut colidx = Vec::new();
@@ -438,15 +552,16 @@ fn assemble<T: Value>(
 
 /// Multiply rows `start..end` of `A` against `B` using workspace
 /// `scratch`, returning the rows plus the ⊗ count.
-fn multiply_row_range_ws<T: Value, S: Semiring<Value = T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+fn multiply_row_range_ws<T: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     start: usize,
     end: usize,
     scratch: &mut MxmScratch<T>,
-) -> (RowsChunk<T>, u64) {
-    multiply_row_range_ep(a, b, s, start, end, scratch, &Some)
+    fast: bool,
+) -> (RowsChunk<T, I>, u64) {
+    multiply_row_range_ep(a, b, s, start, end, scratch, fast, true, &Some)
 }
 
 /// [`multiply_row_range_ws`] with a drain-time epilogue: every
@@ -454,41 +569,76 @@ fn multiply_row_range_ws<T: Value, S: Semiring<Value = T>>(
 /// through `ep` before being stored, and `None` results are dropped.
 /// This is what lets `mxm_apply_prune_ctx` fuse a bias+ReLU prune into
 /// the multiply without materializing the intermediate product.
-fn multiply_row_range_ep<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+/// `ep_identity` marks `ep` as the trivial `Some` so the monomorphic
+/// fast path can skip the epilogue walk entirely.
+#[allow(clippy::too_many_arguments)]
+fn multiply_row_range_ep<T, I, S, E>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     start: usize,
     end: usize,
     scratch: &mut MxmScratch<T>,
+    fast: bool,
+    ep_identity: bool,
     ep: &E,
-) -> (RowsChunk<T>, u64) {
+) -> (RowsChunk<T, I>, u64)
+where
+    T: Value,
+    I: IndexType,
+    S: Semiring<Value = T>,
+    E: Fn(T) -> Option<T>,
+{
     if dense_acc_pays_off(a, b, start, end) {
+        if fast && fastpath::has_mono_semiring::<T, S>() {
+            if let Some(res) = fastpath::try_mono_mxm_rows::<T, I, S, E>(
+                a,
+                b,
+                start,
+                end,
+                scratch,
+                ep_identity,
+                ep,
+            ) {
+                return res;
+            }
+        }
         multiply_rows_dense_ws(a, b, s, start, end, scratch, ep)
     } else {
         multiply_rows_hash_ws(a, b, s, start, end, scratch, ep)
     }
 }
 
-/// Whether the dense accumulator is worth leasing for rows
+/// Whether a width-proportional accumulator (dense `Vec<Option<T>>` or
+/// the monomorphic flat scratch) is worth leasing for rows
 /// `start..end`: the column space must be compact (`≤ DENSE_ACC_MAX`)
-/// **and** the range must carry enough estimated flops to amortize a
-/// `width`-slot scratch vector. The estimate walks `A`'s entries summing
-/// `|B.row(k)|` (the exact ⊗ count) and early-exits at the threshold,
-/// so hypersparse ranges answer "no" after touching only their own nnz.
-/// Either accumulator yields identical output, so this per-range choice
-/// never affects determinism.
-fn dense_acc_pays_off<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>, start: usize, end: usize) -> bool {
+/// **and** the range must carry enough estimated flops both in total
+/// (`width / DENSE_ACC_FLOP_RATIO`) and per row
+/// (`rows · width / DENSE_ACC_ROW_RATIO` — the tall-skinny guard). The
+/// estimate walks `A`'s entries summing `|B.row(k)|` (the exact ⊗
+/// count) and early-exits at the threshold, so hypersparse ranges
+/// answer "no" after touching only their own nnz. Either accumulator
+/// yields identical output, so this per-range choice never affects
+/// determinism.
+fn dense_acc_pays_off<T: Value, I: IndexType>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
+    start: usize,
+    end: usize,
+) -> bool {
     let width = b.ncols();
     if width > DENSE_ACC_MAX {
         return false;
     }
-    let need = (width / DENSE_ACC_FLOP_RATIO).max(1);
+    let rows = (end - start) as u64;
+    let need = (width / DENSE_ACC_FLOP_RATIO)
+        .max(1)
+        .max(rows * (width / DENSE_ACC_ROW_RATIO));
     let mut est = 0u64;
     for k_row in start..end {
         let (_, acols, _) = a.row_at(k_row);
         for &k in acols {
-            est += b.row(k).0.len() as u64;
+            est += b.row(k.to_ix()).0.len() as u64;
             if est >= need {
                 return true;
             }
@@ -497,15 +647,21 @@ fn dense_acc_pays_off<T: Value>(a: &Dcsr<T>, b: &Dcsr<T>, start: usize, end: usi
     false
 }
 
-fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+fn multiply_rows_hash_ws<T, I, S, E>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     start: usize,
     end: usize,
     scratch: &mut MxmScratch<T>,
     ep: &E,
-) -> (RowsChunk<T>, u64) {
+) -> (RowsChunk<T, I>, u64)
+where
+    T: Value,
+    I: IndexType,
+    S: Semiring<Value = T>,
+    E: Fn(T) -> Option<T>,
+{
     let acc = &mut scratch.hash;
     let mut out = Vec::new();
     let mut flops = 0u64;
@@ -513,11 +669,11 @@ fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>
         let (i, acols, avals) = a.row_at(k_row);
         acc.clear();
         for (&k, aik) in acols.iter().zip(avals) {
-            let (bcols, bvals) = b.row(k);
+            let (bcols, bvals) = b.row(k.to_ix());
             for (&j, bkj) in bcols.iter().zip(bvals) {
                 let p = s.mul(aik.clone(), bkj.clone());
                 flops += 1;
-                match acc.entry(j) {
+                match acc.entry(j.to_ix()) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         s.add_assign(e.get_mut(), p)
                     }
@@ -529,13 +685,13 @@ fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>
         }
         // Order matters: s-zeros are dropped BEFORE the epilogue runs,
         // so `ep` only ever sees values the two-pass path would store.
-        let mut row: Vec<(Ix, T)> = acc
+        let mut row: Vec<(I, T)> = acc
             .drain()
             .filter_map(|(j, v)| {
                 if s.is_zero(&v) {
                     None
                 } else {
-                    ep(v).map(|w| (j, w))
+                    ep(v).map(|w| (I::from_ix(j), w))
                 }
             })
             .collect();
@@ -548,15 +704,21 @@ fn multiply_rows_hash_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>
     (out, flops)
 }
 
-fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+fn multiply_rows_dense_ws<T, I, S, E>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     start: usize,
     end: usize,
     scratch: &mut MxmScratch<T>,
     ep: &E,
-) -> (RowsChunk<T>, u64) {
+) -> (RowsChunk<T, I>, u64)
+where
+    T: Value,
+    I: IndexType,
+    S: Semiring<Value = T>,
+    E: Fn(T) -> Option<T>,
+{
     let width = b.ncols() as usize;
     scratch.ensure_dense_width(width);
     let dense = &mut scratch.dense;
@@ -567,15 +729,15 @@ fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T
     for k_row in start..end {
         let (i, acols, avals) = a.row_at(k_row);
         for (&k, aik) in acols.iter().zip(avals) {
-            let (bcols, bvals) = b.row(k);
+            let (bcols, bvals) = b.row(k.to_ix());
             for (&j, bkj) in bcols.iter().zip(bvals) {
                 let p = s.mul(aik.clone(), bkj.clone());
                 flops += 1;
-                match &mut dense[j as usize] {
+                match &mut dense[j.as_usize()] {
                     Some(v) => s.add_assign(v, p),
                     slot @ None => {
                         *slot = Some(p);
-                        touched.push(j);
+                        touched.push(j.to_ix());
                     }
                 }
             }
@@ -584,14 +746,14 @@ fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T
             continue;
         }
         touched.sort_unstable();
-        let mut row: Vec<(Ix, T)> = Vec::with_capacity(touched.len());
+        let mut row: Vec<(I, T)> = Vec::with_capacity(touched.len());
         for &j in touched.iter() {
             if let Some(v) = dense[j as usize].take() {
                 // Same epilogue contract as the hash path: drop s-zeros
                 // first, then let `ep` transform/prune the survivor.
                 if !s.is_zero(&v) {
                     if let Some(w) = ep(v) {
-                        row.push((j, w));
+                        row.push((I::from_ix(j), w));
                     }
                 }
             }
@@ -606,13 +768,13 @@ fn multiply_rows_dense_ws<T: Value, S: Semiring<Value = T>, E: Fn(T) -> Option<T
 
 /// Hash-accumulator row multiply — `O(flops)` in any column space.
 /// Public for the accumulator ablation bench; use [`mxm_ctx`] otherwise.
-pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+pub fn multiply_rows_hash_acc<T: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     start: usize,
     end: usize,
-) -> RowsChunk<T> {
+) -> RowsChunk<T, I> {
     let mut scratch = MxmScratch::default();
     multiply_rows_hash_ws(a, b, s, start, end, &mut scratch, &Some).0
 }
@@ -621,13 +783,13 @@ pub fn multiply_rows_hash_acc<T: Value, S: Semiring<Value = T>>(
 /// reset via a touched-columns list so each row costs `O(flops)` too,
 /// with far better constants in compact column spaces. Public for the
 /// accumulator ablation bench; use [`mxm_ctx`] otherwise.
-pub fn multiply_rows_dense_acc<T: Value, S: Semiring<Value = T>>(
-    a: &Dcsr<T>,
-    b: &Dcsr<T>,
+pub fn multiply_rows_dense_acc<T: Value, I: IndexType, S: Semiring<Value = T>>(
+    a: &Dcsr<T, I>,
+    b: &Dcsr<T, I>,
     s: S,
     start: usize,
     end: usize,
-) -> RowsChunk<T> {
+) -> RowsChunk<T, I> {
     let mut scratch = MxmScratch::default();
     multiply_rows_dense_ws(a, b, s, start, end, &mut scratch, &Some).0
 }
@@ -725,6 +887,65 @@ mod tests {
     }
 
     #[test]
+    fn weighted_and_fixed_sharding_agree() {
+        // Deliberately skewed rows: determinism must hold under either
+        // sharding policy, and across thread counts within each.
+        let s = PlusTimes::<f64>::new();
+        let a = crate::gen::rmat_dcsr(crate::gen::RmatParams::default(), 35, s);
+        let b = crate::gen::rmat_dcsr(crate::gen::RmatParams::default(), 36, s);
+        let balanced = OpCtx::new().with_threads(4);
+        let fixed = OpCtx::new().with_threads(4);
+        fixed.set_shard_balancing(false);
+        assert!(balanced.shard_balancing() && !fixed.shard_balancing());
+        assert_eq!(mxm_ctx(&balanced, &a, &b, s), mxm_ctx(&fixed, &a, &b, s));
+    }
+
+    #[test]
+    fn mono_fast_path_matches_generic_bit_for_bit() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(2000, 2000, 30_000, 61, s);
+        let b = random_dcsr(2000, 2000, 30_000, 62, s);
+        let fast = OpCtx::new().with_threads(2);
+        let generic = OpCtx::new().with_threads(2);
+        generic.set_fast_paths(false);
+        assert_eq!(mxm_ctx(&fast, &a, &b, s), mxm_ctx(&generic, &a, &b, s));
+    }
+
+    #[test]
+    fn bool_mono_fast_path_matches_generic() {
+        let s = LorLand;
+        let f = PlusTimes::<f64>::new();
+        let pat_a = random_dcsr(256, 256, 3000, 63, f);
+        let pat_b = random_dcsr(256, 256, 3000, 64, f);
+        let to_bool = |m: &Dcsr<f64>| {
+            let mut c = Coo::new(m.nrows(), m.ncols());
+            c.extend(m.iter().map(|(i, j, _)| (i, j, true)));
+            c.build_dcsr(LorLand)
+        };
+        let (a, b) = (to_bool(&pat_a), to_bool(&pat_b));
+        let fast = OpCtx::new().with_threads(1);
+        let generic = OpCtx::new().with_threads(1);
+        generic.set_fast_paths(false);
+        let got = mxm_ctx(&fast, &a, &b, s);
+        assert_eq!(got, mxm_ctx(&generic, &a, &b, s));
+        assert!(got.nnz() > 0);
+    }
+
+    #[test]
+    fn narrow_index_mxm_matches_wide() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(128, 128, 900, 65, s);
+        let b = random_dcsr(128, 128, 900, 66, s);
+        let an: Dcsr<f64, u32> = a.to_index_width().unwrap();
+        let bn: Dcsr<f64, u32> = b.to_index_width().unwrap();
+        let wide = mxm(&a, &b, s);
+        let narrow = mxm(&an, &bn, s);
+        let wt: Vec<_> = wide.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        let nt: Vec<_> = narrow.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(wt, nt);
+    }
+
+    #[test]
     fn ctx_mxm_records_metrics_and_reuses_scratch() {
         let s = PlusTimes::<f64>::new();
         let a = random_dcsr(64, 64, 300, 21, s);
@@ -737,6 +958,7 @@ mod tests {
         assert_eq!(m.nnz_in, (a.nnz() + b.nnz()) as u64);
         assert_eq!(m.nnz_out, c.nnz() as u64);
         assert!(m.flops > 0);
+        assert_eq!(m.bytes_touched, (a.bytes() + b.bytes() + c.bytes()) as u64);
         // Repeated same-shape multiplies are all pool hits after the first.
         for _ in 0..10 {
             let _ = mxm_ctx(&ctx, &a, &b, s);
@@ -801,6 +1023,27 @@ mod tests {
         for (i, j, _) in comp.iter() {
             assert!(mask.get(i, j).is_none());
         }
+    }
+
+    #[test]
+    fn masked_bitmap_probe_matches_binary_search() {
+        let s = PlusTimes::<f64>::new();
+        let a = random_dcsr(64, 64, 500, 71, s);
+        let b = random_dcsr(64, 64, 500, 72, s);
+        let mask = random_dcsr(64, 64, 300, 73, s);
+        let fast = OpCtx::new().with_threads(1);
+        let slow = OpCtx::new().with_threads(1);
+        slow.set_fast_paths(false);
+        for complement in [false, true] {
+            assert_eq!(
+                mxm_masked_ctx(&fast, &a, &b, &mask, complement, s),
+                mxm_masked_ctx(&slow, &a, &b, &mask, complement, s),
+                "complement={complement}"
+            );
+        }
+        // Bitmap scratch must come back clean for the next lease.
+        let mut lease = fast.lease_mxm_scratch::<f64>();
+        assert!(lease.get().words.iter().all(|&w| w == 0));
     }
 
     #[test]
@@ -900,7 +1143,7 @@ mod tests {
     fn wide_empty_column_space_skips_dense_scratch() {
         // B's column space is wide (2^21 ≤ DENSE_ACC_MAX) but nearly
         // empty: a handful of flops must not lease a multi-megabyte
-        // dense accumulator.
+        // dense accumulator (generic `Vec<Option<T>>` or mono flat).
         let s = PlusTimes::<f64>::new();
         let n = 1u64 << 21;
         let mut ca = Coo::new(8, n);
@@ -911,20 +1154,48 @@ mod tests {
         let c = mxm_ctx(&ctx, &ca.build_dcsr(s), &cb.build_dcsr(s), s);
         assert_eq!(c.get(0, 1_000_000), Some(&3.0));
         assert_eq!(c.get(1, 2_000_000), Some(&8.0));
-        // The pooled scratch must never have grown a dense accumulator.
+        // The pooled scratch must never have grown a width-sized
+        // accumulator of either kind.
         let mut lease = ctx.lease_mxm_scratch::<f64>();
         assert_eq!(lease.get().dense_capacity(), 0, "dense scratch was leased");
+        assert_eq!(lease.get().flat_capacity(), 0, "flat scratch was leased");
     }
 
     #[test]
-    fn compact_busy_column_space_still_uses_dense_scratch() {
+    fn compact_busy_column_space_uses_flat_fast_scratch() {
+        // PlusTimes/f64 in a compact busy column space takes the
+        // monomorphic flat accumulator, not the generic Vec<Option<T>>.
         let s = PlusTimes::<f64>::new();
         let a = random_dcsr(128, 128, 800, 16, s);
         let b = random_dcsr(128, 128, 800, 17, s);
         let ctx = OpCtx::new().with_threads(1);
         let _ = mxm_ctx(&ctx, &a, &b, s);
         let mut lease = ctx.lease_mxm_scratch::<f64>();
+        assert_eq!(lease.get().flat_capacity(), 128);
+        assert_eq!(lease.get().dense_capacity(), 0);
+    }
+
+    #[test]
+    fn compact_busy_column_space_still_uses_dense_scratch() {
+        // Generic semirings (no mono fast path) still take the dense
+        // Vec<Option<T>> accumulator in compact busy column spaces —
+        // and so does PlusTimes when fast paths are ablated off.
+        let mp = MinPlus::<f64>::new();
+        let gen = PlusTimes::<f64>::new();
+        let a = random_dcsr(128, 128, 800, 16, gen);
+        let b = random_dcsr(128, 128, 800, 17, gen);
+        let ctx = OpCtx::new().with_threads(1);
+        let _ = mxm_ctx(&ctx, &a, &b, mp);
+        {
+            let mut lease = ctx.lease_mxm_scratch::<f64>();
+            assert_eq!(lease.get().dense_capacity(), 128);
+        }
+        let ablated = OpCtx::new().with_threads(1);
+        ablated.set_fast_paths(false);
+        let _ = mxm_ctx(&ablated, &a, &b, gen);
+        let mut lease = ablated.lease_mxm_scratch::<f64>();
         assert_eq!(lease.get().dense_capacity(), 128);
+        assert_eq!(lease.get().flat_capacity(), 0);
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //!   filtering (`SparseVec::without`) afterwards.
 //! * **Deterministic parallelism**: push partitions the frontier into
 //!   *fixed-size* segments (independent of thread count) and ⊕-merges
-//!   the segment partials left-to-right; pull shards output rows. Both
-//!   yield bit-identical results at every thread count, and a 1-thread
-//!   run *is* the same segmented algorithm — sequential ≡ parallel.
+//!   the segment partials left-to-right; pull shards output rows (by
+//!   merge-path nnz weighting when [`OpCtx::set_shard_balancing`] is
+//!   on). Both yield bit-identical results at every thread count, and a
+//!   1-thread run *is* the same segmented algorithm — sequential ≡
+//!   parallel.
 //!
 //! Within one accumulator slot, products fold in increasing source-index
 //! order starting from the first product (never from `s.zero()`), so
@@ -26,17 +28,27 @@
 //! indistinguishable for the exact semirings graph algorithms use
 //! (min/max/any ⊕), and ulp-level for floating-point ⊕.
 //!
+//! For `PlusTimes/f64` and `LorLand` an unmasked push segment in a
+//! compact column space takes a **monomorphic flat-accumulator** path
+//! (branch-free `+=`/`|=` plus an occupancy bitmap drained
+//! word-at-a-time) instead of the generic `HashMap` scatter; the
+//! observable output is identical and [`OpCtx::set_fast_paths`] ablates
+//! it off.
+//!
 //! Every entry point records [`Kernel::Vxm`]/[`Kernel::Mxv`] metrics
 //! plus the chosen [`Direction`] and the mask probe/hit counts.
 
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::time::Instant;
 
 use semiring::traits::{Semiring, Value};
+use semiring::{LorLand, PlusTimes};
 
-use crate::ctx::{par_run, with_default_ctx, OpCtx};
+use crate::ctx::{fixed_shards, par_run, plan_weighted_shards, with_default_ctx, OpCtx};
 use crate::dcsr::Dcsr;
 use crate::error::OpError;
+use crate::index::IndexType;
 use crate::metrics::{Direction, Kernel};
 use crate::vector::SparseVec;
 use crate::Ix;
@@ -45,18 +57,31 @@ use crate::Ix;
 /// thread count) so the ⊕-merge tree is identical at any parallelism.
 const PUSH_SEG: usize = 1024;
 
-/// Stored transpose rows per pull shard.
+/// Stored transpose rows per pull shard (legacy fixed plan, and the
+/// cutoff below which pull never shards).
 const PULL_ROWS_PER_SHARD: usize = 512;
+
+/// Weighted pull shards per thread (merge-path oversubscription).
+const PULL_SHARD_FACTOR: usize = 4;
 
 /// Beamer-style crossover: pull when the push sweep would touch more
 /// than `nnz / PULL_ALPHA` edges.
 const PULL_ALPHA: u64 = 8;
 
+/// Column spaces at most this wide may take the monomorphic push path
+/// (a width-sized flat accumulator must be allocatable).
+const MONO_PUSH_MAX_WIDTH: u64 = 1 << 22;
+
+/// The mono push segment must carry at least `width /
+/// MONO_PUSH_EDGE_RATIO` edges to amortize zero-initializing the flat
+/// accumulator; sparser segments stay on the hash scatter.
+const MONO_PUSH_EDGE_RATIO: u64 = 8;
+
 /// Edges a push sweep would touch: `Σ_{i ∈ v} |rows_of(i,:)|`.
-fn frontier_edges<T: Value>(v: &SparseVec<T>, rows_of: &Dcsr<T>) -> u64 {
+fn frontier_edges<T: Value, I: IndexType>(v: &SparseVec<T, I>, rows_of: &Dcsr<T, I>) -> u64 {
     v.indices()
         .iter()
-        .map(|&i| rows_of.row(i).0.len() as u64)
+        .map(|&i| rows_of.row(i.to_ix()).0.len() as u64)
         .sum()
 }
 
@@ -64,9 +89,9 @@ fn frontier_edges<T: Value>(v: &SparseVec<T>, rows_of: &Dcsr<T>) -> u64 {
 /// `a` (whose rows are indexed by `v`'s key space). With no transpose at
 /// hand the answer is always [`Direction::Push`]; callers use this to
 /// decide when building one starts paying off.
-pub fn choose_direction<T: Value>(
-    v: &SparseVec<T>,
-    a: &Dcsr<T>,
+pub fn choose_direction<T: Value, I: IndexType>(
+    v: &SparseVec<T, I>,
+    a: &Dcsr<T, I>,
     have_transpose: bool,
 ) -> Direction {
     if !have_transpose {
@@ -79,30 +104,165 @@ pub fn choose_direction<T: Value>(
     }
 }
 
+/// One push segment's partial: `(entries, flops, mask_hits, mask_total)`.
+type PushPartial<T> = (Vec<(Ix, T)>, u64, u64, u64);
+
+/// Monomorphic unmasked push segment: `PlusTimes/f64` (branch-free
+/// fused multiply-add into a flat accumulator) or `LorLand` (bitwise
+/// OR). Returns `None` when `S` has no fast path or the gate says the
+/// flat accumulator doesn't pay off. Zeros are *kept*, exactly like the
+/// hash scatter — the cross-segment merge must see them.
+fn push_segment_mono<T, I, S>(
+    v: &SparseVec<T, I>,
+    rows_of: &Dcsr<T, I>,
+    flip: bool,
+    lo: usize,
+    hi: usize,
+) -> Option<PushPartial<T>>
+where
+    T: Value,
+    I: IndexType,
+    S: Semiring<Value = T>,
+{
+    let width = rows_of.ncols();
+    if width > MONO_PUSH_MAX_WIDTH {
+        return None;
+    }
+    let is_f64 = TypeId::of::<S>() == TypeId::of::<PlusTimes<f64>>();
+    let is_bool = TypeId::of::<S>() == TypeId::of::<LorLand>();
+    if !is_f64 && !is_bool {
+        return None;
+    }
+    let est: u64 = (lo..hi)
+        .map(|k| rows_of.row(v.indices()[k].to_ix()).0.len() as u64)
+        .sum();
+    if est < (width / MONO_PUSH_EDGE_RATIO).max(1) {
+        return None;
+    }
+    let part: Box<dyn Any> = if is_f64 {
+        let v64 = (v as &dyn Any).downcast_ref::<SparseVec<f64, I>>()?;
+        let r64 = (rows_of as &dyn Any).downcast_ref::<Dcsr<f64, I>>()?;
+        Box::new(push_mono_f64(v64, r64, flip, lo, hi))
+    } else {
+        let vb = (v as &dyn Any).downcast_ref::<SparseVec<bool, I>>()?;
+        let rb = (rows_of as &dyn Any).downcast_ref::<Dcsr<bool, I>>()?;
+        Box::new(push_mono_bool(vb, rb, lo, hi))
+    };
+    let part = *part.downcast::<Vec<(Ix, T)>>().ok()?;
+    Some((part, est, 0, 0))
+}
+
+fn push_mono_f64<I: IndexType>(
+    v: &SparseVec<f64, I>,
+    rows_of: &Dcsr<f64, I>,
+    flip: bool,
+    lo: usize,
+    hi: usize,
+) -> Vec<(Ix, f64)> {
+    let width = rows_of.ncols() as usize;
+    let mut flat = vec![0.0f64; width];
+    let mut occ = vec![0u64; width.div_ceil(64)];
+    let (idx, vals) = (v.indices(), v.values());
+    let (mut lo_w, mut hi_w) = (usize::MAX, 0usize);
+    for k in lo..hi {
+        let x = vals[k];
+        let (cols, avals) = rows_of.row(idx[k].to_ix());
+        for (&j, &aij) in cols.iter().zip(avals) {
+            let jz = j.as_usize();
+            // Operand order mirrors the generic `s.mul` call exactly,
+            // so the partials match the hash scatter bit for bit.
+            let (l, r) = if flip { (aij, x) } else { (x, aij) };
+            flat[jz] += l * r;
+            let w = jz >> 6;
+            occ[w] |= 1u64 << (jz & 63);
+            lo_w = lo_w.min(w);
+            hi_w = hi_w.max(w);
+        }
+    }
+    let mut out = Vec::new();
+    if lo_w <= hi_w {
+        for (w, &word) in occ.iter().enumerate().take(hi_w + 1).skip(lo_w) {
+            let mut bits = word;
+            while bits != 0 {
+                let jz = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push((jz as Ix, flat[jz]));
+            }
+        }
+    }
+    out
+}
+
+fn push_mono_bool<I: IndexType>(
+    v: &SparseVec<bool, I>,
+    rows_of: &Dcsr<bool, I>,
+    lo: usize,
+    hi: usize,
+) -> Vec<(Ix, bool)> {
+    let width = rows_of.ncols() as usize;
+    let mut flat = vec![false; width];
+    let mut occ = vec![0u64; width.div_ceil(64)];
+    let (idx, vals) = (v.indices(), v.values());
+    let (mut lo_w, mut hi_w) = (usize::MAX, 0usize);
+    for k in lo..hi {
+        let x = vals[k];
+        let (cols, avals) = rows_of.row(idx[k].to_ix());
+        for (&j, &aij) in cols.iter().zip(avals) {
+            let jz = j.as_usize();
+            flat[jz] |= x && aij;
+            let w = jz >> 6;
+            occ[w] |= 1u64 << (jz & 63);
+            lo_w = lo_w.min(w);
+            hi_w = hi_w.max(w);
+        }
+    }
+    let mut out = Vec::new();
+    if lo_w <= hi_w {
+        for (w, &word) in occ.iter().enumerate().take(hi_w + 1).skip(lo_w) {
+            let mut bits = word;
+            while bits != 0 {
+                let jz = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push((jz as Ix, flat[jz]));
+            }
+        }
+    }
+    out
+}
+
 /// One push segment: scatter frontier entries `[lo, hi)` along their
 /// rows, ⊕-folding collisions in increasing source order. Returns
 /// sorted `(index, value)` partials (zeros *kept* — they are filtered
 /// once, after the cross-segment merge) plus flop/mask counters.
-fn push_segment<T, S>(
-    v: &SparseVec<T>,
-    rows_of: &Dcsr<T>,
+#[allow(clippy::too_many_arguments)]
+fn push_segment<T, I, S>(
+    v: &SparseVec<T, I>,
+    rows_of: &Dcsr<T, I>,
     mask: Option<&[Ix]>,
     flip: bool,
     s: S,
     lo: usize,
     hi: usize,
-) -> (Vec<(Ix, T)>, u64, u64, u64)
+    fast: bool,
+) -> PushPartial<T>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
+    if fast && mask.is_none() {
+        if let Some(res) = push_segment_mono::<T, I, S>(v, rows_of, flip, lo, hi) {
+            return res;
+        }
+    }
     let mut acc: HashMap<Ix, T> = HashMap::new();
     let (idx, vals) = (v.indices(), v.values());
     let (mut flops, mut probes, mut hits) = (0u64, 0u64, 0u64);
     for k in lo..hi {
         let x = &vals[k];
-        let (cols, avals) = rows_of.row(idx[k]);
+        let (cols, avals) = rows_of.row(idx[k].to_ix());
         for (&j, aij) in cols.iter().zip(avals) {
+            let j = j.to_ix();
             if let Some(m) = mask {
                 probes += 1;
                 if m.binary_search(&j).is_ok() {
@@ -157,26 +317,28 @@ where
 }
 
 /// Push sweep over fixed frontier segments, fanned out via [`par_run`].
-fn run_push<T, S>(
-    threads: usize,
-    v: &SparseVec<T>,
-    rows_of: &Dcsr<T>,
+fn run_push<T, I, S>(
+    ctx: &OpCtx,
+    v: &SparseVec<T, I>,
+    rows_of: &Dcsr<T, I>,
     mask: Option<&[Ix]>,
     flip: bool,
     s: S,
-) -> (Vec<(Ix, T)>, u64, u64, u64)
+) -> PushPartial<T>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
+    let fast = ctx.fast_paths();
     let n = v.nnz();
     let nsegs = n.div_ceil(PUSH_SEG).max(1);
     if nsegs == 1 {
-        return push_segment(v, rows_of, mask, flip, s, 0, n);
+        return push_segment(v, rows_of, mask, flip, s, 0, n, fast);
     }
-    let parts = par_run(threads, nsegs, |seg| {
+    let parts = par_run(ctx.threads(), nsegs, |seg| {
         let lo = seg * PUSH_SEG;
-        push_segment(v, rows_of, mask, flip, s, lo, (lo + PUSH_SEG).min(n))
+        push_segment(v, rows_of, mask, flip, s, lo, (lo + PUSH_SEG).min(n), fast)
     });
     let (mut flops, mut probes, mut hits) = (0u64, 0u64, 0u64);
     let mut merged: Vec<(Ix, T)> = Vec::new();
@@ -196,17 +358,18 @@ where
 /// One pull shard: gather stored rows `[lo, hi)` of `rows_of` against
 /// `v` by two-pointer intersection. Masked rows are skipped wholesale —
 /// the payoff of fusing the complement mask into the pull direction.
-fn pull_rows<T, S>(
-    v: &SparseVec<T>,
-    rows_of: &Dcsr<T>,
+fn pull_rows<T, I, S>(
+    v: &SparseVec<T, I>,
+    rows_of: &Dcsr<T, I>,
     mask: Option<&[Ix]>,
     flip: bool,
     s: S,
     lo: usize,
     hi: usize,
-) -> (Vec<(Ix, T)>, u64, u64, u64)
+) -> PushPartial<T>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     let mut out = Vec::new();
@@ -265,35 +428,35 @@ where
 }
 
 /// Pull sweep sharded by stored output rows — each output is computed
-/// wholly inside one shard, so determinism is structural.
-fn run_pull<T, S>(
-    threads: usize,
-    v: &SparseVec<T>,
-    rows_of: &Dcsr<T>,
+/// wholly inside one shard, so determinism is structural under either
+/// sharding policy (merge-path weighted or legacy fixed).
+fn run_pull<T, I, S>(
+    ctx: &OpCtx,
+    v: &SparseVec<T, I>,
+    rows_of: &Dcsr<T, I>,
     mask: Option<&[Ix]>,
     flip: bool,
     s: S,
-) -> (Vec<(Ix, T)>, u64, u64, u64)
+) -> PushPartial<T>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     let nrows = rows_of.n_nonempty_rows();
-    let nshards = nrows.div_ceil(PULL_ROWS_PER_SHARD).max(1);
-    if nshards == 1 {
+    if nrows <= PULL_ROWS_PER_SHARD {
         return pull_rows(v, rows_of, mask, flip, s, 0, nrows);
     }
-    let parts = par_run(threads, nshards, |shard| {
-        let lo = shard * PULL_ROWS_PER_SHARD;
-        pull_rows(
-            v,
-            rows_of,
-            mask,
-            flip,
-            s,
-            lo,
-            (lo + PULL_ROWS_PER_SHARD).min(nrows),
-        )
+    let shards = if ctx.shard_balancing() {
+        plan_weighted_shards(nrows, ctx.threads() * PULL_SHARD_FACTOR, |k| {
+            rows_of.row_len_at(k) as u64
+        })
+    } else {
+        fixed_shards(nrows, PULL_ROWS_PER_SHARD)
+    };
+    let parts = par_run(ctx.threads(), shards.len(), |shard| {
+        let (lo, hi) = shards[shard];
+        pull_rows(v, rows_of, mask, flip, s, lo, hi)
     });
     let (mut flops, mut probes, mut hits) = (0u64, 0u64, 0u64);
     let mut out = Vec::new();
@@ -313,19 +476,20 @@ where
 /// are indexed by the output* (`Aᵀ` for vxm, `A` for mxv). `flip` puts
 /// the matrix value on the left of ⊗ (mxv orientation).
 #[allow(clippy::too_many_arguments)]
-fn run_mv<T, S>(
+fn run_mv<T, I, S>(
     ctx: &OpCtx,
     kernel: Kernel,
-    v: &SparseVec<T>,
-    push_src: Option<&Dcsr<T>>,
-    pull_src: Option<&Dcsr<T>>,
+    v: &SparseVec<T, I>,
+    push_src: Option<&Dcsr<T, I>>,
+    pull_src: Option<&Dcsr<T, I>>,
     mask: Option<&[Ix]>,
     flip: bool,
     out_dim: Ix,
     s: S,
-) -> SparseVec<T>
+) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     debug_assert!(mask.is_none_or(|m| m.windows(2).all(|w| w[0] < w[1])));
@@ -334,7 +498,6 @@ where
         format!("{}×{} mat, {} nnz v", mat.nrows(), mat.ncols(), v.nnz())
     });
     let start = Instant::now();
-    let threads = ctx.threads();
     let dir = match (push_src, pull_src) {
         (Some(a), Some(_)) => choose_direction(v, a, true),
         (Some(_), None) => Direction::Push,
@@ -342,31 +505,32 @@ where
         (None, None) => unreachable!("one operand orientation is always supplied"),
     };
     let (entries, flops, probes, hits) = match dir {
-        Direction::Push => run_push(threads, v, push_src.expect("push chosen"), mask, flip, s),
-        Direction::Pull => run_pull(threads, v, pull_src.expect("pull chosen"), mask, flip, s),
+        Direction::Push => run_push(ctx, v, push_src.expect("push chosen"), mask, flip, s),
+        Direction::Pull => run_pull(ctx, v, pull_src.expect("pull chosen"), mask, flip, s),
     };
     let mut idx = Vec::with_capacity(entries.len());
     let mut vals = Vec::with_capacity(entries.len());
     for (j, val) in entries {
         if !s.is_zero(&val) {
-            idx.push(j);
+            idx.push(I::from_ix(j));
             vals.push(val);
         }
     }
     let out = SparseVec::from_sorted_parts(out_dim, idx, vals);
-    let mat_nnz = push_src.or(pull_src).expect("some operand").nnz();
+    let mat = push_src.or(pull_src).expect("some operand");
     ctx.metrics().record(
         kernel,
         start.elapsed(),
-        (v.nnz() + mat_nnz) as u64,
+        (v.nnz() + mat.nnz()) as u64,
         out.nnz() as u64,
         flops,
+        (v.bytes() + mat.bytes() + out.bytes()) as u64,
     );
     ctx.metrics().record_mv_direction(dir, probes, hits);
     out
 }
 
-fn check_vxm<T: Value>(v: &SparseVec<T>, a: &Dcsr<T>) -> Result<(), OpError> {
+fn check_vxm<T: Value, I: IndexType>(v: &SparseVec<T, I>, a: &Dcsr<T, I>) -> Result<(), OpError> {
     if v.dim() != a.nrows() {
         return Err(OpError::DimensionMismatch {
             op: "vxm",
@@ -378,7 +542,7 @@ fn check_vxm<T: Value>(v: &SparseVec<T>, a: &Dcsr<T>) -> Result<(), OpError> {
     Ok(())
 }
 
-fn check_mxv<T: Value>(a: &Dcsr<T>, v: &SparseVec<T>) -> Result<(), OpError> {
+fn check_mxv<T: Value, I: IndexType>(a: &Dcsr<T, I>, v: &SparseVec<T, I>) -> Result<(), OpError> {
     if v.dim() != a.ncols() {
         return Err(OpError::DimensionMismatch {
             op: "mxv",
@@ -394,32 +558,35 @@ fn check_mxv<T: Value>(a: &Dcsr<T>, v: &SparseVec<T>) -> Result<(), OpError> {
 
 /// `vᵀ A` over a semiring: `out(j) = ⊕_i v(i) ⊗ A(i,j)` — one frontier
 /// expansion, push direction, parallel over fixed frontier segments.
-pub fn vxm_ctx<T, S>(ctx: &OpCtx, v: &SparseVec<T>, a: &Dcsr<T>, s: S) -> SparseVec<T>
+pub fn vxm_ctx<T, I, S>(ctx: &OpCtx, v: &SparseVec<T, I>, a: &Dcsr<T, I>, s: S) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     try_vxm_ctx(ctx, v, a, s).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`vxm_ctx`] against the thread-local default context.
-pub fn vxm<T, S>(v: &SparseVec<T>, a: &Dcsr<T>, s: S) -> SparseVec<T>
+pub fn vxm<T, I, S>(v: &SparseVec<T, I>, a: &Dcsr<T, I>, s: S) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     with_default_ctx(|ctx| vxm_ctx(ctx, v, a, s))
 }
 
 /// Fallible [`vxm_ctx`]: dimension mismatch becomes an [`OpError`].
-pub fn try_vxm_ctx<T, S>(
+pub fn try_vxm_ctx<T, I, S>(
     ctx: &OpCtx,
-    v: &SparseVec<T>,
-    a: &Dcsr<T>,
+    v: &SparseVec<T, I>,
+    a: &Dcsr<T, I>,
     s: S,
-) -> Result<SparseVec<T>, OpError>
+) -> Result<SparseVec<T, I>, OpError>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     check_vxm(v, a)?;
@@ -437,9 +604,14 @@ where
 }
 
 /// Fallible [`vxm`] against the thread-local default context.
-pub fn try_vxm<T, S>(v: &SparseVec<T>, a: &Dcsr<T>, s: S) -> Result<SparseVec<T>, OpError>
+pub fn try_vxm<T, I, S>(
+    v: &SparseVec<T, I>,
+    a: &Dcsr<T, I>,
+    s: S,
+) -> Result<SparseVec<T, I>, OpError>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     with_default_ctx(|ctx| try_vxm_ctx(ctx, v, a, s))
@@ -448,15 +620,16 @@ where
 /// Direction-optimized `vᵀ A`: supply `at = Aᵀ` (e.g. from
 /// [`crate::Matrix::cached_transpose_ctx`]) and the kernel picks push or
 /// pull per call via [`choose_direction`].
-pub fn vxm_opt_ctx<T, S>(
+pub fn vxm_opt_ctx<T, I, S>(
     ctx: &OpCtx,
-    v: &SparseVec<T>,
-    a: &Dcsr<T>,
-    at: Option<&Dcsr<T>>,
+    v: &SparseVec<T, I>,
+    a: &Dcsr<T, I>,
+    at: Option<&Dcsr<T, I>>,
     s: S,
-) -> SparseVec<T>
+) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     assert_eq!(v.dim(), a.nrows(), "dimension mismatch");
@@ -468,15 +641,16 @@ where
 /// mask (a sorted index slice, e.g. the visited set) applied *inside*
 /// the accumulator loop. Equivalent to `vxm(...).without(mask)` without
 /// materializing the masked-off work.
-pub fn vxm_masked_ctx<T, S>(
+pub fn vxm_masked_ctx<T, I, S>(
     ctx: &OpCtx,
-    v: &SparseVec<T>,
-    a: &Dcsr<T>,
+    v: &SparseVec<T, I>,
+    a: &Dcsr<T, I>,
     mask: &[Ix],
     s: S,
-) -> SparseVec<T>
+) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     vxm_masked_opt_ctx(ctx, v, a, None, mask, s)
@@ -485,16 +659,17 @@ where
 /// [`vxm_masked_ctx`] with direction optimization over an optional
 /// transpose. In pull direction a masked output skips its whole gather
 /// row — the mask's biggest win.
-pub fn vxm_masked_opt_ctx<T, S>(
+pub fn vxm_masked_opt_ctx<T, I, S>(
     ctx: &OpCtx,
-    v: &SparseVec<T>,
-    a: &Dcsr<T>,
-    at: Option<&Dcsr<T>>,
+    v: &SparseVec<T, I>,
+    a: &Dcsr<T, I>,
+    at: Option<&Dcsr<T, I>>,
     mask: &[Ix],
     s: S,
-) -> SparseVec<T>
+) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     assert_eq!(v.dim(), a.nrows(), "dimension mismatch");
@@ -513,9 +688,15 @@ where
 }
 
 /// Force-push `vᵀ A` (ablation entry point).
-pub fn vxm_push_ctx<T, S>(ctx: &OpCtx, v: &SparseVec<T>, a: &Dcsr<T>, s: S) -> SparseVec<T>
+pub fn vxm_push_ctx<T, I, S>(
+    ctx: &OpCtx,
+    v: &SparseVec<T, I>,
+    a: &Dcsr<T, I>,
+    s: S,
+) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     assert_eq!(v.dim(), a.nrows(), "dimension mismatch");
@@ -533,9 +714,15 @@ where
 }
 
 /// Force-pull `vᵀ A` given `at = Aᵀ` (ablation entry point).
-pub fn vxm_pull_ctx<T, S>(ctx: &OpCtx, v: &SparseVec<T>, at: &Dcsr<T>, s: S) -> SparseVec<T>
+pub fn vxm_pull_ctx<T, I, S>(
+    ctx: &OpCtx,
+    v: &SparseVec<T, I>,
+    at: &Dcsr<T, I>,
+    s: S,
+) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     assert_eq!(v.dim(), at.ncols(), "dimension mismatch");
@@ -556,11 +743,12 @@ where
 /// inner loop): for every stored row `j` of `at = Aᵀ`,
 /// `out[j] ⊕= ⊕_i v[i] ⊗ at(j,i)` folding in increasing `i` — slots of
 /// `out` act as per-output accumulator seeds and untouched slots keep
-/// their initial value. Output-sharded, so bit-identical at any thread
-/// count.
-pub fn vxm_dense_pull_ctx<T, S>(ctx: &OpCtx, v: &[T], at: &Dcsr<T>, out: &mut [T], s: S)
+/// their initial value. Output-sharded (merge-path weighted when the
+/// context enables balancing), so bit-identical at any thread count.
+pub fn vxm_dense_pull_ctx<T, I, S>(ctx: &OpCtx, v: &[T], at: &Dcsr<T, I>, out: &mut [T], s: S)
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     assert_eq!(v.len() as Ix, at.ncols(), "dimension mismatch");
@@ -570,7 +758,15 @@ where
     });
     let start = Instant::now();
     let nrows = at.n_nonempty_rows();
-    let nshards = nrows.div_ceil(PULL_ROWS_PER_SHARD).max(1);
+    let shards = if nrows <= PULL_ROWS_PER_SHARD {
+        vec![(0, nrows)]
+    } else if ctx.shard_balancing() {
+        plan_weighted_shards(nrows, ctx.threads() * PULL_SHARD_FACTOR, |k| {
+            at.row_len_at(k) as u64
+        })
+    } else {
+        fixed_shards(nrows, PULL_ROWS_PER_SHARD)
+    };
     let sweep = |lo: usize, hi: usize, out: &[T]| -> (Vec<(usize, T)>, u64) {
         let mut updates = Vec::with_capacity(hi - lo);
         let mut flops = 0u64;
@@ -579,7 +775,7 @@ where
             let j = j as usize;
             let mut acc = out[j].clone();
             for (&i, aji) in cols.iter().zip(avals) {
-                let t = s.mul(v[i as usize].clone(), aji.clone());
+                let t = s.mul(v[i.as_usize()].clone(), aji.clone());
                 flops += 1;
                 s.add_assign(&mut acc, t);
             }
@@ -589,9 +785,9 @@ where
     };
     // Shards only *read* `out` (their rows are disjoint); writes land
     // after the fan-out completes.
-    let parts = par_run(ctx.threads(), nshards, |shard| {
-        let lo = shard * PULL_ROWS_PER_SHARD;
-        sweep(lo, (lo + PULL_ROWS_PER_SHARD).min(nrows), out)
+    let parts = par_run(ctx.threads(), shards.len(), |shard| {
+        let (lo, hi) = shards[shard];
+        sweep(lo, hi, out)
     });
     let mut flops = 0u64;
     let mut touched = 0u64;
@@ -608,6 +804,7 @@ where
         (v.len() + at.nnz()) as u64,
         touched,
         flops,
+        (std::mem::size_of::<T>() * (v.len() + out.len()) + at.bytes()) as u64,
     );
     ctx.metrics().record_mv_direction(Direction::Pull, 0, 0);
 }
@@ -617,32 +814,35 @@ where
 /// `A v` over a semiring: `out(i) = ⊕_j A(i,j) ⊗ v(j)` — sparse row-dot
 /// products (the natural direction is a *pull* over `A`'s own rows),
 /// parallel over row shards.
-pub fn mxv_ctx<T, S>(ctx: &OpCtx, a: &Dcsr<T>, v: &SparseVec<T>, s: S) -> SparseVec<T>
+pub fn mxv_ctx<T, I, S>(ctx: &OpCtx, a: &Dcsr<T, I>, v: &SparseVec<T, I>, s: S) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     try_mxv_ctx(ctx, a, v, s).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`mxv_ctx`] against the thread-local default context.
-pub fn mxv<T, S>(a: &Dcsr<T>, v: &SparseVec<T>, s: S) -> SparseVec<T>
+pub fn mxv<T, I, S>(a: &Dcsr<T, I>, v: &SparseVec<T, I>, s: S) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     with_default_ctx(|ctx| mxv_ctx(ctx, a, v, s))
 }
 
 /// Fallible [`mxv_ctx`]: dimension mismatch becomes an [`OpError`].
-pub fn try_mxv_ctx<T, S>(
+pub fn try_mxv_ctx<T, I, S>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    v: &SparseVec<T>,
+    a: &Dcsr<T, I>,
+    v: &SparseVec<T, I>,
     s: S,
-) -> Result<SparseVec<T>, OpError>
+) -> Result<SparseVec<T, I>, OpError>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     check_mxv(a, v)?;
@@ -660,9 +860,14 @@ where
 }
 
 /// Fallible [`mxv`] against the thread-local default context.
-pub fn try_mxv<T, S>(a: &Dcsr<T>, v: &SparseVec<T>, s: S) -> Result<SparseVec<T>, OpError>
+pub fn try_mxv<T, I, S>(
+    a: &Dcsr<T, I>,
+    v: &SparseVec<T, I>,
+    s: S,
+) -> Result<SparseVec<T, I>, OpError>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     with_default_ctx(|ctx| try_mxv_ctx(ctx, a, v, s))
@@ -670,15 +875,16 @@ where
 
 /// Direction-optimized `A v`: supply `at = Aᵀ` and a sparse `v` can be
 /// *pushed* along `at`'s rows instead of intersecting every row of `A`.
-pub fn mxv_opt_ctx<T, S>(
+pub fn mxv_opt_ctx<T, I, S>(
     ctx: &OpCtx,
-    a: &Dcsr<T>,
-    at: Option<&Dcsr<T>>,
-    v: &SparseVec<T>,
+    a: &Dcsr<T, I>,
+    at: Option<&Dcsr<T, I>>,
+    v: &SparseVec<T, I>,
     s: S,
-) -> SparseVec<T>
+) -> SparseVec<T, I>
 where
     T: Value,
+    I: IndexType,
     S: Semiring<Value = T>,
 {
     assert_eq!(v.dim(), a.ncols(), "dimension mismatch");
@@ -745,6 +951,44 @@ mod tests {
     }
 
     #[test]
+    fn mono_push_matches_generic_scatter() {
+        // A busy frontier in a compact column space takes the flat
+        // fast path; ablating it off must not change a bit.
+        let a = random_dcsr(512, 512, 8000, 51, pt());
+        let v = frontier(512, 400, 1);
+        let fast = OpCtx::new().with_threads(1);
+        let generic = OpCtx::new().with_threads(1);
+        generic.set_fast_paths(false);
+        assert_eq!(
+            vxm_ctx(&fast, &v, &a, pt()),
+            vxm_ctx(&generic, &v, &a, pt())
+        );
+        // And for a frontier spanning multiple segments.
+        let big = random_dcsr(4000, 4000, 60_000, 52, pt());
+        let vf = frontier(4000, 3000, 2);
+        let fast4 = OpCtx::new().with_threads(4);
+        let generic4 = OpCtx::new().with_threads(4);
+        generic4.set_fast_paths(false);
+        assert_eq!(
+            vxm_push_ctx(&fast4, &vf, &big, pt()),
+            vxm_push_ctx(&generic4, &vf, &big, pt())
+        );
+    }
+
+    #[test]
+    fn narrow_index_vxm_matches_wide() {
+        let a = random_dcsr(300, 300, 2000, 53, pt());
+        let v = frontier(300, 40, 3);
+        let an: Dcsr<f64, u32> = a.to_index_width().unwrap();
+        let vn: SparseVec<f64, u32> = v.to_index_width().unwrap();
+        let wide = vxm(&v, &a, pt());
+        let narrow = vxm(&vn, &an, pt());
+        let wt: Vec<_> = wide.iter().map(|(i, &x)| (i, x)).collect();
+        let nt: Vec<_> = narrow.iter().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(wt, nt);
+    }
+
+    #[test]
     fn masked_equals_unfused_then_without() {
         let ctx = OpCtx::new();
         let a = random_dcsr(200, 200, 1500, 5, pt());
@@ -804,6 +1048,22 @@ mod tests {
             assert_eq!(vxm_pull_ctx(&ctx, &v, &at, s), base.1, "pull @{threads}");
             assert_eq!(mxv_ctx(&ctx, &a, &v, s), base.2, "mxv @{threads}");
         }
+    }
+
+    #[test]
+    fn pull_weighted_and_fixed_sharding_agree() {
+        let s = MinPlus::<f64>::new();
+        let n = 6000;
+        let a = random_dcsr(n, n, 40_000, 22, s);
+        let at = transpose(&a);
+        let v = frontier(n, 3000, 7);
+        let balanced = OpCtx::new().with_threads(4);
+        let fixed = OpCtx::new().with_threads(4);
+        fixed.set_shard_balancing(false);
+        assert_eq!(
+            vxm_pull_ctx(&balanced, &v, &at, s),
+            vxm_pull_ctx(&fixed, &v, &at, s)
+        );
     }
 
     #[test]
@@ -892,6 +1152,7 @@ mod tests {
         assert_eq!(snap.kernel(Kernel::Vxm).calls, 1);
         assert_eq!(snap.mv_pull_calls, 1);
         assert!(snap.kernel(Kernel::Vxm).flops > 0);
+        assert!(snap.kernel(Kernel::Vxm).bytes_touched > 0);
 
         let mask: Vec<Ix> = (0..100).collect(); // everything masked
         let masked = vxm_masked_opt_ctx(&ctx, &dense_v, &a, Some(&at), &mask, pt());

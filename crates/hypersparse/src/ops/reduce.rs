@@ -77,6 +77,7 @@ pub fn reduce_rows_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -
         a.nnz() as u64,
         out.nnz() as u64,
         a.nnz() as u64, // one combine per stored entry
+        (a.bytes() + out.bytes()) as u64,
     );
     out
 }
@@ -114,6 +115,7 @@ pub fn reduce_cols_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M) -
         a.nnz() as u64,
         out.nnz() as u64,
         a.nnz() as u64,
+        (a.bytes() + out.bytes()) as u64,
     );
     out
 }
@@ -139,6 +141,7 @@ pub fn reduce_scalar_ctx<T: Value, M: Monoid<T>>(ctx: &OpCtx, a: &Dcsr<T>, m: M)
         a.nnz() as u64,
         1,
         a.nnz() as u64,
+        (a.bytes() + std::mem::size_of::<T>()) as u64,
     );
     acc
 }

@@ -75,6 +75,7 @@ pub fn assign_ctx<T: Value>(
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         0,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -116,6 +117,7 @@ pub fn concat_rows_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         0,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -176,6 +178,7 @@ pub fn concat_cols_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, b: &Dcsr<T>) -> Dcsr<
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         0,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -265,6 +268,7 @@ pub fn matrix_power_ctx<T: Value, S: Semiring<Value = T>>(
         a.nnz() as u64,
         c.nnz() as u64,
         0,
+        (a.bytes() + c.bytes()) as u64,
     );
     c
 }

@@ -50,6 +50,7 @@ pub fn transpose_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>) -> Dcsr<T> {
         a.nnz() as u64,
         c.nnz() as u64,
         0,
+        (a.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -166,6 +167,7 @@ where
         a.nnz() as u64,
         c.nnz() as u64,
         a.nnz() as u64, // one operator application per stored entry
+        (a.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -210,6 +212,7 @@ pub fn select_ctx<T: Value, F: Fn(Ix, Ix, &T) -> bool>(
         a.nnz() as u64,
         c.nnz() as u64,
         a.nnz() as u64, // one predicate evaluation per stored entry
+        (a.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -273,6 +276,7 @@ pub fn extract_ctx<T: Value>(
         a.nnz() as u64,
         c.nnz() as u64,
         0,
+        (a.bytes() + c.bytes()) as u64,
     );
     c
 }
@@ -340,6 +344,7 @@ pub fn kron_ctx<T: Value, S: Semiring<Value = T>>(
         (a.nnz() + b.nnz()) as u64,
         c.nnz() as u64,
         flops,
+        (a.bytes() + b.bytes() + c.bytes()) as u64,
     );
     c
 }

@@ -198,6 +198,7 @@ impl<S: Semiring> StreamingMatrix<S> {
                 nnz_in,
                 out.nnz() as u64,
                 flops,
+                out.bytes() as u64,
             )
         };
         match &self.ctx {

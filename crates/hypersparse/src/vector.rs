@@ -4,20 +4,27 @@ use semiring::traits::{Monoid, Semiring, UnaryOp, Value};
 
 use crate::dcsr::Dcsr;
 use crate::error::OpError;
+use crate::index::IndexType;
 use crate::Ix;
 
 /// A sparse vector over a `u64` key space: parallel sorted `(idx, val)`
-/// arrays, no stored semiring zeros.
+/// arrays, no stored semiring zeros. `I` is the physical index width
+/// (defaults to the global [`Ix`]; see DESIGN.md §13).
 #[derive(Clone, Debug, PartialEq)]
-pub struct SparseVec<T> {
+pub struct SparseVec<T, I: IndexType = Ix> {
     dim: Ix,
-    idx: Vec<Ix>,
+    idx: Vec<I>,
     vals: Vec<T>,
 }
 
-impl<T: Value> SparseVec<T> {
+impl<T: Value, I: IndexType> SparseVec<T, I> {
     /// The empty vector of dimension `dim`.
     pub fn empty(dim: Ix) -> Self {
+        debug_assert!(
+            dim <= I::MAX_DIM,
+            "dimension {dim} exceeds a {} bit index",
+            I::BITS
+        );
         SparseVec {
             dim,
             idx: Vec::new(),
@@ -28,10 +35,11 @@ impl<T: Value> SparseVec<T> {
     /// Build from unsorted entries; duplicates ⊕-merge, zeros drop.
     pub fn from_entries<S: Semiring<Value = T>>(dim: Ix, mut entries: Vec<(Ix, T)>, s: S) -> Self {
         entries.sort_by_key(|e| e.0);
-        let mut idx = Vec::with_capacity(entries.len());
+        let mut idx: Vec<I> = Vec::with_capacity(entries.len());
         let mut vals: Vec<T> = Vec::with_capacity(entries.len());
         for (i, v) in entries {
             assert!(i < dim, "index {i} outside dimension {dim}");
+            let i = I::from_ix(i);
             if idx.last() == Some(&i) {
                 let last = vals.last_mut().expect("parallel arrays");
                 s.add_assign(last, v);
@@ -52,10 +60,10 @@ impl<T: Value> SparseVec<T> {
     }
 
     /// Assemble from pre-sorted, deduplicated, zero-free parts.
-    pub fn from_sorted_parts(dim: Ix, idx: Vec<Ix>, vals: Vec<T>) -> Self {
+    pub fn from_sorted_parts(dim: Ix, idx: Vec<I>, vals: Vec<T>) -> Self {
         debug_assert_eq!(idx.len(), vals.len());
         debug_assert!(idx.windows(2).all(|w| w[0] < w[1]));
-        debug_assert!(idx.iter().all(|&i| i < dim));
+        debug_assert!(idx.iter().all(|&i| i.to_ix() < dim));
         SparseVec { dim, idx, vals }
     }
 
@@ -74,8 +82,8 @@ impl<T: Value> SparseVec<T> {
         self.idx.is_empty()
     }
 
-    /// Sorted indices of stored entries.
-    pub fn indices(&self) -> &[Ix] {
+    /// Sorted indices of stored entries (in the physical width `I`).
+    pub fn indices(&self) -> &[I] {
         &self.idx
     }
 
@@ -86,12 +94,13 @@ impl<T: Value> SparseVec<T> {
 
     /// Point lookup.
     pub fn get(&self, i: &Ix) -> Option<&T> {
-        self.idx.binary_search(i).ok().map(|k| &self.vals[k])
+        let i = I::try_from_ix(*i)?;
+        self.idx.binary_search(&i).ok().map(|k| &self.vals[k])
     }
 
     /// Iterate `(index, &value)` in index order.
     pub fn iter(&self) -> impl Iterator<Item = (Ix, &T)> + '_ {
-        self.idx.iter().copied().zip(self.vals.iter())
+        self.idx.iter().map(|i| i.to_ix()).zip(self.vals.iter())
     }
 
     /// Element-wise union-combine with another vector: present-in-one
@@ -164,7 +173,7 @@ impl<T: Value> SparseVec<T> {
         for (i, v) in self.iter() {
             let w = op.apply(v.clone());
             if !s.is_zero(&w) {
-                idx.push(i);
+                idx.push(I::from_ix(i));
                 vals.push(w);
             }
         }
@@ -185,13 +194,13 @@ impl<T: Value> SparseVec<T> {
     /// proportional to the edges touched, independent of dimension.
     /// Thin wrapper over [`crate::ops::mxv::vxm`] (same outputs as the
     /// original sequential scatter; now segmented, parallel, metered).
-    pub fn vxm<S: Semiring<Value = T>>(&self, a: &Dcsr<T>, s: S) -> Self {
+    pub fn vxm<S: Semiring<Value = T>>(&self, a: &Dcsr<T, I>, s: S) -> Self {
         crate::ops::mxv::vxm(self, a, s)
     }
 
     /// Fallible [`SparseVec::vxm`]: dimension mismatch becomes an
     /// [`OpError`] instead of a panic.
-    pub fn try_vxm<S: Semiring<Value = T>>(&self, a: &Dcsr<T>, s: S) -> Result<Self, OpError> {
+    pub fn try_vxm<S: Semiring<Value = T>>(&self, a: &Dcsr<T, I>, s: S) -> Result<Self, OpError> {
         crate::ops::mxv::try_vxm(self, a, s)
     }
 
@@ -199,12 +208,16 @@ impl<T: Value> SparseVec<T> {
     /// dot product of each stored row with `v`.
     ///
     /// Thin wrapper over [`crate::ops::mxv::mxv`].
-    pub fn mxv<S: Semiring<Value = T>>(a: &Dcsr<T>, v: &Self, s: S) -> Self {
+    pub fn mxv<S: Semiring<Value = T>>(a: &Dcsr<T, I>, v: &Self, s: S) -> Self {
         crate::ops::mxv::mxv(a, v, s)
     }
 
     /// Fallible [`SparseVec::mxv`].
-    pub fn try_mxv<S: Semiring<Value = T>>(a: &Dcsr<T>, v: &Self, s: S) -> Result<Self, OpError> {
+    pub fn try_mxv<S: Semiring<Value = T>>(
+        a: &Dcsr<T, I>,
+        v: &Self,
+        s: S,
+    ) -> Result<Self, OpError> {
         crate::ops::mxv::try_mxv(a, v, s)
     }
 
@@ -214,7 +227,7 @@ impl<T: Value> SparseVec<T> {
         let mut vals = Vec::new();
         for (i, v) in self.iter() {
             if keep(i, v) {
-                idx.push(i);
+                idx.push(I::from_ix(i));
                 vals.push(v.clone());
             }
         }
@@ -229,7 +242,25 @@ impl<T: Value> SparseVec<T> {
 
     /// Heap bytes.
     pub fn bytes(&self) -> usize {
-        self.idx.len() * std::mem::size_of::<Ix>() + self.vals.len() * std::mem::size_of::<T>()
+        self.idx.len() * std::mem::size_of::<I>() + self.vals.len() * std::mem::size_of::<T>()
+    }
+
+    /// True when this vector's key space fits index width `J`.
+    pub fn fits_index_width<J: IndexType>(&self) -> bool {
+        self.dim <= J::MAX_DIM
+    }
+
+    /// Re-store with index width `J` (e.g. `u32` when `dim < 2³²` — the
+    /// narrow-index fast path). `None` when the dimension does not fit.
+    pub fn to_index_width<J: IndexType>(&self) -> Option<SparseVec<T, J>> {
+        if !self.fits_index_width::<J>() {
+            return None;
+        }
+        Some(SparseVec {
+            dim: self.dim,
+            idx: self.idx.iter().map(|&i| J::from_ix(i.to_ix())).collect(),
+            vals: self.vals.clone(),
+        })
     }
 
     /// Subvector by strictly increasing index selector, reindexed to the
@@ -240,7 +271,7 @@ impl<T: Value> SparseVec<T> {
         let mut vals = Vec::new();
         for (pos, i) in sel.iter().enumerate() {
             if let Some(v) = self.get(i) {
-                idx.push(pos as Ix);
+                idx.push(I::from_usize(pos));
                 vals.push(v.clone());
             }
         }
@@ -277,7 +308,7 @@ impl<T: Value> SparseVec<T> {
         let mut vals = Vec::new();
         for (i, v) in dense.iter().enumerate() {
             if !s.is_zero(v) {
-                idx.push(i as Ix);
+                idx.push(I::from_usize(i));
                 vals.push(v.clone());
             }
         }
@@ -297,7 +328,8 @@ mod tests {
 
     #[test]
     fn from_entries_merges_and_drops_zeros() {
-        let v = SparseVec::from_entries(10, vec![(3, 1.0), (3, 2.0), (5, 0.0), (1, 4.0)], pt());
+        let v: SparseVec<f64> =
+            SparseVec::from_entries(10, vec![(3, 1.0), (3, 2.0), (5, 0.0), (1, 4.0)], pt());
         assert_eq!(v.nnz(), 2);
         assert_eq!(v.get(&3), Some(&3.0));
         assert_eq!(v.get(&5), None);
@@ -306,7 +338,7 @@ mod tests {
 
     #[test]
     fn ewise_add_union_semantics() {
-        let a = SparseVec::from_entries(8, vec![(1, 1.0), (3, 3.0)], pt());
+        let a: SparseVec<f64> = SparseVec::from_entries(8, vec![(1, 1.0), (3, 3.0)], pt());
         let b = SparseVec::from_entries(8, vec![(3, -3.0), (5, 5.0)], pt());
         let c = a.ewise_add(&b, pt());
         assert_eq!(c.get(&1), Some(&1.0));
@@ -316,7 +348,7 @@ mod tests {
 
     #[test]
     fn ewise_mul_intersection_semantics() {
-        let a = SparseVec::from_entries(8, vec![(1, 2.0), (3, 3.0)], pt());
+        let a: SparseVec<f64> = SparseVec::from_entries(8, vec![(1, 2.0), (3, 3.0)], pt());
         let b = SparseVec::from_entries(8, vec![(3, 4.0), (5, 5.0)], pt());
         let c = a.ewise_mul(&b, pt());
         assert_eq!(c.nnz(), 1);
@@ -351,7 +383,7 @@ mod tests {
 
     #[test]
     fn apply_relu_drops_rectified_entries() {
-        let v = SparseVec::from_entries(4, vec![(0, -1.0), (1, 2.0)], pt());
+        let v: SparseVec<f64> = SparseVec::from_entries(4, vec![(0, -1.0), (1, 2.0)], pt());
         let r = v.apply(Relu(0.0), pt());
         assert_eq!(r.nnz(), 1);
         assert_eq!(r.get(&1), Some(&2.0));
@@ -360,13 +392,14 @@ mod tests {
     #[test]
     fn reduce_folds_monoid() {
         use semiring::PlusMonoid;
-        let v = SparseVec::from_entries(4, vec![(0, 1.0), (2, 2.5)], pt());
+        let v: SparseVec<f64> = SparseVec::from_entries(4, vec![(0, 1.0), (2, 2.5)], pt());
         assert_eq!(v.reduce(PlusMonoid::<f64>::default()), 3.5);
     }
 
     #[test]
     fn without_masks_visited() {
-        let v = SparseVec::from_entries(8, vec![(1, 1.0), (2, 1.0), (3, 1.0)], pt());
+        let v: SparseVec<f64> =
+            SparseVec::from_entries(8, vec![(1, 1.0), (2, 1.0), (3, 1.0)], pt());
         let seen = SparseVec::from_entries(8, vec![(2, 9.0)], pt());
         let unseen = v.without(&seen);
         assert_eq!(unseen.indices(), &[1, 3]);
@@ -374,7 +407,8 @@ mod tests {
 
     #[test]
     fn extract_reindexes_vector() {
-        let v = SparseVec::from_entries(10, vec![(2, 2.0), (5, 5.0), (9, 9.0)], pt());
+        let v: SparseVec<f64> =
+            SparseVec::from_entries(10, vec![(2, 2.0), (5, 5.0), (9, 9.0)], pt());
         let sub = v.extract(&[2, 3, 9]);
         assert_eq!(sub.dim(), 3);
         assert_eq!(sub.get(&0), Some(&2.0)); // old index 2
@@ -384,7 +418,8 @@ mod tests {
 
     #[test]
     fn arg_best_finds_max() {
-        let v = SparseVec::from_entries(10, vec![(2, 2.0), (5, 9.0), (7, 9.0)], pt());
+        let v: SparseVec<f64> =
+            SparseVec::from_entries(10, vec![(2, 2.0), (5, 9.0), (7, 9.0)], pt());
         let (i, x) = v.arg_best(|a, b| a.partial_cmp(b).unwrap()).unwrap();
         assert_eq!((i, *x), (5, 9.0)); // tie → smallest index
         assert!(SparseVec::<f64>::empty(4)
@@ -394,10 +429,21 @@ mod tests {
 
     #[test]
     fn dense_round_trip() {
-        let v = SparseVec::from_entries(5, vec![(1, 1.0), (4, 4.0)], pt());
+        let v: SparseVec<f64> = SparseVec::from_entries(5, vec![(1, 1.0), (4, 4.0)], pt());
         let d = v.to_dense(0.0);
         assert_eq!(d, vec![0.0, 1.0, 0.0, 0.0, 4.0]);
         assert_eq!(SparseVec::from_dense(&d, pt()), v);
+    }
+
+    #[test]
+    fn narrow_vector_round_trips_and_shrinks() {
+        let v = SparseVec::from_entries(1000, vec![(1, 1.0), (999, 4.0)], pt());
+        let narrow: SparseVec<f64, u32> = v.to_index_width().unwrap();
+        assert_eq!(narrow.get(&999), Some(&4.0));
+        assert!(narrow.bytes() < v.bytes());
+        assert_eq!(narrow.to_index_width::<u64>().unwrap(), v);
+        let huge = SparseVec::<f64>::empty(1 << 40);
+        assert!(huge.to_index_width::<u32>().is_none());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Hot-path equivalence properties (DESIGN.md §13).
+//!
+//! The kernel-speed layer adds three things that must never change an
+//! answer: narrow (`u32`) index storage, monomorphic semiring fast
+//! paths, and merge-path (nnz-weighted) shard splits. Each is proven
+//! here against its generic/wide/sequential baseline — bit-identical,
+//! not approximately equal, because the determinism contract promises
+//! the same bytes for the same inputs at every thread count and every
+//! storage width.
+
+use hypersparse::gen::{rmat_dcsr, RmatParams};
+use hypersparse::{ops, Coo, Dcsr, Ix, OpCtx, SparseVec};
+use proptest::prelude::*;
+use semiring::{LorLand, PlusTimes};
+
+const N: Ix = 24;
+
+fn triplets() -> impl Strategy<Value = Vec<(Ix, Ix, i64)>> {
+    proptest::collection::vec((0..N, 0..N, -6i64..10), 0..90)
+}
+
+/// Integer-valued f64 matrix: sums stay exact, so any mismatch is a
+/// logic bug, never floating-point noise.
+fn build_f64(t: &[(Ix, Ix, i64)]) -> Dcsr<f64> {
+    let mut c = Coo::new(N, N);
+    c.extend(t.iter().map(|&(r, col, v)| (r, col, v as f64)));
+    c.build_dcsr(PlusTimes::<f64>::new())
+}
+
+/// Boolean matrix with *stored* `false` values (every third entry is
+/// flipped after the build), so the presence/truth distinction in the
+/// word-merge path is exercised, not just all-true patterns.
+fn build_bool(t: &[(Ix, Ix, i64)]) -> Dcsr<bool> {
+    let mut c = Coo::new(N, N);
+    c.extend(t.iter().map(|&(r, col, _)| (r, col, true)));
+    let (nr, nc, rows, rowptr, colidx, mut vals) = c.build_dcsr(LorLand).into_parts();
+    for v in vals.iter_mut().step_by(3) {
+        *v = false;
+    }
+    Dcsr::from_parts(nr, nc, rows, rowptr, colidx, vals)
+}
+
+fn build_vec(t: &[(Ix, Ix, i64)]) -> SparseVec<f64> {
+    let s = PlusTimes::<f64>::new();
+    SparseVec::from_entries(N, t.iter().map(|&(i, _, v)| (i, v as f64)).collect(), s)
+}
+
+/// Round-trip an op through u32 storage and compare against the wide
+/// run: narrow in, op, widen out.
+macro_rules! assert_width_invariant {
+    ($wide:expr, $narrow:expr) => {{
+        let wide = $wide;
+        let narrow = $narrow;
+        prop_assert_eq!(
+            wide,
+            narrow.to_index_width().expect("widening always fits"),
+            "u32 storage changed the answer"
+        );
+    }};
+}
+
+proptest! {
+    /// Tentpole (1): `u32` column ids are a representation choice only —
+    /// mxm, ewise union/intersection, and vxm/mxv produce bit-identical
+    /// results at every index width.
+    #[test]
+    fn narrow_index_width_is_invisible(ta in triplets(), tb in triplets(), tv in triplets()) {
+        let s = PlusTimes::<f64>::new();
+        let (a, b) = (build_f64(&ta), build_f64(&tb));
+        let (a32, b32) = (
+            a.to_index_width::<u32>().unwrap(),
+            b.to_index_width::<u32>().unwrap(),
+        );
+        assert_width_invariant!(ops::mxm(&a, &b, s), ops::mxm(&a32, &b32, s));
+        assert_width_invariant!(ops::ewise_add(&a, &b, s), ops::ewise_add(&a32, &b32, s));
+        assert_width_invariant!(ops::ewise_mul(&a, &b, s), ops::ewise_mul(&a32, &b32, s));
+
+        let v = build_vec(&tv);
+        let v32 = v.to_index_width::<u32>().unwrap();
+        prop_assert_eq!(
+            ops::vxm(&v, &a, s),
+            ops::vxm(&v32, &a32, s).to_index_width().unwrap()
+        );
+        prop_assert_eq!(
+            ops::mxv(&a, &v, s),
+            ops::mxv(&a32, &v32, s).to_index_width().unwrap()
+        );
+    }
+
+    /// Tentpole (2): the monomorphic PlusTimes/f64 and LorLand/bool
+    /// kernels equal the generic semiring path — toggled per-context via
+    /// `set_fast_paths(false)`, which forces every dispatch back to the
+    /// generic loop.
+    #[test]
+    fn monomorphic_fast_paths_equal_generic(ta in triplets(), tb in triplets(), tv in triplets()) {
+        let fast = OpCtx::new();
+        let slow = OpCtx::new();
+        slow.set_fast_paths(false);
+
+        let s = PlusTimes::<f64>::new();
+        let (a, b) = (build_f64(&ta), build_f64(&tb));
+        prop_assert_eq!(
+            ops::mxm_ctx(&fast, &a, &b, s),
+            ops::mxm_ctx(&slow, &a, &b, s)
+        );
+        let v = build_vec(&tv);
+        prop_assert_eq!(
+            ops::vxm_ctx(&fast, &v, &a, s),
+            ops::vxm_ctx(&slow, &v, &a, s)
+        );
+
+        let (ab, bb) = (build_bool(&ta), build_bool(&tb));
+        prop_assert_eq!(
+            ops::mxm_ctx(&fast, &ab, &bb, LorLand),
+            ops::mxm_ctx(&slow, &ab, &bb, LorLand)
+        );
+        prop_assert_eq!(
+            ops::ewise_add_ctx(&fast, &ab, &bb, LorLand),
+            ops::ewise_add_ctx(&slow, &ab, &bb, LorLand)
+        );
+        prop_assert_eq!(
+            ops::ewise_mul_ctx(&fast, &ab, &bb, LorLand),
+            ops::ewise_mul_ctx(&slow, &ab, &bb, LorLand)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole (4): merge-path weighted shard splits on a skewed RMAT
+    /// graph are bit-identical across 1/2/4/8 threads AND identical to
+    /// the fixed-span sharding they replaced (`set_shard_balancing(false)`).
+    /// RMAT edge weights are arbitrary f64s, so this holds only because
+    /// rows never split across shards and shards concatenate in order —
+    /// the determinism argument of DESIGN.md §13.
+    #[test]
+    fn merge_path_sharding_is_thread_and_scheme_invariant(seed in 0u64..1_000) {
+        let s = PlusTimes::<f64>::new();
+        let p = RmatParams {
+            scale: 7,
+            edge_factor: 8,
+            probs: (0.57, 0.19, 0.19, 0.05),
+        };
+        let a = rmat_dcsr(p, seed, s);
+        let n = a.nrows();
+        let v = SparseVec::from_entries(
+            n,
+            (0..n).step_by(3).map(|i| (i, 1.0 + i as f64)).collect(),
+            s,
+        );
+
+        let seq = OpCtx::new().with_threads(1);
+        let base_mxm = ops::mxm_ctx(&seq, &a, &a, s);
+        let base_vxm = ops::vxm_ctx(&seq, &v, &a, s);
+        for threads in [2usize, 4, 8] {
+            let weighted = OpCtx::new().with_threads(threads);
+            prop_assert_eq!(&ops::mxm_ctx(&weighted, &a, &a, s), &base_mxm);
+            prop_assert_eq!(&ops::vxm_ctx(&weighted, &v, &a, s), &base_vxm);
+
+            let fixed = OpCtx::new().with_threads(threads);
+            fixed.set_shard_balancing(false);
+            prop_assert_eq!(&ops::mxm_ctx(&fixed, &a, &a, s), &base_mxm);
+            prop_assert_eq!(&ops::vxm_ctx(&fixed, &v, &a, s), &base_vxm);
+        }
+    }
+}

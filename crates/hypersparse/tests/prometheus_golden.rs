@@ -16,9 +16,9 @@ use proptest::prelude::*;
 /// calls and one 100 ns ewise_add.
 fn fixed_registry() -> MetricsRegistry {
     let reg = MetricsRegistry::default();
-    reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30);
-    reg.record(Kernel::Mxm, Duration::from_micros(5), 12, 6, 34);
-    reg.record(Kernel::EwiseAdd, Duration::from_nanos(100), 7, 7, 3);
+    reg.record(Kernel::Mxm, Duration::from_micros(5), 10, 4, 30, 200);
+    reg.record(Kernel::Mxm, Duration::from_micros(5), 12, 6, 34, 240);
+    reg.record(Kernel::EwiseAdd, Duration::from_nanos(100), 7, 7, 3, 56);
     reg.record_format_switch();
     reg
 }
@@ -50,6 +50,10 @@ hypersparse_kernel_nnz_out_total{kernel=\"ewise_add\"} 7
 # TYPE hypersparse_kernel_flops_total counter
 hypersparse_kernel_flops_total{kernel=\"mxm\"} 64
 hypersparse_kernel_flops_total{kernel=\"ewise_add\"} 3
+# HELP hypersparse_kernel_bytes_touched_total Heap bytes of kernel operands and results.
+# TYPE hypersparse_kernel_bytes_touched_total counter
+hypersparse_kernel_bytes_touched_total{kernel=\"mxm\"} 440
+hypersparse_kernel_bytes_touched_total{kernel=\"ewise_add\"} 56
 # HELP hypersparse_kernel_latency_seconds Per-invocation kernel latency.
 # TYPE hypersparse_kernel_latency_seconds histogram
 hypersparse_kernel_latency_seconds_bucket{kernel=\"mxm\",le=\"0.000008192\"} 2
@@ -95,7 +99,7 @@ fn exposition_scrapes_cleanly() {
     // non-comment line is `name{labels} value`, every series name that
     // appears was declared by a # TYPE header first.
     let reg = fixed_registry();
-    reg.record(Kernel::Vxm, Duration::from_millis(2), 50, 40, 90);
+    reg.record(Kernel::Vxm, Duration::from_millis(2), 50, 40, 90, 720);
     reg.record_mv_direction(hypersparse::Direction::Push, 10, 4);
     let text = reg.snapshot().render_prometheus();
     let mut declared: Vec<String> = Vec::new();

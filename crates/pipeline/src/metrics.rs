@@ -368,11 +368,11 @@ mod tests {
         let a = OpCtx::new();
         let b = OpCtx::new();
         a.metrics()
-            .record(Kernel::StreamMerge, Duration::from_micros(1), 10, 8, 2);
+            .record(Kernel::StreamMerge, Duration::from_micros(1), 10, 8, 2, 640);
         b.metrics()
-            .record(Kernel::StreamMerge, Duration::from_micros(3), 6, 6, 0);
+            .record(Kernel::StreamMerge, Duration::from_micros(3), 6, 6, 0, 384);
         b.metrics()
-            .record(Kernel::EwiseAdd, Duration::from_micros(1), 4, 4, 0);
+            .record(Kernel::EwiseAdd, Duration::from_micros(1), 4, 4, 0, 256);
         let merged = merge_kernel_snapshots(&[a.metrics().snapshot(), b.metrics().snapshot()]);
         let sm = merged.kernel(Kernel::StreamMerge);
         assert_eq!(sm.calls, 2);
