@@ -1,0 +1,179 @@
+//! Netflow subsystem throughput: windowed ingest through the sharded
+//! pipeline plus detector/analytics latency against closed windows.
+//!
+//! The subsystem claim under test: window rotation keeps the ingest
+//! path hypersparse and cheap (the marker wave is one message per
+//! shard), and detector queries are reduce/top-k/select/rollup passes
+//! over an immutable snapshot — microseconds on a realistic window, so
+//! online detection never backs up ingest. Medians land in
+//! `BENCH_netflow.json` at the repo root; the `ingest_ns_per_event` and
+//! per-detector `_us` keys are pinned by the CI gate, the throughput
+//! numbers ride along informationally.
+
+use std::time::Duration;
+
+use bench::{fmt_dur, quick_time, BenchRecord};
+use criterion::Criterion;
+use netflow::{GenConfig, NetflowConfig, NetflowQuery, NetflowService, TrafficGen};
+use pipeline::PipelineConfig;
+
+const HOSTS: u32 = 512;
+const EVENTS_PER_WINDOW: usize = 20_000;
+const WINDOWS: usize = 3;
+const ROUNDS: usize = 3;
+const DETECT_ITERS: usize = 20;
+
+fn service(shards: usize) -> NetflowService {
+    NetflowService::new(
+        NetflowConfig::new()
+            .with_pipeline(PipelineConfig::new().with_shards(shards))
+            .with_thresholds(256, 256),
+    )
+}
+
+fn generator() -> TrafficGen {
+    TrafficGen::new(
+        GenConfig::new()
+            .with_hosts(HOSTS)
+            .with_events_per_window(EVENTS_PER_WINDOW)
+            .with_scan(1, 400)
+            .with_ddos(1, 350),
+    )
+}
+
+/// Median wall time to stream `WINDOWS` windows (ingest + rotation) at
+/// one shard count. Rotation barriers on the marker wave, so the clock
+/// covers every event landing in its shard, not just channel enqueue.
+fn ingest_median(shards: usize, windows: &[Vec<netflow::FlowEvent>]) -> (Duration, u64) {
+    let mut times: Vec<Duration> = Vec::with_capacity(ROUNDS);
+    let mut flows = 0;
+    for _ in 0..ROUNDS {
+        let svc = service(shards);
+        let t = std::time::Instant::now();
+        for events in windows {
+            for batch in events.chunks(1024) {
+                svc.ingest(batch).unwrap();
+            }
+            flows = svc.close_window().unwrap().nnz() as u64;
+        }
+        times.push(t.elapsed());
+        svc.shutdown().unwrap();
+    }
+    times.sort();
+    (times[times.len() / 2], flows)
+}
+
+fn shape_report() -> BenchRecord {
+    println!("=== Netflow: windowed ingest + detector latency ===");
+    println!(
+        "({HOSTS} hosts, {EVENTS_PER_WINDOW} events/window × {WINDOWS} windows, median of {ROUNDS})"
+    );
+    let mut rec = BenchRecord::new("netflow_throughput");
+    let gen = generator();
+    let windows: Vec<Vec<netflow::FlowEvent>> = (0..WINDOWS).map(|w| gen.window(w)).collect();
+    let total_events: usize = windows.iter().map(Vec::len).sum();
+
+    println!("| shards | events/s | ns/event |");
+    for shards in [1usize, 2, 4] {
+        let (t, _) = ingest_median(shards, &windows);
+        let ns_per_event = t.as_nanos() as f64 / total_events as f64;
+        let events_per_sec = total_events as f64 / t.as_secs_f64();
+        println!("| {shards:>6} | {events_per_sec:>8.0} | {ns_per_event:>8.0} |");
+        if shards == 2 {
+            // Pin the 2-shard ingest cost; throughput is informational.
+            rec.set("ingest_ns_per_event", ns_per_event.round());
+            rec.set("ingest_events_per_sec", events_per_sec.round());
+        }
+    }
+
+    // Detector/analytics latency against one closed attack window.
+    let svc = service(2);
+    for batch in windows[1].chunks(1024) {
+        svc.ingest(batch).unwrap();
+    }
+    let snap = svc.close_window().unwrap();
+    rec.set("flows_per_window", snap.nnz() as f64);
+    println!(
+        "--- query latency on a closed window ({} flows) ---",
+        snap.nnz()
+    );
+    let queries: [(&str, NetflowQuery); 5] = [
+        (
+            "scan_suspects",
+            NetflowQuery::ScanSuspects { min_fanout: 256 },
+        ),
+        ("ddos_victims", NetflowQuery::DdosVictims { min_fanin: 256 }),
+        ("top_talkers", NetflowQuery::TopTalkers { k: 10 }),
+        ("rollup_16", NetflowQuery::Rollup { prefix: 16, k: 10 }),
+        (
+            "drilldown",
+            NetflowQuery::SuspectTraffic {
+                sources: vec![gen.host_addr(0)],
+            },
+        ),
+    ];
+    for (label, q) in &queries {
+        let (t, resp) = quick_time(DETECT_ITERS, || svc.query_snapshot(&snap, q));
+        println!(
+            "| {:>13} | {:>9} | epoch {} |",
+            label,
+            fmt_dur(t),
+            resp.epoch
+        );
+        rec.set(
+            &format!("{label}_us"),
+            (t.as_nanos() as f64 / 1e3 * 10.0).round() / 10.0,
+        );
+    }
+
+    // Rotation latency on an already-empty window: the pure marker-wave
+    // + assemble cost a window close pays over ingest.
+    let (t, _) = quick_time(DETECT_ITERS, || svc.close_window().unwrap());
+    println!("| {:>13} | {:>9} |", "empty_rotate", fmt_dur(t));
+    rec.set(
+        "empty_rotate_us",
+        (t.as_nanos() as f64 / 1e3 * 10.0).round() / 10.0,
+    );
+    svc.shutdown().unwrap();
+    println!("✓ detectors answer in µs against windows ingested at Mevents/s");
+    rec
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    // Steady-state detector kernels on one pinned attack window.
+    let gen = generator();
+    let svc = service(2);
+    for batch in gen.window(1).chunks(1024) {
+        svc.ingest(batch).unwrap();
+    }
+    let snap = svc.close_window().unwrap();
+
+    let mut group = c.benchmark_group("netflow/query");
+    group.sample_size(20);
+    group.bench_function("scan_suspects", |b| {
+        let q = NetflowQuery::ScanSuspects { min_fanout: 256 };
+        b.iter(|| svc.query_snapshot(&snap, &q))
+    });
+    group.bench_function("top_talkers", |b| {
+        let q = NetflowQuery::TopTalkers { k: 10 };
+        b.iter(|| svc.query_snapshot(&snap, &q))
+    });
+    group.bench_function("rollup_16", |b| {
+        let q = NetflowQuery::Rollup { prefix: 16, k: 10 };
+        b.iter(|| svc.query_snapshot(&snap, &q))
+    });
+    group.finish();
+    svc.shutdown().unwrap();
+}
+
+fn main() {
+    let rec = shape_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netflow.json");
+    match rec.write(path) {
+        Ok(()) => println!("recorded medians → {path}"),
+        Err(e) => println!("could not record {path}: {e}"),
+    }
+    let mut c = Criterion::default().configure_from_args();
+    criterion_benches(&mut c);
+    c.final_summary();
+}

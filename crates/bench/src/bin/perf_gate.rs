@@ -1,48 +1,127 @@
 //! CI entry point for the perf-regression gate.
 //!
+//! Single-record mode:
+//!
 //! ```text
 //! cargo run -p bench --bin perf_gate -- <baseline.json> <current.json> [tolerance]
 //! ```
 //!
-//! Exits 0 when every pinned median in the baseline is matched by the
-//! current run within `tolerance` (default 10%), 1 otherwise — wired
-//! after `kernel_hotpaths` regenerates `BENCH_kernels.json` so a >10%
-//! median regression fails the build.
+//! Sweep mode — gate **every** `BENCH_*.json` present in a baseline
+//! directory against its same-named regeneration in a current
+//! directory:
+//!
+//! ```text
+//! cargo run -p bench --bin perf_gate -- --all <baseline_dir> <current_dir> [tolerance]
+//! ```
+//!
+//! Exits 0 when every pinned median in every baseline is matched by the
+//! current run within `tolerance` (default 10%), 1 otherwise. A
+//! baseline record with no regenerated counterpart fails the sweep —
+//! silently dropping a tracked bench is itself a regression. Only
+//! lower-is-better time metrics are pinned (see [`bench::gate`]);
+//! throughput/count metrics ride along informationally.
+
+use std::path::Path;
 
 use bench::gate::{compare, DEFAULT_TOLERANCE};
 use bench::BenchRecord;
 
-fn run() -> Result<bool, String> {
-    let args: Vec<String> = std::env::args().collect();
-    let (baseline_path, current_path) = match (args.get(1), args.get(2)) {
-        (Some(b), Some(c)) => (b, c),
-        _ => {
-            return Err(format!(
-                "usage: {} <baseline.json> <current.json> [tolerance]",
-                args.first().map(String::as_str).unwrap_or("perf_gate")
-            ))
-        }
-    };
-    let tolerance = match args.get(3) {
+fn parse_tolerance(arg: Option<&String>) -> Result<f64, String> {
+    match arg {
         Some(t) => t
             .parse::<f64>()
-            .map_err(|e| format!("bad tolerance {t:?}: {e}"))?,
-        None => DEFAULT_TOLERANCE,
-    };
+            .map_err(|e| format!("bad tolerance {t:?}: {e}")),
+        None => Ok(DEFAULT_TOLERANCE),
+    }
+}
+
+/// Gate one baseline record against one current record. Returns true on
+/// failure.
+fn gate_pair(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<bool, String> {
     let baseline = BenchRecord::read(baseline_path).map_err(|e| e.to_string())?;
     let current = BenchRecord::read(current_path).map_err(|e| e.to_string())?;
     let report = compare(&baseline, &current, tolerance);
     print!("{}", report.render());
     if report.failed() {
         eprintln!(
-            "perf gate FAILED: {} metric(s) regressed past {:.0}% or went missing",
+            "perf gate FAILED for {baseline_path}: {} metric(s) regressed past {:.0}% or went missing",
             report.failures().count(),
             tolerance * 100.0
         );
-    } else {
-        println!("perf gate passed");
     }
     Ok(report.failed())
+}
+
+/// Sweep every `BENCH_*.json` in `baseline_dir` against `current_dir`.
+/// Returns true on any failure.
+fn gate_all(baseline_dir: &str, current_dir: &str, tolerance: f64) -> Result<bool, String> {
+    let mut baselines: Vec<String> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("cannot read baseline dir {baseline_dir}: {e}"))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    baselines.sort();
+    if baselines.is_empty() {
+        return Err(format!("no BENCH_*.json records in {baseline_dir}"));
+    }
+    let mut failed = false;
+    for name in &baselines {
+        let base = Path::new(baseline_dir).join(name);
+        let cur = Path::new(current_dir).join(name);
+        println!("=== {name} ===");
+        if !cur.is_file() {
+            eprintln!(
+                "perf gate FAILED for {name}: baseline pinned but no regenerated record at {}",
+                cur.display()
+            );
+            failed = true;
+            continue;
+        }
+        failed |= gate_pair(
+            &base.display().to_string(),
+            &cur.display().to_string(),
+            tolerance,
+        )?;
+    }
+    println!(
+        "perf gate sweep: {} record(s) checked from {baseline_dir}",
+        baselines.len()
+    );
+    Ok(failed)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = || {
+        format!(
+            "usage: {0} <baseline.json> <current.json> [tolerance]\n   or: {0} --all <baseline_dir> <current_dir> [tolerance]",
+            args.first().map(String::as_str).unwrap_or("perf_gate")
+        )
+    };
+    if args.get(1).map(String::as_str) == Some("--all") {
+        let (baseline_dir, current_dir) = match (args.get(2), args.get(3)) {
+            (Some(b), Some(c)) => (b, c),
+            _ => return Err(usage()),
+        };
+        let tolerance = parse_tolerance(args.get(4))?;
+        let failed = gate_all(baseline_dir, current_dir, tolerance)?;
+        if !failed {
+            println!("perf gate passed");
+        }
+        return Ok(failed);
+    }
+    let (baseline_path, current_path) = match (args.get(1), args.get(2)) {
+        (Some(b), Some(c)) => (b, c),
+        _ => return Err(usage()),
+    };
+    let tolerance = parse_tolerance(args.get(3))?;
+    let failed = gate_pair(baseline_path, current_path, tolerance)?;
+    if !failed {
+        println!("perf gate passed");
+    }
+    Ok(failed)
 }
 
 fn main() {

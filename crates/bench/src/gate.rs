@@ -9,14 +9,36 @@
 //! Metrics only the current run has are reported informationally and
 //! pass (that is how new kernels enter the baseline).
 //!
+//! Records may also carry **informational** metrics — throughputs,
+//! counts, ratios — where higher is better or noise is unbounded.
+//! Those are distinguished by key convention ([`is_gated_key`]): only
+//! time-suffixed keys (`*_ns`, `*_us`, `*_ms`, and `*_ns_per_*` /
+//! `*_us_per_*` rates) are pinned; everything else is reported but
+//! never fails. That lets one gate run over *every* `BENCH_*.json` in
+//! the repo, mixed-metric records included.
+//!
 //! The gate is driven by the `perf_gate` binary
-//! (`cargo run -p bench --bin perf_gate -- <baseline> <current> [tol]`),
-//! which CI wires after rerunning the `kernel_hotpaths` bench.
+//! (`cargo run -p bench --bin perf_gate -- <baseline> <current> [tol]`,
+//! or `-- --all <baseline_dir> <current_dir> [tol]` to sweep every
+//! baseline record present), which CI wires after rerunning the
+//! recorded benches.
 
 use crate::BenchRecord;
 
 /// Default headroom before a slower median fails the gate: 10%.
 pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Whether a metric key is pinned by the gate. Pinned keys are
+/// lower-is-better times, recognized by unit suffix: `_ns`/`_us`/`_ms`,
+/// or a `_ns_per_`/`_us_per_` rate (e.g. `ingest_ns_per_event`).
+/// Everything else (`*_qps`, `*_per_sec`, counts) is informational.
+pub fn is_gated_key(key: &str) -> bool {
+    key.ends_with("_ns")
+        || key.ends_with("_us")
+        || key.ends_with("_ms")
+        || key.contains("_ns_per_")
+        || key.contains("_us_per_")
+}
 
 /// Outcome for one metric key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +51,8 @@ pub enum Verdict {
     Missing,
     /// New in the current run; informational, never fails.
     New,
+    /// Not a gated key ([`is_gated_key`]); reported, never fails.
+    Info,
 }
 
 /// One metric's comparison row.
@@ -93,6 +117,7 @@ impl GateReport {
                 Verdict::Regressed => ("FAIL", " regression"),
                 Verdict::Missing => ("FAIL", " missing from current run"),
                 Verdict::New => ("new ", ""),
+                Verdict::Info => ("info", " (not gated)"),
             };
             let _ = writeln!(
                 out,
@@ -106,13 +131,16 @@ impl GateReport {
     }
 }
 
-/// Compare a fresh run against the pinned baseline. All metrics are
-/// lower-is-better medians; `tolerance` is the fractional slowdown
-/// allowed before a metric fails (0.10 ⇒ >10% slower fails).
+/// Compare a fresh run against the pinned baseline. Gated metrics
+/// ([`is_gated_key`]) are lower-is-better medians; `tolerance` is the
+/// fractional slowdown allowed before one fails (0.10 ⇒ >10% slower
+/// fails). Non-gated baseline metrics are carried through as
+/// informational rows.
 pub fn compare(baseline: &BenchRecord, current: &BenchRecord, tolerance: f64) -> GateReport {
     let mut checks = Vec::new();
     for (key, base) in baseline.metrics() {
         let (current, verdict) = match current.get(key) {
+            _ if !is_gated_key(key) => (current.get(key), Verdict::Info),
             Some(now) if base > 0.0 && now > base * (1.0 + tolerance) => {
                 (Some(now), Verdict::Regressed)
             }
@@ -189,6 +217,58 @@ mod tests {
             .find(|c| c.key == "ewise_word_ns")
             .unwrap();
         assert_eq!(new.verdict, Verdict::New);
+    }
+
+    #[test]
+    fn throughput_metrics_are_informational_not_gated() {
+        // A qps drop (or rise) must never fail the gate — only
+        // time-suffixed keys are pinned. This is what makes sweeping
+        // every BENCH_*.json safe for mixed-metric records.
+        let base = rec(&[
+            ("readers_8_qps", 150_000.0),
+            ("epochs_published_8r", 23.0),
+            ("p99_sql_us", 65.5),
+        ]);
+        let now = rec(&[("readers_8_qps", 50_000.0), ("p99_sql_us", 60.0)]);
+        let report = compare(&base, &now, DEFAULT_TOLERANCE);
+        assert!(!report.failed(), "{}", report.render());
+        let qps = report
+            .checks
+            .iter()
+            .find(|c| c.key == "readers_8_qps")
+            .unwrap();
+        assert_eq!(qps.verdict, Verdict::Info);
+        // Even a *missing* informational metric passes.
+        let epochs = report
+            .checks
+            .iter()
+            .find(|c| c.key == "epochs_published_8r")
+            .unwrap();
+        assert_eq!(epochs.verdict, Verdict::Info);
+        assert!(epochs.current.is_none());
+        // But the latency key is still pinned.
+        let slow = rec(&[("readers_8_qps", 150_000.0), ("p99_sql_us", 100.0)]);
+        assert!(compare(&base, &slow, DEFAULT_TOLERANCE).failed());
+    }
+
+    #[test]
+    fn gated_key_convention() {
+        for k in [
+            "mxm_u32_ns",
+            "p99_sql_us",
+            "close_ms",
+            "ingest_ns_per_event",
+        ] {
+            assert!(is_gated_key(k), "{k} should be gated");
+        }
+        for k in [
+            "readers_8_qps",
+            "writer_events_per_sec",
+            "epochs_published_8r",
+            "hit_ratio",
+        ] {
+            assert!(!is_gated_key(k), "{k} should be informational");
+        }
     }
 
     #[test]

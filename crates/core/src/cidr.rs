@@ -1,0 +1,356 @@
+//! Hierarchical CIDR keys — IPv4 addresses as a sortable, projectable
+//! key space.
+//!
+//! The paper's headline deployment keys traffic matrices by IP address,
+//! and the power of the associative-array representation is that the
+//! *hierarchy* of the address space (host ⊂ /24 ⊂ /16 ⊂ /8) becomes
+//! ordinary key algebra. Two encodings are provided, one per layer of
+//! the stack:
+//!
+//! * **String keys** for [`Assoc`]: zero-padded dotted quads
+//!   (`"010.002.003.004"`) so lexicographic order equals numeric order
+//!   and a `/p` prefix is literally a string prefix — D4M-style
+//!   `starts_with` range extraction works unmodified. [`cidr_key`]
+//!   appends an explicit `/p` suffix to rolled-up keys
+//!   (`"010.002.000.000/16"`) so host rows and aggregate rows can never
+//!   collide in one dictionary.
+//! * **Numeric keys** for [`Dcsr`]: the address in the low 32 bits of a
+//!   `u64` index. [`mask_ix`] zeroes host bits — a *monotone
+//!   non-decreasing* map, so masking a sorted triple stream keeps it
+//!   sorted and the rollup kernels run in `O(nnz)` with a single
+//!   duplicate-⊕-merge pass, recorded under [`Kernel::Rollup`].
+//!
+//! Both projections are idempotent — rolling up to `/p` twice is the
+//! identity the second time — and both compose downward
+//! (`/8 ∘ /16 = /8`), which is what makes multi-resolution traffic
+//! analysis a chain of cheap re-keyings rather than re-ingests.
+
+use std::time::Instant;
+
+use hypersparse::coo::Coo;
+use hypersparse::ctx::{with_default_ctx, OpCtx};
+use hypersparse::dcsr::Dcsr;
+use hypersparse::metrics::Kernel;
+use hypersparse::Ix;
+use semiring::traits::{Semiring, Value};
+
+use crate::assoc::Assoc;
+
+/// A CIDR prefix length. `/8` through `/32` cover the useful range:
+/// `/32` is the identity (host granularity), `/8`–`/24` are the rollup
+/// resolutions named in the deployment papers.
+pub type PrefixLen = u8;
+
+/// The netmask for a prefix length: high `p` bits set.
+#[inline]
+pub fn netmask(prefix: PrefixLen) -> u32 {
+    assert!(prefix <= 32, "IPv4 prefix length must be ≤ 32");
+    if prefix == 0 {
+        0
+    } else {
+        u32::MAX << (32 - prefix)
+    }
+}
+
+/// Zero the host bits of an address: `10.2.3.4` at `/16` → `10.2.0.0`.
+#[inline]
+pub fn mask_ip(ip: u32, prefix: PrefixLen) -> u32 {
+    ip & netmask(prefix)
+}
+
+/// Zero the host bits of a matrix index. Addresses live in the low 32
+/// bits of the `u64` key space; any high bits (tenant / protocol tags)
+/// pass through untouched. Monotone non-decreasing in `ix`, which is
+/// what lets the rollup kernels preserve sortedness.
+#[inline]
+pub fn mask_ix(ix: Ix, prefix: PrefixLen) -> Ix {
+    (ix & !0xFFFF_FFFF) | u64::from(mask_ip(ix as u32, prefix))
+}
+
+/// Pack four octets into an address, `a` most significant.
+#[inline]
+pub fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    u32::from_be_bytes([a, b, c, d])
+}
+
+/// The zero-padded dotted-quad key for an address:
+/// `ip_key(0x0A020304)` → `"010.002.003.004"`. Padding makes
+/// lexicographic string order agree with numeric address order, so the
+/// key dictionary of an [`Assoc`] sorts addresses correctly and CIDR
+/// blocks are contiguous key ranges.
+pub fn ip_key(ip: u32) -> String {
+    let [a, b, c, d] = ip.to_be_bytes();
+    format!("{a:03}.{b:03}.{c:03}.{d:03}")
+}
+
+/// The key for a CIDR block: the masked address plus an explicit
+/// `/prefix` suffix — `cidr_key(0x0A020304, 16)` →
+/// `"010.002.000.000/16"`. The suffix keeps aggregate keys disjoint
+/// from host keys (`/32` included, for uniformity of rolled-up arrays).
+pub fn cidr_key(ip: u32, prefix: PrefixLen) -> String {
+    format!("{}/{prefix}", ip_key(mask_ip(ip, prefix)))
+}
+
+/// Parse a key produced by [`ip_key`] or [`cidr_key`] (an optional
+/// `/prefix` suffix is accepted and ignored) back to the address.
+/// Unpadded quads (`"10.2.3.4"`) parse too. Returns `None` for
+/// malformed input.
+pub fn parse_ip_key(key: &str) -> Option<u32> {
+    let quad = key.split('/').next()?;
+    let mut octets = [0u8; 4];
+    let mut parts = quad.split('.');
+    for slot in &mut octets {
+        *slot = parts.next()?.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(u32::from_be_bytes(octets))
+}
+
+/// Project the row keys of an IP-keyed associative array onto a CIDR
+/// prefix. Rows falling in the same block ⊕-combine (the
+/// [`Assoc::map_row_keys`] collision semantics), so the result is the
+/// traffic matrix at `/prefix` resolution. Idempotent: projecting an
+/// already-projected array at the same (or coarser→same) prefix is the
+/// identity on values.
+pub fn project_rows<K2, T, S>(
+    a: &Assoc<String, K2, T>,
+    prefix: PrefixLen,
+    s: S,
+) -> Assoc<String, K2, T>
+where
+    K2: crate::key::Key,
+    T: Value,
+    S: Semiring<Value = T>,
+{
+    a.map_row_keys(
+        |k| parse_ip_key(k).map_or_else(|| k.clone(), |ip| cidr_key(ip, prefix)),
+        s,
+    )
+}
+
+/// Project the column keys onto a CIDR prefix; see [`project_rows`].
+pub fn project_cols<K1, T, S>(
+    a: &Assoc<K1, String, T>,
+    prefix: PrefixLen,
+    s: S,
+) -> Assoc<K1, String, T>
+where
+    K1: crate::key::Key,
+    T: Value,
+    S: Semiring<Value = T>,
+{
+    a.map_col_keys(
+        |k| parse_ip_key(k).map_or_else(|| k.clone(), |ip| cidr_key(ip, prefix)),
+        s,
+    )
+}
+
+/// Project both key dimensions onto a CIDR prefix: the full
+/// block-to-block rollup of a traffic matrix.
+pub fn project<T, S>(
+    a: &Assoc<String, String, T>,
+    prefix: PrefixLen,
+    s: S,
+) -> Assoc<String, String, T>
+where
+    T: Value,
+    S: Semiring<Value = T> + Copy,
+{
+    project_cols(&project_rows(a, prefix, s), prefix, s)
+}
+
+/// Which dimensions a [`rollup_ctx`] collapses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RollupAxes {
+    /// Mask row keys only (sources → blocks).
+    Rows,
+    /// Mask column keys only (destinations → blocks).
+    Cols,
+    /// Mask both (block-to-block traffic matrix).
+    Both,
+}
+
+/// Roll a `Dcsr` up to CIDR-block resolution: mask the selected key
+/// dimensions with [`mask_ix`] and ⊕-merge entries that land on the
+/// same cell. `O(nnz)` — masking is monotone so the triple stream stays
+/// sorted and the COO build's duplicate merge is a single pass. Records
+/// under [`Kernel::Rollup`].
+pub fn rollup_ctx<T, S>(
+    ctx: &OpCtx,
+    a: &Dcsr<T>,
+    prefix: PrefixLen,
+    axes: RollupAxes,
+    s: S,
+) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+{
+    let _span = ctx.kernel_span(Kernel::Rollup, || {
+        format!("/{prefix} {axes:?} over {} nnz", a.nnz())
+    });
+    let start = Instant::now();
+    let (mask_r, mask_c) = match axes {
+        RollupAxes::Rows => (true, false),
+        RollupAxes::Cols => (false, true),
+        RollupAxes::Both => (true, true),
+    };
+    let mut coo = Coo::new(a.nrows(), a.ncols());
+    coo.extend(a.iter().map(|(r, c, v)| {
+        (
+            if mask_r { mask_ix(r, prefix) } else { r },
+            if mask_c { mask_ix(c, prefix) } else { c },
+            v.clone(),
+        )
+    }));
+    let out = coo.build_dcsr(s);
+    ctx.metrics().record(
+        Kernel::Rollup,
+        start.elapsed(),
+        a.nnz() as u64,
+        out.nnz() as u64,
+        a.nnz() as u64,
+        (a.bytes() + out.bytes()) as u64,
+    );
+    out
+}
+
+/// [`rollup_ctx`] through the thread-local default context.
+pub fn rollup<T, S>(a: &Dcsr<T>, prefix: PrefixLen, axes: RollupAxes, s: S) -> Dcsr<T>
+where
+    T: Value,
+    S: Semiring<Value = T>,
+{
+    with_default_ctx(|ctx| rollup_ctx(ctx, a, prefix, axes, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::PlusTimes;
+
+    #[test]
+    fn keys_sort_numerically_and_round_trip() {
+        let addrs = [
+            ip(10, 2, 3, 4),
+            ip(9, 255, 0, 1),
+            ip(192, 168, 1, 1),
+            ip(10, 2, 3, 200),
+        ];
+        let mut keys: Vec<String> = addrs.iter().map(|&a| ip_key(a)).collect();
+        keys.sort();
+        let mut sorted = addrs.to_vec();
+        sorted.sort();
+        assert_eq!(keys, sorted.iter().map(|&a| ip_key(a)).collect::<Vec<_>>());
+        for &a in &addrs {
+            assert_eq!(parse_ip_key(&ip_key(a)), Some(a));
+            assert_eq!(parse_ip_key(&cidr_key(a, 16)), Some(mask_ip(a, 16)));
+        }
+        assert_eq!(parse_ip_key("10.2.3.4"), Some(ip(10, 2, 3, 4)));
+        assert_eq!(parse_ip_key("10.2.3"), None);
+        assert_eq!(parse_ip_key("10.2.3.4.5"), None);
+        assert_eq!(parse_ip_key("not-an-ip"), None);
+    }
+
+    #[test]
+    fn masking_is_monotone_and_composes_downward() {
+        assert_eq!(mask_ip(ip(10, 2, 3, 4), 24), ip(10, 2, 3, 0));
+        assert_eq!(mask_ip(ip(10, 2, 3, 4), 8), ip(10, 0, 0, 0));
+        assert_eq!(mask_ip(ip(10, 2, 3, 4), 32), ip(10, 2, 3, 4));
+        assert_eq!(mask_ip(ip(10, 2, 3, 4), 0), 0);
+        // /8 ∘ /16 = /8, and monotonicity over a sorted sample.
+        let a = ip(10, 2, 3, 4);
+        assert_eq!(mask_ip(mask_ip(a, 16), 8), mask_ip(a, 8));
+        let mut prev = 0u64;
+        for raw in [0u64, 5, 1 << 10, 0xFFFF, 0xABCD_1234, u32::MAX as u64] {
+            assert!(mask_ix(raw, 16) >= prev);
+            prev = mask_ix(raw, 16);
+        }
+        // High tag bits survive masking.
+        let tagged = (7u64 << 32) | u64::from(ip(10, 2, 3, 4));
+        assert_eq!(tagged & !0xFFFF_FFFF, mask_ix(tagged, 8) & !0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn assoc_projection_aggregates_and_is_idempotent() {
+        let s = PlusTimes::<f64>::new();
+        let a = Assoc::from_triplets(
+            vec![
+                (ip_key(ip(10, 2, 3, 4)), ip_key(ip(192, 168, 0, 1)), 2.0),
+                (ip_key(ip(10, 2, 9, 9)), ip_key(ip(192, 168, 0, 1)), 3.0),
+                (ip_key(ip(11, 0, 0, 1)), ip_key(ip(192, 168, 0, 2)), 1.0),
+            ],
+            s,
+        );
+        let p = project(&a, 16, s);
+        // The two 10.2.*.* sources merged into one /16 block row.
+        assert_eq!(
+            p.get(
+                &cidr_key(ip(10, 2, 0, 0), 16),
+                &cidr_key(ip(192, 168, 0, 0), 16)
+            ),
+            Some(5.0)
+        );
+        assert_eq!(p.nnz(), 2);
+        // Idempotence: projecting again at /16 changes nothing.
+        assert_eq!(project(&p, 16, s), p);
+    }
+
+    #[test]
+    fn dcsr_rollup_merges_blocks_in_place() {
+        let s = PlusTimes::<f64>::new();
+        let mut coo = Coo::new(1 << 32, 1 << 32);
+        coo.extend([
+            (
+                u64::from(ip(10, 2, 3, 4)),
+                u64::from(ip(192, 168, 0, 1)),
+                2.0,
+            ),
+            (
+                u64::from(ip(10, 2, 9, 9)),
+                u64::from(ip(192, 168, 0, 1)),
+                3.0,
+            ),
+            (
+                u64::from(ip(11, 0, 0, 1)),
+                u64::from(ip(192, 168, 0, 2)),
+                1.0,
+            ),
+        ]);
+        let a = coo.build_dcsr(s);
+        let r = rollup(&a, 16, RollupAxes::Both, s);
+        assert_eq!(r.nnz(), 2);
+        assert_eq!(
+            r.get(u64::from(ip(10, 2, 0, 0)), u64::from(ip(192, 168, 0, 0)))
+                .copied(),
+            Some(5.0)
+        );
+        // Idempotent on the Dcsr layer too.
+        let rr = rollup(&r, 16, RollupAxes::Both, s);
+        assert_eq!(rr.nnz(), r.nnz());
+        assert!(rr.iter().eq(r.iter()));
+
+        // Rows-only rollup leaves destinations at host granularity.
+        let rows = rollup(&a, 16, RollupAxes::Rows, s);
+        assert_eq!(
+            rows.get(u64::from(ip(10, 2, 0, 0)), u64::from(ip(192, 168, 0, 1)))
+                .copied(),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn rollup_records_kernel_metrics() {
+        let s = PlusTimes::<f64>::new();
+        let ctx = OpCtx::new();
+        let mut coo = Coo::new(1 << 32, 1 << 32);
+        coo.extend([(u64::from(ip(10, 0, 0, 1)), u64::from(ip(10, 0, 0, 2)), 1.0)]);
+        let a = coo.build_dcsr(s);
+        let _ = rollup_ctx(&ctx, &a, 8, RollupAxes::Both, s);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.kernel(Kernel::Rollup).calls, 1);
+        assert_eq!(snap.kernel(Kernel::Rollup).nnz_in, 1);
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod assoc;
+pub mod cidr;
 pub mod csv;
 pub mod key;
 pub mod range;

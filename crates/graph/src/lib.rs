@@ -39,6 +39,7 @@ pub mod hypergraph;
 pub mod kcore;
 pub mod mis;
 pub mod msbfs;
+pub mod netsec;
 pub mod pagerank;
 pub mod pattern;
 pub mod setops;

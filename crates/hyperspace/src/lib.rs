@@ -16,7 +16,11 @@
 //! * [`serve`] — snapshot query-serving front-end: epoch registry with
 //!   zero-copy pinning, the typed [`serve::QueryRequest`] API over all
 //!   three database views plus SQL, LRU sub-view caching, and
-//!   per-query-class latency histograms.
+//!   per-query-class latency histograms;
+//! * [`netflow`] — the headline deployment: real-time network-traffic
+//!   analytics with CIDR-hierarchical keys, windowed hypersparse
+//!   traffic matrices, and streaming scan/DDoS detectors served as
+//!   typed queries.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -27,6 +31,7 @@ pub use db;
 pub use dnn;
 pub use graph;
 pub use hypersparse;
+pub use netflow;
 pub use pipeline;
 pub use semiring;
 pub use serve;
@@ -41,6 +46,9 @@ pub mod prelude {
     pub use hypersparse::{
         Coo, Dcsr, Format, Matrix, MetricsSnapshot, OpCtx, OpError, SparseVec, StreamConfig,
         StreamingMatrix, TraceMode, TraceRegistry,
+    };
+    pub use netflow::{
+        GenConfig, NetflowConfig, NetflowQuery, NetflowResponse, NetflowService, TrafficGen,
     };
     pub use pipeline::{
         EpochSnapshot, Pipeline, PipelineConfig, PipelineError, SnapshotSink, Stage,

@@ -50,11 +50,13 @@ pub enum Kernel {
     StreamMerge,
     ApplyPrune,
     DnnLayer,
+    TopK,
+    Rollup,
 }
 
 impl Kernel {
     /// Every tracked kernel, in registry order.
-    pub const ALL: [Kernel; 22] = [
+    pub const ALL: [Kernel; 24] = [
         Kernel::Mxm,
         Kernel::MxmMasked,
         Kernel::EwiseAdd,
@@ -77,6 +79,8 @@ impl Kernel {
         Kernel::StreamMerge,
         Kernel::ApplyPrune,
         Kernel::DnnLayer,
+        Kernel::TopK,
+        Kernel::Rollup,
     ];
 
     /// Stable display name (`mxm`, `ewise_add`, …).
@@ -104,6 +108,8 @@ impl Kernel {
             Kernel::StreamMerge => "stream_merge",
             Kernel::ApplyPrune => "apply_prune",
             Kernel::DnnLayer => "dnn_layer",
+            Kernel::TopK => "top_k",
+            Kernel::Rollup => "rollup",
         }
     }
 

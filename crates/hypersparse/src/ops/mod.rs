@@ -17,6 +17,7 @@ pub mod mxm;
 pub mod mxv;
 pub mod reduce;
 pub mod structure;
+pub mod topk;
 pub mod transform;
 
 pub use ewise::{
@@ -39,6 +40,7 @@ pub use structure::{
     assign, assign_ctx, concat_cols, concat_cols_ctx, concat_rows, concat_rows_ctx, diag, diag_of,
     matrix_power, matrix_power_ctx, tril, triu,
 };
+pub use topk::{top_k, top_k_cols, top_k_cols_ctx, top_k_ctx, top_k_rows, top_k_rows_ctx};
 pub use transform::{
     apply, apply_ctx, apply_prune, apply_prune_ctx, extract, extract_ctx, kron, kron_ctx, select,
     select_ctx, transpose, transpose_ctx,

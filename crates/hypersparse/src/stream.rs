@@ -248,6 +248,17 @@ impl<S: Semiring> StreamingMatrix<S> {
         self.buffer.len()
     }
 
+    /// Drop every stored entry — insert buffer and all hierarchy levels —
+    /// returning the stream to empty while keeping its dimensions,
+    /// configuration, context, and lifetime [`StreamingMatrix::inserted`]
+    /// counter. This is the window-rotation primitive: snapshot the
+    /// closing window, then `reset` so subsequent inserts land in a fresh
+    /// window without reallocating the stream.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.levels.clear();
+    }
+
     /// The raw hierarchy: slot `k` holds level `k`'s compressed layer, or
     /// `None` while that level is empty. Read-only introspection for
     /// serialization ([`StreamingMatrix::from_levels`] is the inverse);

@@ -1,0 +1,44 @@
+//! Typed netflow-service errors.
+
+use pipeline::PipelineError;
+use serve::ServeError;
+
+/// Anything the netflow service can fail with — a thin sum over the
+/// layers it composes, so callers match on one type.
+#[derive(Debug)]
+pub enum NetflowError {
+    /// Ingest/rotation failed in the sharded pipeline.
+    Pipeline(PipelineError),
+    /// Epoch pinning or table queries failed in the serving layer.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for NetflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetflowError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            NetflowError::Serve(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetflowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetflowError::Pipeline(e) => Some(e),
+            NetflowError::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<PipelineError> for NetflowError {
+    fn from(e: PipelineError) -> Self {
+        NetflowError::Pipeline(e)
+    }
+}
+
+impl From<ServeError> for NetflowError {
+    fn from(e: ServeError) -> Self {
+        NetflowError::Serve(e)
+    }
+}

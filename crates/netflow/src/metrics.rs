@@ -1,0 +1,172 @@
+//! Netflow-service observability: window/event counters plus
+//! per-detector latency histograms, rendered in the same Prometheus
+//! text exposition as the pipeline and serving layers — one scrape
+//! endpoint concatenates all three.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use hypersparse::trace::{write_prometheus_header, write_prometheus_histogram};
+use hypersparse::{Histogram, HistogramSnapshot};
+
+use crate::query::NetflowQueryClass;
+
+/// Live netflow counters; shared by reference, updated lock-free.
+#[derive(Debug, Default)]
+pub struct NetflowMetrics {
+    windows_closed: AtomicU64,
+    window_events: AtomicU64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    detections: AtomicU64,
+    latency: [Histogram; NetflowQueryClass::ALL.len()],
+}
+
+impl NetflowMetrics {
+    /// Record one closed window and the entries (distinct flows) its
+    /// traffic matrix stored.
+    pub fn record_window(&self, entries: u64) {
+        self.windows_closed.fetch_add(1, Ordering::Relaxed);
+        self.window_events.fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Record one answered query; `flagged` counts detector hits in the
+    /// answer (0 for non-detector classes).
+    pub fn record_query(&self, class: NetflowQueryClass, elapsed: Duration, flagged: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.detections.fetch_add(flagged, Ordering::Relaxed);
+        self.latency[class.index()].record(elapsed);
+    }
+
+    /// Record one failed query.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze everything into an owned snapshot.
+    pub fn snapshot(&self) -> NetflowMetricsSnapshot {
+        NetflowMetricsSnapshot {
+            windows_closed: self.windows_closed.load(Ordering::Relaxed),
+            window_events: self.window_events.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            detections: self.detections.load(Ordering::Relaxed),
+            latency: std::array::from_fn(|i| self.latency[i].snapshot()),
+        }
+    }
+}
+
+/// Frozen netflow counters and histograms.
+#[derive(Clone, Debug)]
+pub struct NetflowMetricsSnapshot {
+    /// Analysis windows closed (pipeline rotations).
+    pub windows_closed: u64,
+    /// Stored entries (distinct flows) in closed windows, cumulative.
+    pub window_events: u64,
+    /// Netflow queries answered.
+    pub queries: u64,
+    /// Netflow queries failed.
+    pub errors: u64,
+    /// Endpoints flagged by detector queries, cumulative.
+    pub detections: u64,
+    /// Per-class latency, indexed like [`NetflowQueryClass::ALL`].
+    pub latency: [HistogramSnapshot; NetflowQueryClass::ALL.len()],
+}
+
+impl NetflowMetricsSnapshot {
+    /// One class's latency histogram.
+    pub fn class(&self, class: NetflowQueryClass) -> &HistogramSnapshot {
+        &self.latency[class.index()]
+    }
+
+    /// The Prometheus text exposition: `netflow_*` counters plus
+    /// `netflow_query_latency_seconds{detector="..."}` histograms.
+    /// Designed to concatenate with the pipeline and serve expositions.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, help, v) in [
+            (
+                "netflow_windows_closed_total",
+                "Analysis windows closed",
+                self.windows_closed,
+            ),
+            (
+                "netflow_window_events_total",
+                "Stored entries in closed windows",
+                self.window_events,
+            ),
+            (
+                "netflow_queries_total",
+                "Netflow queries answered",
+                self.queries,
+            ),
+            (
+                "netflow_query_errors_total",
+                "Netflow queries failed",
+                self.errors,
+            ),
+            (
+                "netflow_detections_total",
+                "Endpoints flagged by detectors",
+                self.detections,
+            ),
+        ] {
+            write_prometheus_header(&mut out, name, "counter", help);
+            let _ = writeln!(out, "{name} {v}");
+        }
+        write_prometheus_header(
+            &mut out,
+            "netflow_query_latency_seconds",
+            "histogram",
+            "Netflow query latency by detector class",
+        );
+        for class in NetflowQueryClass::ALL {
+            let h = self.class(class);
+            if h.count() == 0 {
+                continue;
+            }
+            write_prometheus_histogram(
+                &mut out,
+                "netflow_query_latency_seconds",
+                &format!("detector=\"{}\"", class.label()),
+                h,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_by_class() {
+        let m = NetflowMetrics::default();
+        m.record_window(100);
+        m.record_window(50);
+        m.record_query(NetflowQueryClass::ScanSuspects, Duration::from_micros(5), 2);
+        m.record_query(NetflowQueryClass::TopTalkers, Duration::from_micros(3), 0);
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.windows_closed, 2);
+        assert_eq!(s.window_events, 150);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.detections, 2);
+        assert_eq!(s.class(NetflowQueryClass::ScanSuspects).count(), 1);
+        assert_eq!(s.class(NetflowQueryClass::DdosVictims).count(), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_labelled_per_detector() {
+        let m = NetflowMetrics::default();
+        m.record_query(NetflowQueryClass::DdosVictims, Duration::from_micros(7), 1);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE netflow_windows_closed_total counter"));
+        assert!(text.contains("netflow_detections_total 1"));
+        assert!(text.contains("netflow_query_latency_seconds_bucket{detector=\"ddos_victims\""));
+        assert!(!text.contains("detector=\"rollup\""));
+    }
+}

@@ -33,6 +33,8 @@ pub enum Stage {
     ShardMerge,
     /// Assembling one epoch snapshot across all shards.
     Snapshot,
+    /// Closing one analytics window: snapshot + shard reset.
+    Rotate,
     /// Writing one checkpoint to disk.
     Checkpoint,
     /// Restoring pipeline state from a checkpoint.
@@ -41,11 +43,12 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in histogram-index order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Ingest,
         Stage::Route,
         Stage::ShardMerge,
         Stage::Snapshot,
+        Stage::Rotate,
         Stage::Checkpoint,
         Stage::Restore,
     ];
@@ -57,6 +60,7 @@ impl Stage {
             Stage::Route => "route",
             Stage::ShardMerge => "shard_merge",
             Stage::Snapshot => "snapshot",
+            Stage::Rotate => "rotate",
             Stage::Checkpoint => "checkpoint",
             Stage::Restore => "restore",
         }

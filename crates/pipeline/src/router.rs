@@ -237,6 +237,58 @@ where
         Ok(snap)
     }
 
+    /// Close the current analytics window: send a rotate-marker wave
+    /// down every shard channel, ⊕-fold the per-shard cuts into the
+    /// closing window's [`EpochSnapshot`], and leave every shard empty
+    /// for the next window. Ingest continues behind the markers — events
+    /// enqueued after this call land in the new window, everything this
+    /// thread enqueued before the call is in the closed one. The epoch
+    /// counter stamps the closed window exactly like a snapshot.
+    ///
+    /// `events()` on the result is the *cumulative* accepted count at
+    /// the cut (monotone across windows), not the per-window count.
+    pub fn rotate(&self) -> Result<EpochSnapshot<S>, PipelineError> {
+        let t = Instant::now();
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let _span = self
+            .assemble_ctx
+            .trace()
+            .span("rotate", || format!("epoch {epoch}"));
+        let events = self.metrics.snapshot().events_ingested;
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            self.metrics.depth_inc(i);
+            if let Err(e) = shard.send(i, Command::Rotate { reply: tx }) {
+                self.metrics.depth_dec(i);
+                return Err(e);
+            }
+            replies.push(rx);
+        }
+        let mut parts = Vec::with_capacity(replies.len());
+        for (i, rx) in replies.into_iter().enumerate() {
+            parts.push(
+                rx.recv()
+                    .map_err(|_| PipelineError::ShardTerminated { shard: i })?,
+            );
+        }
+        let snap = EpochSnapshot::assemble(epoch, events, &self.assemble_ctx, parts, self.s);
+        self.metrics.record_stage(Stage::Rotate, t.elapsed());
+        Ok(snap)
+    }
+
+    /// [`Pipeline::rotate`], wrapped in an `Arc` and published to every
+    /// registered [`SnapshotSink`] — the window-closing twin of
+    /// [`Pipeline::snapshot_shared`].
+    pub fn rotate_shared(&self) -> Result<Arc<EpochSnapshot<S>>, PipelineError> {
+        let snap = Arc::new(self.rotate()?);
+        let sinks = self.sinks.lock().expect("sink registry poisoned");
+        for sink in sinks.iter() {
+            sink.publish(&snap);
+        }
+        Ok(snap)
+    }
+
     /// Subscribe a [`SnapshotSink`] to snapshot publication. Every
     /// subsequent [`Pipeline::snapshot_shared`] call hands the sink an
     /// `Arc` of the new epoch — the sink shares the assembled matrix,
@@ -667,6 +719,34 @@ mod tests {
         // though ingest continued: it still sees exactly one event.
         assert_eq!(held[0].nnz(), 1);
         assert_eq!(held[1].nnz(), 2);
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn rotate_closes_window_and_starts_fresh() {
+        let config = PipelineConfig::new().with_shards(2);
+        let p = Pipeline::with_config(1 << 10, 1 << 10, PlusTimes::<f64>::new(), config);
+        p.ingest(1, 2, 3.0).unwrap();
+        p.ingest(1, 2, 4.0).unwrap();
+        let w1 = p.rotate().unwrap();
+        assert_eq!(w1.epoch(), 1);
+        assert_eq!(w1.nnz(), 1);
+        assert_eq!(w1.get(1, 2), Some(&7.0));
+
+        // The new window starts empty; the closed window is unaffected
+        // by subsequent ingest.
+        p.ingest(5, 6, 1.0).unwrap();
+        let w2 = p.rotate().unwrap();
+        assert_eq!(w2.epoch(), 2);
+        assert_eq!(w2.nnz(), 1);
+        assert_eq!(w2.get(5, 6), Some(&1.0));
+        assert_eq!(w2.get(1, 2), None);
+        assert_eq!(w1.get(1, 2), Some(&7.0));
+
+        // An empty window is a valid (empty) epoch.
+        let w3 = p.rotate().unwrap();
+        assert_eq!(w3.nnz(), 0);
+        assert_eq!(w3.epoch(), 3);
         p.shutdown().unwrap();
     }
 

@@ -37,6 +37,15 @@ pub(crate) enum Command<S: Semiring> {
         /// Where to deliver the fold.
         reply: Sender<Dcsr<S::Value>>,
     },
+    /// Window-rotation marker: fold the hierarchy as of this point in
+    /// the stream, reply with the fold, and **reset** the shard to empty
+    /// so subsequent ingest starts the next window. The reply is the
+    /// closing window's contents; everything enqueued behind the marker
+    /// lands in the new window.
+    Rotate {
+        /// Where to deliver the closing window's fold.
+        reply: Sender<Dcsr<S::Value>>,
+    },
     /// Checkpoint marker: flush, serialize the hierarchy, write the
     /// shard file, reply with its manifest record.
     Checkpoint {
@@ -141,6 +150,12 @@ fn run_worker<S: Semiring>(
                 let _span = span("shard_fold", format!("shard {index}"));
                 // Receiver may have given up (timeout); ignore send errors.
                 let _ = reply.send(stream.snapshot());
+            }
+            Command::Rotate { reply } => {
+                let _span = span("shard_rotate", format!("shard {index}"));
+                let closing = stream.snapshot();
+                stream.reset();
+                let _ = reply.send(closing);
             }
             Command::Checkpoint {
                 dir,

@@ -73,6 +73,27 @@ impl<V: fmt::Display> ViewSchema<V> {
             )
         })
     }
+
+    /// The netflow schema: keys are IPv4 addresses in the low 32 bits of
+    /// the index (the [`hyperspace_core::cidr`] encoding). Entry
+    /// `(src, dst, packets)` becomes record `f<src>-<dst>` with
+    /// zero-padded dotted-quad `src`/`dst` fields — so SQL/select
+    /// predicates on IP strings sort and compare in address order — plus
+    /// the packet count.
+    pub fn netflow() -> Self {
+        use hyperspace_core::cidr::ip_key;
+        ViewSchema::new(|r, c, v| {
+            let (src, dst) = (ip_key(r as u32), ip_key(c as u32));
+            (
+                format!("f{src}-{dst}"),
+                vec![
+                    ("src".into(), src),
+                    ("dst".into(), dst),
+                    ("packets".into(), format!("{v}")),
+                ],
+            )
+        })
+    }
 }
 
 /// The three table engines built from one epoch.
@@ -200,6 +221,21 @@ mod tests {
         assert!(view.tables_built());
         let second = view.tables() as *const Tables;
         assert_eq!(first, second, "tables are built exactly once");
+    }
+
+    #[test]
+    fn netflow_schema_renders_dotted_quads() {
+        let schema: ViewSchema<f64> = ViewSchema::netflow();
+        let (id, rec) = schema.record(0x0A00_0001, 0xC0A8_0105, &7.0);
+        assert_eq!(id, "f010.000.000.001-192.168.001.005");
+        assert_eq!(
+            rec,
+            vec![
+                ("src".to_string(), "010.000.000.001".to_string()),
+                ("dst".to_string(), "192.168.001.005".to_string()),
+                ("packets".to_string(), "7".to_string()),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The netflow analytics service end to end: a seeded synthetic packet
+//! capture with labelled attack episodes streams through the sharded
+//! windowed pipeline; detectors flag the injected scan and DDoS out of
+//! the closed windows; heavy hitters, drill-downs, CIDR rollups, and
+//! SQL-over-flows answer against the same snapshots; and one Prometheus
+//! scrape body covers every layer.
+//!
+//! ```sh
+//! cargo run --release --example netflow_service
+//! ```
+//!
+//! Runtime is bounded (fixed window/event budgets, no sleeps) so this
+//! doubles as a CI smoke test.
+
+use std::time::Instant;
+
+use hyperspace::core::cidr;
+use hyperspace::netflow::Episode;
+use hyperspace::prelude::*;
+
+const WINDOWS: u64 = 4;
+
+fn main() {
+    let t0 = Instant::now();
+
+    // A 512-host population with heavy-tailed popularity; window 1
+    // carries a 400-target horizontal scan, window 2 a 350-source
+    // fan-in flood. Detector thresholds sit above the benign head's
+    // fan-out (~200 distinct peers at this population/volume), so the
+    // clean windows must stay clean.
+    let gen = TrafficGen::new(
+        GenConfig::new()
+            .with_hosts(512)
+            .with_events_per_window(4000)
+            .with_seed(0xBEEF)
+            .with_scan(1, 400)
+            .with_ddos(2, 350),
+    );
+    let svc = NetflowService::new(
+        NetflowConfig::new()
+            .with_pipeline(PipelineConfig::new().with_shards(4))
+            .with_retain_windows(WINDOWS as usize)
+            .with_thresholds(256, 256),
+    );
+
+    // ---- Stream four capture windows through the sharded pipeline ----
+    let mut reports = Vec::new();
+    for w in 0..WINDOWS {
+        let events = gen.window(w as usize);
+        for batch in events.chunks(512) {
+            svc.ingest(batch).unwrap();
+        }
+        let snap = svc.close_window().unwrap();
+        let report = svc.detect_snapshot(&snap).unwrap();
+        println!(
+            "window {} closed: {} events → {} distinct flows, {} scan suspect(s), {} ddos victim(s)",
+            snap.epoch(),
+            events.len(),
+            snap.nnz(),
+            report.scan_suspects.len(),
+            report.ddos_victims.len()
+        );
+        reports.push(report);
+    }
+
+    // ---- Ground truth: the injected episodes, and only those ----
+    let (scan_window, scan_src) = match gen.episodes()[0] {
+        Episode::Scan { window, source, .. } => (window as u64, cidr::ip_key(source)),
+        _ => unreachable!(),
+    };
+    let (ddos_window, ddos_dst) = match gen.episodes()[1] {
+        Episode::Ddos { window, victim, .. } => (window as u64, cidr::ip_key(victim)),
+        _ => unreachable!(),
+    };
+    for (i, report) in reports.iter().enumerate() {
+        let w = i as u64;
+        assert_eq!(
+            report.scan_suspects.iter().any(|(s, _)| *s == scan_src),
+            w == scan_window,
+            "scan episode must be flagged in window {scan_window} and only there"
+        );
+        assert_eq!(
+            report.ddos_victims.iter().any(|(d, _)| *d == ddos_dst),
+            w == ddos_window,
+            "ddos episode must be flagged in window {ddos_window} and only there"
+        );
+    }
+    println!("detectors: zero false negatives, clean windows stayed clean");
+
+    // ---- Analytics against retained windows (epoch = window + 1) ----
+    let talkers = svc
+        .query_window(scan_window + 1, &NetflowQuery::TopTalkers { k: 3 })
+        .unwrap();
+    let top = talkers.body.as_volumes().unwrap();
+    assert_eq!(top.len(), 3);
+    assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "volumes descend");
+    println!(
+        "top talkers in window {}: {:?}",
+        talkers.epoch,
+        top.iter()
+            .map(|(s, v)| format!("{s}={v}"))
+            .collect::<Vec<_>>()
+    );
+
+    let drill = svc
+        .query_window(
+            scan_window + 1,
+            &NetflowQuery::SuspectTraffic {
+                sources: reports[scan_window as usize]
+                    .scan_suspects
+                    .iter()
+                    .filter_map(|(s, _)| cidr::parse_ip_key(s))
+                    .collect(),
+            },
+        )
+        .unwrap();
+    let flows = drill.body.as_flows().unwrap();
+    assert!(flows.len() >= 400, "drill-down returns every scan probe");
+    println!(
+        "drill-down: {} flows from the flagged source(s)",
+        flows.len()
+    );
+
+    let rollup = svc
+        .query_window(1, &NetflowQuery::Rollup { prefix: 16, k: 4 })
+        .unwrap();
+    let blocks = rollup.body.as_blocks().unwrap();
+    assert!(!blocks.is_empty());
+    assert!(
+        blocks[0].0.ends_with("/16"),
+        "rolled-up keys carry the prefix"
+    );
+    println!(
+        "busiest /16 pair in window 1: {} → {} ({} packets)",
+        blocks[0].0, blocks[0].1, blocks[0].2
+    );
+
+    // ---- The embedded query server answers SQL over the same flows ----
+    let pinned = svc.server().pin_epoch(scan_window + 1).unwrap();
+    let sql = svc
+        .server()
+        .query_pinned(
+            &pinned,
+            &QueryRequest::sql(format!("SELECT dst FROM flows WHERE src = '{scan_src}'")),
+        )
+        .unwrap();
+    let probes = sql.body.as_table().unwrap().len();
+    assert!(probes >= 400, "SQL sees every scan probe as a record");
+    println!(
+        "SQL over flows at epoch {}: scanner '{scan_src}' explodes into {probes} records",
+        sql.epoch
+    );
+
+    // ---- One scrape body across pipeline, serve, netflow, kernels ----
+    let m = svc.metrics();
+    println!(
+        "netflow metrics: {} windows, {} queries, {} flagged endpoints",
+        m.windows_closed, m.queries, m.detections
+    );
+    let exposition = svc.render_prometheus();
+    for needle in [
+        "pipeline_events_ingested_total",
+        "serve_queries_total",
+        "netflow_windows_closed_total",
+        "netflow_query_latency_seconds_bucket",
+    ] {
+        assert!(
+            exposition.contains(needle),
+            "missing {needle} in merged exposition"
+        );
+    }
+    println!(
+        "merged exposition: {} lines across all four layers",
+        exposition.lines().count()
+    );
+
+    svc.shutdown().unwrap();
+    println!("netflow_service OK in {:.2?}", t0.elapsed());
+}

@@ -26,6 +26,9 @@ const KERNELS: &[&str] = &[
     "reduce_cols",
     "extract",
     "kron",
+    "top_k",
+    "top_k_rows",
+    "top_k_cols",
 ];
 
 fn repo_root() -> PathBuf {

@@ -1,0 +1,157 @@
+//! Netflow property suite — the subsystem's three load-bearing
+//! invariants, checked over random inputs:
+//!
+//! 1. **Windowed ingest ≡ flat build.** Each closed window's traffic
+//!    matrix is bit-identical to a flat COO build of exactly that
+//!    window's events: rotation loses nothing, leaks nothing across
+//!    window boundaries, and shard count is invisible.
+//! 2. **CIDR projection is idempotent and composes downward.**
+//!    `project(project(A, p), p) = project(A, p)` on the string-keyed
+//!    layer, the same for `rollup` on the numeric layer, and
+//!    `/8 ∘ /16 = /8`.
+//! 3. **Detector determinism.** The full service — generator → sharded
+//!    ingest → rotation → detectors and analytics queries — answers
+//!    bit-identically at 1, 2, and 4 shards.
+
+use hyperspace::prelude::*;
+use hyperspace_core::cidr;
+use hypersparse::Ix;
+use netflow::{FlowEvent, NetflowBody, IP_SPACE};
+use proptest::prelude::*;
+
+/// Flat reference build: one window's events straight into COO.
+fn flat(events: &[FlowEvent]) -> Dcsr<u64> {
+    let mut coo = Coo::new(IP_SPACE, IP_SPACE);
+    coo.extend(
+        events
+            .iter()
+            .map(|&(s, d, p)| (Ix::from(s), Ix::from(d), p)),
+    );
+    coo.build_dcsr(PlusTimes::<u64>::new())
+}
+
+fn windows() -> impl Strategy<Value = Vec<Vec<FlowEvent>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..500u32, 0..500u32, 1u64..9), 0..120),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 1: every closed window equals its flat reference, at
+    /// every shard count, with ingest split into arbitrary batches.
+    #[test]
+    fn windowed_ingest_equals_flat_build_per_window(ws in windows(), chunk in 1..40usize) {
+        for shards in [1usize, 2, 4] {
+            let svc = netflow::NetflowService::new(
+                NetflowConfig::new()
+                    .with_retain_windows(ws.len().max(1))
+                    .with_pipeline(PipelineConfig::new().with_shards(shards)),
+            );
+            for events in &ws {
+                for batch in events.chunks(chunk.max(1)) {
+                    svc.ingest(batch).unwrap();
+                }
+                let closed = svc.close_window().unwrap();
+                prop_assert_eq!(closed.dcsr(), &flat(events),
+                    "window {} diverged from flat build at {} shards",
+                    closed.epoch(), shards);
+            }
+            svc.shutdown().unwrap();
+        }
+    }
+
+    /// Invariant 2: CIDR projection/rollup is idempotent on both key
+    /// layers and composes downward (`/8 ∘ /16 = /8`).
+    #[test]
+    fn cidr_rollup_is_idempotent_and_composes(
+        t in proptest::collection::vec((0..u32::MAX, 0..u32::MAX, 1u64..100), 1..60)
+    ) {
+        let s = PlusTimes::<u64>::new();
+        // Numeric layer (Dcsr).
+        let a = flat(&t);
+        for prefix in [8u8, 16, 24] {
+            let once = cidr::rollup(&a, prefix, cidr::RollupAxes::Both, s);
+            let twice = cidr::rollup(&once, prefix, cidr::RollupAxes::Both, s);
+            prop_assert_eq!(&twice, &once, "rollup not idempotent at /{}", prefix);
+        }
+        let via16 = cidr::rollup(
+            &cidr::rollup(&a, 16, cidr::RollupAxes::Both, s),
+            8,
+            cidr::RollupAxes::Both,
+            s,
+        );
+        prop_assert_eq!(&via16, &cidr::rollup(&a, 8, cidr::RollupAxes::Both, s));
+
+        // String-keyed layer (Assoc).
+        let assoc = Assoc::from_triplets(
+            t.iter()
+                .map(|&(r, c, v)| (cidr::ip_key(r), cidr::ip_key(c), v))
+                .collect::<Vec<_>>(),
+            s,
+        );
+        let p = cidr::project(&assoc, 16, s);
+        prop_assert_eq!(&cidr::project(&p, 16, s), &p, "project not idempotent");
+        prop_assert_eq!(&cidr::project(&p, 8, s), &cidr::project(&assoc, 8, s));
+    }
+
+    /// Invariant 3: detector and analytics answers are bit-identical at
+    /// 1, 2, and 4 shards for the same generated traffic.
+    #[test]
+    fn detectors_are_deterministic_across_shard_counts(seed in 0..u64::MAX) {
+        let gen = TrafficGen::new(
+            GenConfig::new()
+                .with_hosts(128)
+                .with_events_per_window(800)
+                .with_seed(seed)
+                .with_scan(0, 96)
+                .with_ddos(1, 80),
+        );
+        let queries = [
+            NetflowQuery::TopTalkers { k: 5 },
+            NetflowQuery::TopListeners { k: 5 },
+            NetflowQuery::ScanSuspects { min_fanout: 64 },
+            NetflowQuery::DdosVictims { min_fanin: 64 },
+            NetflowQuery::Rollup { prefix: 16, k: 8 },
+        ];
+        let mut reference: Option<Vec<(netflow::WindowReport, Vec<NetflowBody>)>> = None;
+        for shards in [1usize, 2, 4] {
+            let svc = netflow::NetflowService::new(
+                NetflowConfig::new()
+                    .with_thresholds(96, 80)
+                    .with_pipeline(PipelineConfig::new().with_shards(shards)),
+            );
+            let mut got = Vec::new();
+            for w in 0..2usize {
+                svc.ingest(&gen.window(w)).unwrap();
+                let snap = svc.close_window().unwrap();
+                let report = svc.detect_snapshot(&snap).unwrap();
+                let answers = queries
+                    .iter()
+                    .map(|q| svc.query_snapshot(&snap, q).body)
+                    .collect::<Vec<_>>();
+                got.push((report, answers));
+            }
+            svc.shutdown().unwrap();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => prop_assert_eq!(r, &got,
+                    "detector output diverged at {} shards", shards),
+            }
+        }
+        // The injected episodes are ground truth: zero false negatives.
+        let runs = reference.unwrap();
+        let scan_src = cidr::ip_key(match gen.episodes()[0] {
+            netflow::Episode::Scan { source, .. } => source,
+            _ => unreachable!(),
+        });
+        let ddos_dst = cidr::ip_key(match gen.episodes()[1] {
+            netflow::Episode::Ddos { victim, .. } => victim,
+            _ => unreachable!(),
+        });
+        prop_assert!(runs[0].0.scan_suspects.iter().any(|(s, _)| *s == scan_src));
+        prop_assert!(runs[1].0.ddos_victims.iter().any(|(d, _)| *d == ddos_dst));
+    }
+}
