@@ -12,7 +12,8 @@
 //!   (Brandes betweenness as per-level vxm/mxv), [`kcore`] (algebraic
 //!   peeling), [`mis`] (Luby over max.×), [`similarity`] (Jaccard via
 //!   masked SpGEMM), [`closure`] (∨.∧ transitive closure, topological
-//!   levels);
+//!   levels), [`incremental`] (delta-fold degree and triangle state for
+//!   the pipeline's standing queries);
 //! * Classical pointer-chasing [`baseline`]s (queue BFS, binary-heap
 //!   Dijkstra, union-find components, wedge-check triangles) — the other
 //!   side of the duality, used to validate results and to benchmark the
@@ -36,6 +37,7 @@ pub mod community;
 pub mod frontier;
 pub mod hyperalgo;
 pub mod hypergraph;
+pub mod incremental;
 pub mod kcore;
 pub mod mis;
 pub mod msbfs;
@@ -48,4 +50,5 @@ pub mod sssp;
 pub mod triangles;
 
 pub use hypergraph::Hypergraph;
-pub use pattern::{pattern_u64, pattern_u8, symmetrize};
+pub use incremental::{DegreeState, TriangleState};
+pub use pattern::{pattern_f64, pattern_u64, pattern_u8, symmetrize};

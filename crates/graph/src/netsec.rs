@@ -52,8 +52,10 @@ pub fn fan_in_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>) -> SparseVec<u64> {
 
 /// Threshold a degree vector into flagged `(key, degree)` pairs, sorted
 /// by degree descending, ties by key ascending — the canonical detector
-/// output order (deterministic at any parallelism).
-fn flag(degrees: &SparseVec<u64>, threshold: u64) -> Vec<(Ix, u64)> {
+/// output order (deterministic at any parallelism). Public so
+/// incrementally maintained degree state ([`crate::incremental`]) flags
+/// through exactly the same path as the from-scratch detectors.
+pub fn flag_degrees(degrees: &SparseVec<u64>, threshold: u64) -> Vec<(Ix, u64)> {
     let mut hits: Vec<(Ix, u64)> = degrees
         .iter()
         .filter(|(_, &d)| d >= threshold)
@@ -72,7 +74,7 @@ pub fn scan_suspects<T: Value>(a: &Dcsr<T>, threshold: u64) -> Vec<(Ix, u64)> {
 
 /// [`scan_suspects`] through an explicit execution context.
 pub fn scan_suspects_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, threshold: u64) -> Vec<(Ix, u64)> {
-    flag(&fan_out_ctx(ctx, a), threshold)
+    flag_degrees(&fan_out_ctx(ctx, a), threshold)
 }
 
 /// Fan-in-DDoS detector: destinations contacted by at least `threshold`
@@ -84,7 +86,7 @@ pub fn ddos_victims<T: Value>(a: &Dcsr<T>, threshold: u64) -> Vec<(Ix, u64)> {
 
 /// [`ddos_victims`] through an explicit execution context.
 pub fn ddos_victims_ctx<T: Value>(ctx: &OpCtx, a: &Dcsr<T>, threshold: u64) -> Vec<(Ix, u64)> {
-    flag(&fan_in_ctx(ctx, a), threshold)
+    flag_degrees(&fan_in_ctx(ctx, a), threshold)
 }
 
 /// Masked row query: the full traffic of the flagged source rows

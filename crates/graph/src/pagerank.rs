@@ -5,9 +5,11 @@
 //! purely linear-algebraic loop over the hypersparse engine. Vertex ids
 //! must be compact (`n` is materialized as the rank vector's length).
 
+use std::time::Instant;
+
 use hypersparse::ops::mxv::vxm_dense_pull_ctx;
 use hypersparse::ops::{apply_ctx, transpose_ctx};
-use hypersparse::{with_default_ctx, Dcsr, Ix};
+use hypersparse::{with_default_ctx, Dcsr, Ix, Kernel, OpCtx};
 use semiring::{PlusTimes, ZeroNorm};
 
 /// PageRank options.
@@ -34,11 +36,80 @@ impl Default for PageRankOpts {
 /// PageRank over a (possibly weighted — weights are ignored) digraph
 /// pattern with compact vertex ids `0..n`. Returns the rank vector.
 pub fn pagerank(pat: &Dcsr<f64>, opts: PageRankOpts) -> Vec<f64> {
+    with_default_ctx(|ctx| pagerank_ctx(ctx, pat, opts))
+}
+
+/// [`pagerank`] through an explicit execution context.
+pub fn pagerank_ctx(ctx: &OpCtx, pat: &Dcsr<f64>, opts: PageRankOpts) -> Vec<f64> {
     let n = usize::try_from(pat.nrows()).expect("pagerank needs compact vertex ids");
-    assert_eq!(pat.nrows(), pat.ncols(), "adjacency must be square");
     if n == 0 {
+        assert_eq!(pat.nrows(), pat.ncols(), "adjacency must be square");
         return Vec::new();
     }
+    let seed = vec![1.0 / n as f64; n];
+    power_iterate(ctx, pat, seed, opts).0
+}
+
+/// PageRank refresh seeded from a prior rank vector.
+///
+/// Power iteration converges from any probability-vector seed; after a
+/// small batch of new edges the stationary distribution moves little, so
+/// seeding from the previous epoch's ranks reaches `opts.tol` in a
+/// fraction of the iterations a cold uniform start needs. The prior is
+/// padded/truncated to the current vertex count and re-normalized (a
+/// uniform seed is substituted if nothing positive survives), so the
+/// result is a genuine PageRank vector of the *current* pattern — the
+/// seed only buys speed, never changes the fixed point beyond `tol`.
+/// Cost lands in the [`Kernel::PageRankRefresh`] metrics row.
+pub fn pagerank_refresh(pat: &Dcsr<f64>, prior: &[f64], opts: PageRankOpts) -> Vec<f64> {
+    with_default_ctx(|ctx| pagerank_refresh_ctx(ctx, pat, prior, opts))
+}
+
+/// [`pagerank_refresh`] through an explicit execution context.
+pub fn pagerank_refresh_ctx(
+    ctx: &OpCtx,
+    pat: &Dcsr<f64>,
+    prior: &[f64],
+    opts: PageRankOpts,
+) -> Vec<f64> {
+    let t = Instant::now();
+    let n = usize::try_from(pat.nrows()).expect("pagerank needs compact vertex ids");
+    if n == 0 {
+        assert_eq!(pat.nrows(), pat.ncols(), "adjacency must be square");
+        return Vec::new();
+    }
+    let mut seed = vec![0.0f64; n];
+    for (dst, src) in seed.iter_mut().zip(prior) {
+        *dst = src.max(0.0);
+    }
+    let l1: f64 = seed.iter().sum();
+    if l1 > 0.0 {
+        seed.iter_mut().for_each(|x| *x /= l1);
+    } else {
+        seed.fill(1.0 / n as f64);
+    }
+    let (rank, iters) = power_iterate(ctx, pat, seed, opts);
+    ctx.metrics().record(
+        Kernel::PageRankRefresh,
+        t.elapsed(),
+        pat.nnz() as u64,
+        n as u64,
+        iters as u64 * pat.nnz() as u64,
+        (n * std::mem::size_of::<f64>()) as u64,
+    );
+    rank
+}
+
+/// Shared power-iteration core. Returns the converged rank vector and
+/// the number of iterations run.
+fn power_iterate(
+    ctx: &OpCtx,
+    pat: &Dcsr<f64>,
+    seed: Vec<f64>,
+    opts: PageRankOpts,
+) -> (Vec<f64>, usize) {
+    let n = seed.len();
+    assert_eq!(pat.nrows(), pat.ncols(), "adjacency must be square");
     let d = opts.damping;
     let base = (1.0 - d) / n as f64;
 
@@ -53,34 +124,34 @@ pub fn pagerank(pat: &Dcsr<f64>, opts: PageRankOpts) -> Vec<f64> {
     // in-edges in increasing source order — the exact f64 addition order
     // of the original row-major scatter loop, so results are
     // bit-identical to it at every thread count.
-    let at = with_default_ctx(|ctx| transpose_ctx(ctx, &apply_ctx(ctx, pat, ZeroNorm(s), s)));
+    let at = transpose_ctx(ctx, &apply_ctx(ctx, pat, ZeroNorm(s), s));
 
-    let mut rank = vec![1.0 / n as f64; n];
+    let mut rank = seed;
     let mut next = vec![0.0f64; n];
     let mut scaled = vec![0.0f64; n];
-    with_default_ctx(|ctx| {
-        for _ in 0..opts.max_iter {
-            // Dangling vertices spread their rank uniformly.
-            let dangling: f64 = (0..n).filter(|&v| outdeg[v] == 0).map(|v| rank[v]).sum();
-            let spread = d * dangling / n as f64;
-            next.iter_mut().for_each(|x| *x = base + spread);
-            // next ← next + scaledᵀ · pattern, gathered over in-edges.
-            for v in 0..n {
-                scaled[v] = if outdeg[v] == 0 {
-                    0.0
-                } else {
-                    d * rank[v] / outdeg[v] as f64
-                };
-            }
-            vxm_dense_pull_ctx(ctx, &scaled, &at, &mut next, s);
-            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-            std::mem::swap(&mut rank, &mut next);
-            if delta < opts.tol {
-                break;
-            }
+    let mut iters = 0usize;
+    for _ in 0..opts.max_iter {
+        iters += 1;
+        // Dangling vertices spread their rank uniformly.
+        let dangling: f64 = (0..n).filter(|&v| outdeg[v] == 0).map(|v| rank[v]).sum();
+        let spread = d * dangling / n as f64;
+        next.iter_mut().for_each(|x| *x = base + spread);
+        // next ← next + scaledᵀ · pattern, gathered over in-edges.
+        for v in 0..n {
+            scaled[v] = if outdeg[v] == 0 {
+                0.0
+            } else {
+                d * rank[v] / outdeg[v] as f64
+            };
         }
-    });
-    rank
+        vxm_dense_pull_ctx(ctx, &scaled, &at, &mut next, s);
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < opts.tol {
+            break;
+        }
+    }
+    (rank, iters)
 }
 
 /// The `k` highest-ranked vertices as `(vertex, rank)`, descending.
@@ -137,5 +208,48 @@ mod tests {
     fn empty_graph() {
         let g = Dcsr::<f64>::empty(0, 0);
         assert!(pagerank(&g, PageRankOpts::default()).is_empty());
+        assert!(pagerank_refresh(&g, &[], PageRankOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn refresh_agrees_with_scratch_after_edge_batch() {
+        let opts = PageRankOpts::default();
+        let old = mk(&[(0, 1), (1, 2), (2, 0), (2, 1)], 5);
+        let prior = pagerank(&old, opts);
+        // A batch of new edges lands; refresh from the stale ranks.
+        let new = mk(&[(0, 1), (1, 2), (2, 0), (2, 1), (3, 4), (4, 0), (0, 3)], 5);
+        let scratch = pagerank(&new, opts);
+        let refreshed = pagerank_refresh(&new, &prior, opts);
+        for (a, b) in scratch.iter().zip(&refreshed) {
+            assert!((a - b).abs() < 1e-7, "scratch {a} vs refresh {b}");
+        }
+        let sum: f64 = refreshed.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_prior_falls_back_to_uniform() {
+        let opts = PageRankOpts::default();
+        let g = mk(&[(0, 1), (1, 2), (2, 0)], 3);
+        // Empty, short, and all-negative priors all converge to the same
+        // fixed point as a cold start.
+        let cold = pagerank(&g, opts);
+        for prior in [&[][..], &[0.5][..], &[-1.0, -2.0, -3.0][..]] {
+            let r = pagerank_refresh(&g, prior, opts);
+            for (a, b) in cold.iter().zip(&r) {
+                assert!((a - b).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_cost_lands_in_kernel_metrics() {
+        let ctx = hypersparse::OpCtx::new();
+        let g = mk(&[(0, 1), (1, 0)], 2);
+        let prior = pagerank(&g, PageRankOpts::default());
+        let _ = pagerank_refresh_ctx(&ctx, &g, &prior, PageRankOpts::default());
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.kernel(Kernel::PageRankRefresh).calls, 1);
+        assert!(snap.kernel(Kernel::PageRankRefresh).nnz_in >= 2);
     }
 }

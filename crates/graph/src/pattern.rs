@@ -7,9 +7,9 @@
 //! semiring. These helpers strip a weighted matrix to its pattern in the
 //! value set each algorithm's semiring wants.
 
-use hypersparse::{Coo, Dcsr};
+use hypersparse::{Coo, Dcsr, OpCtx};
 use semiring::traits::{Semiring, Value};
-use semiring::{AnyPair, MinFirst};
+use semiring::{AnyPair, MinFirst, PlusTimes};
 
 /// Pattern in `u8` (value 1 everywhere) for [`semiring::AnyPair`] BFS.
 pub fn pattern_u8<T: Value>(m: &Dcsr<T>) -> Dcsr<u8> {
@@ -30,13 +30,26 @@ pub fn pattern_u64<T: Value>(m: &Dcsr<T>) -> Dcsr<u64> {
     c.build_dcsr(MinFirst)
 }
 
+/// Pattern in `f64` (value 1 everywhere) for the `+.×` triangle and
+/// PageRank kernels.
+pub fn pattern_f64<T: Value>(m: &Dcsr<T>) -> Dcsr<f64> {
+    let mut c = Coo::new(m.nrows(), m.ncols());
+    for (r, col, _) in m.iter() {
+        c.push(r, col, 1.0f64);
+    }
+    c.build_dcsr(PlusTimes::<f64>::new())
+}
+
 /// `A ⊕ Aᵀ` — make a digraph pattern undirected (self-loops dropped).
 pub fn symmetrize<T: Value, S: Semiring<Value = T>>(m: &Dcsr<T>, s: S) -> Dcsr<T> {
-    hypersparse::with_default_ctx(|ctx| {
-        let t = hypersparse::ops::transpose_ctx(ctx, m);
-        let sym = hypersparse::ops::ewise_add_ctx(ctx, m, &t, s);
-        hypersparse::ops::select_ctx(ctx, &sym, |r, c, _| r != c)
-    })
+    hypersparse::with_default_ctx(|ctx| symmetrize_ctx(ctx, m, s))
+}
+
+/// [`symmetrize`] through an explicit execution context.
+pub fn symmetrize_ctx<T: Value, S: Semiring<Value = T>>(ctx: &OpCtx, m: &Dcsr<T>, s: S) -> Dcsr<T> {
+    let t = hypersparse::ops::transpose_ctx(ctx, m);
+    let sym = hypersparse::ops::ewise_add_ctx(ctx, m, &t, s);
+    hypersparse::ops::select_ctx(ctx, &sym, |r, c, _| r != c)
 }
 
 #[cfg(test)]

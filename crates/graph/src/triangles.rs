@@ -6,24 +6,32 @@
 //! `i > j`, so each triangle is counted exactly once. The fused mask
 //! ([`hypersparse::ops::mxm_masked`]) is what makes this cheap.
 
-use hypersparse::{Dcsr, Ix};
+use hypersparse::{Dcsr, Ix, OpCtx};
 use semiring::{PlusMonoid, PlusTimes};
 
 /// Strictly-lower-triangular part of a pattern.
 pub fn lower_triangle(pat: &Dcsr<f64>) -> Dcsr<f64> {
-    hypersparse::with_default_ctx(|ctx| hypersparse::ops::select_ctx(ctx, pat, |r, c, _| c < r))
+    hypersparse::with_default_ctx(|ctx| lower_triangle_ctx(ctx, pat))
+}
+
+/// [`lower_triangle`] through an explicit execution context.
+pub fn lower_triangle_ctx(ctx: &OpCtx, pat: &Dcsr<f64>) -> Dcsr<f64> {
+    hypersparse::ops::select_ctx(ctx, pat, |r, c, _| c < r)
 }
 
 /// Count triangles in an undirected simple graph given as a symmetric
 /// adjacency (weights are ignored — the pattern is normalized first).
 pub fn triangle_count(sym_pat: &Dcsr<f64>) -> u64 {
+    hypersparse::with_default_ctx(|ctx| triangle_count_ctx(ctx, sym_pat))
+}
+
+/// [`triangle_count`] through an explicit execution context.
+pub fn triangle_count_ctx(ctx: &OpCtx, sym_pat: &Dcsr<f64>) -> u64 {
     let s = PlusTimes::<f64>::new();
-    hypersparse::with_default_ctx(|ctx| {
-        let sym_pat = hypersparse::ops::apply_ctx(ctx, sym_pat, semiring::ZeroNorm(s), s);
-        let l = lower_triangle(&sym_pat);
-        let closed = hypersparse::ops::mxm_masked_ctx(ctx, &l, &l, &l, false, s);
-        hypersparse::ops::reduce_scalar_ctx(ctx, &closed, PlusMonoid::<f64>::default()) as u64
-    })
+    let sym_pat = hypersparse::ops::apply_ctx(ctx, sym_pat, semiring::ZeroNorm(s), s);
+    let l = lower_triangle_ctx(ctx, &sym_pat);
+    let closed = hypersparse::ops::mxm_masked_ctx(ctx, &l, &l, &l, false, s);
+    hypersparse::ops::reduce_scalar_ctx(ctx, &closed, PlusMonoid::<f64>::default()) as u64
 }
 
 /// Per-edge triangle support (number of triangles through each edge of

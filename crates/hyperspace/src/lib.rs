@@ -42,6 +42,7 @@ pub use hyperspace_core as core;
 /// Commonly used items, one `use` away.
 pub mod prelude {
     pub use db::{Pred, PredExpr, ResultSet, Row, Select, SqlError};
+    pub use graph::incremental::{DegreeState, TriangleState};
     pub use hyperspace_core::{Assoc, Key};
     pub use hypersparse::{
         Coo, Dcsr, Format, Matrix, MetricsSnapshot, OpCtx, OpError, SparseVec, StreamConfig,
@@ -51,7 +52,8 @@ pub mod prelude {
         GenConfig, NetflowConfig, NetflowQuery, NetflowResponse, NetflowService, TrafficGen,
     };
     pub use pipeline::{
-        EpochSnapshot, Pipeline, PipelineConfig, PipelineError, SnapshotSink, Stage,
+        EpochSnapshot, IncrementalEpoch, Pipeline, PipelineConfig, PipelineError, SnapshotSink,
+        Stage, StandingView, StandingViewStats,
     };
     pub use semiring::{
         AnyPair, LorLand, MaxMin, MaxPlus, MaxTimes, MinMax, MinPlus, MinTimes, Monoid, PSet,

@@ -52,11 +52,15 @@ pub enum Kernel {
     DnnLayer,
     TopK,
     Rollup,
+    DeltaFold,
+    DeltaDegree,
+    DeltaTri,
+    PageRankRefresh,
 }
 
 impl Kernel {
     /// Every tracked kernel, in registry order.
-    pub const ALL: [Kernel; 24] = [
+    pub const ALL: [Kernel; 28] = [
         Kernel::Mxm,
         Kernel::MxmMasked,
         Kernel::EwiseAdd,
@@ -81,6 +85,10 @@ impl Kernel {
         Kernel::DnnLayer,
         Kernel::TopK,
         Kernel::Rollup,
+        Kernel::DeltaFold,
+        Kernel::DeltaDegree,
+        Kernel::DeltaTri,
+        Kernel::PageRankRefresh,
     ];
 
     /// Stable display name (`mxm`, `ewise_add`, …).
@@ -110,6 +118,10 @@ impl Kernel {
             Kernel::DnnLayer => "dnn_layer",
             Kernel::TopK => "top_k",
             Kernel::Rollup => "rollup",
+            Kernel::DeltaFold => "delta_fold",
+            Kernel::DeltaDegree => "delta_degree",
+            Kernel::DeltaTri => "delta_tri",
+            Kernel::PageRankRefresh => "pagerank_refresh",
         }
     }
 

@@ -10,8 +10,8 @@
 //! the winners — never an `O(n log n)` sort of the whole vector.
 //!
 //! Ordering is total and deterministic: descending by value
-//! (`PartialOrd`; incomparable pairs rank as equal), ties broken by
-//! ascending index. Every entry point records into the
+//! (`PartialOrd`; incomparable values — IEEE NaN — rank strictly last),
+//! ties broken by ascending index. Every entry point records into the
 //! [`Kernel::TopK`] metrics row; the fused `top_k_rows`/`top_k_cols`
 //! forms additionally record their inner reduction under its own kernel,
 //! so flame-graphs and Prometheus keep the two costs separate.
@@ -29,12 +29,30 @@ use crate::ops::reduce::{reduce_cols_ctx, reduce_rows_ctx};
 use crate::vector::SparseVec;
 use crate::Ix;
 
-/// Total order for ranking: larger values first, ties (and incomparable
-/// pairs) broken by smaller index first.
+/// Total order for ranking: larger values first, incomparable values
+/// (IEEE NaN — the only `PartialOrd` incomparables in practice) rank
+/// strictly after every comparable value, ties broken by smaller index
+/// first.
+///
+/// Treating incomparable pairs as `Equal` (the previous behaviour) is
+/// **not** a total order: `select_nth_unstable_by` and `sort_by` require
+/// transitivity, and with `NaN "=" 1.0` and `NaN "=" 9.0` but
+/// `1.0 < 9.0`, a NaN landing near the k-boundary could
+/// nondeterministically displace a genuine heavy hitter. Self-comparison
+/// via `partial_cmp` detects incomparables without requiring `T: Float`.
 fn rank<T: Value + PartialOrd>(a: &(Ix, T), b: &(Ix, T)) -> Ordering {
-    b.1.partial_cmp(&a.1)
-        .unwrap_or(Ordering::Equal)
-        .then_with(|| a.0.cmp(&b.0))
+    let a_nan = a.1.partial_cmp(&a.1).is_none();
+    let b_nan = b.1.partial_cmp(&b.1).is_none();
+    match (a_nan, b_nan) {
+        (true, true) => a.0.cmp(&b.0),
+        (true, false) => Ordering::Greater, // NaN sorts last (after b)
+        (false, true) => Ordering::Less,
+        (false, false) => {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        }
+    }
 }
 
 /// The `k` largest entries of a sparse vector, descending by value with
@@ -147,6 +165,51 @@ mod tests {
         full.sort_by(rank);
         full.truncate(17);
         assert_eq!(top_k(&v, 17), full);
+    }
+
+    #[test]
+    fn nan_ranks_last_and_ordering_is_total() {
+        // NaN must never displace a real heavy hitter, whatever its
+        // position relative to the select_nth k-boundary.
+        let v = vec_of(&[(0, f64::NAN), (1, 9.0), (2, f64::NAN), (3, 4.0), (4, 7.0)]);
+        assert_eq!(top_k(&v, 2), vec![(1, 9.0), (4, 7.0)]);
+        assert_eq!(top_k(&v, 3), vec![(1, 9.0), (4, 7.0), (3, 4.0)]);
+        // Asking for more than the comparable entries: NaNs trail, in
+        // index order — fully deterministic.
+        let all = top_k(&v, 5);
+        assert_eq!(&all[..3], &[(1, 9.0), (4, 7.0), (3, 4.0)]);
+        assert_eq!(all[3].0, 0);
+        assert!(all[3].1.is_nan());
+        assert_eq!(all[4].0, 2);
+        assert!(all[4].1.is_nan());
+
+        // Totality on a larger NaN-riddled vector: result is identical
+        // to a full sort under the same comparator (transitivity means
+        // select_nth + partial sort can't diverge from it).
+        let entries: Vec<(Ix, f64)> = (0..300u64)
+            .map(|i| {
+                let v = if i % 7 == 0 {
+                    f64::NAN
+                } else {
+                    ((i * 2_654_435_761) % 991) as f64
+                };
+                (i, v)
+            })
+            .collect();
+        let v = vec_of(&entries);
+        let mut full = entries.clone();
+        full.sort_by(rank);
+        full.truncate(40);
+        let got = top_k(&v, 40);
+        assert_eq!(got.len(), 40);
+        for (g, f) in got.iter().zip(&full) {
+            assert_eq!(g.0, f.0);
+            assert!(g.1 == f.1 || (g.1.is_nan() && f.1.is_nan()));
+        }
+        assert!(
+            got.iter().all(|(_, v)| !v.is_nan()),
+            "40 < 257 comparable entries, so no NaN may surface"
+        );
     }
 
     #[test]

@@ -13,6 +13,18 @@
 //! hierarchy. Correctness is asserted against a single flat build in the
 //! tests; the insert-rate advantage over per-event rebuilds is what the
 //! cited paper measures.
+//!
+//! # Delta snapshots
+//!
+//! The hierarchy doubles as an *incremental-view* substrate. A snapshot
+//! watermark splits it in two: the **live** levels hold exactly the
+//! entries inserted since the watermark, while a parallel **sealed**
+//! hierarchy holds everything before it. [`StreamingMatrix::delta_snapshot`]
+//! folds the live levels into `Δ(t)`, advances the watermark (cascading
+//! `Δ(t)` into the sealed hierarchy with the same geometric cap
+//! discipline), and returns `Δ(t)` — so `full(t) = full(t−1) ⊕ Δ(t)` by
+//! construction, which is what standing queries ⊕-fold to stay current
+//! in `O(Δ)` instead of recomputing per epoch.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -93,7 +105,13 @@ pub struct StreamingMatrix<S: Semiring> {
     config: StreamConfig,
     buffer: Vec<(Ix, Ix, S::Value)>,
     levels: Vec<Option<Dcsr<S::Value>>>,
+    /// Pre-watermark hierarchy: entries already returned by a
+    /// `delta_snapshot`, kept out of the live levels so the next delta
+    /// is derivable without subtraction (which ⊕ doesn't have).
+    sealed: Vec<Option<Dcsr<S::Value>>>,
     inserted: u64,
+    /// Value of `inserted` when the watermark last advanced.
+    watermark: u64,
     ctx: Option<Arc<OpCtx>>,
 }
 
@@ -115,7 +133,9 @@ impl<S: Semiring> StreamingMatrix<S> {
             config,
             buffer: Vec::with_capacity(config.buffer_cap),
             levels: Vec::new(),
+            sealed: Vec::new(),
             inserted: 0,
+            watermark: 0,
             ctx: None,
         }
     }
@@ -147,6 +167,10 @@ impl<S: Semiring> StreamingMatrix<S> {
         let mut stream = StreamingMatrix::with_config(nrows, ncols, s, config);
         stream.levels = levels;
         stream.inserted = inserted;
+        // Restored streams start with an empty sealed hierarchy: the
+        // first post-restore delta covers everything, so standing views
+        // rebuild from a full snapshot rather than a bogus partial Δ.
+        stream.watermark = inserted;
         stream
     }
 
@@ -257,6 +281,8 @@ impl<S: Semiring> StreamingMatrix<S> {
     pub fn reset(&mut self) {
         self.buffer.clear();
         self.levels.clear();
+        self.sealed.clear();
+        self.watermark = self.inserted;
     }
 
     /// The raw hierarchy: slot `k` holds level `k`'s compressed layer, or
@@ -266,6 +292,22 @@ impl<S: Semiring> StreamingMatrix<S> {
     /// [`StreamingMatrix::flush`] first for a complete picture.
     pub fn level_slots(&self) -> &[Option<Dcsr<S::Value>>] {
         &self.levels
+    }
+
+    /// The sealed (pre-watermark) hierarchy: layers already covered by an
+    /// earlier [`StreamingMatrix::delta_snapshot`]. Empty until the first
+    /// delta is taken. Checkpointing serializes these alongside
+    /// [`StreamingMatrix::level_slots`] so no entries are lost; restore
+    /// rebuilds everything as live levels (fresh delta baseline).
+    pub fn sealed_slots(&self) -> &[Option<Dcsr<S::Value>>] {
+        &self.sealed
+    }
+
+    /// Lifetime insert count at the last watermark advance (delta
+    /// snapshot, reset, or restore). `inserted() - delta_watermark()`
+    /// bounds the nnz of the next delta.
+    pub fn delta_watermark(&self) -> u64 {
+        self.watermark
     }
 
     /// Compact the buffer into level 0 and cascade overfull levels.
@@ -301,15 +343,81 @@ impl<S: Semiring> StreamingMatrix<S> {
         }
     }
 
-    /// Fold the entire hierarchy into one matrix (non-destructive; the
-    /// stream remains usable for further inserts).
+    /// Fold the entire hierarchy — live and sealed — into one matrix
+    /// (non-destructive; the stream remains usable for further inserts).
     pub fn snapshot(&mut self) -> Dcsr<S::Value> {
         self.flush_buffer();
         let mut acc = Dcsr::empty(self.nrows, self.ncols);
-        for level in self.levels.iter().flatten() {
+        for level in self.levels.iter().chain(self.sealed.iter()).flatten() {
             acc = self.merge(&acc, level);
         }
         acc
+    }
+
+    /// Fold the entries inserted since the previous delta (or since
+    /// construction/reset/restore) into one matrix, then advance the
+    /// watermark: the live levels are folded into `Δ`, cleared, and `Δ`
+    /// is cascaded into the sealed hierarchy under the same geometric
+    /// cap discipline — so the invariant `full(t) = full(t−1) ⊕ Δ(t)`
+    /// holds by construction for every ⊕ (exactly, when ⊕ on the value
+    /// type is exact — e.g. integer counts; up to float associativity
+    /// otherwise). Cost is `O(Δ)` amortized, independent of the sealed
+    /// volume. Recorded as [`Kernel::DeltaFold`].
+    pub fn delta_snapshot(&mut self) -> Dcsr<S::Value> {
+        self.flush_buffer();
+        let t = Instant::now();
+        let mut nnz_in = 0u64;
+        let mut delta = Dcsr::empty(self.nrows, self.ncols);
+        for level in self.levels.iter().flatten() {
+            nnz_in += level.nnz() as u64;
+            delta = self.merge(&delta, level);
+        }
+        self.levels.clear();
+        if delta.nnz() > 0 {
+            self.seal(delta.clone());
+        }
+        self.watermark = self.inserted;
+        let record = |ctx: &OpCtx| {
+            ctx.metrics().record(
+                Kernel::DeltaFold,
+                t.elapsed(),
+                nnz_in,
+                delta.nnz() as u64,
+                nnz_in.saturating_sub(delta.nnz() as u64),
+                delta.bytes() as u64,
+            )
+        };
+        match &self.ctx {
+            Some(ctx) => record(ctx),
+            None => with_default_ctx(|ctx| record(ctx)),
+        }
+        delta
+    }
+
+    /// Cascade a freshly sealed delta into the pre-watermark hierarchy,
+    /// mirroring `flush_buffer`'s cap discipline so sealing stays
+    /// amortized-geometric rather than one ever-growing ⊕-merge.
+    fn seal(&mut self, mut carry: Dcsr<S::Value>) {
+        let mut k = 0usize;
+        loop {
+            if self.sealed.len() <= k {
+                self.sealed.push(None);
+            }
+            match self.sealed[k].take() {
+                None => {
+                    self.sealed[k] = Some(carry);
+                    break;
+                }
+                Some(existing) => {
+                    carry = self.merge(&existing, &carry);
+                    if carry.nnz() <= self.config.level_cap(k) {
+                        self.sealed[k] = Some(carry);
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
     }
 
     /// Point lookup across the hierarchy: ⊕-folds every layer's entry
@@ -322,7 +430,7 @@ impl<S: Semiring> StreamingMatrix<S> {
                 Some(a) => self.s.add(a, v),
             });
         };
-        for level in self.levels.iter().flatten() {
+        for level in self.levels.iter().chain(self.sealed.iter()).flatten() {
             if let Some(v) = level.get(row, col) {
                 fold(v.clone());
             }
@@ -335,9 +443,14 @@ impl<S: Semiring> StreamingMatrix<S> {
         acc.filter(|v| !self.s.is_zero(v))
     }
 
-    /// Number of hierarchy levels currently materialized.
+    /// Number of hierarchy levels currently materialized (live plus
+    /// sealed).
     pub fn depth(&self) -> usize {
-        self.levels.iter().filter(|l| l.is_some()).count()
+        self.levels
+            .iter()
+            .chain(self.sealed.iter())
+            .filter(|l| l.is_some())
+            .count()
     }
 }
 
@@ -493,6 +606,65 @@ mod tests {
     #[should_panic(expected = "growth")]
     fn degenerate_growth_rejected() {
         let _ = StreamConfig::new().with_growth(1);
+    }
+
+    #[test]
+    fn delta_snapshot_returns_only_new_entries() {
+        let s = PlusTimes::<u64>::new();
+        let mut stream = StreamingMatrix::new(64, 64, s);
+        stream.insert(1, 1, 10);
+        stream.insert(2, 2, 20);
+        let d1 = stream.delta_snapshot();
+        assert_eq!(d1.get(1, 1), Some(&10));
+        assert_eq!(d1.nnz(), 2);
+        assert_eq!(stream.delta_watermark(), 2);
+
+        stream.insert(3, 3, 30);
+        let d2 = stream.delta_snapshot();
+        assert_eq!(d2.nnz(), 1);
+        assert_eq!(d2.get(3, 3), Some(&30));
+        assert_eq!(d2.get(1, 1), None, "old entries stay sealed");
+
+        // Quiet period: empty delta, full snapshot still complete.
+        assert_eq!(stream.delta_snapshot().nnz(), 0);
+        let full = stream.snapshot();
+        assert_eq!(full.nnz(), 3);
+        assert_eq!(full.get(2, 2), Some(&20));
+    }
+
+    #[test]
+    fn full_snapshot_is_fold_of_deltas() {
+        let s = PlusTimes::<u64>::new();
+        let n = 1u64 << 30;
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = StreamConfig::new().with_buffer_cap(32).with_growth(2);
+        let mut stream = StreamingMatrix::with_config(n, n, s, cfg);
+        let mut folded = Dcsr::empty(n, n);
+        for round in 0..10 {
+            for _ in 0..(round * 37 + 5) {
+                let (r, c) = (rng.gen_range(0..200), rng.gen_range(0..200));
+                stream.insert(r, c, rng.gen_range(1..100u64));
+            }
+            let delta = stream.delta_snapshot();
+            folded = crate::ops::ewise_add(&folded, &delta, s);
+            assert_eq!(stream.snapshot(), folded, "full(t) = fold(⊕, deltas)");
+        }
+    }
+
+    #[test]
+    fn delta_respects_cancellation_and_reset() {
+        let s = PlusTimes::<f64>::new();
+        let mut stream = StreamingMatrix::new(8, 8, s);
+        stream.insert(1, 1, 2.0);
+        stream.insert(1, 1, -2.0);
+        assert_eq!(stream.delta_snapshot().nnz(), 0);
+        stream.insert(2, 2, 1.0);
+        let _ = stream.delta_snapshot();
+        stream.reset();
+        assert_eq!(stream.snapshot().nnz(), 0, "reset clears sealed layers");
+        assert_eq!(stream.delta_watermark(), stream.inserted());
+        stream.insert(3, 3, 4.0);
+        assert_eq!(stream.delta_snapshot().nnz(), 1);
     }
 
     #[test]

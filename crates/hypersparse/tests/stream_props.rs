@@ -80,6 +80,46 @@ proptest! {
     }
 
     #[test]
+    fn full_snapshot_is_fold_of_delta_snapshots(
+        t in events(),
+        delta_cuts in cut_points(),
+        snap_cuts in cut_points(),
+    ) {
+        // Interleave inserts with delta cuts AND plain snapshots at
+        // arbitrary points: the ⊕-fold of every delta (plus the live
+        // tail) must equal the full fold — `full ≡ fold(⊕, deltas)` —
+        // and plain snapshots must never advance the delta cut.
+        let s = PlusTimes::<i64>::new();
+        for config in [
+            StreamConfig::new(),
+            StreamConfig::new().with_buffer_cap(4).with_growth(2),
+            StreamConfig::new().with_buffer_cap(7).with_growth(3),
+        ] {
+            let mut m = StreamingMatrix::with_config(N, N, s, config);
+            let mut folded = Dcsr::<i64>::empty(N, N);
+            for (i, &(r, c, v)) in t.iter().enumerate() {
+                if delta_cuts.contains(&i) {
+                    let delta = m.delta_snapshot();
+                    folded = hypersparse::ops::ewise_add(&folded, &delta, s);
+                    // Invariant at every cut: deltas so far ≡ full fold.
+                    prop_assert_eq!(&folded, &m.snapshot());
+                }
+                if snap_cuts.contains(&i) {
+                    // A plain snapshot observes without cutting.
+                    let _ = m.snapshot();
+                }
+                m.insert(r, c, v);
+            }
+            let tail = m.delta_snapshot();
+            folded = hypersparse::ops::ewise_add(&folded, &tail, s);
+            prop_assert_eq!(&folded, &flat(&t, s));
+            prop_assert_eq!(&folded, &m.snapshot());
+            // After the final cut the next delta is empty.
+            prop_assert_eq!(m.delta_snapshot().nnz(), 0);
+        }
+    }
+
+    #[test]
     fn flush_then_resume_matches_flat_build(t in events(), split in 0..400usize) {
         // An explicit flush mid-stream (as checkpointing does) must be
         // invisible to the final fold.

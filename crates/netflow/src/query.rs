@@ -50,6 +50,19 @@ pub enum NetflowQuery {
         /// How many block pairs to return.
         k: usize,
     },
+    /// Standing horizontal-scan detector: answers from the service's
+    /// incrementally maintained fan-out state (updated `O(Δ)` per
+    /// delta wave) instead of rescanning a window snapshot.
+    StandingScanSuspects {
+        /// Distinct-destination threshold.
+        min_fanout: u64,
+    },
+    /// Standing fan-in-DDoS detector over the incrementally maintained
+    /// fan-in state.
+    StandingDdosVictims {
+        /// Distinct-source threshold.
+        min_fanin: u64,
+    },
 }
 
 impl NetflowQuery {
@@ -62,7 +75,18 @@ impl NetflowQuery {
             NetflowQuery::DdosVictims { .. } => NetflowQueryClass::DdosVictims,
             NetflowQuery::SuspectTraffic { .. } => NetflowQueryClass::Drilldown,
             NetflowQuery::Rollup { .. } => NetflowQueryClass::Rollup,
+            NetflowQuery::StandingScanSuspects { .. } => NetflowQueryClass::StandingScan,
+            NetflowQuery::StandingDdosVictims { .. } => NetflowQueryClass::StandingDdos,
         }
+    }
+
+    /// Whether this query answers from standing (incrementally
+    /// maintained) state rather than a window snapshot.
+    pub fn is_standing(&self) -> bool {
+        matches!(
+            self,
+            NetflowQuery::StandingScanSuspects { .. } | NetflowQuery::StandingDdosVictims { .. }
+        )
     }
 }
 
@@ -81,17 +105,23 @@ pub enum NetflowQueryClass {
     Drilldown,
     /// CIDR block rollups.
     Rollup,
+    /// Standing scan detection (incremental fan-out state).
+    StandingScan,
+    /// Standing DDoS detection (incremental fan-in state).
+    StandingDdos,
 }
 
 impl NetflowQueryClass {
     /// Every class, in histogram-index order.
-    pub const ALL: [NetflowQueryClass; 6] = [
+    pub const ALL: [NetflowQueryClass; 8] = [
         NetflowQueryClass::TopTalkers,
         NetflowQueryClass::TopListeners,
         NetflowQueryClass::ScanSuspects,
         NetflowQueryClass::DdosVictims,
         NetflowQueryClass::Drilldown,
         NetflowQueryClass::Rollup,
+        NetflowQueryClass::StandingScan,
+        NetflowQueryClass::StandingDdos,
     ];
 
     /// Stable lowercase label (the Prometheus `detector` label value).
@@ -103,6 +133,8 @@ impl NetflowQueryClass {
             NetflowQueryClass::DdosVictims => "ddos_victims",
             NetflowQueryClass::Drilldown => "drilldown",
             NetflowQueryClass::Rollup => "rollup",
+            NetflowQueryClass::StandingScan => "standing_scan",
+            NetflowQueryClass::StandingDdos => "standing_ddos",
         }
     }
 
@@ -115,6 +147,8 @@ impl NetflowQueryClass {
             NetflowQueryClass::DdosVictims => 3,
             NetflowQueryClass::Drilldown => 4,
             NetflowQueryClass::Rollup => 5,
+            NetflowQueryClass::StandingScan => 6,
+            NetflowQueryClass::StandingDdos => 7,
         }
     }
 }
@@ -191,14 +225,19 @@ mod tests {
 
     #[test]
     fn classes_have_stable_labels_and_indexes() {
-        assert_eq!(NetflowQueryClass::ALL.len(), 6);
+        assert_eq!(NetflowQueryClass::ALL.len(), 8);
         for (i, c) in NetflowQueryClass::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
         }
         assert_eq!(NetflowQueryClass::ScanSuspects.to_string(), "scan_suspects");
+        assert_eq!(NetflowQueryClass::StandingScan.to_string(), "standing_scan");
         assert_eq!(
             NetflowQuery::Rollup { prefix: 16, k: 5 }.class(),
             NetflowQueryClass::Rollup
         );
+        let standing = NetflowQuery::StandingDdosVictims { min_fanin: 3 };
+        assert!(standing.is_standing());
+        assert_eq!(standing.class(), NetflowQueryClass::StandingDdos);
+        assert!(!NetflowQuery::TopTalkers { k: 1 }.is_standing());
     }
 }

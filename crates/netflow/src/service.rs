@@ -18,13 +18,15 @@
 //! a fixed event order at any shard count — so detector output is too
 //! (the property suite proves it at 1/2/4 shards).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+use graph::incremental::DegreeState;
 use hyperspace_core::cidr::{self, RollupAxes};
 use hypersparse::ops as kernels;
 use hypersparse::{Dcsr, Ix, OpCtx};
-use pipeline::{EpochSnapshot, PipelineConfig};
+use pipeline::{EpochSnapshot, PipelineConfig, StandingView};
 use semiring::{PlusMonoid, PlusTimes};
 use serve::{QueryServer, ViewSchema};
 
@@ -32,7 +34,7 @@ use crate::error::NetflowError;
 use crate::gen::FlowEvent;
 use crate::metrics::{NetflowMetrics, NetflowMetricsSnapshot};
 use crate::query::{NetflowBody, NetflowQuery, NetflowResponse};
-use crate::window::{TrafficSemiring, TrafficWindows};
+use crate::window::{TrafficSemiring, TrafficWindows, IP_SPACE};
 
 /// Service parameters.
 #[derive(Clone, Debug)]
@@ -96,6 +98,56 @@ pub struct WindowReport {
     pub ddos_victims: Vec<(String, u64)>,
 }
 
+/// The incrementally maintained detector state behind the
+/// `Standing*` query classes: one [`DegreeState`] folding every delta
+/// wave the pipeline publishes, registered as a [`StandingView`] so it
+/// updates at snapshot cuts (and the final cut of a closing window)
+/// and resets when the window rotates. Answering a standing detector
+/// query is then a threshold scan of maintained degrees — `O(Δ)` per
+/// epoch instead of rescanning the accumulated window.
+struct StandingDetectors {
+    state: Mutex<DegreeState>,
+    /// Epoch of the last absorbed delta (what standing answers are
+    /// stamped with).
+    epoch: AtomicU64,
+    /// Shared with the service's detector context, so `DeltaDegree`
+    /// cost lands in the same kernel registry as the scratch detectors.
+    ctx: Arc<OpCtx>,
+}
+
+impl StandingDetectors {
+    fn new(ctx: Arc<OpCtx>) -> Self {
+        StandingDetectors {
+            state: Mutex::new(DegreeState::new(IP_SPACE, IP_SPACE)),
+            epoch: AtomicU64::new(0),
+            ctx,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, DegreeState> {
+        // A panic mid-detector cannot leave the degree state torn
+        // (apply_delta mutates through &mut but each field assignment
+        // is whole-value), so recover the guard rather than poisoning
+        // every later query.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+impl StandingView<TrafficSemiring> for StandingDetectors {
+    fn apply_delta(&self, delta: &EpochSnapshot<TrafficSemiring>) {
+        self.lock().apply_delta_ctx(&self.ctx, delta.dcsr());
+        self.epoch.store(delta.epoch(), Ordering::Release);
+    }
+
+    fn reset(&self) {
+        self.lock().reset();
+    }
+}
+
 /// The end-to-end netflow analytics service.
 pub struct NetflowService {
     windows: TrafficWindows,
@@ -103,13 +155,15 @@ pub struct NetflowService {
     metrics: NetflowMetrics,
     /// Detector kernels run through this context: one metrics registry
     /// for every reduce/top-k/select/rollup the query surface performs.
-    ctx: OpCtx,
+    ctx: Arc<OpCtx>,
+    standing: Arc<StandingDetectors>,
     config: NetflowConfig,
 }
 
 impl NetflowService {
-    /// Launch a service: spawns the pipeline shards and wires the
-    /// serving registry to window closure.
+    /// Launch a service: spawns the pipeline shards, wires the serving
+    /// registry to window closure, and registers the standing detector
+    /// state for delta-wave maintenance.
     pub fn new(config: NetflowConfig) -> Self {
         let windows = TrafficWindows::new(config.pipeline);
         let server = Arc::new(QueryServer::with_capacity(
@@ -118,11 +172,18 @@ impl NetflowService {
             ViewSchema::netflow(),
         ));
         server.attach(windows.pipeline());
+        let ctx = Arc::new(OpCtx::new());
+        let standing = Arc::new(StandingDetectors::new(Arc::clone(&ctx)));
+        windows.register_standing_query(
+            "detectors",
+            Arc::clone(&standing) as Arc<dyn StandingView<TrafficSemiring>>,
+        );
         NetflowService {
             windows,
             server,
             metrics: NetflowMetrics::default(),
-            ctx: OpCtx::new(),
+            ctx,
+            standing,
             config: NetflowConfig {
                 pipeline: config.pipeline,
                 ..config
@@ -149,6 +210,14 @@ impl NetflowService {
         Ok(snap)
     }
 
+    /// Advance the standing views without closing the window: one
+    /// incremental marker wave — the full cut publishes into the
+    /// serving registry (queryable like any refresh), the delta folds
+    /// into every standing view. Returns `(epoch, delta_nnz)`.
+    pub fn refresh(&self) -> Result<(u64, u64), NetflowError> {
+        Ok(self.server.refresh_incremental(self.windows.pipeline())?)
+    }
+
     /// The embedded query server: SQL / select / neighbor / group-count
     /// queries over closed windows under the netflow schema.
     pub fn server(&self) -> &QueryServer<TrafficSemiring> {
@@ -156,7 +225,12 @@ impl NetflowService {
     }
 
     /// Answer a typed netflow query against the newest closed window.
+    /// Standing-query classes answer from maintained state and need no
+    /// published window at all.
     pub fn query(&self, q: &NetflowQuery) -> Result<NetflowResponse, NetflowError> {
+        if let Some(resp) = self.answer_standing(q) {
+            return Ok(resp);
+        }
         let view = self
             .server
             .pin_latest()
@@ -184,6 +258,9 @@ impl NetflowService {
         snap: &Arc<EpochSnapshot<TrafficSemiring>>,
         q: &NetflowQuery,
     ) -> NetflowResponse {
+        if let Some(resp) = self.answer_standing(q) {
+            return resp;
+        }
         let class = q.class();
         let t = Instant::now();
         let a = snap.dcsr();
@@ -197,6 +274,29 @@ impl NetflowService {
             epoch: snap.epoch(),
             body,
         }
+    }
+
+    /// Answer the standing detector classes from maintained state (no
+    /// window snapshot involved; the epoch stamp is the last delta
+    /// wave's). Returns `None` for snapshot-backed queries.
+    fn answer_standing(&self, q: &NetflowQuery) -> Option<NetflowResponse> {
+        let t = Instant::now();
+        let ip = |i: Ix| cidr::ip_key(i as u32);
+        let flagged = match *q {
+            NetflowQuery::StandingScanSuspects { min_fanout } => {
+                self.standing.lock().scan_suspects(min_fanout)
+            }
+            NetflowQuery::StandingDdosVictims { min_fanin } => {
+                self.standing.lock().ddos_victims(min_fanin)
+            }
+            _ => return None,
+        };
+        self.metrics
+            .record_query(q.class(), t.elapsed(), flagged.len() as u64);
+        Some(NetflowResponse {
+            epoch: self.standing.epoch(),
+            body: NetflowBody::Flagged(flagged.into_iter().map(|(i, d)| (ip(i), d)).collect()),
+        })
     }
 
     /// The kernel dispatch: every arm runs `_ctx` kernels on the
@@ -260,6 +360,10 @@ impl NetflowService {
                         })
                         .collect(),
                 )
+            }
+            NetflowQuery::StandingScanSuspects { .. }
+            | NetflowQuery::StandingDdosVictims { .. } => {
+                unreachable!("standing queries answer from maintained state before dispatch")
             }
         }
     }
@@ -465,6 +569,74 @@ mod tests {
                 .calls
                 >= 1
         );
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn standing_detectors_fold_deltas_and_reset_on_rotation() {
+        let svc = NetflowService::new(
+            NetflowConfig::new()
+                .with_pipeline(PipelineConfig::new().with_shards(2))
+                .with_thresholds(3, 3),
+        );
+        // Wave 1: a scanner warming up (2 distinct destinations).
+        svc.ingest(&[(7, 100, 1), (7, 101, 1), (1, 2, 5)]).unwrap();
+        let (epoch1, delta1) = svc.refresh().unwrap();
+        assert_eq!(delta1, 3, "first wave's delta covers everything");
+        let none = svc
+            .query(&NetflowQuery::StandingScanSuspects { min_fanout: 3 })
+            .unwrap();
+        assert_eq!(none.epoch, epoch1);
+        assert!(none.body.as_flagged().unwrap().is_empty());
+
+        // Wave 2: the scanner crosses the threshold; a DDoS converges.
+        svc.ingest(&[(7, 102, 1), (7, 100, 9), (3, 50, 1), (4, 50, 1), (5, 50, 1)])
+            .unwrap();
+        let (epoch2, delta2) = svc.refresh().unwrap();
+        // The repeat flow (7,100) reappears in the delta (it ⊕-merges
+        // into the full view); the degree state must *not* recount it.
+        assert_eq!(delta2, 5);
+        let scans = svc
+            .query(&NetflowQuery::StandingScanSuspects { min_fanout: 3 })
+            .unwrap();
+        assert_eq!(scans.epoch, epoch2);
+        assert_eq!(
+            scans.body.as_flagged().unwrap(),
+            &[("000.000.000.007".to_string(), 3)]
+        );
+        // The standing answer matches the scratch detector on the same
+        // published cut, order included.
+        let scratch = svc
+            .query(&NetflowQuery::ScanSuspects { min_fanout: 3 })
+            .unwrap();
+        assert_eq!(scans.body, scratch.body);
+        let ddos = svc
+            .query(&NetflowQuery::StandingDdosVictims { min_fanin: 3 })
+            .unwrap();
+        assert_eq!(
+            ddos.body.as_flagged().unwrap(),
+            &[("000.000.000.050".to_string(), 3)]
+        );
+
+        // Rotation: the closing delta folds (exactly once), then the
+        // standing state resets with the window.
+        svc.close_window().unwrap();
+        let after = svc
+            .query(&NetflowQuery::StandingScanSuspects { min_fanout: 1 })
+            .unwrap();
+        assert!(after.body.as_flagged().unwrap().is_empty());
+
+        // Delta maintenance billed to the shared kernel registry.
+        let dd = svc
+            .kernel_metrics()
+            .kernel(hypersparse::Kernel::DeltaDegree);
+        assert!(dd.calls >= 3, "two refresh waves + the closing delta");
+
+        // The standing view's latency histogram rides the pipeline
+        // exposition; the new detector classes ride the netflow one.
+        let text = svc.render_prometheus();
+        assert!(text.contains("pipeline_standing_updates_total{view=\"detectors\"}"));
+        assert!(text.contains("detector=\"standing_scan\""));
         svc.shutdown().unwrap();
     }
 

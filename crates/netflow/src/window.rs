@@ -14,7 +14,10 @@
 use std::sync::Arc;
 
 use hypersparse::Ix;
-use pipeline::{EpochSnapshot, Pipeline, PipelineConfig, PipelineError, SnapshotSink};
+use pipeline::{
+    EpochSnapshot, IncrementalEpoch, Pipeline, PipelineConfig, PipelineError, SnapshotSink,
+    StandingView,
+};
 use semiring::PlusTimes;
 
 use crate::gen::FlowEvent;
@@ -62,6 +65,24 @@ impl TrafficWindows {
         self.pipeline.snapshot_shared()
     }
 
+    /// Incremental peek: full view plus the delta since the previous
+    /// delta cut, both at the same marker wave. Registered standing
+    /// views absorb the delta on the way; the window stays open.
+    pub fn refresh(&self) -> Result<IncrementalEpoch<TrafficSemiring>, PipelineError> {
+        self.pipeline.snapshot_incremental()
+    }
+
+    /// Register a standing view: it folds every later delta wave
+    /// (including a closing window's final delta) and resets when the
+    /// window rotates.
+    pub fn register_standing_query(
+        &self,
+        name: impl Into<String>,
+        view: Arc<dyn StandingView<TrafficSemiring>>,
+    ) {
+        self.pipeline.register_standing_query(name, view);
+    }
+
     /// Subscribe a sink (e.g. a [`serve::SnapshotRegistry`]) to closed
     /// windows.
     pub fn add_sink(&self, sink: Arc<dyn SnapshotSink<TrafficSemiring>>) {
@@ -96,6 +117,22 @@ mod tests {
         assert_eq!(second.get(10, 20), Some(&7), "window reset between epochs");
         assert_eq!(second.nnz(), 1);
         assert_eq!(second.epoch(), first.epoch() + 1);
+        w.shutdown().unwrap();
+    }
+
+    #[test]
+    fn refresh_reports_deltas_without_closing() {
+        let w = TrafficWindows::new(PipelineConfig::new().with_shards(2));
+        w.ingest(&[(1, 2, 1), (3, 4, 1)]).unwrap();
+        let first = w.refresh().unwrap();
+        assert_eq!(first.full.nnz(), 2);
+        assert_eq!(first.delta.nnz(), 2, "first delta covers everything");
+        w.ingest(&[(5, 6, 1)]).unwrap();
+        let second = w.refresh().unwrap();
+        assert_eq!(second.full.nnz(), 3);
+        assert_eq!(second.delta.nnz(), 1, "later deltas see only new entries");
+        // The window never closed: everything lands in one rotation.
+        assert_eq!(w.close().unwrap().nnz(), 3);
         w.shutdown().unwrap();
     }
 

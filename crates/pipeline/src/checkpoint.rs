@@ -102,7 +102,13 @@ where
     S::Value: PodValue,
 {
     debug_assert_eq!(stream.buffered(), 0, "flush before encoding");
-    let slots = stream.level_slots();
+    // Live levels first, then the sealed (pre-delta-watermark) layers:
+    // both hold real entries and a restored shard must fold to the same
+    // matrix. Decode rebuilds everything as live levels — restore resets
+    // the delta watermark, so standing views rebuild from a full
+    // snapshot after a restore rather than trusting a partial Δ.
+    let slots = stream.level_slots().iter().chain(stream.sealed_slots());
+    let n_slots = stream.level_slots().len() + stream.sealed_slots().len();
     let mut out = Vec::new();
     out.extend_from_slice(&SHARD_MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -110,7 +116,7 @@ where
     put_u64(&mut out, stream.nrows());
     put_u64(&mut out, stream.ncols());
     put_u64(&mut out, stream.inserted());
-    put_u64(&mut out, slots.len() as u64);
+    put_u64(&mut out, n_slots as u64);
     for slot in slots {
         match slot {
             None => out.push(0),
@@ -219,7 +225,7 @@ where
     let ncols = cur.u64()?;
     let inserted = cur.u64()?;
     let n_slots = cur.u64()?;
-    if n_slots > 64 {
+    if n_slots > 128 {
         return Err(PipelineError::corrupt(
             path,
             format!("implausible hierarchy depth {n_slots}"),
@@ -570,6 +576,27 @@ mod tests {
             decode_shard(&bytes, Path::new("mem"), PlusTimes::<f64>::new(), cfg).unwrap();
         assert_eq!(back.inserted(), stream.inserted());
         assert_eq!(back.snapshot(), stream.snapshot());
+    }
+
+    #[test]
+    fn sealed_layers_survive_encode_decode() {
+        let mut stream = sample_stream(14);
+        // Seal everything behind the delta watermark, then add more.
+        let _ = stream.delta_snapshot();
+        for i in 0..100u64 {
+            stream.insert(i, i, 1.0);
+        }
+        stream.flush();
+        assert!(stream.sealed_slots().iter().any(Option::is_some));
+
+        let bytes = encode_shard(&stream);
+        let cfg = stream.config();
+        let mut back =
+            decode_shard(&bytes, Path::new("mem"), PlusTimes::<f64>::new(), cfg).unwrap();
+        assert_eq!(back.snapshot(), stream.snapshot());
+        // Restore resets the delta baseline: the first post-restore
+        // delta is the complete fold, not a partial window.
+        assert_eq!(back.delta_snapshot(), stream.snapshot());
     }
 
     #[test]

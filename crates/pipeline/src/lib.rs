@@ -30,9 +30,16 @@
 //!   [`Pipeline::restore`] (and [`Pipeline::restore_with_fallback`])
 //!   rebuilds the exact epoch state, detecting truncation and bit-rot
 //!   as typed [`PipelineError::Corrupt`] values.
+//! * **Standing queries** — [`Pipeline::register_standing_query`]
+//!   attaches a [`StandingView`] that
+//!   [`Pipeline::snapshot_incremental`] keeps current by feeding it each
+//!   epoch's **delta** (entries since the previous cut) instead of
+//!   recomputing from scratch — `full(t) = full(t−1) ⊕ delta(t)` by
+//!   construction, `O(Δ)` maintenance per wave.
 //! * **Observability** — service counters ([`PipelineMetrics`]) plus
 //!   per-shard kernel registries (`stream_merge`, `ewise_add`, …)
-//!   merged via [`metrics::merge_kernel_snapshots`].
+//!   merged via [`metrics::merge_kernel_snapshots`], and per-view
+//!   `pipeline_standing_*` series for standing queries.
 //!
 //! ```
 //! use pipeline::{Pipeline, PipelineConfig};
@@ -63,6 +70,7 @@ pub mod router;
 pub(crate) mod shard;
 pub mod sink;
 pub mod snapshot;
+pub mod standing;
 pub mod value;
 
 pub use checkpoint::Manifest;
@@ -71,5 +79,6 @@ pub use error::PipelineError;
 pub use metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot, Stage};
 pub use router::Pipeline;
 pub use sink::SnapshotSink;
-pub use snapshot::EpochSnapshot;
+pub use snapshot::{EpochSnapshot, IncrementalEpoch};
+pub use standing::{StandingView, StandingViewStats};
 pub use value::PodValue;

@@ -39,11 +39,13 @@ pub enum Stage {
     Checkpoint,
     /// Restoring pipeline state from a checkpoint.
     Restore,
+    /// Applying one epoch's delta to every registered standing view.
+    StandingUpdate,
 }
 
 impl Stage {
     /// Every stage, in histogram-index order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Ingest,
         Stage::Route,
         Stage::ShardMerge,
@@ -51,6 +53,7 @@ impl Stage {
         Stage::Rotate,
         Stage::Checkpoint,
         Stage::Restore,
+        Stage::StandingUpdate,
     ];
 
     /// Stable lower-snake name used as the `stage` label value.
@@ -63,6 +66,7 @@ impl Stage {
             Stage::Rotate => "rotate",
             Stage::Checkpoint => "checkpoint",
             Stage::Restore => "restore",
+            Stage::StandingUpdate => "standing_update",
         }
     }
 }

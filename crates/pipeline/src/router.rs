@@ -17,7 +17,8 @@ use crate::error::PipelineError;
 use crate::metrics::{merge_kernel_snapshots, PipelineMetrics, PipelineMetricsSnapshot, Stage};
 use crate::shard::{Command, Shard};
 use crate::sink::SnapshotSink;
-use crate::snapshot::EpochSnapshot;
+use crate::snapshot::{EpochSnapshot, IncrementalEpoch};
+use crate::standing::{StandingRegistry, StandingView, StandingViewStats};
 use crate::value::PodValue;
 
 /// A sharded streaming ingest/query service over one `nrows × ncols`
@@ -53,6 +54,8 @@ where
     assemble_ctx: OpCtx,
     /// Subscribers to [`Pipeline::snapshot_shared`] publication.
     sinks: Mutex<Vec<Arc<dyn SnapshotSink<S>>>>,
+    /// Standing views maintained from epoch deltas.
+    standing: StandingRegistry<S>,
 }
 
 impl<S: Semiring> Pipeline<S>
@@ -100,6 +103,7 @@ where
             metrics,
             assemble_ctx: OpCtx::new().with_threads(config.merge_threads),
             sinks: Mutex::new(Vec::new()),
+            standing: StandingRegistry::default(),
         }
     }
 
@@ -247,6 +251,12 @@ where
     ///
     /// `events()` on the result is the *cumulative* accepted count at
     /// the cut (monotone across windows), not the per-window count.
+    ///
+    /// Standing views registered via
+    /// [`Pipeline::register_standing_query`] observe rotation as
+    /// `apply_delta` (the closing window's tail — entries since the last
+    /// marker wave) followed by `reset`, so every event of the closed
+    /// window reached them exactly once before the state clears.
     pub fn rotate(&self) -> Result<EpochSnapshot<S>, PipelineError> {
         let t = Instant::now();
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
@@ -266,11 +276,22 @@ where
             replies.push(rx);
         }
         let mut parts = Vec::with_capacity(replies.len());
+        let mut delta_parts = Vec::with_capacity(replies.len());
         for (i, rx) in replies.into_iter().enumerate() {
-            parts.push(
-                rx.recv()
-                    .map_err(|_| PipelineError::ShardTerminated { shard: i })?,
-            );
+            let (closing, delta) = rx
+                .recv()
+                .map_err(|_| PipelineError::ShardTerminated { shard: i })?;
+            parts.push(closing);
+            delta_parts.push(delta);
+        }
+        if !self.standing.is_empty() {
+            let ut = Instant::now();
+            let delta =
+                EpochSnapshot::assemble(epoch, events, &self.assemble_ctx, delta_parts, self.s);
+            self.standing.apply(&delta);
+            self.standing.reset_all();
+            self.metrics
+                .record_stage(Stage::StandingUpdate, ut.elapsed());
         }
         let snap = EpochSnapshot::assemble(epoch, events, &self.assemble_ctx, parts, self.s);
         self.metrics.record_stage(Stage::Rotate, t.elapsed());
@@ -282,7 +303,10 @@ where
     /// [`Pipeline::snapshot_shared`].
     pub fn rotate_shared(&self) -> Result<Arc<EpochSnapshot<S>>, PipelineError> {
         let snap = Arc::new(self.rotate()?);
-        let sinks = self.sinks.lock().expect("sink registry poisoned");
+        // Recover, don't propagate, poisoning: the registry Vec is
+        // always structurally valid, and a sink that panicked mid-publish
+        // must not take down every later rotation.
+        let sinks = self.sinks.lock().unwrap_or_else(|e| e.into_inner());
         for sink in sinks.iter() {
             sink.publish(&snap);
         }
@@ -296,7 +320,7 @@ where
     pub fn add_snapshot_sink(&self, sink: Arc<dyn SnapshotSink<S>>) {
         self.sinks
             .lock()
-            .expect("sink registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(sink);
     }
 
@@ -307,11 +331,96 @@ where
     /// concurrent readers.
     pub fn snapshot_shared(&self) -> Result<Arc<EpochSnapshot<S>>, PipelineError> {
         let snap = Arc::new(self.snapshot()?);
-        let sinks = self.sinks.lock().expect("sink registry poisoned");
+        let sinks = self.sinks.lock().unwrap_or_else(|e| e.into_inner());
         for sink in sinks.iter() {
             sink.publish(&snap);
         }
         Ok(snap)
+    }
+
+    // -- standing queries ----------------------------------------------
+
+    /// Register a [`StandingView`] to be maintained incrementally: every
+    /// subsequent [`Pipeline::snapshot_incremental`] feeds it the
+    /// epoch's delta, and [`Pipeline::rotate`] feeds it the closing
+    /// delta before calling its `reset`. `name` labels the view's
+    /// `pipeline_standing_*` metric series.
+    pub fn register_standing_query(&self, name: impl Into<String>, view: Arc<dyn StandingView<S>>) {
+        self.standing.register(name.into(), view);
+    }
+
+    /// Per-view meters (update counts, last epoch, latency), in
+    /// registration order.
+    pub fn standing_stats(&self) -> Vec<StandingViewStats> {
+        self.standing.stats()
+    }
+
+    /// Take an incremental snapshot: one marker wave yields, per shard,
+    /// both the full fold and the **delta** (entries inserted since the
+    /// previous delta cut) at the same point in the stream. The two are
+    /// ⊕-assembled into a same-epoch [`IncrementalEpoch`]; every
+    /// registered standing view absorbs the delta (metered under
+    /// [`Stage::StandingUpdate`]), and the full snapshot is published to
+    /// sinks exactly like [`Pipeline::snapshot_shared`].
+    ///
+    /// Invariant (proved by the `incremental_props` suite): the full
+    /// snapshot of wave `t` equals the ⊕-fold of all deltas up to `t`,
+    /// so a view that folds deltas is always equal to the same
+    /// computation run from scratch on `full`.
+    pub fn snapshot_incremental(&self) -> Result<IncrementalEpoch<S>, PipelineError> {
+        let t = Instant::now();
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let _span = self
+            .assemble_ctx
+            .trace()
+            .span("snapshot_delta", || format!("epoch {epoch}"));
+        let events = self.metrics.snapshot().events_ingested;
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            self.metrics.depth_inc(i);
+            if let Err(e) = shard.send(i, Command::SnapshotDelta { reply: tx }) {
+                self.metrics.depth_dec(i);
+                return Err(e);
+            }
+            replies.push(rx);
+        }
+        let mut full_parts = Vec::with_capacity(replies.len());
+        let mut delta_parts = Vec::with_capacity(replies.len());
+        for (i, rx) in replies.into_iter().enumerate() {
+            let (full, delta) = rx
+                .recv()
+                .map_err(|_| PipelineError::ShardTerminated { shard: i })?;
+            full_parts.push(full);
+            delta_parts.push(delta);
+        }
+        let full = Arc::new(EpochSnapshot::assemble(
+            epoch,
+            events,
+            &self.assemble_ctx,
+            full_parts,
+            self.s,
+        ));
+        let delta = Arc::new(EpochSnapshot::assemble(
+            epoch,
+            events,
+            &self.assemble_ctx,
+            delta_parts,
+            self.s,
+        ));
+        self.metrics.record_snapshot(t.elapsed());
+        self.metrics.record_stage(Stage::Snapshot, t.elapsed());
+
+        let ut = Instant::now();
+        self.standing.apply(&delta);
+        self.metrics
+            .record_stage(Stage::StandingUpdate, ut.elapsed());
+
+        let sinks = self.sinks.lock().unwrap_or_else(|e| e.into_inner());
+        for sink in sinks.iter() {
+            sink.publish(&full);
+        }
+        Ok(IncrementalEpoch { full, delta })
     }
 
     // -- checkpoint / restore -------------------------------------------
@@ -591,10 +700,12 @@ where
     }
 
     /// The full Prometheus text exposition: service counters and stage
-    /// latency histograms, followed by the kernel counters and latency
+    /// latency histograms, per-standing-view series (when views are
+    /// registered), followed by the kernel counters and latency
     /// histograms merged across every shard and the assembler.
     pub fn render_prometheus(&self) -> String {
         let mut out = self.metrics_snapshot().render_prometheus();
+        out.push_str(&self.standing.render_prometheus());
         out.push_str(&self.kernel_metrics().render_prometheus());
         out
     }
@@ -719,6 +830,124 @@ mod tests {
         // though ingest continued: it still sees exactly one event.
         assert_eq!(held[0].nnz(), 1);
         assert_eq!(held[1].nnz(), 2);
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn panicking_sink_does_not_kill_the_pipeline() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::AtomicBool;
+
+        let p = Pipeline::new(64, 64, PlusTimes::<f64>::new());
+        // A sink that panics on its first publication only.
+        let armed = Arc::new(AtomicBool::new(true));
+        let sink = {
+            let armed = Arc::clone(&armed);
+            move |_snap: &Arc<EpochSnapshot<PlusTimes<f64>>>| {
+                if armed.swap(false, Ordering::SeqCst) {
+                    panic!("sink exploded mid-publish");
+                }
+            }
+        };
+        p.add_snapshot_sink(Arc::new(sink));
+
+        p.ingest(1, 2, 3.0).unwrap();
+        // The panic unwinds through snapshot_shared while the sinks
+        // mutex is held, poisoning it.
+        let r = catch_unwind(AssertUnwindSafe(|| p.snapshot_shared()));
+        assert!(r.is_err(), "the sink's panic must propagate to the caller");
+
+        // Regression: the pipeline must survive the poisoned registry —
+        // ingest, snapshot publication, rotation, and new registrations
+        // all keep working.
+        p.ingest(4, 5, 6.0).unwrap();
+        let snap = p.snapshot_shared().expect("snapshot after poisoning");
+        assert_eq!(snap.nnz(), 2);
+        p.add_snapshot_sink(Arc::new(|_: &Arc<EpochSnapshot<PlusTimes<f64>>>| {}));
+        let w = p.rotate_shared().expect("rotate after poisoning");
+        assert_eq!(w.nnz(), 2);
+        p.shutdown().unwrap();
+    }
+
+    /// A standing view that ⊕-folds delta entry values into a sum.
+    #[derive(Default)]
+    struct SumView {
+        sum: Mutex<f64>,
+        resets: AtomicU64,
+    }
+
+    impl StandingView<PlusTimes<f64>> for SumView {
+        fn apply_delta(&self, delta: &EpochSnapshot<PlusTimes<f64>>) {
+            let add: f64 = delta.dcsr().iter().map(|(_, _, v)| *v).sum();
+            *self.sum.lock().unwrap() += add;
+        }
+        fn reset(&self) {
+            *self.sum.lock().unwrap() = 0.0;
+            self.resets.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn standing_view_folds_deltas_and_matches_full() {
+        let config = PipelineConfig::new().with_shards(2);
+        let p = Pipeline::with_config(1 << 10, 1 << 10, PlusTimes::<f64>::new(), config);
+        let view = Arc::new(SumView::default());
+        p.register_standing_query("sum", Arc::clone(&view) as Arc<dyn StandingView<_>>);
+
+        p.ingest(1, 2, 3.0).unwrap();
+        p.ingest(9, 9, 4.0).unwrap();
+        let w1 = p.snapshot_incremental().unwrap();
+        assert_eq!(w1.full.epoch(), w1.delta.epoch());
+        assert_eq!(w1.delta.nnz(), 2);
+        assert_eq!(*view.sum.lock().unwrap(), 7.0);
+
+        // Second wave: only the new entry appears in the delta; the view
+        // total still matches the full snapshot's fold.
+        p.ingest(5, 5, 10.0).unwrap();
+        let w2 = p.snapshot_incremental().unwrap();
+        assert_eq!(w2.delta.nnz(), 1);
+        assert_eq!(w2.full.nnz(), 3);
+        let full_sum: f64 = w2.full.dcsr().iter().map(|(_, _, v)| *v).sum();
+        assert_eq!(*view.sum.lock().unwrap(), full_sum);
+
+        // Rotation delivers the closing tail, then resets the view.
+        p.ingest(7, 7, 100.0).unwrap();
+        let closed = p.rotate().unwrap();
+        assert_eq!(closed.nnz(), 4);
+        assert_eq!(view.resets.load(Ordering::Relaxed), 1);
+        assert_eq!(*view.sum.lock().unwrap(), 0.0);
+        assert_eq!(p.standing_stats()[0].updates, 3, "two waves + one rotation");
+
+        // The fresh window's deltas start from zero again.
+        p.ingest(1, 1, 2.5).unwrap();
+        let w3 = p.snapshot_incremental().unwrap();
+        assert_eq!(w3.delta.nnz(), 1);
+        assert_eq!(*view.sum.lock().unwrap(), 2.5);
+
+        let text = p.render_prometheus();
+        assert!(text.contains("pipeline_standing_updates_total{view=\"sum\"} 4"));
+        assert!(text.contains("pipeline_standing_update_seconds_bucket{view=\"sum\""));
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn incremental_and_plain_snapshots_interleave_consistently() {
+        let p = Pipeline::new(64, 64, PlusTimes::<f64>::new());
+        p.ingest(0, 0, 1.0).unwrap();
+        let w1 = p.snapshot_incremental().unwrap();
+        assert_eq!(
+            w1.full.dcsr(),
+            w1.delta.dcsr(),
+            "first delta is the full fold"
+        );
+        // A plain snapshot between waves does not advance the delta cut.
+        p.ingest(0, 1, 2.0).unwrap();
+        let plain = p.snapshot().unwrap();
+        assert_eq!(plain.nnz(), 2);
+        p.ingest(0, 2, 3.0).unwrap();
+        let w2 = p.snapshot_incremental().unwrap();
+        assert_eq!(w2.delta.nnz(), 2, "delta spans back to the last delta cut");
+        assert_eq!(w2.full.nnz(), 3);
         p.shutdown().unwrap();
     }
 

@@ -25,6 +25,10 @@ use crate::error::PipelineError;
 use crate::metrics::{PipelineMetrics, Stage};
 use crate::value::PodValue;
 
+/// Reply payload for marker commands that cut a delta: the shard's
+/// complete fold paired with the entries since the previous watermark.
+pub(crate) type FullAndDelta<S> = (Dcsr<<S as Semiring>::Value>, Dcsr<<S as Semiring>::Value>);
+
 /// One message on a shard's command channel.
 pub(crate) enum Command<S: Semiring> {
     /// A single event (the common `ingest` path — no per-event Vec).
@@ -37,14 +41,25 @@ pub(crate) enum Command<S: Semiring> {
         /// Where to deliver the fold.
         reply: Sender<Dcsr<S::Value>>,
     },
+    /// Incremental snapshot marker: advance the shard's delta watermark
+    /// and reply with `(full, delta)` — the complete fold *and* the
+    /// entries inserted since the previous watermark, cut at the same
+    /// point in the stream so `full(t) = full(t−1) ⊕ delta(t)` holds
+    /// across marker waves.
+    SnapshotDelta {
+        /// Where to deliver `(full fold, delta fold)`.
+        reply: Sender<FullAndDelta<S>>,
+    },
     /// Window-rotation marker: fold the hierarchy as of this point in
     /// the stream, reply with the fold, and **reset** the shard to empty
-    /// so subsequent ingest starts the next window. The reply is the
-    /// closing window's contents; everything enqueued behind the marker
+    /// so subsequent ingest starts the next window. The reply pairs the
+    /// closing window's contents with the closing *delta* (entries since
+    /// the last watermark), so standing views can absorb the window's
+    /// tail before resetting. Everything enqueued behind the marker
     /// lands in the new window.
     Rotate {
-        /// Where to deliver the closing window's fold.
-        reply: Sender<Dcsr<S::Value>>,
+        /// Where to deliver `(closing window fold, closing delta)`.
+        reply: Sender<FullAndDelta<S>>,
     },
     /// Checkpoint marker: flush, serialize the hierarchy, write the
     /// shard file, reply with its manifest record.
@@ -151,11 +166,20 @@ fn run_worker<S: Semiring>(
                 // Receiver may have given up (timeout); ignore send errors.
                 let _ = reply.send(stream.snapshot());
             }
+            Command::SnapshotDelta { reply } => {
+                let _span = span("shard_fold_delta", format!("shard {index}"));
+                // Delta first: it seals the live levels, after which the
+                // full fold covers exactly the same cut.
+                let delta = stream.delta_snapshot();
+                let full = stream.snapshot();
+                let _ = reply.send((full, delta));
+            }
             Command::Rotate { reply } => {
                 let _span = span("shard_rotate", format!("shard {index}"));
+                let delta = stream.delta_snapshot();
                 let closing = stream.snapshot();
                 stream.reset();
-                let _ = reply.send(closing);
+                let _ = reply.send((closing, delta));
             }
             Command::Checkpoint {
                 dir,

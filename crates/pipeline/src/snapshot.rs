@@ -113,6 +113,25 @@ impl<S: Semiring> EpochSnapshot<S> {
     }
 }
 
+/// One incremental marker wave's result: the complete epoch snapshot
+/// plus the **delta** — exactly the entries inserted since the previous
+/// delta cut — both assembled from the same per-shard cut and stamped
+/// with the same epoch, so `full(t) = full(t−1) ⊕ delta(t)` holds wave
+/// over wave. Both sides are `Arc`-shared: the full snapshot is the same
+/// allocation published to sinks, the delta the one standing views
+/// absorbed.
+#[derive(Clone, Debug)]
+pub struct IncrementalEpoch<S: Semiring> {
+    /// The complete fold — identical to what [`Pipeline::snapshot`]
+    /// would have produced at this cut.
+    ///
+    /// [`Pipeline::snapshot`]: crate::Pipeline::snapshot
+    pub full: std::sync::Arc<EpochSnapshot<S>>,
+    /// Entries inserted since the previous incremental cut (or since
+    /// startup/rotation for the first wave).
+    pub delta: std::sync::Arc<EpochSnapshot<S>>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

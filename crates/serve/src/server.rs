@@ -93,6 +93,24 @@ where
         Ok(epoch)
     }
 
+    /// Like [`QueryServer::refresh`], but through the pipeline's
+    /// *incremental* marker wave: the full snapshot is published here
+    /// (and every registered standing view absorbs the epoch's delta
+    /// on the way), and the `(epoch, delta_nnz)` pair is returned so
+    /// callers can see how much actually changed. `full(t) =
+    /// full(t−1) ⊕ delta(t)` holds wave over wave, so serving reads
+    /// the same matrix either way — this path just keeps standing
+    /// queries `O(Δ)` instead of `O(window)`.
+    pub fn refresh_incremental(&self, p: &Pipeline<S>) -> Result<(u64, u64), ServeError> {
+        let inc = p.snapshot_incremental()?;
+        let epoch = inc.full.epoch();
+        let delta_nnz = inc.delta.nnz() as u64;
+        self.registry.publish(Arc::clone(&inc.full));
+        self.cache.retain_epochs(&self.registry.epochs());
+        self.metrics.record_refresh();
+        Ok((epoch, delta_nnz))
+    }
+
     /// Pin the newest published epoch (an `Arc` clone; never blocks
     /// publication, never copies the snapshot).
     pub fn pin_latest(&self) -> Result<Arc<EpochView<S>>, ServeError> {
@@ -348,6 +366,22 @@ mod tests {
         let text = srv.render_prometheus_with(&p);
         assert!(text.contains("pipeline_events_ingested_total")); // pipeline half
         assert!(text.contains("serve_queries_total 2")); // serving half
+        p.shutdown().unwrap();
+    }
+
+    #[test]
+    fn incremental_refresh_publishes_full_and_reports_delta() {
+        let (p, srv) = served(); // 3 entries, epoch 1 already published
+        p.ingest(7, 8, 1.0).unwrap();
+        let (epoch, delta) = srv.refresh_incremental(&p).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(delta, 4, "first delta cut covers the whole stream");
+        let pt = srv.query(&QueryRequest::Point { row: 7, col: 8 }).unwrap();
+        assert_eq!(pt.epoch, 2);
+        assert_eq!(pt.body.as_cell().unwrap(), Some("1"));
+        p.ingest(7, 9, 1.0).unwrap();
+        let (_, delta2) = srv.refresh_incremental(&p).unwrap();
+        assert_eq!(delta2, 1, "second wave sees only the new entry");
         p.shutdown().unwrap();
     }
 
