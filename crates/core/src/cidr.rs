@@ -4,7 +4,10 @@
 //! The paper's headline deployment keys traffic matrices by IP address,
 //! and the power of the associative-array representation is that the
 //! *hierarchy* of the address space (host ⊂ /24 ⊂ /16 ⊂ /8) becomes
-//! ordinary key algebra. Two encodings are provided, one per layer of
+//! ordinary key algebra. Since PR 10 this module is the one-component
+//! instance of the general complex-index layer ([`crate::cxkey`]): the
+//! schema is a single dotted-quad component, and every key operation
+//! delegates to [`CxSchema`] against it. Two encodings, one per layer of
 //! the stack:
 //!
 //! * **String keys** for [`Assoc`]: zero-padded dotted quads
@@ -18,28 +21,46 @@
 //!   `u64` index. [`mask_ix`] zeroes host bits — a *monotone
 //!   non-decreasing* map, so masking a sorted triple stream keeps it
 //!   sorted and the rollup kernels run in `O(nnz)` with a single
-//!   duplicate-⊕-merge pass, recorded under [`Kernel::Rollup`].
+//!   duplicate-⊕-merge pass, recorded under
+//!   [`hypersparse::metrics::Kernel::Rollup`].
 //!
 //! Both projections are idempotent — rolling up to `/p` twice is the
 //! identity the second time — and both compose downward
 //! (`/8 ∘ /16 = /8`), which is what makes multi-resolution traffic
 //! analysis a chain of cheap re-keyings rather than re-ingests.
 
-use std::time::Instant;
+use std::sync::OnceLock;
 
-use hypersparse::coo::Coo;
 use hypersparse::ctx::{with_default_ctx, OpCtx};
 use hypersparse::dcsr::Dcsr;
-use hypersparse::metrics::Kernel;
 use hypersparse::Ix;
 use semiring::traits::{Semiring, Value};
 
 use crate::assoc::Assoc;
+use crate::cxkey::{self, CxField, CxPrefix, CxSchema};
 
-/// A CIDR prefix length. `/8` through `/32` cover the useful range:
+pub use crate::cxkey::RollupAxes;
+
+/// A CIDR prefix length. `/0` through `/32` cover the full range:
 /// `/32` is the identity (host granularity), `/8`–`/24` are the rollup
-/// resolutions named in the deployment papers.
+/// resolutions named in the deployment papers, `/0` folds the whole
+/// address space into one block.
 pub type PrefixLen = u8;
+
+/// The one-component schema CIDR keys live in: a single 32-bit
+/// dotted-quad field named `ip`. Every function in this module is the
+/// [`crate::cxkey`] operation against this schema at
+/// `CxPrefix::partial(0, p)`.
+pub fn ip_schema() -> &'static CxSchema {
+    static SCHEMA: OnceLock<CxSchema> = OnceLock::new();
+    SCHEMA.get_or_init(|| CxSchema::new(vec![CxField::dotted_quad("ip")]))
+}
+
+#[inline]
+fn prefix_of(prefix: PrefixLen) -> CxPrefix {
+    assert!(prefix <= 32, "IPv4 prefix length must be ≤ 32");
+    CxPrefix::partial(0, u32::from(prefix))
+}
 
 /// The netmask for a prefix length: high `p` bits set.
 #[inline]
@@ -64,7 +85,7 @@ pub fn mask_ip(ip: u32, prefix: PrefixLen) -> u32 {
 /// what lets the rollup kernels preserve sortedness.
 #[inline]
 pub fn mask_ix(ix: Ix, prefix: PrefixLen) -> Ix {
-    (ix & !0xFFFF_FFFF) | u64::from(mask_ip(ix as u32, prefix))
+    ip_schema().mask_ix(ix, prefix_of(prefix))
 }
 
 /// Pack four octets into an address, `a` most significant.
@@ -79,8 +100,7 @@ pub fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
 /// key dictionary of an [`Assoc`] sorts addresses correctly and CIDR
 /// blocks are contiguous key ranges.
 pub fn ip_key(ip: u32) -> String {
-    let [a, b, c, d] = ip.to_be_bytes();
-    format!("{a:03}.{b:03}.{c:03}.{d:03}")
+    ip_schema().key(&[u64::from(ip)])
 }
 
 /// The key for a CIDR block: the masked address plus an explicit
@@ -88,24 +108,18 @@ pub fn ip_key(ip: u32) -> String {
 /// `"010.002.000.000/16"`. The suffix keeps aggregate keys disjoint
 /// from host keys (`/32` included, for uniformity of rolled-up arrays).
 pub fn cidr_key(ip: u32, prefix: PrefixLen) -> String {
-    format!("{}/{prefix}", ip_key(mask_ip(ip, prefix)))
+    ip_schema().prefix_key(&[u64::from(ip)], prefix_of(prefix))
 }
 
-/// Parse a key produced by [`ip_key`] or [`cidr_key`] (an optional
-/// `/prefix` suffix is accepted and ignored) back to the address.
-/// Unpadded quads (`"10.2.3.4"`) parse too. Returns `None` for
-/// malformed input.
+/// Parse a key produced by [`ip_key`] or [`cidr_key`] back to the
+/// address. Unpadded quads (`"10.2.3.4"`) parse too. An optional
+/// `/prefix` suffix is validated — it must be a single plain-decimal
+/// segment ≤ 32 — but not applied to the returned address. Returns
+/// `None` for malformed input, including out-of-range prefixes
+/// (`"1.2.3.4/99"`) and extra `/` segments (`"1.2.3.4/16/8"`).
 pub fn parse_ip_key(key: &str) -> Option<u32> {
-    let quad = key.split('/').next()?;
-    let mut octets = [0u8; 4];
-    let mut parts = quad.split('.');
-    for slot in &mut octets {
-        *slot = parts.next()?.parse().ok()?;
-    }
-    if parts.next().is_some() {
-        return None;
-    }
-    Some(u32::from_be_bytes(octets))
+    let parts = ip_schema().parse_key(key)?;
+    Some(parts[0] as u32)
 }
 
 /// Project the row keys of an IP-keyed associative array onto a CIDR
@@ -124,10 +138,7 @@ where
     T: Value,
     S: Semiring<Value = T>,
 {
-    a.map_row_keys(
-        |k| parse_ip_key(k).map_or_else(|| k.clone(), |ip| cidr_key(ip, prefix)),
-        s,
-    )
+    cxkey::project_rows(ip_schema(), a, prefix_of(prefix), s)
 }
 
 /// Project the column keys onto a CIDR prefix; see [`project_rows`].
@@ -141,10 +152,7 @@ where
     T: Value,
     S: Semiring<Value = T>,
 {
-    a.map_col_keys(
-        |k| parse_ip_key(k).map_or_else(|| k.clone(), |ip| cidr_key(ip, prefix)),
-        s,
-    )
+    cxkey::project_cols(ip_schema(), a, prefix_of(prefix), s)
 }
 
 /// Project both key dimensions onto a CIDR prefix: the full
@@ -158,25 +166,14 @@ where
     T: Value,
     S: Semiring<Value = T> + Copy,
 {
-    project_cols(&project_rows(a, prefix, s), prefix, s)
-}
-
-/// Which dimensions a [`rollup_ctx`] collapses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RollupAxes {
-    /// Mask row keys only (sources → blocks).
-    Rows,
-    /// Mask column keys only (destinations → blocks).
-    Cols,
-    /// Mask both (block-to-block traffic matrix).
-    Both,
+    cxkey::project(ip_schema(), a, prefix_of(prefix), s)
 }
 
 /// Roll a `Dcsr` up to CIDR-block resolution: mask the selected key
 /// dimensions with [`mask_ix`] and ⊕-merge entries that land on the
 /// same cell. `O(nnz)` — masking is monotone so the triple stream stays
 /// sorted and the COO build's duplicate merge is a single pass. Records
-/// under [`Kernel::Rollup`].
+/// under [`hypersparse::metrics::Kernel::Rollup`].
 pub fn rollup_ctx<T, S>(
     ctx: &OpCtx,
     a: &Dcsr<T>,
@@ -188,33 +185,7 @@ where
     T: Value,
     S: Semiring<Value = T>,
 {
-    let _span = ctx.kernel_span(Kernel::Rollup, || {
-        format!("/{prefix} {axes:?} over {} nnz", a.nnz())
-    });
-    let start = Instant::now();
-    let (mask_r, mask_c) = match axes {
-        RollupAxes::Rows => (true, false),
-        RollupAxes::Cols => (false, true),
-        RollupAxes::Both => (true, true),
-    };
-    let mut coo = Coo::new(a.nrows(), a.ncols());
-    coo.extend(a.iter().map(|(r, c, v)| {
-        (
-            if mask_r { mask_ix(r, prefix) } else { r },
-            if mask_c { mask_ix(c, prefix) } else { c },
-            v.clone(),
-        )
-    }));
-    let out = coo.build_dcsr(s);
-    ctx.metrics().record(
-        Kernel::Rollup,
-        start.elapsed(),
-        a.nnz() as u64,
-        out.nnz() as u64,
-        a.nnz() as u64,
-        (a.bytes() + out.bytes()) as u64,
-    );
-    out
+    cxkey::rollup_ctx(ctx, ip_schema(), a, prefix_of(prefix), axes, s)
 }
 
 /// [`rollup_ctx`] through the thread-local default context.
@@ -229,6 +200,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hypersparse::coo::Coo;
+    use hypersparse::metrics::Kernel;
     use semiring::PlusTimes;
 
     #[test]
@@ -255,6 +228,21 @@ mod tests {
     }
 
     #[test]
+    fn malformed_prefix_suffixes_are_rejected() {
+        // Regression: these parsed before the suffix was validated.
+        assert_eq!(parse_ip_key("1.2.3.4/99"), None);
+        assert_eq!(parse_ip_key("1.2.3.4/16/8"), None);
+        // Edges of the valid range still parse; junk suffixes don't.
+        assert_eq!(parse_ip_key("1.2.3.4/0"), Some(ip(1, 2, 3, 4)));
+        assert_eq!(parse_ip_key("1.2.3.4/32"), Some(ip(1, 2, 3, 4)));
+        assert_eq!(parse_ip_key("1.2.3.4/33"), None);
+        assert_eq!(parse_ip_key("1.2.3.4/"), None);
+        assert_eq!(parse_ip_key("1.2.3.4/+8"), None);
+        assert_eq!(parse_ip_key("1.2.3.4/p"), None);
+        assert_eq!(parse_ip_key("1.2.3.400"), None);
+    }
+
+    #[test]
     fn masking_is_monotone_and_composes_downward() {
         assert_eq!(mask_ip(ip(10, 2, 3, 4), 24), ip(10, 2, 3, 0));
         assert_eq!(mask_ip(ip(10, 2, 3, 4), 8), ip(10, 0, 0, 0));
@@ -271,6 +259,21 @@ mod tests {
         // High tag bits survive masking.
         let tagged = (7u64 << 32) | u64::from(ip(10, 2, 3, 4));
         assert_eq!(tagged & !0xFFFF_FFFF, mask_ix(tagged, 8) & !0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn mask_ix_agrees_with_mask_ip_at_every_prefix() {
+        // The delegation to cxkey must reproduce the specialized bit
+        // math bit-for-bit, /0 and /32 included.
+        for prefix in 0..=32u8 {
+            for raw in [0u32, 1, ip(10, 2, 3, 4), ip(255, 255, 255, 255)] {
+                assert_eq!(
+                    mask_ix(u64::from(raw), prefix),
+                    u64::from(mask_ip(raw, prefix)),
+                    "/{prefix} on {raw:#x}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -339,6 +342,49 @@ mod tests {
                 .copied(),
             Some(5.0)
         );
+    }
+
+    #[test]
+    fn slash_zero_folds_everything_and_stays_idempotent() {
+        // The /0 path end-to-end: netmask → mask_ix → rollup → project.
+        assert_eq!(netmask(0), 0);
+        assert_eq!(mask_ix(u64::from(ip(203, 0, 113, 9)), 0), 0);
+        assert_eq!(cidr_key(ip(203, 0, 113, 9), 0), "000.000.000.000/0");
+        assert_eq!(parse_ip_key("000.000.000.000/0"), Some(0));
+
+        let s = PlusTimes::<u64>::new();
+        let mut coo = Coo::new(1 << 32, 1 << 32);
+        coo.extend([
+            (u64::from(ip(10, 2, 3, 4)), u64::from(ip(192, 168, 0, 1)), 2),
+            (u64::from(ip(11, 0, 0, 1)), u64::from(ip(8, 8, 8, 8)), 3),
+            (u64::from(ip(255, 255, 255, 255)), 0, 5),
+        ]);
+        let a = coo.build_dcsr(s);
+        // One row, one column, one cell holding the whole key space.
+        let r = rollup(&a, 0, RollupAxes::Both, s);
+        assert_eq!(r.nnz(), 1);
+        assert_eq!(r.get(0, 0).copied(), Some(10));
+        let rr = rollup(&r, 0, RollupAxes::Both, s);
+        assert!(rr.iter().eq(r.iter()), "/0 rollup must be idempotent");
+
+        // String layer: every row folds into the single /0 block.
+        let assoc = Assoc::from_triplets(
+            vec![
+                (ip_key(ip(10, 2, 3, 4)), ip_key(ip(192, 168, 0, 1)), 2u64),
+                (ip_key(ip(11, 0, 0, 1)), ip_key(ip(8, 8, 8, 8)), 3),
+            ],
+            s,
+        );
+        let p = project(&assoc, 0, s);
+        assert_eq!(p.nnz(), 1);
+        assert_eq!(
+            p.get(
+                &"000.000.000.000/0".to_string(),
+                &"000.000.000.000/0".to_string()
+            ),
+            Some(5)
+        );
+        assert_eq!(project(&p, 0, s), p, "/0 projection must be idempotent");
     }
 
     #[test]

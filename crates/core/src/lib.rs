@@ -47,10 +47,12 @@
 pub mod assoc;
 pub mod cidr;
 pub mod csv;
+pub mod cxkey;
 pub mod key;
 pub mod range;
 pub mod select;
 pub mod semilink;
 
 pub use assoc::Assoc;
+pub use cxkey::{CxField, CxPrefix, CxSchema};
 pub use key::Key;

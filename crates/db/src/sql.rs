@@ -407,6 +407,47 @@ mod tests {
     }
 
     #[test]
+    fn utf8_input_keeps_byte_positions_and_never_splits_chars() {
+        // Multi-byte UTF-8 inside a string literal round-trips through
+        // the lexer without char-boundary panics.
+        let q = parse("SELECT * FROM t WHERE src = 'héllo→世界'").unwrap();
+        assert_eq!(q.preds[0], Pred::Eq("src".into(), "héllo→世界".into()));
+
+        // An error *after* a multi-byte literal carries the true byte
+        // offset (9 bytes of UTF-8 inside 'é→世' shift it past the char
+        // count), and that offset is a valid char boundary.
+        let sql = "SELECT * FROM t WHERE src = 'é→世' ;";
+        match parse(sql).unwrap_err() {
+            SqlError::UnexpectedChar { position, found } => {
+                assert_eq!(found, ';');
+                assert_eq!(position, sql.find(';').unwrap());
+                assert!(sql.is_char_boundary(position));
+            }
+            other => panic!("expected UnexpectedChar, got {other:?}"),
+        }
+
+        // Trailing tokens after a multi-byte literal: same property.
+        let sql = "SELECT * FROM t WHERE src = '日本' extra";
+        match parse(sql).unwrap_err() {
+            SqlError::TrailingTokens { position, found } => {
+                assert_eq!(found, "extra");
+                assert_eq!(position, sql.find("extra").unwrap());
+            }
+            other => panic!("expected TrailingTokens, got {other:?}"),
+        }
+
+        // An unterminated literal opened after multi-byte identifier
+        // text points at its opening quote.
+        let sql = "SELECT * FROM tä WHERE col = 'ope";
+        match parse(sql).unwrap_err() {
+            SqlError::UnterminatedString { position } => {
+                assert_eq!(position, sql.find('\'').unwrap());
+            }
+            other => panic!("expected UnterminatedString, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn parse_where_clauses() {
         let q = parse("SELECT * FROM t WHERE src = '1.1.1.1' AND port = '443'").unwrap();
         assert!(q.conjunctive);

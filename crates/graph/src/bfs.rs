@@ -6,13 +6,67 @@
 //! frontier. Parent tracking swaps in [`semiring::MinFirst`], whose ⊗
 //! carries the *source* vertex id through each edge and whose ⊕ picks
 //! the smallest — a deterministic BFS tree.
+//!
+//! # One-step vs two-step parent BFS
+//!
+//! "Algebraic Conditions on One-Step Breadth-First Search" observes
+//! that the per-level work — next frontier *and* parent assignment —
+//! collapses into a **single** masked `vᵀA` exactly when the semiring's
+//! ⊕ is selective and order-free and its ⊗ carries the left (frontier)
+//! operand; otherwise the product's values are blends that cannot be
+//! trusted as parents and the level needs **two** products: a cheap
+//! [`AnyPair`] reachability pass for the frontier plus a payload pass
+//! for the folded values. [`parent_bfs_with`] does not hard-code a list
+//! of good semirings — it consults [`semiring::onestep::probe`] (cached
+//! per semiring type) and picks [`BfsVariant::OneStep`] or
+//! [`BfsVariant::TwoStep`] accordingly; the property suite in
+//! `tests/onestep_props.rs` proves the two variants agree wherever the
+//! conditions admit the fused form.
 
+use std::any::TypeId;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use hypersparse::ctx::OpCtx;
+use hypersparse::metrics::Kernel;
 use hypersparse::ops::mxv::{choose_direction, vxm_masked_opt_ctx};
 use hypersparse::ops::transpose_ctx;
 use hypersparse::{with_default_ctx, Dcsr, Direction, Ix, SparseVec};
-use semiring::{AnyPair, MinFirst};
+use semiring::onestep::probe;
+use semiring::{AnyPair, MinFirst, Semiring};
 
 use crate::frontier::Visited;
+use crate::pattern::pattern_u8;
+
+/// Which per-level strategy [`parent_bfs_with`] selected for a
+/// semiring — decided by the algebraic probe, not by a type list.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BfsVariant {
+    /// Every condition of `semiring::onestep` held: one masked `vᵀA`
+    /// per level yields frontier and parent payloads simultaneously.
+    OneStep,
+    /// Some condition failed: each level runs an [`AnyPair`]
+    /// reachability product plus a separate payload product.
+    TwoStep,
+}
+
+/// `true` iff the one-step conditions hold for `S`, probed over
+/// id-shaped samples (with the semiring's own `0`/`1` adjoined) and
+/// cached per concrete semiring type. Saturating integer arithmetic in
+/// the numeric semirings keeps the probe overflow-free even where ⊗ is
+/// `+` or `×` on `u64`.
+pub fn selects_one_step<S: Semiring<Value = u64>>(s: &S) -> bool {
+    static CACHE: OnceLock<Mutex<HashMap<TypeId, bool>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&q) = cache.lock().unwrap().get(&TypeId::of::<S>()) {
+        return q;
+    }
+    let samples: Vec<u64> = vec![1, 2, 3, 5, 1 << 10, 1 << 20, s.one()];
+    let q = probe(s, &samples).qualifies();
+    cache.lock().unwrap().insert(TypeId::of::<S>(), q);
+    q
+}
 
 /// BFS levels from `src` over a `u8` pattern (see
 /// [`crate::pattern::pattern_u8`]). Returns `(vertex, level)` pairs
@@ -50,37 +104,140 @@ pub fn bfs_levels(pat: &Dcsr<u8>, src: Ix) -> Vec<(Ix, u32)> {
     out
 }
 
+/// The fused **one-step** parent BFS: one masked `vᵀA` over `s` per
+/// level, the product trusted verbatim as next frontier *and* parent
+/// payloads. Sound only when [`selects_one_step`] holds for `s`;
+/// exposed so the property suite can run it unconditionally and compare
+/// against [`parent_bfs_two_step_ctx`].
+///
+/// Frontier vertices carry their own 1-shifted id (`v + 1`); returns
+/// `(vertex, payload)` pairs sorted by vertex, `src` seeded with
+/// `src + 1`.
+pub fn parent_bfs_fused_ctx<S>(ctx: &OpCtx, pat: &Dcsr<u64>, src: Ix, s: S) -> Vec<(Ix, u64)>
+where
+    S: Semiring<Value = u64>,
+{
+    let n = pat.nrows();
+    let mut out: Vec<(Ix, u64)> = vec![(src, src + 1)];
+    let mut visited = Visited::with_seed(src);
+    let mut frontier = SparseVec::from_entries(n, vec![(src, src + 1)], s);
+    let mut at: Option<Dcsr<u64>> = None;
+    while !frontier.is_empty() {
+        if at.is_none() && choose_direction(&frontier, pat, true) == Direction::Pull {
+            at = Some(transpose_ctx(ctx, pat));
+        }
+        let next = vxm_masked_opt_ctx(ctx, &frontier, pat, at.as_ref(), visited.as_slice(), s);
+        out.extend(next.iter().map(|(v, &payload)| (v, payload)));
+        visited.absorb_sorted(next.indices());
+        // Re-stamp the new frontier with its own ids for the next hop.
+        frontier = SparseVec::from_entries(n, next.iter().map(|(v, _)| (v, v + 1)).collect(), s);
+    }
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+/// The **two-step** fallback: per level, an [`AnyPair`] product over the
+/// `u8` shadow pattern decides reachability (always sound), and a
+/// second product over `s` folds the payloads. A vertex the payload
+/// product cancelled to the semiring `0` is still discovered — it
+/// appears with payload `s.zero()` — which is exactly the case that
+/// makes the fused variant unsound for non-selective ⊕.
+pub fn parent_bfs_two_step_ctx<S>(ctx: &OpCtx, pat: &Dcsr<u64>, src: Ix, s: S) -> Vec<(Ix, u64)>
+where
+    S: Semiring<Value = u64>,
+{
+    let n = pat.nrows();
+    let pat8 = pattern_u8(pat);
+    let mut out: Vec<(Ix, u64)> = vec![(src, src + 1)];
+    let mut visited = Visited::with_seed(src);
+    let mut reach = SparseVec::from_entries(n, vec![(src, 1u8)], AnyPair);
+    let mut stamped = SparseVec::from_entries(n, vec![(src, src + 1)], s);
+    let mut at8: Option<Dcsr<u8>> = None;
+    let mut at: Option<Dcsr<u64>> = None;
+    while !reach.is_empty() {
+        if at8.is_none() && choose_direction(&reach, &pat8, true) == Direction::Pull {
+            at8 = Some(transpose_ctx(ctx, &pat8));
+            at = Some(transpose_ctx(ctx, pat));
+        }
+        // Step 1: who is reachable this level (pattern algebra, exact).
+        let next = vxm_masked_opt_ctx(
+            ctx,
+            &reach,
+            &pat8,
+            at8.as_ref(),
+            visited.as_slice(),
+            AnyPair,
+        );
+        // Step 2: what the semiring folds onto them.
+        let vals = vxm_masked_opt_ctx(ctx, &stamped, pat, at.as_ref(), visited.as_slice(), s);
+        for (v, _) in next.iter() {
+            let payload = vals.get(&v).cloned().unwrap_or_else(|| s.zero());
+            out.push((v, payload));
+        }
+        visited.absorb_sorted(next.indices());
+        stamped = SparseVec::from_entries(n, next.iter().map(|(v, _)| (v, v + 1)).collect(), s);
+        reach = next;
+    }
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+/// Parent-style BFS from `src` over a `u64` pattern, with the per-level
+/// strategy **selected algebraically**: if [`selects_one_step`] accepts
+/// `s`, each level is the single fused product of
+/// [`parent_bfs_fused_ctx`]; otherwise the sound two-step fallback
+/// runs. Returns the `(vertex, payload)` pairs plus the variant that
+/// produced them, and records the whole traversal under
+/// [`Kernel::BfsParent`].
+pub fn parent_bfs_with<S>(pat: &Dcsr<u64>, src: Ix, s: S) -> (Vec<(Ix, u64)>, BfsVariant)
+where
+    S: Semiring<Value = u64>,
+{
+    with_default_ctx(|ctx| parent_bfs_with_ctx(ctx, pat, src, s))
+}
+
+/// [`parent_bfs_with`] against an explicit context.
+pub fn parent_bfs_with_ctx<S>(
+    ctx: &OpCtx,
+    pat: &Dcsr<u64>,
+    src: Ix,
+    s: S,
+) -> (Vec<(Ix, u64)>, BfsVariant)
+where
+    S: Semiring<Value = u64>,
+{
+    let start = Instant::now();
+    let (out, variant) = if selects_one_step(&s) {
+        (parent_bfs_fused_ctx(ctx, pat, src, s), BfsVariant::OneStep)
+    } else {
+        (
+            parent_bfs_two_step_ctx(ctx, pat, src, s),
+            BfsVariant::TwoStep,
+        )
+    };
+    ctx.metrics().record(
+        Kernel::BfsParent,
+        start.elapsed(),
+        pat.nnz() as u64,
+        out.len() as u64,
+        out.len() as u64,
+        (pat.bytes() + out.len() * std::mem::size_of::<(Ix, u64)>()) as u64,
+    );
+    (out, variant)
+}
+
 /// BFS tree from `src` over a `u64` pattern (see
 /// [`crate::pattern::pattern_u64`]). Returns `(vertex, parent)` pairs
 /// sorted by vertex; `src` maps to itself. Deterministic: each vertex's
 /// parent is its smallest-id predecessor in the previous frontier.
+///
+/// This is [`parent_bfs_with`] over [`MinFirst`] — which the algebraic
+/// probe accepts, so every level is the fused one-step product — with
+/// the 1-shifted payloads unshifted back to parent ids.
 pub fn bfs_parents(pat: &Dcsr<u64>, src: Ix) -> Vec<(Ix, Ix)> {
-    let s = MinFirst;
-    let n = pat.nrows();
-    let mut out: Vec<(Ix, Ix)> = vec![(src, src)];
-    // Frontier values carry the (1-shifted) id of the frontier vertex
-    // itself, so MinFirst's ⊗ delivers it to each successor as a parent
-    // candidate; ⊕ = min picks the smallest-id parent.
-    let mut visited = Visited::with_seed(src);
-    let mut frontier = SparseVec::from_entries(n, vec![(src, src + 1)], s);
-    let mut at: Option<Dcsr<u64>> = None;
-    with_default_ctx(|ctx| {
-        while !frontier.is_empty() {
-            if at.is_none() && choose_direction(&frontier, pat, true) == Direction::Pull {
-                at = Some(transpose_ctx(ctx, pat));
-            }
-            let next = vxm_masked_opt_ctx(ctx, &frontier, pat, at.as_ref(), visited.as_slice(), s);
-            for (v, &parent_shifted) in next.iter() {
-                out.push((v, parent_shifted - 1));
-            }
-            visited.absorb_sorted(next.indices());
-            // Re-stamp the new frontier with its own ids for the next hop.
-            frontier =
-                SparseVec::from_entries(n, next.iter().map(|(v, _)| (v, v + 1)).collect(), s);
-        }
-    });
-    out.sort_by_key(|e| e.0);
-    out
+    let (out, variant) = parent_bfs_with(pat, src, MinFirst);
+    debug_assert_eq!(variant, BfsVariant::OneStep);
+    out.into_iter().map(|(v, p)| (v, p - 1)).collect()
 }
 
 #[cfg(test)]
@@ -88,7 +245,7 @@ mod tests {
     use super::*;
     use crate::pattern::{pattern_u64, pattern_u8};
     use hypersparse::Coo;
-    use semiring::PlusTimes;
+    use semiring::{MaxFirst, MaxMin, MinPlus, MinSecond, PlusTimes};
 
     /// 0→1→2→3, 0→2, plus an unreachable 5→6.
     fn g() -> Dcsr<f64> {
@@ -158,5 +315,76 @@ mod tests {
         let g = c.build_dcsr(PlusTimes::<f64>::new());
         let levels = bfs_levels(&pattern_u8(&g), 7);
         assert_eq!(levels, vec![(3, 2), (7, 0), (1 << 40, 1)]);
+    }
+
+    #[test]
+    fn probe_drives_variant_selection() {
+        // Qualifying algebras take the fused path, blending/mangling
+        // ones provably fall back — no hard-coded type list.
+        assert!(selects_one_step(&MinFirst));
+        assert!(selects_one_step(&MaxFirst));
+        assert!(!selects_one_step(&MinSecond));
+        assert!(!selects_one_step(&PlusTimes::<u64>::new()));
+        assert!(!selects_one_step(&MinPlus::<u64>::new()));
+        assert!(!selects_one_step(&MaxMin::<u64>::new()));
+
+        let p = pattern_u64(&g());
+        assert_eq!(parent_bfs_with(&p, 0, MinFirst).1, BfsVariant::OneStep);
+        assert_eq!(
+            parent_bfs_with(&p, 0, PlusTimes::<u64>::new()).1,
+            BfsVariant::TwoStep
+        );
+    }
+
+    #[test]
+    fn max_first_picks_largest_parent() {
+        let mut c = Coo::new(4, 4);
+        c.extend([(3, 0, 1.0), (3, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let g = c.build_dcsr(PlusTimes::<f64>::new());
+        let (out, variant) = parent_bfs_with(&pattern_u64(&g), 3, MaxFirst);
+        assert_eq!(variant, BfsVariant::OneStep);
+        let payload_of_2 = out.iter().find(|&&(v, _)| v == 2).unwrap().1;
+        assert_eq!(payload_of_2 - 1, 1); // max of {0, 1}
+    }
+
+    #[test]
+    fn two_step_discovers_cancelled_vertices() {
+        // Same diamond: under a non-selective ⊕ the payload on vertex 2
+        // is the ⊕-blend of both stamped parents, but reachability must
+        // still come from the AnyPair pass, not the blended values.
+        let mut c = Coo::new(4, 4);
+        c.extend([(3, 0, 1.0), (3, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let g = c.build_dcsr(PlusTimes::<f64>::new());
+        let (out, variant) = parent_bfs_with(&pattern_u64(&g), 3, PlusTimes::<u64>::new());
+        assert_eq!(variant, BfsVariant::TwoStep);
+        // (0+1) + (1+1) = 3 — a blended payload no single parent has.
+        assert_eq!(out.iter().find(|&&(v, _)| v == 2).unwrap().1, 3);
+        // All of 0, 1, 2 discovered exactly as reachability dictates.
+        let vs: Vec<Ix> = out.iter().map(|&(v, _)| v).collect();
+        assert_eq!(vs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fused_equals_two_step_where_conditions_hold() {
+        let p = pattern_u64(&g());
+        let ctx = OpCtx::new();
+        assert_eq!(
+            parent_bfs_fused_ctx(&ctx, &p, 0, MinFirst),
+            parent_bfs_two_step_ctx(&ctx, &p, 0, MinFirst)
+        );
+        assert_eq!(
+            parent_bfs_fused_ctx(&ctx, &p, 0, MaxFirst),
+            parent_bfs_two_step_ctx(&ctx, &p, 0, MaxFirst)
+        );
+    }
+
+    #[test]
+    fn parent_bfs_records_kernel_metrics() {
+        let ctx = OpCtx::new();
+        let p = pattern_u64(&g());
+        let _ = parent_bfs_with_ctx(&ctx, &p, 0, MinFirst);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.kernel(Kernel::BfsParent).calls, 1);
+        assert_eq!(snap.kernel(Kernel::BfsParent).nnz_out, 4);
     }
 }

@@ -56,11 +56,12 @@ pub enum Kernel {
     DeltaDegree,
     DeltaTri,
     PageRankRefresh,
+    BfsParent,
 }
 
 impl Kernel {
     /// Every tracked kernel, in registry order.
-    pub const ALL: [Kernel; 28] = [
+    pub const ALL: [Kernel; 29] = [
         Kernel::Mxm,
         Kernel::MxmMasked,
         Kernel::EwiseAdd,
@@ -89,6 +90,7 @@ impl Kernel {
         Kernel::DeltaDegree,
         Kernel::DeltaTri,
         Kernel::PageRankRefresh,
+        Kernel::BfsParent,
     ];
 
     /// Stable display name (`mxm`, `ewise_add`, …).
@@ -122,6 +124,7 @@ impl Kernel {
             Kernel::DeltaDegree => "delta_degree",
             Kernel::DeltaTri => "delta_tri",
             Kernel::PageRankRefresh => "pagerank_refresh",
+            Kernel::BfsParent => "bfs_parent",
         }
     }
 

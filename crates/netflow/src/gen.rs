@@ -23,6 +23,21 @@ use rand::{Rng, SeedableRng};
 /// One `(src, dst, packets)` packet-flow event.
 pub type FlowEvent = (u32, u32, u64);
 
+/// Service ports generated destinations listen on; a destination's port
+/// is a pure function of its address, so the same host always serves
+/// the same service across windows.
+const SERVICE_PORTS: [u16; 6] = [22, 25, 53, 80, 443, 5432];
+
+/// SplitMix64 finalizer — a cheap, seedless bit mixer for deriving
+/// deterministic per-event attributes (ports) from addresses.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// An injected attack episode — the generator's ground-truth label.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Episode {
@@ -229,6 +244,27 @@ impl TrafficGen {
             }
         }
         events
+    }
+
+    /// Socket-resolution variant of [`TrafficGen::window`]: the same
+    /// event stream (same addresses, same packet counts, same order)
+    /// with ports attached — destination ports are service ports chosen
+    /// per destination address, source ports are ephemeral
+    /// (`49152..65536`) derived per event. A pure function of
+    /// `(config, w)`, and rolling the port component away recovers
+    /// [`TrafficGen::window`]'s traffic exactly (proven in
+    /// `flow::tests`).
+    pub fn socket_window(&self, w: usize) -> Vec<crate::flow::SocketFlowEvent> {
+        self.window(w)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, dst, packets))| {
+                let dst_port =
+                    SERVICE_PORTS[(mix(u64::from(dst)) % SERVICE_PORTS.len() as u64) as usize];
+                let src_port = 49_152 + (mix(u64::from(src) ^ ((i as u64) << 32)) % 16_384) as u16;
+                (src, src_port, dst, dst_port, packets)
+            })
+            .collect()
     }
 }
 

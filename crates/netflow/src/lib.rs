@@ -20,6 +20,10 @@
 //!   heavy hitters via reduce + top-k, scan/DDoS signatures via pattern
 //!   degree distributions, drill-downs via masked selection, and CIDR
 //!   block rollups via [`hyperspace_core::cidr`];
+//! * [`flow`] — socket-resolution (`ip.port`) flow keys over the
+//!   complex-index layer ([`hyperspace_core::cxkey`]): socket × socket
+//!   matrices, an `O(nnz)` port rollup proven equal to host-keyed
+//!   ingest, and per-socket heavy hitters;
 //! * [`service`] — [`NetflowService`]: the handle tying generator
 //!   output, windowed ingest, an embedded [`serve::QueryServer`]
 //!   (netflow schema — SQL over flows works too), per-detector latency
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod flow;
 pub mod gen;
 pub mod metrics;
 pub mod query;
@@ -41,6 +46,7 @@ pub mod service;
 pub mod window;
 
 pub use error::NetflowError;
+pub use flow::{SocketFlowEvent, SOCKET_SPACE};
 pub use gen::{Episode, FlowEvent, GenConfig, TrafficGen};
 pub use metrics::{NetflowMetrics, NetflowMetricsSnapshot};
 pub use query::{NetflowBody, NetflowQuery, NetflowQueryClass, NetflowResponse};

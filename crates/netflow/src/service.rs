@@ -573,6 +573,39 @@ mod tests {
     }
 
     #[test]
+    fn rollup_query_at_slash_zero_folds_all_traffic() {
+        // The /0 path end-to-end through the service: every flow in the
+        // window folds into the single whole-address-space block, and
+        // asking twice (idempotence at the query layer) returns the
+        // same answer.
+        let svc = service(1);
+        svc.ingest(&[
+            (cidr::ip(10, 1, 0, 5), cidr::ip(192, 168, 0, 1), 3),
+            (cidr::ip(172, 16, 3, 9), cidr::ip(8, 8, 8, 8), 4),
+            (cidr::ip(255, 255, 255, 254), cidr::ip(0, 0, 0, 1), 1),
+        ])
+        .unwrap();
+        svc.close_window().unwrap();
+        let resp = svc
+            .query(&NetflowQuery::Rollup { prefix: 0, k: 8 })
+            .unwrap();
+        let blocks = resp.body.as_blocks().unwrap();
+        assert_eq!(
+            blocks,
+            &[(
+                "000.000.000.000/0".to_string(),
+                "000.000.000.000/0".to_string(),
+                8
+            )]
+        );
+        let again = svc
+            .query(&NetflowQuery::Rollup { prefix: 0, k: 8 })
+            .unwrap();
+        assert_eq!(again.body.as_blocks().unwrap(), blocks);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
     fn standing_detectors_fold_deltas_and_reset_on_rotation() {
         let svc = NetflowService::new(
             NetflowConfig::new()

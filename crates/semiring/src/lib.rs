@@ -14,9 +14,13 @@
 //!   the relational-database `∪.∩` power-set semiring
 //!   ([`UnionIntersect`] over [`PSet`]).
 //! * Auxiliary semirings used by graph analytics: boolean `∨.∧`
-//!   ([`LorLand`]), `min.first` / `min.second` ([`MinFirst`],
-//!   [`MinSecond`]) for parent-tracking BFS, and `any.pair`
-//!   ([`AnyPair`]) for reachability.
+//!   ([`LorLand`]), `min.first` / `max.first` / `min.second`
+//!   ([`MinFirst`], [`MaxFirst`], [`MinSecond`]) for parent-tracking
+//!   BFS, and `any.pair` ([`AnyPair`]) for reachability.
+//! * The algebraic conditions for fused **one-step parent BFS**
+//!   ([`onestep`]): selectivity, left-carrying ⊗, annihilation, and
+//!   order-freeness as checkable predicates, probed per semiring so the
+//!   graph layer picks the fused variant only where it is sound.
 //! * The scalar face of the paper's **semilink**
 //!   `(𝔸, ⊕, ⊗, ⊕.⊗, 0, 1, 𝕀)` ([`Semilink`]); the array-level identities
 //!   of §IV live in the `hyperspace-core` crate where arrays exist.
@@ -46,6 +50,7 @@ pub mod atom;
 pub mod laws;
 pub mod monoids;
 pub mod numeric;
+pub mod onestep;
 pub mod ops;
 pub mod pset;
 pub mod semilink;
@@ -58,11 +63,12 @@ pub use monoids::{
     TimesMonoid, UnionMonoid,
 };
 pub use numeric::Numeric;
+pub use onestep::OneStepReport;
 pub use ops::{First, FnBinOp, FnOp, Identity, Pair, Relu, Second, ZeroNorm};
 pub use pset::PSet;
 pub use semilink::Semilink;
 pub use semirings::{
-    AnyPair, LorLand, MaxMin, MaxPlus, MaxTimes, MinFirst, MinMax, MinPlus, MinSecond, MinTimes,
-    PlusTimes, UnionIntersect, XorAnd,
+    AnyPair, LorLand, MaxFirst, MaxMin, MaxPlus, MaxTimes, MinFirst, MinMax, MinPlus, MinSecond,
+    MinTimes, PlusTimes, UnionIntersect, XorAnd,
 };
 pub use traits::{BinaryOp, Monoid, Semiring, UnaryOp};

@@ -220,6 +220,43 @@ impl Semiring for MinFirst {
     }
 }
 
+/// `max.first` — the order dual of [`MinFirst`]: `add = max` picks the
+/// *largest* present id, `mul(a, _) = a` still carries the source value.
+/// Ships as a second qualifying parent-selection algebra for the
+/// one-step BFS conditions ([`crate::onestep`]): like [`MinFirst`] its ⊕
+/// is selective and its ⊗ is a left carrier, but the tie-break order is
+/// reversed, so fused and two-step BFS agreeing under *both* orders is
+/// evidence the selection machinery (not a lucky ordering) is correct.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaxFirst;
+
+impl Semiring for MaxFirst {
+    type Value = u64;
+
+    #[inline(always)]
+    fn zero(&self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    fn one(&self) -> u64 {
+        u64::MAX
+    }
+    #[inline(always)]
+    fn add(&self, a: u64, b: u64) -> u64 {
+        // max over "present" values; 0 means absent (and is the minimum,
+        // so plain max already treats it as the identity).
+        a.max(b)
+    }
+    #[inline(always)]
+    fn mul(&self, a: u64, b: u64) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            a
+        }
+    }
+}
+
 /// `min.second` — the mirror of [`MinFirst`]: carries the *matrix* value.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct MinSecond;
@@ -380,6 +417,16 @@ mod tests {
         let from3 = s.mul(3, 1);
         let from7 = s.mul(7, 1);
         assert_eq!(s.add(from3, from7), 3); // min parent id wins
+        assert_eq!(s.mul(3, 0), 0); // absent edge annihilates
+        assert_eq!(s.add(0, 7), 7); // absent contribution is identity
+    }
+
+    #[test]
+    fn max_first_tracks_largest_source() {
+        let s = MaxFirst;
+        let from3 = s.mul(3, 1);
+        let from7 = s.mul(7, 1);
+        assert_eq!(s.add(from3, from7), 7); // max parent id wins
         assert_eq!(s.mul(3, 0), 0); // absent edge annihilates
         assert_eq!(s.add(0, 7), 7); // absent contribution is identity
     }

@@ -135,6 +135,25 @@ fn main() {
         blocks[0].0, blocks[0].1, blocks[0].2
     );
 
+    // ---- Socket resolution: the same traffic on ip.port keys ----
+    use hyperspace::netflow::flow::{host_rollup, socket_key, socket_matrix, top_sockets};
+    let sockets = gen.socket_window(scan_window as usize);
+    let sm = socket_matrix(&sockets);
+    let hosts = host_rollup(&sm);
+    assert!(
+        hosts.nnz() <= sm.nnz(),
+        "port rollup only merges, never splits"
+    );
+    let busiest = top_sockets(&sm, 3);
+    assert!(!busiest.is_empty());
+    println!(
+        "socket view of window {scan_window}: {} socket flows → {} host flows; busiest socket {} sent {} packets",
+        sm.nnz(),
+        hosts.nnz(),
+        socket_key(busiest[0].0, busiest[0].1),
+        busiest[0].2
+    );
+
     // ---- The embedded query server answers SQL over the same flows ----
     let pinned = svc.server().pin_epoch(scan_window + 1).unwrap();
     let sql = svc

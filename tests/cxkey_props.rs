@@ -1,0 +1,170 @@
+//! Complex-index key property suite — the composite-key generalization
+//! of the CIDR laws in `netflow_props.rs`, checked over random inputs
+//! on two schemas (the 48-bit `ip.port` socket key and a 35-bit
+//! `doc.section.para` key):
+//!
+//! 1. **Project/rollup is idempotent** at every component prefix, on
+//!    both the string-keyed (`Assoc`) and bit-packed (`Dcsr`) layers.
+//! 2. **Prefixes compose downward**: masking to a long prefix and then
+//!    a short one equals masking straight to the short one
+//!    (`/a ∘ /ab = /a`), again on both layers.
+//! 3. **The two encodings agree**: rolling up packed indices and
+//!    projecting padded string keys are the *same* aggregation — every
+//!    packed cell maps 1:1 onto a string cell with the same ⊕-fold.
+
+use hyperspace::prelude::*;
+use hyperspace_core::cxkey::{self, CxField, CxPrefix, CxSchema, RollupAxes};
+use hypersparse::Ix;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn socket() -> &'static CxSchema {
+    static S: OnceLock<CxSchema> = OnceLock::new();
+    S.get_or_init(|| CxSchema::new(vec![CxField::dotted_quad("ip"), CxField::bits("port", 16)]))
+}
+
+fn doc() -> &'static CxSchema {
+    static S: OnceLock<CxSchema> = OnceLock::new();
+    S.get_or_init(|| {
+        CxSchema::new(vec![
+            CxField::bits("doc", 24),
+            CxField::bits("section", 8),
+            CxField::bits("para", 3),
+        ])
+    })
+}
+
+/// Random parts for a schema: a uniform composite index, unpacked, so
+/// every component ranges over its full field width.
+fn parts_for(schema: &'static CxSchema) -> impl Strategy<Value = Vec<u64>> {
+    let span = 1u64 << schema.total_bits();
+    (0..span).prop_map(move |ix| schema.unpack(ix))
+}
+
+fn triples(schema: &'static CxSchema) -> impl Strategy<Value = Vec<(Vec<u64>, Vec<u64>, u64)>> {
+    proptest::collection::vec((parts_for(schema), parts_for(schema), 1u64..100), 1..50)
+}
+
+/// Every meaningful prefix of a schema: each full-field cut plus a
+/// mid-field bit cut in the first field.
+fn prefixes(schema: &'static CxSchema) -> Vec<CxPrefix> {
+    let mut out: Vec<CxPrefix> = (0..=schema.fields().len())
+        .map(CxPrefix::full_fields)
+        .collect();
+    let first_bits = schema.fields()[0].codec().bits();
+    if first_bits > 1 {
+        out.push(CxPrefix::partial(0, first_bits / 2));
+    }
+    out
+}
+
+fn packed(schema: &'static CxSchema, t: &[(Vec<u64>, Vec<u64>, u64)]) -> Dcsr<u64> {
+    let dim: Ix = 1u64 << schema.total_bits();
+    let mut coo = Coo::new(dim, dim);
+    coo.extend(
+        t.iter()
+            .map(|(r, c, v)| (schema.pack(r), schema.pack(c), *v)),
+    );
+    coo.build_dcsr(PlusTimes::<u64>::new())
+}
+
+fn keyed(schema: &'static CxSchema, t: &[(Vec<u64>, Vec<u64>, u64)]) -> Assoc<String, String, u64> {
+    Assoc::from_triplets(
+        t.iter()
+            .map(|(r, c, v)| (schema.key(r), schema.key(c), *v))
+            .collect::<Vec<_>>(),
+        PlusTimes::<u64>::new(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Laws 1 + 2 on the packed (Dcsr) layer, both schemas.
+    #[test]
+    fn rollup_idempotent_and_composes_socket(t in triples(socket())) {
+        check_packed_laws(socket(), &t)?;
+    }
+
+    #[test]
+    fn rollup_idempotent_and_composes_doc(t in triples(doc())) {
+        check_packed_laws(doc(), &t)?;
+    }
+
+    /// Laws 1 + 2 on the string-keyed (Assoc) layer.
+    #[test]
+    fn project_idempotent_and_composes_socket(t in triples(socket())) {
+        check_string_laws(socket(), &t)?;
+    }
+
+    #[test]
+    fn project_idempotent_and_composes_doc(t in triples(doc())) {
+        check_string_laws(doc(), &t)?;
+    }
+
+    /// Law 3: packed rollup ≡ string projection, cell for cell.
+    #[test]
+    fn string_layer_agrees_with_packed_layer(t in triples(socket())) {
+        let schema = socket();
+        let s = PlusTimes::<u64>::new();
+        let a = packed(schema, &t);
+        let k = keyed(schema, &t);
+        for prefix in prefixes(schema) {
+            let rolled = cxkey::rollup(schema, &a, prefix, RollupAxes::Both, s);
+            let projected = cxkey::project(schema, &k, prefix, s);
+            prop_assert_eq!(rolled.nnz(), projected.nnz(),
+                "layer nnz diverged at prefix {:?}", prefix);
+            for (r, c, v) in rolled.iter() {
+                let rk = schema.prefix_key(&schema.unpack(r), prefix);
+                let ck = schema.prefix_key(&schema.unpack(c), prefix);
+                prop_assert_eq!(projected.get(&rk, &ck), Some(*v),
+                    "cell ({}, {}) diverged at prefix {:?}", rk, ck, prefix);
+            }
+        }
+    }
+}
+
+fn check_packed_laws(
+    schema: &'static CxSchema,
+    t: &[(Vec<u64>, Vec<u64>, u64)],
+) -> Result<(), String> {
+    let s = PlusTimes::<u64>::new();
+    let a = packed(schema, t);
+    for prefix in prefixes(schema) {
+        let once = cxkey::rollup(schema, &a, prefix, RollupAxes::Both, s);
+        let twice = cxkey::rollup(schema, &once, prefix, RollupAxes::Both, s);
+        prop_assert_eq!(&twice, &once, "rollup not idempotent at {:?}", prefix);
+    }
+    // Downward composition /a ∘ /ab = /a: long cut first, then short.
+    let long = CxPrefix::full_fields(schema.fields().len());
+    let short = CxPrefix::full_fields(1);
+    let via_long = cxkey::rollup(
+        schema,
+        &cxkey::rollup(schema, &a, long, RollupAxes::Both, s),
+        short,
+        RollupAxes::Both,
+        s,
+    );
+    let direct = cxkey::rollup(schema, &a, short, RollupAxes::Both, s);
+    prop_assert_eq!(&via_long, &direct, "downward composition broke");
+    Ok(())
+}
+
+fn check_string_laws(
+    schema: &'static CxSchema,
+    t: &[(Vec<u64>, Vec<u64>, u64)],
+) -> Result<(), String> {
+    let s = PlusTimes::<u64>::new();
+    let k = keyed(schema, t);
+    for prefix in prefixes(schema) {
+        let once = cxkey::project(schema, &k, prefix, s);
+        let twice = cxkey::project(schema, &once, prefix, s);
+        prop_assert_eq!(&twice, &once, "project not idempotent at {:?}", prefix);
+    }
+    let long = CxPrefix::full_fields(schema.fields().len());
+    let short = CxPrefix::full_fields(1);
+    let via_long = cxkey::project(schema, &cxkey::project(schema, &k, long, s), short, s);
+    let direct = cxkey::project(schema, &k, short, s);
+    prop_assert_eq!(&via_long, &direct, "downward composition broke");
+    Ok(())
+}
